@@ -1,0 +1,35 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark asserts the *shape* of the paper's claim (who wins, what is
+equal to what, how cost scales) in addition to timing the operation; absolute
+numbers are environment-dependent and not compared to the paper (which
+reports none).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title, rows, header=None):
+    """Print a small table into the benchmark log (visible with -s)."""
+    print()
+    print(f"== {title} ==")
+    if header:
+        print("  " + " | ".join(str(h) for h in header))
+    for row in rows:
+        print("  " + " | ".join(str(cell) for cell in row))
+
+
+@pytest.fixture(scope="session")
+def figure1_db():
+    from repro.datasets.flights import figure1_database
+
+    return figure1_database()
+
+
+@pytest.fixture(scope="session")
+def family_db():
+    from repro.datasets.family import figure2_family
+
+    return figure2_family()

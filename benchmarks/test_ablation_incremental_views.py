@@ -1,0 +1,69 @@
+"""abl5: incremental view maintenance vs full recomputation.
+
+A materialized transitive-closure view over a growing chain: maintaining it
+by delta evaluation after one edge insertion should beat recomputing the
+whole closure, and the gap should widen with the database size.
+"""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate
+from repro.datalog.parser import parse_program
+from repro.ham.views import incremental_insert
+
+from conftest import report
+
+PROGRAM = parse_program(
+    """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- e(X, Z), tc(Z, Y).
+    """
+)
+
+
+def chain_edb(n):
+    db = Database()
+    db.add_facts("e", [(f"n{i}", f"n{i+1}") for i in range(n)])
+    return db
+
+
+@pytest.mark.parametrize("size", [40, 80])
+def test_abl5_incremental_one_edge(benchmark, size):
+    edb = chain_edb(size)
+    materialized = evaluate(PROGRAM, edb)
+    new_edge = {"e": [(f"n{size}", f"n{size+1}")]}
+    # The new edge extends the chain at the far end; the delta touches
+    # every prefix, the worst case for an insertion.
+    updated = benchmark(incremental_insert, PROGRAM, materialized, new_edge)
+    assert ("n0", f"n{size+1}") in updated.facts("tc")
+
+
+@pytest.mark.parametrize("size", [40, 80])
+def test_abl5_full_recompute(benchmark, size):
+    edb = chain_edb(size + 1)
+
+    def recompute():
+        return evaluate(PROGRAM, edb)
+
+    result = benchmark(recompute)
+    assert ("n0", f"n{size+1}") in result.facts("tc")
+
+
+def test_abl5_incremental_matches_recompute(benchmark):
+    size = 30
+    edb = chain_edb(size)
+    materialized = evaluate(PROGRAM, edb)
+
+    def maintain_three_inserts():
+        state = materialized
+        for i in range(3):
+            state = incremental_insert(
+                PROGRAM, state, {"e": [(f"n{size+i}", f"n{size+i+1}")]}
+            )
+        return state
+
+    state = benchmark(maintain_three_inserts)
+    expected = evaluate(PROGRAM, chain_edb(size + 3))
+    assert state.facts("tc") == expected.facts("tc")
+    report("abl5 |tc| after maintenance", [(len(state.facts("tc")),)])

@@ -1,0 +1,38 @@
+"""fig1: the flights database and its graph encoding (Figure 1).
+
+Regenerates the figure's artifact (the database graph) and benchmarks the
+relational <-> graph bridge at paper scale and at synthetic scale.
+"""
+
+from repro.datasets.flights import figure1_database, random_flights
+from repro.graphs.bridge import database_from_graph, graph_from_database
+
+from conftest import report
+
+
+def test_fig01_exact_instance(benchmark):
+    database = figure1_database()
+    graph = benchmark(graph_from_database, database)
+    # Shape of Figure 1: flights and cities as nodes, capital annotations.
+    assert graph.node_label("ottawa") == frozenset({"capital"})
+    assert graph.node_label("washington") == frozenset({"capital"})
+    flights = {f for f, _city in database.facts("from")}
+    assert len(flights) == 8
+    assert all(graph.has_node(f) for f in flights)
+    # Each flight contributes 4 edges (from, to, departure, arrival).
+    assert graph.edge_count() == 32
+    report(
+        "fig01 graph encoding",
+        [(graph.node_count(), graph.edge_count())],
+        header=("nodes", "edges"),
+    )
+
+
+def test_fig01_roundtrip_at_scale(benchmark):
+    database = random_flights(7, n_cities=40, n_flights=400)
+
+    def roundtrip():
+        return database_from_graph(graph_from_database(database))
+
+    back = benchmark(roundtrip)
+    assert back == database

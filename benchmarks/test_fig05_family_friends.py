@@ -1,0 +1,42 @@
+"""fig5: the local-family-friends query with path regular expressions.
+
+The p.r.e. ``(father | mother(_))*`` condenses three query graphs into one
+edge; this benchmark evaluates it on the Example 2.5 instance and on random
+genealogies, asserting the ancestor-or-self semantics of the Kleene star.
+"""
+
+import pytest
+
+from repro.core.engine import GraphLogEngine
+from repro.datasets.family import example25_family, random_genealogy
+from repro.figures.fig05 import query
+
+from conftest import report
+
+
+def test_fig05_paper_instance(benchmark):
+    graphical = query()
+    database = example25_family()
+    engine = GraphLogEngine()
+    answers = benchmark(engine.answers, graphical, database, "local-family-friend")
+    mine = {p2 for p1, p2 in answers if p1 == "me"}
+    assert mine == {"carol", "alice", "erin"}  # self, father's, grandmother's
+    assert "bob" not in mine  # mother's friend lives in ottawa
+
+
+@pytest.mark.parametrize("generations", [4, 6])
+def test_fig05_scaling(benchmark, generations):
+    graphical = query()
+    database = random_genealogy(
+        3, generations=generations, people_per_generation=8, cities=["toronto", "ottawa"]
+    )
+    engine = GraphLogEngine()
+    answers = benchmark(engine.answers, graphical, database, "local-family-friend")
+    # Every answer's friend must reside in toronto.
+    residences = dict(database.facts("residence"))
+    assert all(residences[p2] == "toronto" for _p1, p2 in answers)
+    report(
+        f"fig05 at {generations} generations",
+        [(database.count("person"), len(answers))],
+        header=("people", "answers"),
+    )

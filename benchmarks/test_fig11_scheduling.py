@@ -1,0 +1,61 @@
+"""fig11: delay propagation with aggregation and path summarization.
+
+Benchmarks the three-stage Example 4.1 computation (move durations, longest
+path-sums, delayed starts) on the paper instance and on random projects,
+asserting the max-plus semantics against an independent brute-force
+enumeration on the small instance.
+"""
+
+import itertools
+
+import pytest
+
+from repro.datasets.tasks import figure11_database, random_project
+from repro.figures.fig11 import delayed_start, earlier_start
+
+from conftest import report
+
+
+def _all_paths(edges, source, target):
+    adjacency = {}
+    for a, b, w in edges:
+        adjacency.setdefault(a, []).append((b, w))
+
+    def walk(node, total):
+        if node == target:
+            yield total
+        for nxt, weight in adjacency.get(node, ()):
+            yield from walk(nxt, total + weight)
+
+    return list(walk(source, 0))
+
+
+def test_fig11_paper_instance(benchmark):
+    database = figure11_database()
+    earlier = benchmark(earlier_start, database)
+    # Independent brute force: E is the max total over all paths.
+    durations = dict(database.facts("duration"))
+    edges = [(a, b, durations[b]) for a, b in database.facts("affects")]
+    for (a, b), value in earlier.items():
+        totals = _all_paths(edges, a, b)
+        assert totals and max(totals) == value
+
+
+def test_fig11_delay_impact(benchmark):
+    database = figure11_database()
+    delayed = benchmark(delayed_start, database, "design", 7)
+    assert delayed["build-core"] == 12
+    assert set(delayed) == {"build-ui", "build-core", "integrate", "test", "ship"}
+
+
+@pytest.mark.parametrize("n_tasks", [30, 60])
+def test_fig11_scaling(benchmark, n_tasks):
+    database = random_project(23, n_tasks=n_tasks, layers=6)
+    earlier = benchmark(earlier_start, database)
+    critical = max(earlier.values()) if earlier else 0
+    report(
+        f"fig11 with {n_tasks} tasks",
+        [(n_tasks, len(earlier), critical)],
+        header=("tasks", "dependent pairs", "critical chain"),
+    )
+    assert earlier

@@ -1,0 +1,51 @@
+"""fig12: the prototype's RT-scale query over the HAM-backed airline graph.
+
+Benchmarks the G+ edge-query path (RPQ product search) including result
+highlighting, on the paper's graph and on random airline networks.
+"""
+
+import pytest
+
+from repro.datasets.airlines import figure12_graph, random_airline_graph
+from repro.figures.fig12 import rt_scale_cities
+from repro.ham.store import HAMStore
+from repro.rpq.evaluate import RPQEvaluator
+from repro.visual.highlight import highlight_rpq
+
+from conftest import report
+
+
+def test_fig12_rt_scale(benchmark):
+    graph = figure12_graph()
+    scales = benchmark(rt_scale_cities, graph)
+    assert scales == {"geneva", "montreal", "toronto", "vancouver"}
+
+
+def test_fig12_ham_load_and_query(benchmark):
+    def load_and_query():
+        store = HAMStore()
+        store.load_graph(figure12_graph())
+        return store.rpq("CP+", source="rome")
+
+    targets = benchmark(load_and_query)
+    assert "tokyo" in targets
+
+
+def test_fig12_highlighting(benchmark):
+    graph = figure12_graph()
+    edges, dot = benchmark(highlight_rpq, graph, "CP+", ["rome"])
+    assert all(e.label == "CP" for e in edges)
+    assert "color=red" in dot
+
+
+@pytest.mark.parametrize("n_cities", [30, 80])
+def test_fig12_scaling(benchmark, n_cities):
+    graph = random_airline_graph(5, n_cities=n_cities, flights_per_airline=n_cities * 2)
+    evaluator = RPQEvaluator(graph)
+    pairs = benchmark(evaluator.pairs, "CP+ AA?")
+    report(
+        f"fig12 RPQ on {n_cities} cities",
+        [(n_cities, graph.edge_count(), len(pairs))],
+        header=("cities", "flights", "answer pairs"),
+    )
+    assert pairs

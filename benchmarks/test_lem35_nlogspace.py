@@ -1,0 +1,68 @@
+"""lem3.5: GraphLog ⊆ QNLOGSPACE — TC by frontier-only reachability.
+
+Contrasts deciding one TC fact by frontier search (memory proportional to
+the frontier, the NLOGSPACE flavour) against materializing the full closure
+relation.  Shape asserted: the frontier peak stays far below the closure
+size, and both methods agree on the decision.
+"""
+
+import pytest
+
+from repro.datasets.random_graphs import chain_database, random_edge_relation
+from repro.fo_tc.reachability import peak_frontier_size, tc_holds, tc_relation
+
+from conftest import report
+
+
+def _oracle(pairs):
+    pairs = set(pairs)
+    return lambda u, v: (u[0], v[0]) in pairs
+
+
+@pytest.mark.parametrize("length", [30, 60])
+def test_lem35_frontier_decision_on_chain(benchmark, length):
+    database = chain_database(length)
+    pairs = database.facts("edge")
+    domain = sorted({x for pair in pairs for x in pair})
+    edge = _oracle(pairs)
+
+    holds = benchmark(tc_holds, domain, 1, ("n0",), (f"n{length}",), edge)
+    assert holds
+    reached, peak = peak_frontier_size(domain, 1, ("n0",), edge)
+    closure_size = length * (length + 1) // 2
+    assert peak <= 2  # chain frontier is O(1)
+    report(
+        f"lem35 chain {length}",
+        [(peak, closure_size)],
+        header=("peak frontier", "full closure size"),
+    )
+
+
+@pytest.mark.parametrize("length", [30, 60])
+def test_lem35_materialized_closure_on_chain(benchmark, length):
+    database = chain_database(length)
+    pairs = database.facts("edge")
+    domain = sorted({x for pair in pairs for x in pair})
+    edge = _oracle(pairs)
+
+    relation = benchmark(tc_relation, domain, 1, edge)
+    assert len(relation) == length * (length + 1) // 2
+
+
+def test_lem35_methods_agree_on_random_graph(benchmark):
+    database = random_edge_relation(9, 14, 30)
+    pairs = database.facts("edge")
+    domain = sorted({x for pair in pairs for x in pair})
+    edge = _oracle(pairs)
+    relation = tc_relation(domain, 1, edge)
+
+    def decide_all():
+        return {
+            (u, v)
+            for u in domain
+            for v in domain
+            if tc_holds(domain, 1, (u,), (v,), edge)
+        }
+
+    decided = benchmark(decide_all)
+    assert decided == {(u[0], v[0]) for u, v in relation}

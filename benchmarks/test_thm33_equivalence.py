@@ -1,0 +1,94 @@
+"""thm3.3: TC = STC-DATALOG = GRAPHLOG = SL-DATALOG.
+
+Evaluates the same query through all four formalisms on one database and
+benchmarks each stage, asserting identical answer sets.  The expected cost
+shape: the two Datalog evaluations are fastest, the STC form pays the wider
+``t`` relation, and the FO+TC evaluator (active-domain enumeration) is the
+slowest — it is the specification, not the implementation.
+"""
+
+import pytest
+
+from repro.core.dsl import parse_graphical_query
+from repro.core.engine import GraphLogEngine, prepare_database
+from repro.core.translate import translate
+from repro.datalog.engine import evaluate
+from repro.datasets.family import random_genealogy
+from repro.fo_tc.evaluate import Structure, answers as fo_answers
+from repro.fo_tc.from_stc import stc_to_tc
+from repro.translation.sl_to_stc import prepare_adom, sl_to_stc
+
+from conftest import report
+
+QUERY = """
+define (P1) -[not-desc-of(P2)]-> (P3) {
+    (P1) -[descendant+]-> (P3);
+    (P2) -[~descendant+]-> (P3);
+    person(P2);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def setting():
+    query = parse_graphical_query(QUERY)
+    database = prepare_database(
+        random_genealogy(8, generations=3, people_per_generation=4)
+    )
+    sl = translate(query)
+    stc = sl_to_stc(sl, use_predicate_name_signatures=False)
+    queries = stc_to_tc(sl)
+    expected = GraphLogEngine().answers(query, database, "not-desc-of")
+    assert expected
+    return {
+        "query": query,
+        "database": database,
+        "sl": sl,
+        "stc": stc,
+        "tc": queries["not-desc-of"],
+        "expected": expected,
+    }
+
+
+def test_thm33_stage_graphlog(benchmark, setting):
+    engine = GraphLogEngine()
+    answers = benchmark(
+        engine.answers, setting["query"], setting["database"], "not-desc-of"
+    )
+    assert answers == setting["expected"]
+
+
+def test_thm33_stage_sl_datalog(benchmark, setting):
+    def run():
+        return set(evaluate(setting["sl"], setting["database"]).facts("not-desc-of"))
+
+    answers = benchmark(run)
+    assert answers == setting["expected"]
+
+
+def test_thm33_stage_stc_datalog(benchmark, setting):
+    database = prepare_adom(setting["database"])
+
+    def run():
+        return set(
+            evaluate(setting["stc"].program, database).facts("not-desc-of")
+        )
+
+    answers = benchmark(run)
+    assert answers == setting["expected"]
+
+
+def test_thm33_stage_tc_formula(benchmark, setting):
+    structure = Structure.from_database(setting["database"])
+    tc_query = setting["tc"]
+
+    def run():
+        return fo_answers(tc_query.formula, structure, tc_query.parameters)
+
+    answers = benchmark(run)
+    assert answers == setting["expected"]
+    report(
+        "thm33 equal answers across 4 formalisms",
+        [(len(setting["expected"]),)],
+        header=("|answers|",),
+    )

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Flight connections: the Figures 1/4/12 workload end to end.
+
+- builds the Figure 1 flights database;
+- runs the Figure 4 graphical query (feasible connections, stop-connected
+  cities), including the time comparison edge;
+- answers "which capitals can I reach from Toronto with at least one stop?"
+  by composing a third query graph on top of ``stop-connected``;
+- switches to the Figure 12 airline multigraph and evaluates the RT-scale
+  regular path query, printing the highlighted DOT.
+
+Run:  python examples/flights_connections.py
+"""
+
+from repro import GraphLogEngine, parse_graphical_query
+from repro.datasets import figure1_database, figure12_graph
+from repro.figures.fig12 import rt_scale_cities
+from repro.rpq import RPQEvaluator
+from repro.visual import graph_to_dot, render_relation
+
+db = figure1_database()
+engine = GraphLogEngine()
+
+# ---------------------------------------------------------------- Figure 4
+query = parse_graphical_query(
+    """
+    define (F1) -[feasible]-> (F2) {
+        (F1) -[to]-> (C);
+        (C) <-[from]- (F2);
+        (F1) -[arrival]-> (TA);
+        (F2) -[departure]-> (TD);
+        (TA) -[<]-> (TD);
+    }
+
+    define (C1) -[stop-connected]-> (C2) {
+        (C1) <-[from]- (F1);
+        (F1) -[feasible+]-> (F2);
+        (F2) -[to]-> (C2);
+    }
+
+    % A third graph composing on the previous ones: capitals reachable from
+    % toronto with at least one stop.
+    define (C) -[capital-with-stops]-> (C) {
+        (toronto) -[stop-connected]-> (C);
+        capital(C);
+    }
+    """
+)
+
+result = engine.run(query, db)
+print(render_relation(result.facts("feasible"), header=("F1", "F2"), title="feasible flights"))
+print(render_relation(result.facts("stop-connected"), header=("C1", "C2"), title="stop-connected cities"))
+capitals = sorted({c for c, _ in result.facts("capital-with-stops")})
+print(f"capitals reachable from toronto with >=1 stop: {', '.join(capitals)}\n")
+
+# --------------------------------------------------------------- Figure 12
+graph = figure12_graph()
+scales = rt_scale_cities(graph)
+print(f"RT-scale cities (stopovers on CP routes rome -> tokyo): {', '.join(sorted(scales))}\n")
+
+evaluator = RPQEvaluator(graph)
+edges = {e for e in evaluator.matching_edges("CP+", sources=["rome"]) if e.label == "CP"}
+print("airline graph with qualifying CP flights highlighted:")
+print(graph_to_dot(graph, name="rt_scale", highlighted_edges=edges))

@@ -1,0 +1,17 @@
+"""Setup shim enabling legacy editable installs where the `wheel` package is
+unavailable (offline environments): ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'GraphLog: a Visual Formalism for Real Life Recursion' "
+        "(Consens & Mendelzon, PODS 1990)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,102 @@
+"""GraphLog reproduction: a visual formalism for real life recursion.
+
+A from-scratch Python implementation of the system described in
+
+    M. P. Consens and A. O. Mendelzon,
+    "GraphLog: a Visual Formalism for Real Life Recursion", PODS 1990.
+
+Subpackages:
+
+- :mod:`repro.core` — the GraphLog language: path regular expressions,
+  query graphs, graphical queries, the λ translation, the textual DSL, and
+  the evaluation engine;
+- :mod:`repro.datalog` — the stratified Datalog substrate (AST, parser,
+  database, stratification, naive/semi-naive evaluation, program classes);
+- :mod:`repro.graphs` — labeled multigraphs, the relational bridge, graph
+  algorithms and transitive-closure kernels;
+- :mod:`repro.rpq` — regular path queries: automata, product evaluation,
+  regular simple paths (G+ edge queries);
+- :mod:`repro.translation` — Algorithm 3.1 (SL-DATALOG -> STC-DATALOG);
+- :mod:`repro.fo_tc` — first-order logic with transitive closure and the
+  STC-DATALOG -> TC translation (Theorem 3.3);
+- :mod:`repro.aggregation` — aggregates and path summarization (Section 4);
+- :mod:`repro.ham` — the transactional, versioned graph store (Section 5);
+- :mod:`repro.datasets` — paper instances and workload generators;
+- :mod:`repro.visual` — DOT/ASCII rendering and answer highlighting;
+- :mod:`repro.figures` — one module per paper figure, regenerating it.
+
+Quickstart::
+
+    from repro import GraphLogEngine, parse_graphical_query, Database
+
+    db = Database()
+    db.add_facts("descendant", [("ann", "bob"), ("bob", "cal")])
+    db.add_facts("person", [("ann",), ("bob",), ("cal",)])
+
+    query = parse_graphical_query('''
+        define (P1) -[not-desc-of(P2)]-> (P3) {
+            (P1) -[descendant+]-> (P3);
+            (P2) -[~descendant+]-> (P3);
+            person(P2);
+        }
+    ''')
+    answers = GraphLogEngine().answers(query, db, "not-desc-of")
+"""
+
+from repro.core import (
+    GraphLogEngine,
+    GraphicalQuery,
+    QueryGraph,
+    answers,
+    parse_graphical_query,
+    parse_pre,
+    parse_query_graph,
+    run,
+    translate,
+)
+from repro.datalog import (
+    Database,
+    Engine,
+    Program,
+    evaluate,
+    parse_atom,
+    parse_program,
+    parse_rule,
+    query,
+)
+from repro.gplus import GPlusEngine, GPlusQuery
+from repro.graphs import LabeledMultigraph, graph_from_database
+from repro.rpq import RPQEvaluator, parse_regex
+from repro.translation import sl_to_stc
+from repro.errors import ReproError
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Database",
+    "Engine",
+    "GPlusEngine",
+    "GPlusQuery",
+    "GraphLogEngine",
+    "GraphicalQuery",
+    "LabeledMultigraph",
+    "Program",
+    "QueryGraph",
+    "RPQEvaluator",
+    "ReproError",
+    "answers",
+    "evaluate",
+    "graph_from_database",
+    "parse_atom",
+    "parse_graphical_query",
+    "parse_pre",
+    "parse_program",
+    "parse_query_graph",
+    "parse_regex",
+    "parse_rule",
+    "query",
+    "run",
+    "sl_to_stc",
+    "translate",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Aggregation and path summarization (Section 4 of the paper)."""
+
+from repro.aggregation.aggregates import (
+    AGGREGATE_FUNCTIONS,
+    AggregateEngine,
+    AggregateProgram,
+    AggregateRule,
+    AggregateTerm,
+    PathSummaryRule,
+    evaluate_with_aggregates,
+)
+from repro.aggregation.semiring import (
+    BOOLEAN,
+    COUNT_PATHS,
+    MAX_MIN,
+    MAX_PLUS,
+    MAX_TIMES,
+    MIN_PLUS,
+    STANDARD_SEMIRINGS,
+    Semiring,
+    semiring_by_name,
+)
+from repro.aggregation.summarize import (
+    path_summarize,
+    summarize_from,
+    summarize_paths,
+    weighted_edges_from_database,
+)
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "AggregateEngine",
+    "AggregateProgram",
+    "AggregateRule",
+    "AggregateTerm",
+    "BOOLEAN",
+    "COUNT_PATHS",
+    "MAX_MIN",
+    "MAX_PLUS",
+    "MAX_TIMES",
+    "MIN_PLUS",
+    "PathSummaryRule",
+    "STANDARD_SEMIRINGS",
+    "Semiring",
+    "evaluate_with_aggregates",
+    "path_summarize",
+    "semiring_by_name",
+    "summarize_from",
+    "summarize_paths",
+    "weighted_edges_from_database",
+]

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+- ``figure NAME``              print a reproduced paper figure (fig01..fig12)
+- ``query QUERY.gl DATA.dl``   run a GraphLog DSL query over a fact file
+- ``datalog PROGRAM.dl``       evaluate a Datalog program (facts inline or
+                               via ``--data``), print derived relations
+- ``translate PROGRAM.dl``     run Algorithm 3.1 and print the TC program
+- ``rpq REGEX DATA.dl``        evaluate a regular path query over the graph
+                               encoding of a fact file
+- ``dot QUERY.gl``             render a GraphLog query as Graphviz DOT
+- ``optimize PROGRAM.dl``      dedupe/inline/prune a Datalog program
+- ``magic PROGRAM.dl GOAL``    goal-directed (magic sets) evaluation
+- ``export DATA.dl OUT.json``  convert a fact file to a JSON graph
+- ``shell``                    interactive session
+
+Fact files are Datalog programs whose rules are all facts
+(``parent(ann, bob).``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.dsl import parse_graphical_query
+from repro.core.engine import GraphLogEngine
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate
+from repro.datalog.parser import parse_program
+from repro.graphs.bridge import graph_from_database
+from repro.rpq.evaluate import RPQEvaluator
+from repro.translation.sl_to_stc import sl_to_stc
+from repro.visual.ascii_art import render_relation
+from repro.visual.dot import graphical_query_to_dot
+
+
+def _load_facts(path):
+    with open(path) as handle:
+        program = parse_program(handle.read())
+    database = Database()
+    for rule in program:
+        if not rule.is_fact:
+            raise SystemExit(f"{path}: expected facts only, found rule {rule}")
+        database.add_fact(rule.head.predicate, *(t.value for t in rule.head.args))
+    return database
+
+
+def _load_text(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def cmd_figure(args):
+    from repro.figures import ALL_FIGURES
+
+    name = args.name if args.name.startswith("fig") else f"fig{int(args.name):02d}"
+    module = ALL_FIGURES.get(name)
+    if module is None:
+        raise SystemExit(f"unknown figure {args.name!r}; known: {', '.join(sorted(ALL_FIGURES))}")
+    print(module.render())
+    return 0
+
+
+def cmd_query(args):
+    query = parse_graphical_query(_load_text(args.query))
+    database = _load_facts(args.data)
+    engine = GraphLogEngine(method=args.method)
+    result = engine.run(query, database)
+    predicates = sorted(query.idb_predicates)
+    for predicate in predicates:
+        rows = result.facts(predicate)
+        print(render_relation(rows, title=f"{predicate} ({len(rows)} tuples)"))
+    return 0
+
+
+def cmd_datalog(args):
+    program = parse_program(_load_text(args.program))
+    database = _load_facts(args.data) if args.data else Database()
+    result = evaluate(program, database, method=args.method)
+    for predicate in sorted(program.idb_predicates):
+        rows = result.facts(predicate)
+        print(render_relation(rows, title=f"{predicate} ({len(rows)} tuples)"))
+    return 0
+
+
+def cmd_translate(args):
+    program = parse_program(_load_text(args.program))
+    result = sl_to_stc(program)
+    print(result.program.pretty())
+    return 0
+
+
+def cmd_rpq(args):
+    database = _load_facts(args.data)
+    graph = graph_from_database(database)
+    evaluator = RPQEvaluator(graph)
+    if args.source:
+        targets = evaluator.targets(args.regex, args.source)
+        print(render_relation([(t,) for t in targets], title=f"targets of {args.regex!r} from {args.source}"))
+    else:
+        pairs = evaluator.pairs(args.regex)
+        print(render_relation(pairs, title=f"pairs matching {args.regex!r}"))
+    return 0
+
+
+def cmd_optimize(args):
+    from repro.datalog.optimize import optimize
+
+    program = parse_program(_load_text(args.program))
+    roots = args.roots.split(",") if args.roots else None
+    print(optimize(program, roots=roots).pretty())
+    return 0
+
+
+def cmd_magic(args):
+    from repro.datalog.magic import magic_query
+    from repro.datalog.parser import parse_atom
+
+    program = parse_program(_load_text(args.program))
+    database = _load_facts(args.data) if args.data else Database()
+    goal = parse_atom(args.goal)
+    answers, stats = magic_query(program, database, goal)
+    print(render_relation(answers, title=f"{args.goal} ({len(answers)} answers)"))
+    print(f"facts derived: {stats.facts_derived}")
+    return 0
+
+
+def cmd_export(args):
+    from repro.io import save_graph
+
+    database = _load_facts(args.data)
+    graph = graph_from_database(database)
+    save_graph(graph, args.out)
+    print(f"wrote {graph.node_count()} nodes, {graph.edge_count()} edges to {args.out}")
+    return 0
+
+
+def cmd_shell(_args):
+    from repro.shell import repl
+
+    return repl() or 0
+
+
+def cmd_dot(args):
+    query = parse_graphical_query(_load_text(args.query))
+    print(graphical_query_to_dot(query))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GraphLog (PODS 1990) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_figure = sub.add_parser("figure", help="print a reproduced paper figure")
+    p_figure.add_argument("name", help="fig01..fig12 (or just the number)")
+    p_figure.set_defaults(func=cmd_figure)
+
+    p_query = sub.add_parser("query", help="run a GraphLog query over a fact file")
+    p_query.add_argument("query", help="GraphLog DSL file")
+    p_query.add_argument("data", help="Datalog fact file")
+    p_query.add_argument("--method", default="seminaive", choices=("seminaive", "naive"))
+    p_query.set_defaults(func=cmd_query)
+
+    p_datalog = sub.add_parser("datalog", help="evaluate a Datalog program")
+    p_datalog.add_argument("program", help="Datalog program file")
+    p_datalog.add_argument("--data", help="Datalog fact file", default=None)
+    p_datalog.add_argument("--method", default="seminaive", choices=("seminaive", "naive"))
+    p_datalog.set_defaults(func=cmd_datalog)
+
+    p_translate = sub.add_parser("translate", help="Algorithm 3.1: SL -> STC")
+    p_translate.add_argument("program", help="stratified linear Datalog file")
+    p_translate.set_defaults(func=cmd_translate)
+
+    p_rpq = sub.add_parser("rpq", help="regular path query over a fact file")
+    p_rpq.add_argument("regex", help="label regular expression, e.g. 'CP+'")
+    p_rpq.add_argument("data", help="Datalog fact file")
+    p_rpq.add_argument("--source", default=None, help="restrict to one start node")
+    p_rpq.set_defaults(func=cmd_rpq)
+
+    p_optimize = sub.add_parser("optimize", help="optimize a Datalog program")
+    p_optimize.add_argument("program", help="Datalog program file")
+    p_optimize.add_argument("--roots", default=None, help="comma-separated root predicates")
+    p_optimize.set_defaults(func=cmd_optimize)
+
+    p_magic = sub.add_parser("magic", help="goal-directed evaluation (magic sets)")
+    p_magic.add_argument("program", help="positive Datalog program file")
+    p_magic.add_argument("goal", help="goal atom, e.g. 'tc(a, Y)'")
+    p_magic.add_argument("--data", default=None, help="Datalog fact file")
+    p_magic.set_defaults(func=cmd_magic)
+
+    p_export = sub.add_parser("export", help="fact file -> JSON graph")
+    p_export.add_argument("data", help="Datalog fact file")
+    p_export.add_argument("out", help="output JSON path")
+    p_export.set_defaults(func=cmd_export)
+
+    p_shell = sub.add_parser("shell", help="interactive GraphLog shell")
+    p_shell.set_defaults(func=cmd_shell)
+
+    p_dot = sub.add_parser("dot", help="render a GraphLog query as DOT")
+    p_dot.add_argument("query", help="GraphLog DSL file")
+    p_dot.set_defaults(func=cmd_dot)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""A textual concrete syntax for GraphLog graphical queries.
+
+The paper's visual formalism is isomorphic to this DSL: each ``define``
+block is one query graph; its header is the distinguished edge; the block
+body lists pattern edges and node annotations.
+
+Example (the query of Figure 2)::
+
+    define (P1) -[not-desc-of(P2)]-> (P3) {
+        (P1) -[descendant+]-> (P3);
+        (P2) -[~descendant+]-> (P3);
+        person(P2);
+    }
+
+Syntax summary:
+
+- nodes are parenthesized term sequences: ``(P1)``, ``(X, Y)``, ``(toronto)``
+  (uppercase-initial names are variables, others constants);
+- edges are ``-[<p.r.e.>]->`` (or ``<-[<p.r.e.>]-`` for the reverse
+  direction); edge chains like ``(X) -[a]-> (Y) -[b]-> (Z)`` are allowed;
+- the header edge label names the defined relation, with optional extra
+  label arguments;
+- a bare atom statement ``person(P2)`` annotates the node formed by its
+  arguments with that predicate; prefix ``~`` or ``!`` negates it;
+- statements are separated by ``;``; ``%`` and ``#`` start comments.
+
+Several ``define`` blocks in one source form a graphical query.
+"""
+
+from __future__ import annotations
+
+from repro.core.pre_parser import parse_pre_from_stream
+from repro.core.pre import validate_pre
+from repro.core.query_graph import GraphicalQuery, QueryGraph
+from repro.datalog.lexer import TokenStream, tokenize
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ParseError
+
+
+def parse_graphical_query(source, name=None):
+    """Parse one or more ``define`` blocks into a GraphicalQuery."""
+    stream = TokenStream(tokenize(source))
+    graphs = []
+    while not stream.exhausted:
+        graphs.append(_parse_define(stream))
+    if not graphs:
+        raise ParseError("no 'define' block found")
+    query = GraphicalQuery(graphs, name=name)
+    query.validate()
+    return query
+
+
+def parse_query_graph(source):
+    """Parse exactly one ``define`` block into a QueryGraph."""
+    stream = TokenStream(tokenize(source))
+    graph = _parse_define(stream)
+    if not stream.exhausted:
+        token = stream.peek()
+        raise ParseError("trailing input after define block", token.line, token.column)
+    graph.validate()
+    return graph
+
+
+# --------------------------------------------------------------- internals
+
+
+def _parse_define(stream):
+    stream.expect("ident", "define")
+    graph = QueryGraph()
+    source = _parse_node(stream)
+    _expect_edge_open(stream)
+    predicate, extra = _parse_head_label(stream)
+    _expect_edge_close(stream)
+    target = _parse_node(stream)
+    graph.distinguished(source, target, predicate, extra)
+    stream.expect("punct", "{")
+    while not stream.at_punct("}"):
+        _parse_statement(stream, graph)
+        if not stream.accept("punct", ";"):
+            break
+    stream.expect("punct", "}")
+    return graph
+
+
+def _parse_node(stream):
+    stream.expect("punct", "(")
+    terms = [_parse_node_term(stream)]
+    while stream.accept("punct", ","):
+        terms.append(_parse_node_term(stream))
+    stream.expect("punct", ")")
+    return tuple(terms)
+
+
+def _parse_node_term(stream):
+    token = stream.peek()
+    if token.kind == "var":
+        stream.next()
+        return Variable(token.text)
+    if token.kind == "ident":
+        stream.next()
+        return Constant(token.text)
+    if token.kind in ("number", "string"):
+        stream.next()
+        return Constant(token.value)
+    raise ParseError(
+        f"expected a node term, found {token.text or token.kind!r}", token.line, token.column
+    )
+
+
+def _expect_edge_open(stream):
+    stream.expect("punct", "-")
+    stream.expect("punct", "[")
+
+
+def _expect_edge_close(stream):
+    stream.expect("punct", "]")
+    stream.expect("punct", "->")
+
+
+def _parse_head_label(stream):
+    name = stream.expect("ident").text
+    extra = []
+    if stream.accept("punct", "("):
+        if not stream.at_punct(")"):
+            extra.append(_parse_node_term(stream))
+            while stream.accept("punct", ","):
+                extra.append(_parse_node_term(stream))
+        stream.expect("punct", ")")
+    return name, extra
+
+
+def _parse_statement(stream, graph):
+    if stream.at_punct("("):
+        _parse_edge_chain(stream, graph)
+        return
+    positive = True
+    if stream.at_punct("~") or stream.at_punct("!"):
+        stream.next()
+        positive = False
+    token = stream.expect("ident")
+    stream.expect("punct", "(")
+    terms = [_parse_node_term(stream)]
+    while stream.accept("punct", ","):
+        terms.append(_parse_node_term(stream))
+    stream.expect("punct", ")")
+    graph.annotate(tuple(terms), token.text, positive=positive)
+
+
+def _parse_summary_suffix(stream, pre):
+    """Parse ``@ <semiring> <Var>`` after a weight predicate name."""
+    from repro.core.pre import Pred
+
+    if not isinstance(pre, Pred) or pre.args:
+        raise ParseError(
+            "the left side of '@' must be a bare weight predicate name"
+        )
+    stream.expect("punct", "@")
+    semiring = stream.expect("ident").text
+    token = stream.peek()
+    if token.kind != "var":
+        raise ParseError(
+            f"expected a value variable after the semiring, found {token.text!r}",
+            token.line,
+            token.column,
+        )
+    stream.next()
+    return pre.name, semiring, Variable(token.text)
+
+
+def _parse_edge_chain(stream, graph):
+    current = _parse_node(stream)
+    seen_edge = False
+    while True:
+        if stream.at_punct("-") and stream.peek(1).text == "[":
+            stream.next()
+            stream.expect("punct", "[")
+            pre = validate_pre(parse_pre_from_stream(stream))
+            if stream.at_punct("@"):
+                # Summarization edge (Section 4):
+                #   (T1) -[moved-duration @ longest E]-> (T2)
+                summary = _parse_summary_suffix(stream, pre)
+                _expect_edge_close(stream)
+                target = _parse_node(stream)
+                graph.summarize(current, target, *summary)
+                current = target
+                seen_edge = True
+                continue
+            _expect_edge_close(stream)
+            target = _parse_node(stream)
+            graph.edge(current, target, pre)
+            current = target
+            seen_edge = True
+            continue
+        if stream.at_punct("<") and stream.peek(1).text == "-" and stream.peek(2).text == "[":
+            stream.next()
+            stream.next()
+            stream.expect("punct", "[")
+            pre = validate_pre(parse_pre_from_stream(stream))
+            stream.expect("punct", "]")
+            stream.expect("punct", "-")
+            source = _parse_node(stream)
+            graph.edge(source, current, pre)
+            current = source
+            seen_edge = True
+            continue
+        break
+    if not seen_edge:
+        token = stream.peek()
+        raise ParseError("expected an edge after node", token.line, token.column)

@@ -1,0 +1,201 @@
+"""Parser for textual path regular expressions.
+
+Syntax (precedence from loosest to tightest)::
+
+    expr      := cat ('|' cat)*
+    cat       := prefixed (prefixed | '.' prefixed)*       # juxtaposition
+    prefixed  := '-' prefixed | '~' prefixed | '!' prefixed | postfixed
+    postfixed := primary ('+' | '*' | '?')*
+    primary   := IDENT ['(' args ')'] | '=' | '!=' | '(' expr ')'
+    args      := (VAR | '_' | constant) (',' ...)*
+
+Examples::
+
+    descendant+
+    ~descendant+                      # negated closure
+    (father | mother(_))* residence
+    -from to                          # inversion composed with a literal
+"""
+
+from __future__ import annotations
+
+from repro.core.pre import (
+    Alternation,
+    Closure,
+    ComparisonPrimitive,
+    Composition,
+    Equality,
+    Inequality,
+    Inversion,
+    Negation,
+    Optional,
+    Pred,
+    Star,
+    validate_pre,
+)
+from repro.datalog.lexer import TokenStream, tokenize
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ParseError
+
+_PRIMARY_START_PUNCT = ("(", "=", "!=", "-", "~", "!", "<", "<=", ">", ">=")
+
+
+def parse_pre(source):
+    """Parse and validate a path regular expression from text."""
+    stream = TokenStream(tokenize(source))
+    expr = parse_pre_from_stream(stream)
+    if not stream.exhausted:
+        token = stream.peek()
+        raise ParseError("trailing input after path expression", token.line, token.column)
+    return validate_pre(expr)
+
+
+def parse_pre_from_stream(stream):
+    """Parse a p.r.e. starting at the stream cursor (no validation)."""
+    return _parse_alternation(stream)
+
+
+def _parse_alternation(stream):
+    expr = _parse_concatenation(stream)
+    while stream.at_punct("|"):
+        stream.next()
+        expr = Alternation(expr, _parse_concatenation(stream))
+    return expr
+
+
+def _starts_primary(stream):
+    token = stream.peek()
+    if token.kind == "ident":
+        return True
+    return token.kind == "punct" and token.text in _PRIMARY_START_PUNCT
+
+
+def _parse_concatenation(stream):
+    expr = _parse_prefixed(stream)
+    while True:
+        if stream.at_punct("."):
+            stream.next()
+            expr = Composition(expr, _parse_prefixed(stream))
+            continue
+        if _starts_primary(stream):
+            expr = Composition(expr, _parse_prefixed(stream))
+            continue
+        return expr
+
+
+def _parse_prefixed(stream):
+    if stream.at_punct("-"):
+        stream.next()
+        return Inversion(_parse_prefixed(stream))
+    if stream.at_punct("~") or stream.at_punct("!"):
+        stream.next()
+        return Negation(_parse_prefixed(stream))
+    return _parse_postfixed(stream)
+
+
+def _parse_postfixed(stream):
+    expr = _parse_primary(stream)
+    while True:
+        if stream.at_punct("+"):
+            stream.next()
+            expr = Closure(expr)
+        elif stream.at_punct("*"):
+            stream.next()
+            expr = Star(expr)
+        elif stream.at_punct("?"):
+            stream.next()
+            expr = Optional(expr)
+        else:
+            return expr
+
+
+def _parse_primary(stream):
+    token = stream.peek()
+    if stream.at_punct("="):
+        stream.next()
+        return Equality()
+    if stream.at_punct("!="):
+        stream.next()
+        return Inequality()
+    if stream.at_punct("<", "<=", ">", ">="):
+        return ComparisonPrimitive(stream.next().text)
+    if stream.at_punct("("):
+        stream.next()
+        expr = _parse_alternation(stream)
+        stream.expect("punct", ")")
+        return expr
+    if token.kind == "ident":
+        stream.next()
+        args = []
+        if stream.at_punct("(") and _looks_like_argument_list(stream):
+            # Disambiguation: "mother(_)" is a literal with arguments, while
+            # "calls-extn (calls-local | calls-extn)*" is a composition whose
+            # right operand is parenthesized.  A parenthesized group counts
+            # as an argument list only when it is a comma-separated sequence
+            # of plain terms.  (Whitespace is not significant; to compose
+            # with a single parenthesized literal, write "f . (g)".)
+            stream.next()
+            if not stream.at_punct(")"):
+                args.append(_parse_argument(stream))
+                while stream.accept("punct", ","):
+                    args.append(_parse_argument(stream))
+            stream.expect("punct", ")")
+        return Pred(token.text, args)
+    raise ParseError(
+        f"expected a path expression, found {token.text or token.kind!r}",
+        token.line,
+        token.column,
+    )
+
+
+def _looks_like_argument_list(stream):
+    """Lookahead from an opening '(': true when the parenthesized group is a
+    comma-separated sequence of plain terms (vars, constants, numbers,
+    strings), i.e. a literal's argument list rather than a subexpression."""
+    ahead = 1  # skip the '('
+    expecting_term = True
+    while True:
+        token = stream.peek(ahead)
+        if token.kind == "eof":
+            return False
+        if token.kind == "punct" and token.text == ")":
+            # Empty "()" or trailing ")" after a term both qualify.
+            return not expecting_term or ahead == 1
+        if expecting_term:
+            if token.kind in ("var", "ident", "number", "string"):
+                expecting_term = False
+                ahead += 1
+                continue
+            if token.kind == "punct" and token.text == "-" and stream.peek(ahead + 1).kind == "number":
+                expecting_term = False
+                ahead += 2
+                continue
+            return False
+        if token.kind == "punct" and token.text == ",":
+            expecting_term = True
+            ahead += 1
+            continue
+        return False
+
+
+def _parse_argument(stream):
+    token = stream.peek()
+    if token.kind == "var":
+        stream.next()
+        return Variable(token.text)
+    if stream.at_punct("_"):
+        stream.next()
+        return Variable("_")
+    if token.kind == "ident":
+        stream.next()
+        return Constant(token.text)
+    if token.kind in ("number", "string"):
+        stream.next()
+        return Constant(token.value)
+    if stream.at_punct("-") and stream.peek(1).kind == "number":
+        stream.next()
+        number = stream.next()
+        return Constant(-number.value)
+    raise ParseError(
+        f"expected an argument, found {token.text or token.kind!r}", token.line, token.column
+    )

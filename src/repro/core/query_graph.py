@@ -1,0 +1,486 @@
+"""Query graphs and graphical queries (Definitions 2.3, 2.5-2.7).
+
+A :class:`QueryGraph` is a directed labeled multigraph whose nodes are
+labeled by sequences of variables and whose edges are labeled by path
+regular expressions, with one *distinguished edge* labeled by a positive,
+non-closure literal: the relation the graph defines.
+
+A :class:`GraphicalQuery` is a finite set of query graphs; its *dependence
+graph* (Definition 2.6) must be acyclic (Definition 2.7) — recursion is only
+implicit, through closure literals.
+
+Node annotations (the paper draws unary predicates like ``person`` directly
+on a node) are supported first-class: they translate to extra body literals.
+"""
+
+from __future__ import annotations
+
+from repro.core.pre import (
+    Alternation,
+    Closure,
+    ComparisonPrimitive,
+    Composition,
+    Equality,
+    Inequality,
+    Inversion,
+    Negation,
+    Optional,
+    PathRegex,
+    Pred,
+    Star,
+    exported_variables,
+    strip_outer_negation,
+    validate_pre,
+)
+from repro.core.pre_parser import parse_pre
+from repro.datalog.stratify import DependenceGraph
+from repro.datalog.terms import Constant, Variable, make_term
+from repro.errors import (
+    DependenceCycleError,
+    GhostVariableError,
+    QueryGraphError,
+)
+
+
+def _normalize_node(spec):
+    """Coerce a node spec into a tuple of terms.
+
+    Accepts a string (one term: uppercase-initial names become variables,
+    everything else constants, per :func:`make_term`), an iterable of
+    names/terms, or a Variable/Constant.  Nodes are identified by their term
+    sequence (the one-one correspondence the paper recommends in footnote 2).
+    Constants are allowed in node labels as a practical extension (e.g. a
+    node pinned to the city ``toronto`` in Figure 5).
+    """
+    if isinstance(spec, (Variable, Constant)):
+        return (spec,)
+    if isinstance(spec, str):
+        return (make_term(spec),)
+    members = []
+    for item in spec:
+        if isinstance(item, (Variable, Constant)):
+            members.append(item)
+        elif isinstance(item, str):
+            members.append(make_term(item))
+        else:
+            members.append(Constant(item))
+    if not members:
+        raise QueryGraphError("a query-graph node needs at least one term")
+    return tuple(members)
+
+
+def _coerce_pre(label):
+    if isinstance(label, PathRegex):
+        return label
+    if isinstance(label, str):
+        return parse_pre(label)
+    raise TypeError(f"edge label must be a PathRegex or string, got {type(label).__name__}")
+
+
+class QueryEdge:
+    """A non-distinguished edge of a query graph."""
+
+    __slots__ = ("source", "target", "pre")
+
+    def __init__(self, source, target, pre):
+        self.source = source  # tuple of Variables
+        self.target = target
+        self.pre = pre
+
+    def variables(self):
+        out = {t for t in self.source + self.target if isinstance(t, Variable)}
+        out |= {v for v in self.pre.all_variables()}
+        return out
+
+    def __repr__(self):
+        return f"QueryEdge({_fmt_node(self.source)} -[{self.pre}]-> {_fmt_node(self.target)})"
+
+
+class NodeAnnotation:
+    """A predicate attached directly to a node (e.g. ``person`` on P2)."""
+
+    __slots__ = ("node", "predicate", "extra", "positive")
+
+    def __init__(self, node, predicate, extra=(), positive=True):
+        self.node = node
+        self.predicate = str(predicate)
+        self.extra = tuple(make_term(t) for t in extra)
+        self.positive = bool(positive)
+
+    def variables(self):
+        out = {t for t in self.node if isinstance(t, Variable)}
+        out |= {t for t in self.extra if isinstance(t, Variable)}
+        return out
+
+    def __repr__(self):
+        sign = "" if self.positive else "~"
+        extra = f"({', '.join(map(str, self.extra))})" if self.extra else ""
+        return f"NodeAnnotation({sign}{self.predicate}{extra} on {_fmt_node(self.node)})"
+
+
+class SummaryPathEdge:
+    """A Section 4 path-summarization edge.
+
+    Relates two single-term nodes through *all* paths of a weighted edge
+    relation: ``value_var`` is bound to the semiring summary (e.g. the
+    longest sum of durations, Figure 11's earlier-start).
+    """
+
+    __slots__ = ("source", "target", "weight_predicate", "semiring", "value_var",
+                 "include_empty")
+
+    def __init__(self, source, target, weight_predicate, semiring, value_var,
+                 include_empty=False):
+        self.source = source
+        self.target = target
+        self.weight_predicate = str(weight_predicate)
+        self.semiring = semiring  # name or Semiring instance
+        self.value_var = (
+            value_var if isinstance(value_var, Variable) else Variable(str(value_var))
+        )
+        self.include_empty = bool(include_empty)
+
+    def variables(self):
+        out = {t for t in self.source + self.target if isinstance(t, Variable)}
+        out.add(self.value_var)
+        return out
+
+    def __repr__(self):
+        return (
+            f"SummaryPathEdge({_fmt_node(self.source)} -[{self.weight_predicate} @ "
+            f"{self.semiring} {self.value_var}]-> {_fmt_node(self.target)})"
+        )
+
+
+class DistinguishedEdge:
+    """The distinguished edge: a positive non-closure literal (Def. 2.2)."""
+
+    __slots__ = ("source", "target", "predicate", "extra")
+
+    def __init__(self, source, target, predicate, extra=()):
+        self.source = source
+        self.target = target
+        self.predicate = str(predicate)
+        self.extra = tuple(make_term(t) for t in extra)
+
+    @property
+    def head_terms(self):
+        return self.source + self.target + self.extra
+
+    @property
+    def arity(self):
+        return len(self.head_terms)
+
+    def variables(self):
+        out = {t for t in self.source + self.target if isinstance(t, Variable)}
+        out |= {t for t in self.extra if isinstance(t, Variable)}
+        return out
+
+    def __repr__(self):
+        extra = f"({', '.join(map(str, self.extra))})" if self.extra else ""
+        return (
+            f"DistinguishedEdge({_fmt_node(self.source)} =[{self.predicate}{extra}]=> "
+            f"{_fmt_node(self.target)})"
+        )
+
+
+def _fmt_node(node):
+    return "(" + ", ".join(str(t) for t in node) + ")"
+
+
+class QueryGraph:
+    """Builder/model for one query graph.
+
+    Typical use::
+
+        g = QueryGraph()
+        g.edge("P1", "P3", "descendant+")
+        g.edge("P2", "P3", "~descendant+")
+        g.annotate("P2", "person")
+        g.distinguished("P1", "P3", "not-desc-of", extra=["P2"])
+        g.validate()
+    """
+
+    def __init__(self, name=None):
+        self.name = name
+        self._nodes = {}  # variable tuple -> variable tuple (insertion order)
+        self.edges = []
+        self.annotations = []
+        self.summaries = []
+        self.distinguished_edge = None
+
+    # ------------------------------------------------------------ builder
+
+    def node(self, spec):
+        node = _normalize_node(spec)
+        self._nodes.setdefault(node, node)
+        return node
+
+    def edge(self, source, target, label):
+        """Add a pattern edge; *label* is a PathRegex or p.r.e. text."""
+        pre = validate_pre(_coerce_pre(label))
+        edge = QueryEdge(self.node(source), self.node(target), pre)
+        self.edges.append(edge)
+        return edge
+
+    def summarize(self, source, target, weight_predicate, semiring, value,
+                  include_empty=False):
+        """Add a path-summarization edge (Section 4).
+
+        ``weight_predicate`` names an arity-3 relation ``w(u, v, weight)``
+        (possibly defined by another query graph); ``value`` is the variable
+        receiving the per-pair summary under *semiring* (a standard name
+        like "longest" or a Semiring instance).
+        """
+        source = self.node(source)
+        target = self.node(target)
+        if len(source) != 1 or len(target) != 1:
+            raise QueryGraphError("summary edges need single-term nodes")
+        edge = SummaryPathEdge(source, target, weight_predicate, semiring, value,
+                               include_empty)
+        self.summaries.append(edge)
+        return edge
+
+    def annotate(self, node_spec, predicate, *extra, positive=True):
+        """Attach a predicate to a node (extra args allowed)."""
+        annotation = NodeAnnotation(self.node(node_spec), predicate, extra, positive)
+        self.annotations.append(annotation)
+        return annotation
+
+    def distinguished(self, source, target, predicate, extra=()):
+        """Set the distinguished edge; its label names the defined relation."""
+        if self.distinguished_edge is not None:
+            raise QueryGraphError("a query graph has exactly one distinguished edge")
+        self.distinguished_edge = DistinguishedEdge(
+            self.node(source), self.node(target), predicate, extra
+        )
+        if self.name is None:
+            self.name = self.distinguished_edge.predicate
+        return self.distinguished_edge
+
+    # ----------------------------------------------------------- analysis
+
+    @property
+    def nodes(self):
+        return list(self._nodes)
+
+    @property
+    def head_predicate(self):
+        if self.distinguished_edge is None:
+            raise QueryGraphError("query graph has no distinguished edge")
+        return self.distinguished_edge.predicate
+
+    def body_predicates(self):
+        """Predicate names used on non-distinguished edges and annotations."""
+        names = set()
+        for edge in self.edges:
+            for sub in edge.pre.walk():
+                if isinstance(sub, Pred):
+                    names.add(sub.name)
+        for annotation in self.annotations:
+            names.add(annotation.predicate)
+        for summary in self.summaries:
+            names.add(summary.weight_predicate)
+        return names
+
+    def variables(self):
+        out = set()
+        for edge in self.edges:
+            out |= edge.variables()
+        for annotation in self.annotations:
+            out |= annotation.variables()
+        for summary in self.summaries:
+            out |= summary.variables()
+        if self.distinguished_edge is not None:
+            out |= self.distinguished_edge.variables()
+        return out
+
+    # --------------------------------------------------------- validation
+
+    def validate(self):
+        """Check the conditions of Definition 2.3 plus ghost-variable scope."""
+        if self.distinguished_edge is None:
+            raise QueryGraphError("query graph has no distinguished edge")
+        if not self.edges and not self.annotations and not self.summaries:
+            raise QueryGraphError(
+                "query graph has no pattern edges; the distinguished edge needs a pattern"
+            )
+        self._check_isolated_nodes()
+        self._check_edge_shapes()
+        self._check_ghost_scopes()
+        return self
+
+    def _check_isolated_nodes(self):
+        incident = set()
+        for edge in self.edges:
+            incident.add(edge.source)
+            incident.add(edge.target)
+        for annotation in self.annotations:
+            incident.add(annotation.node)
+        for summary in self.summaries:
+            incident.add(summary.source)
+            incident.add(summary.target)
+        if self.distinguished_edge is not None:
+            incident.add(self.distinguished_edge.source)
+            incident.add(self.distinguished_edge.target)
+        isolated = set(self._nodes) - incident
+        if isolated:
+            names = ", ".join(_fmt_node(n) for n in sorted(isolated, key=str))
+            raise QueryGraphError(f"isolated node(s) in query graph: {names}")
+
+    def _check_edge_shapes(self):
+        for edge in self.edges:
+            inner, _positive = strip_outer_negation(edge.pre)
+            k1, k2 = len(edge.source), len(edge.target)
+            if isinstance(inner, (Closure, Star, Optional, Equality, Inequality)) and k1 != k2:
+                raise QueryGraphError(
+                    f"closure/star/equality edge requires equal node lengths, got "
+                    f"{k1} and {k2} on {edge!r}"
+                )
+            if isinstance(inner, ComparisonPrimitive) and (k1 != 1 or k2 != 1):
+                raise QueryGraphError(
+                    f"comparison edge {inner} requires single-term nodes, got {edge!r}"
+                )
+            if (k1 != 1 or k2 != 1) and not _supports_width(inner):
+                raise QueryGraphError(
+                    f"composition/alternation path expressions are supported "
+                    f"between single-variable nodes only, got {edge!r}"
+                )
+
+    def _check_ghost_scopes(self):
+        """A ghost variable of an alternation must not occur outside it
+        anywhere in the query graph (Section 2)."""
+        for edge in self.edges:
+            inner, _positive = strip_outer_negation(edge.pre)
+            for sub in inner.walk():
+                ghosts = set()
+                if isinstance(sub, Alternation):
+                    ghosts = sub.ghost_variables()
+                elif isinstance(sub, (Star, Optional)):
+                    # Star/Optional desugar to an alternation with "=";
+                    # every label variable inside is a ghost of that scope.
+                    ghosts = set(sub.inner.label_variables())
+                if not ghosts:
+                    continue
+                outside = self._variables_outside(edge, sub)
+                escaped = ghosts & outside
+                if escaped:
+                    names = ", ".join(sorted(v.name for v in escaped))
+                    raise GhostVariableError(
+                        f"ghost variable(s) {names} of {sub} escape their scope "
+                        f"in query graph {self.name or '?'}"
+                    )
+
+    def _variables_outside(self, scope_edge, scope_sub):
+        outside = set()
+        for edge in self.edges:
+            if edge is scope_edge:
+                inner, _sign = strip_outer_negation(edge.pre)
+                outside |= _vars_excluding(inner, scope_sub)
+            else:
+                outside |= edge.variables()
+        for annotation in self.annotations:
+            outside |= annotation.variables()
+        if self.distinguished_edge is not None:
+            outside |= self.distinguished_edge.variables()
+        # Node label variables count as "outside" occurrences too.
+        for node in self._nodes:
+            outside |= {t for t in node if isinstance(t, Variable)}
+        return outside
+
+
+def _vars_excluding(root, scope):
+    out = set()
+
+    def visit(node):
+        if node is scope:
+            return
+        if isinstance(node, Pred):
+            out.update(node.all_variables())
+        for child in node._children():
+            visit(child)
+
+    visit(root)
+    return out
+
+
+def _supports_width(expr):
+    """Can this expression label an edge between multi-term nodes?
+
+    Closure/star/optional/inversion chains over a bare literal compile at
+    any width; composition and alternation are hard-wired to width 1."""
+    while isinstance(expr, (Closure, Star, Optional, Inversion)):
+        expr = expr.inner
+    return isinstance(expr, Pred)
+
+
+class GraphicalQuery:
+    """A finite set of query graphs with an acyclic dependence graph."""
+
+    def __init__(self, graphs=(), name=None):
+        self.name = name
+        self.graphs = []
+        for graph in graphs:
+            self.add(graph)
+
+    def add(self, graph):
+        if not isinstance(graph, QueryGraph):
+            raise TypeError("GraphicalQuery holds QueryGraph objects")
+        self.graphs.append(graph)
+        return graph
+
+    def define(self, source, target, predicate, extra=()):
+        """Start a new query graph with its distinguished edge set."""
+        graph = QueryGraph()
+        graph.distinguished(source, target, predicate, extra)
+        self.add(graph)
+        return graph
+
+    # ----------------------------------------------------------- analysis
+
+    @property
+    def idb_predicates(self):
+        """Predicates labeling some distinguished edge (Definition 2.5)."""
+        return {g.head_predicate for g in self.graphs}
+
+    @property
+    def edb_predicates(self):
+        used = set()
+        for graph in self.graphs:
+            used |= graph.body_predicates()
+        return used - self.idb_predicates
+
+    def dependence_graph(self):
+        """The dependence graph of Definition 2.6."""
+        graph = DependenceGraph()
+        for query_graph in self.graphs:
+            head = query_graph.head_predicate
+            graph.nodes.add(head)
+            for used in query_graph.body_predicates():
+                graph.add_edge(used, head)
+        return graph
+
+    def validate(self):
+        """Validate every member graph and the acyclicity of Definition 2.7."""
+        if not self.graphs:
+            raise QueryGraphError("graphical query contains no query graphs")
+        for graph in self.graphs:
+            graph.validate()
+        dependence = self.dependence_graph()
+        if not dependence.is_acyclic():
+            raise DependenceCycleError(
+                "dependence graph of the graphical query is cyclic; GraphLog "
+                "forbids explicit recursion (Definition 2.7) - use closure "
+                "literals instead"
+            )
+        return self
+
+    def __iter__(self):
+        return iter(self.graphs)
+
+    def __len__(self):
+        return len(self.graphs)
+
+    def __repr__(self):
+        heads = ", ".join(g.head_predicate for g in self.graphs if g.distinguished_edge)
+        return f"GraphicalQuery([{heads}])"

@@ -1,0 +1,376 @@
+"""The logical translation function λ (Definition 2.4), extended to p.r.e.s.
+
+Each query graph becomes one Datalog rule (the distinguished edge is the
+head; every pattern edge and node annotation contributes a body literal),
+plus auxiliary rules for closure literals and composite path regular
+expressions:
+
+- ``p+`` on an edge produces the two TC rules (2)-(3) of Definition 2.4 for
+  an auxiliary predicate named ``p-tc`` (matching Figure 3's
+  ``descendant-tc``);
+- alternation/composition/inversion/star/optional produce auxiliary
+  predicates with fresh names (deduplicated structurally, so the same
+  subexpression used on two edges compiles once);
+- Kleene star and optional need a *domain* predicate for their zero-step
+  branch: the unary ``node`` relation over all graph nodes, which
+  :func:`repro.core.engine.prepare_database` maintains.
+
+The output of translating a valid graphical query is always a stratified
+*linear* Datalog program (every recursive rule is one of the TC pair), which
+is exactly the SL-DATALOG ⊇ GRAPHLOG direction of Lemma 3.4.
+"""
+
+from __future__ import annotations
+
+from repro.core.pre import (
+    Alternation,
+    Closure,
+    ComparisonPrimitive,
+    Composition,
+    Equality,
+    Inequality,
+    Inversion,
+    Negation,
+    Optional,
+    Pred,
+    Star,
+    strip_outer_negation,
+)
+from repro.core.query_graph import GraphicalQuery, QueryGraph
+from repro.datalog.ast import Atom, Comparison, Literal, Program, Rule
+from repro.datalog.terms import FreshVariables, Variable
+from repro.errors import TranslationError
+
+DOMAIN_PREDICATE = "node"
+
+_NEGATED_COMPARISON = {"<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+class PredicateNamer:
+    """Allocates collision-free names for auxiliary p.r.e. predicates.
+
+    Structurally equal expressions map to the same auxiliary predicate, so a
+    subexpression shared by several edges is compiled exactly once.
+    """
+
+    def __init__(self, reserved=()):
+        self._reserved = set(reserved)
+        self._by_expr = {}
+        self._counter = 0
+
+    def reserve(self, name):
+        self._reserved.add(name)
+
+    def known(self, expr, width=1):
+        return self._by_expr.get((expr, width))
+
+    def name_for(self, expr, hint, width=1):
+        existing = self._by_expr.get((expr, width))
+        if existing is not None:
+            return existing, False
+        candidate = hint
+        while candidate in self._reserved:
+            self._counter += 1
+            candidate = f"{hint}-{self._counter}"
+        self._reserved.add(candidate)
+        self._by_expr[(expr, width)] = candidate
+        return candidate, True
+
+
+class _Compiler:
+    """Compiles path regular expressions into auxiliary Datalog rules."""
+
+    def __init__(self, namer, domain_predicate=DOMAIN_PREDICATE):
+        self.namer = namer
+        self.domain_predicate = domain_predicate
+        self.rules = []
+
+    # The compiler returns, for each expression, a pair
+    # ``(predicate_name, label_terms)`` such that the relation
+    # ``predicate_name(source..., target..., *label_terms)`` holds exactly
+    # when the expression matches a path from source to target.
+
+    def compile(self, expr, width):
+        if isinstance(expr, Pred):
+            return expr.name, tuple(expr.args)
+        if isinstance(expr, Closure):
+            return self._compile_closure(expr, width)
+        if isinstance(expr, Composition):
+            return self._compile_composition(expr)
+        if isinstance(expr, Alternation):
+            return self._compile_alternation(expr)
+        if isinstance(expr, Inversion):
+            return self._compile_inversion(expr, width)
+        if isinstance(expr, Star):
+            return self._compile_star(expr, width)
+        if isinstance(expr, Optional):
+            return self._compile_optional(expr, width)
+        if isinstance(expr, Equality):
+            return self._compile_equality(width)
+        if isinstance(expr, Inequality):
+            return self._compile_inequality(width)
+        if isinstance(expr, Negation):
+            raise TranslationError(
+                f"negation must be outermost in an edge label; cannot compile {expr}"
+            )
+        raise TranslationError(f"unsupported path expression {expr!r}")
+
+    # ----------------------------------------------------------- helpers
+
+    def _fresh_vectors(self, expr, width, count):
+        used = {v for v in expr.all_variables()}
+        fresh = FreshVariables(used, prefix="X")
+        vectors = []
+        for index in range(count):
+            vectors.append(
+                tuple(fresh.fresh(hint=f"{'XYZ'[index % 3]}_") for _ in range(width))
+            )
+        return vectors
+
+    def _domain_literals(self, variables):
+        return [Literal(Atom(self.domain_predicate, (v,))) for v in variables]
+
+    # ------------------------------------------------------------- cases
+
+    def _compile_closure(self, expr, width):
+        inner_name, inner_terms = self.compile(expr.inner, width)
+        exported = tuple(expr.inner.label_variables())
+        hint = f"{inner_name}-tc"
+        name, fresh = self.namer.name_for(expr, hint, width)
+        if fresh:
+            (xs, ys, zs) = self._fresh_vectors(expr, width, 3)
+            head = Atom(name, xs + ys + exported)
+            base = Rule(head, (Literal(Atom(inner_name, xs + ys + inner_terms)),))
+            step = Rule(
+                head,
+                (
+                    Literal(Atom(inner_name, xs + zs + inner_terms)),
+                    Literal(Atom(name, zs + ys + exported)),
+                ),
+            )
+            self.rules.append(base)
+            self.rules.append(step)
+        return name, exported
+
+    def _compile_composition(self, expr):
+        left_name, left_terms = self.compile(expr.left, 1)
+        right_name, right_terms = self.compile(expr.right, 1)
+        exported = tuple(expr.label_variables())
+        name, fresh = self.namer.name_for(expr, "path")
+        if fresh:
+            used = expr.all_variables()
+            gen = FreshVariables(used, prefix="N")
+            x, z, y = gen.fresh("X_"), gen.fresh("Z_"), gen.fresh("Y_")
+            head = Atom(name, (x, y) + exported)
+            body = (
+                Literal(Atom(left_name, (x, z) + left_terms)),
+                Literal(Atom(right_name, (z, y) + right_terms)),
+            )
+            self.rules.append(Rule(head, body))
+        return name, exported
+
+    def _compile_alternation(self, expr):
+        left_name, left_terms = self.compile(expr.left, 1)
+        right_name, right_terms = self.compile(expr.right, 1)
+        exported = tuple(expr.label_variables())
+        name, fresh = self.namer.name_for(expr, "alt")
+        if fresh:
+            used = expr.all_variables()
+            gen = FreshVariables(used, prefix="N")
+            x, y = gen.fresh("X_"), gen.fresh("Y_")
+            head = Atom(name, (x, y) + exported)
+            self.rules.append(Rule(head, (Literal(Atom(left_name, (x, y) + left_terms)),)))
+            self.rules.append(Rule(head, (Literal(Atom(right_name, (x, y) + right_terms)),)))
+        return name, exported
+
+    def _compile_inversion(self, expr, width):
+        inner_name, inner_terms = self.compile(expr.inner, width)
+        exported = tuple(expr.inner.label_variables())
+        name, fresh = self.namer.name_for(expr, f"{inner_name}-inv", width)
+        if fresh:
+            (xs, ys) = self._fresh_vectors(expr, width, 2)
+            head = Atom(name, xs + ys + exported)
+            self.rules.append(Rule(head, (Literal(Atom(inner_name, ys + xs + inner_terms)),)))
+        return name, exported
+
+    def _compile_star(self, expr, width):
+        closure_name, closure_exported = self._compile_closure(Closure(expr.inner), width)
+        star_hint = f"{closure_name[:-3]}-star" if closure_name.endswith("-tc") else "star"
+        name, fresh = self.namer.name_for(expr, star_hint, width)
+        if fresh:
+            (xs, ys) = self._fresh_vectors(expr, width, 2)
+            head = Atom(name, xs + ys)
+            self.rules.append(
+                Rule(Atom(name, xs + xs), tuple(self._domain_literals(xs)))
+            )
+            self.rules.append(
+                Rule(head, (Literal(Atom(closure_name, xs + ys + closure_exported)),))
+            )
+        return name, ()
+
+    def _compile_optional(self, expr, width):
+        inner_name, inner_terms = self.compile(expr.inner, width)
+        name, fresh = self.namer.name_for(expr, f"{inner_name}-opt", width)
+        if fresh:
+            (xs, ys) = self._fresh_vectors(expr, width, 2)
+            self.rules.append(
+                Rule(Atom(name, xs + xs), tuple(self._domain_literals(xs)))
+            )
+            self.rules.append(
+                Rule(Atom(name, xs + ys), (Literal(Atom(inner_name, xs + ys + inner_terms)),))
+            )
+        return name, ()
+
+    def _compile_equality(self, width):
+        expr = Equality()
+        name, fresh = self.namer.name_for(expr, "same", width)
+        if fresh:
+            xs = tuple(Variable(f"X_{i}") for i in range(width))
+            self.rules.append(Rule(Atom(name, xs + xs), tuple(self._domain_literals(xs))))
+        return name, ()
+
+    def _compile_inequality(self, width):
+        expr = Inequality()
+        name, fresh = self.namer.name_for(expr, "diff", width)
+        if fresh:
+            xs = tuple(Variable(f"X_{i}") for i in range(width))
+            ys = tuple(Variable(f"Y_{i}") for i in range(width))
+            body = tuple(self._domain_literals(xs)) + tuple(self._domain_literals(ys))
+            body += tuple(Comparison("!=", x, y) for x, y in zip(xs, ys))
+            self.rules.append(Rule(Atom(name, xs + ys), body))
+        return name, ()
+
+
+def translate_query_graph(graph, namer=None, domain_predicate=DOMAIN_PREDICATE):
+    """Apply λ to one query graph; returns a list of Datalog rules.
+
+    The first rule returned is the graph's main rule; auxiliary (closure /
+    p.r.e.) rules follow.
+    """
+    graph.validate()
+    if namer is None:
+        namer = PredicateNamer(reserved=graph.body_predicates() | {graph.head_predicate})
+    compiler = _Compiler(namer, domain_predicate)
+    body = []
+
+    for edge in graph.edges:
+        inner, positive = strip_outer_negation(edge.pre)
+        k1, k2 = len(edge.source), len(edge.target)
+        if isinstance(inner, Equality) and positive:
+            body.extend(
+                Comparison("==", s, t) for s, t in zip(edge.source, edge.target)
+            )
+            continue
+        if isinstance(inner, Inequality) and positive:
+            body.extend(
+                Comparison("!=", s, t) for s, t in zip(edge.source, edge.target)
+            )
+            continue
+        if isinstance(inner, Equality) and not positive:
+            body.extend(
+                Comparison("!=", s, t) for s, t in zip(edge.source, edge.target)
+            )
+            continue
+        if isinstance(inner, Inequality) and not positive:
+            body.extend(
+                Comparison("==", s, t) for s, t in zip(edge.source, edge.target)
+            )
+            continue
+        if isinstance(inner, ComparisonPrimitive):
+            op = inner.op if positive else _NEGATED_COMPARISON[inner.op]
+            body.append(Comparison(op, edge.source[0], edge.target[0]))
+            continue
+        if isinstance(inner, Pred):
+            atom = Atom(inner.name, edge.source + edge.target + inner.args)
+            body.append(Literal(atom, positive))
+            continue
+        name, exported = compiler.compile(inner, k1)
+        atom = Atom(name, edge.source + edge.target + tuple(exported))
+        body.append(Literal(atom, positive))
+
+    for annotation in graph.annotations:
+        atom = Atom(annotation.predicate, annotation.node + annotation.extra)
+        body.append(Literal(atom, annotation.positive))
+
+    head = Atom(
+        graph.distinguished_edge.predicate, graph.distinguished_edge.head_terms
+    )
+    main_rule = Rule(head, tuple(body))
+    return [main_rule] + compiler.rules
+
+
+def translate(graphical_query, domain_predicate=DOMAIN_PREDICATE):
+    """Apply λ to a graphical query; returns a stratified Datalog Program.
+
+    Validates the query first (including Definition 2.7 acyclicity).  The
+    auxiliary-predicate namer is shared across member graphs, so identical
+    closure literals in different graphs reuse one TC definition.
+
+    Queries with path-summarization edges (Section 4) are outside plain
+    Datalog; use :func:`translate_extended` for those.
+    """
+    if isinstance(graphical_query, QueryGraph):
+        graphical_query = GraphicalQuery([graphical_query])
+    graphical_query.validate()
+    if any(graph.summaries for graph in graphical_query.graphs):
+        raise TranslationError(
+            "query uses path-summarization edges; use translate_extended "
+            "(evaluated by the aggregate engine)"
+        )
+    reserved = set(graphical_query.idb_predicates)
+    reserved |= graphical_query.edb_predicates
+    reserved.add(domain_predicate)
+    namer = PredicateNamer(reserved)
+    rules = []
+    for graph in graphical_query.graphs:
+        rules.extend(translate_query_graph(graph, namer, domain_predicate))
+    return Program(rules)
+
+
+def translate_extended(graphical_query, domain_predicate=DOMAIN_PREDICATE):
+    """λ plus Section 4 extensions: returns an AggregateProgram.
+
+    Path-summarization edges compile to a :class:`PathSummaryRule` for an
+    auxiliary summary predicate plus a body literal binding the value
+    variable.  Structurally identical summaries (same weight relation and
+    semiring) share one summary predicate.
+    """
+    from repro.aggregation.aggregates import AggregateProgram, PathSummaryRule
+
+    if isinstance(graphical_query, QueryGraph):
+        graphical_query = GraphicalQuery([graphical_query])
+    graphical_query.validate()
+    reserved = set(graphical_query.idb_predicates)
+    reserved |= graphical_query.edb_predicates
+    reserved.add(domain_predicate)
+    namer = PredicateNamer(reserved)
+
+    program = AggregateProgram()
+    summary_predicates = {}
+    for graph in graphical_query.graphs:
+        extra_literals = []
+        for summary in graph.summaries:
+            semiring_name = getattr(summary.semiring, "name", str(summary.semiring))
+            key = (summary.weight_predicate, semiring_name, summary.include_empty)
+            name = summary_predicates.get(key)
+            if name is None:
+                hint = f"{summary.weight_predicate}-{str(semiring_name).split()[0]}"
+                name, _fresh = namer.name_for(key, hint)
+                summary_predicates[key] = name
+                program.add(
+                    PathSummaryRule(
+                        name,
+                        summary.weight_predicate,
+                        summary.semiring,
+                        include_empty=summary.include_empty,
+                    )
+                )
+            atom = Atom(name, summary.source + summary.target + (summary.value_var,))
+            extra_literals.append(Literal(atom))
+        rules = translate_query_graph(graph, namer, domain_predicate)
+        if extra_literals:
+            main = rules[0]
+            rules[0] = Rule(main.head, tuple(main.body) + tuple(extra_literals))
+        for rule in rules:
+            program.add(rule)
+    return program

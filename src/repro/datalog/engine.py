@@ -1,0 +1,432 @@
+"""Bottom-up evaluation of stratified Datalog programs.
+
+Two methods are provided:
+
+- ``naive``: re-evaluate every rule until no new fact appears;
+- ``seminaive`` (default): the classical delta-based evaluation that joins
+  each recursive occurrence against only the facts discovered in the previous
+  iteration.
+
+Evaluation proceeds stratum by stratum and, within a stratum, SCC by SCC in
+topological order, so negated literals always refer to fully-computed
+relations (stratified semantics, Definition 2.7 of the paper).
+"""
+
+from __future__ import annotations
+
+import operator
+from collections import defaultdict
+
+from repro.datalog.ast import ArithmeticAssign, Comparison, Literal
+from repro.datalog.database import Database, Relation
+from repro.datalog.safety import check_program_safety, schedule_body
+from repro.datalog.stratify import DependenceGraph, stratify
+from repro.datalog.terms import Constant, Variable
+from repro.errors import EvaluationError
+
+_COMPARATORS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITHMETIC = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "%": operator.mod,
+    "min": min,
+    "max": max,
+}
+
+
+class EvaluationStats:
+    """Counters collected during one evaluation run."""
+
+    def __init__(self):
+        self.iterations = 0
+        self.rule_firings = 0
+        self.facts_derived = 0
+        self.strata = 0
+
+    def __repr__(self):
+        return (
+            f"EvaluationStats(iterations={self.iterations}, "
+            f"rule_firings={self.rule_firings}, facts_derived={self.facts_derived}, "
+            f"strata={self.strata})"
+        )
+
+
+class Engine:
+    """Evaluator for stratified Datalog programs over a :class:`Database`."""
+
+    def __init__(self, method="seminaive", check_safety=True, record_provenance=False):
+        if method not in ("naive", "seminaive"):
+            raise ValueError(f"unknown evaluation method {method!r}")
+        self.method = method
+        self.check_safety = check_safety
+        self.record_provenance = record_provenance
+        #: {(predicate, row): (rule, ((predicate, row), ...))} — the *first*
+        #: derivation of each derived fact; populated when record_provenance.
+        self.provenance = {}
+        self.stats = EvaluationStats()
+
+    # ------------------------------------------------------------------ API
+
+    def evaluate(self, program, edb):
+        """Evaluate *program* against *edb*; returns a new Database holding
+        the EDB facts plus every derived IDB fact.  The input database is not
+        modified."""
+        if self.check_safety:
+            check_program_safety(program)
+        self.stats = EvaluationStats()
+        self.provenance = {}
+        database = edb.copy()
+
+        # Facts in the program are loaded directly.
+        derived_rules = []
+        for rule in program:
+            if rule.is_fact:
+                database.add_fact(rule.head.predicate, *(t.value for t in rule.head.args))
+            else:
+                derived_rules.append(rule)
+
+        # Ensure every predicate mentioned anywhere exists with a known arity,
+        # so negation over an empty relation works.
+        self._declare_relations(program, database)
+
+        strata = stratify(program)
+        idb = program.idb_predicates
+        groups = self._evaluation_groups(program, strata, idb)
+        self.stats.strata = len({strata[p] for p in idb}) if idb else 0
+
+        for group in groups:
+            rules = [r for r in derived_rules if r.head.predicate in group]
+            if not rules:
+                continue
+            if self.method == "naive":
+                self._fixpoint_naive(rules, database)
+            else:
+                self._fixpoint_seminaive(rules, group, database)
+        return database
+
+    def query(self, program, edb, goal):
+        """Evaluate and return the set of tuples matching *goal* (an Atom).
+
+        Each answer is the tuple of values bound to the goal's variables in
+        their order of first occurrence; for a ground goal the result is a
+        set containing one empty tuple when it holds, else the empty set.
+        """
+        database = self.evaluate(program, edb)
+        return match_atom(database, goal)
+
+    # ------------------------------------------------------------ internals
+
+    @staticmethod
+    def _declare_relations(program, database):
+        for rule in program:
+            atoms = [rule.head] + [e.atom for e in rule.body if isinstance(e, Literal)]
+            for atom in atoms:
+                database.relation(atom.predicate, atom.arity)
+
+    @staticmethod
+    def _evaluation_groups(program, strata, idb):
+        """IDB predicate groups in evaluation order: by stratum, then by SCC
+        condensation topological order inside each stratum."""
+        graph = DependenceGraph.of_program(program)
+        # Tarjan emits dependents first; reversing yields dependencies-first
+        # (topological) order, which is the evaluation order within a stratum.
+        components = reversed(graph.strongly_connected_components())
+        groups = []
+        for component in components:
+            members = frozenset(p for p in component if p in idb)
+            if members:
+                groups.append(members)
+        # Stable sort by stratum preserves the dependencies-first order
+        # among groups of the same stratum.
+        groups.sort(key=lambda g: max(strata[p] for p in g))
+        return groups
+
+    def _fixpoint_naive(self, rules, database):
+        schedules = [(rule, schedule_body(rule)) for rule in rules]
+        changed = True
+        while changed:
+            changed = False
+            self.stats.iterations += 1
+            for rule, schedule in schedules:
+                for row, support in self._fire(rule, schedule, database):
+                    if database.relation(rule.head.predicate).add(row):
+                        self.stats.facts_derived += 1
+                        self._record(rule, rule.head.predicate, row, support)
+                        changed = True
+
+    def _fixpoint_seminaive(self, rules, group, database):
+        schedules = []
+        init_only = []
+        for rule in rules:
+            schedule = schedule_body(rule)
+            recursive_positions = [
+                i
+                for i, element in enumerate(schedule)
+                if isinstance(element, Literal)
+                and element.positive
+                and element.predicate in group
+            ]
+            if recursive_positions:
+                schedules.append((rule, schedule, recursive_positions))
+            else:
+                init_only.append((rule, schedule))
+
+        # Seed the delta with any facts the group predicates already hold
+        # (program facts for IDB predicates, or EDB facts feeding an IDB name)
+        # so recursive literals see them on the first iteration.
+        delta = defaultdict(set)
+        for predicate in group:
+            existing = database.facts(predicate)
+            if existing:
+                delta[predicate] = set(existing)
+        for rule, schedule in init_only:
+            head_pred = rule.head.predicate
+            relation = database.relation(head_pred)
+            for row, support in self._fire(rule, schedule, database):
+                if relation.add(row):
+                    self.stats.facts_derived += 1
+                    self._record(rule, head_pred, row, support)
+                    delta[head_pred].add(row)
+
+        while True:
+            self.stats.iterations += 1
+            delta_relations = {
+                predicate: _as_relation(predicate, rows, database)
+                for predicate, rows in delta.items()
+                if rows
+            }
+            new_delta = defaultdict(set)
+            for rule, schedule, positions in schedules:
+                head_pred = rule.head.predicate
+                relation = database.relation(head_pred)
+                for position in positions:
+                    pred = schedule[position].predicate
+                    delta_relation = delta_relations.get(pred)
+                    if delta_relation is None:
+                        continue
+                    produced = self._fire(
+                        rule,
+                        schedule,
+                        database,
+                        delta_position=position,
+                        delta_relation=delta_relation,
+                    )
+                    for row, support in produced:
+                        if relation.add(row):
+                            self.stats.facts_derived += 1
+                            self._record(rule, head_pred, row, support)
+                            new_delta[head_pred].add(row)
+            if not new_delta:
+                break
+            delta = new_delta
+
+    def _fire(self, rule, schedule, database, delta_position=None, delta_relation=None):
+        """Yield ``(head_row, support)`` pairs from one rule body evaluation.
+
+        ``support`` is a tuple of the positive body facts that matched, as
+        ``(predicate, row)`` pairs, when ``record_provenance`` is on; None
+        otherwise."""
+        self.stats.rule_firings += 1
+        head = rule.head
+        results = []
+        trail = [] if self.record_provenance else None
+
+        def emit(binding):
+            row = []
+            for term in head.args:
+                if isinstance(term, Variable):
+                    row.append(binding[term])
+                else:
+                    row.append(term.value)
+            support = tuple(trail) if trail is not None else None
+            results.append((tuple(row), support))
+
+        def walk(index, binding):
+            if index == len(schedule):
+                emit(binding)
+                return
+            element = schedule[index]
+            if isinstance(element, Literal):
+                if element.positive:
+                    if index == delta_position:
+                        relation = delta_relation
+                    else:
+                        relation = database.relation(element.predicate)
+                    for extended, row in _match_against(
+                        relation, element.atom, binding, want_rows=True
+                    ):
+                        if trail is not None:
+                            trail.append((element.predicate, row))
+                        walk(index + 1, extended)
+                        if trail is not None:
+                            trail.pop()
+                else:
+                    if self._negative_holds(database, element, binding):
+                        walk(index + 1, binding)
+            elif isinstance(element, Comparison):
+                extended = self._apply_comparison(element, binding)
+                if extended is not None:
+                    walk(index + 1, extended)
+            elif isinstance(element, ArithmeticAssign):
+                extended = self._apply_arithmetic(element, binding)
+                if extended is not None:
+                    walk(index + 1, extended)
+            else:  # pragma: no cover - AST is closed
+                raise EvaluationError(f"unknown body element {element!r}")
+
+        walk(0, {})
+        return results
+
+    def _record(self, rule, predicate, row, support):
+        if self.record_provenance:
+            key = (predicate, row)
+            if key not in self.provenance:
+                self.provenance[key] = (rule, support)
+
+    @staticmethod
+    def _negative_holds(database, literal, binding):
+        relation = database.relation(literal.predicate)
+        positions = []
+        values = []
+        for position, term in enumerate(literal.atom.args):
+            if isinstance(term, Variable):
+                if term.is_anonymous:
+                    continue
+                values.append(binding[term])
+                positions.append(position)
+            else:
+                values.append(term.value)
+                positions.append(position)
+        matches = relation.lookup(tuple(positions), tuple(values))
+        return not matches
+
+    @staticmethod
+    def _value_of(term, binding):
+        if isinstance(term, Variable):
+            return binding.get(term, _UNBOUND)
+        return term.value
+
+    def _apply_comparison(self, comparison, binding):
+        left = self._value_of(comparison.left, binding)
+        right = self._value_of(comparison.right, binding)
+        if comparison.op == "==":
+            if left is _UNBOUND and right is _UNBOUND:
+                raise EvaluationError(f"equality with both sides unbound: {comparison}")
+            if left is _UNBOUND:
+                extended = dict(binding)
+                extended[comparison.left] = right
+                return extended
+            if right is _UNBOUND:
+                extended = dict(binding)
+                extended[comparison.right] = left
+                return extended
+        if left is _UNBOUND or right is _UNBOUND:
+            raise EvaluationError(f"comparison on unbound variable: {comparison}")
+        try:
+            holds = _COMPARATORS[comparison.op](left, right)
+        except TypeError as exc:
+            raise EvaluationError(f"incomparable values in {comparison}: {exc}") from exc
+        return binding if holds else None
+
+    def _apply_arithmetic(self, assign, binding):
+        left = self._value_of(assign.left, binding)
+        right = self._value_of(assign.right, binding)
+        if left is _UNBOUND or right is _UNBOUND:
+            raise EvaluationError(f"arithmetic on unbound variable: {assign}")
+        try:
+            value = _ARITHMETIC[assign.op](left, right)
+        except (TypeError, ZeroDivisionError) as exc:
+            raise EvaluationError(f"arithmetic failure in {assign}: {exc}") from exc
+        result = assign.result
+        if isinstance(result, Variable):
+            existing = binding.get(result, _UNBOUND)
+            if existing is _UNBOUND:
+                extended = dict(binding)
+                extended[result] = value
+                return extended
+            return binding if existing == value else None
+        return binding if result.value == value else None
+
+
+_UNBOUND = object()
+
+
+def _match_against(relation, atom, binding, want_rows=False):
+    """Yield extensions of *binding* for each tuple of *relation* matching
+    *atom* (as ``(binding, row)`` pairs when *want_rows*), honouring repeated
+    variables within the atom."""
+    positions = []
+    values = []
+    for position, term in enumerate(atom.args):
+        if isinstance(term, Constant):
+            positions.append(position)
+            values.append(term.value)
+        elif not term.is_anonymous and term in binding:
+            positions.append(position)
+            values.append(binding[term])
+    candidates = relation.lookup(tuple(positions), tuple(values))
+    bound_positions = set(positions)
+    for row in candidates:
+        extended = dict(binding)
+        ok = True
+        for position, term in enumerate(atom.args):
+            if position in bound_positions:
+                continue
+            if isinstance(term, Variable):
+                if term.is_anonymous:
+                    continue
+                seen = extended.get(term, _UNBOUND)
+                if seen is _UNBOUND:
+                    extended[term] = row[position]
+                elif seen != row[position]:
+                    ok = False
+                    break
+        if ok:
+            yield (extended, row) if want_rows else extended
+
+
+def _as_relation(predicate, rows, database):
+    """Wrap a delta tuple-set in an indexed Relation of the right arity."""
+    arity = database.relation(predicate).arity
+    relation = Relation(predicate, arity)
+    relation.add_many(rows)
+    return relation
+
+
+def match_atom(database, goal):
+    """All bindings of *goal*'s variables against *database*.
+
+    Returns a set of tuples: the values of the goal's distinct variables in
+    order of first occurrence.  A ground goal yields ``{()}`` when present.
+    """
+    if goal.predicate not in database:
+        return set()
+    relation = database.relation(goal.predicate)
+    ordered_vars = []
+    for term in goal.args:
+        if isinstance(term, Variable) and not term.is_anonymous and term not in ordered_vars:
+            ordered_vars.append(term)
+    answers = set()
+    for binding in _match_against(relation, goal, {}):
+        answers.add(tuple(binding[v] for v in ordered_vars))
+    return answers
+
+
+def evaluate(program, edb, method="seminaive"):
+    """One-shot convenience wrapper around :class:`Engine`."""
+    return Engine(method=method).evaluate(program, edb)
+
+
+def query(program, edb, goal, method="seminaive"):
+    """One-shot convenience wrapper: evaluate then match *goal*."""
+    return Engine(method=method).query(program, edb, goal)

@@ -1,0 +1,210 @@
+"""A small hand-written tokenizer shared by the Datalog and GraphLog parsers."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+
+# Multi-character punctuation must be listed before its prefixes.
+PUNCTUATION = (
+    ":-",
+    "=>",
+    "->",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ".",
+    ";",
+    ":",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "|",
+    "?",
+    "!",
+    "~",
+    "^",
+    "_",
+    "@",
+)
+
+
+class Token:
+    """A lexical token with source position for error messages."""
+
+    __slots__ = ("kind", "text", "value", "line", "column")
+
+    def __init__(self, kind, text, value, line, column):
+        self.kind = kind  # 'ident' | 'var' | 'number' | 'string' | 'punct' | 'eof'
+        self.text = text
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source, keep_underscore_var=True):
+    """Tokenize *source* into a list of :class:`Token` ending with EOF.
+
+    - identifiers starting lowercase -> ``ident``
+    - identifiers starting uppercase or underscore -> ``var``
+    - numbers (int/float, no sign) -> ``number``
+    - single- or double-quoted strings -> ``string``
+    - ``%`` and ``#`` start line comments
+    """
+    tokens = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch in "%#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise ParseError("unterminated comment", line, column)
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            i = end + 2
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n and source[j] != quote:
+                if source[j] == "\\" and j + 1 < n:
+                    buf.append(source[j + 1])
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise ParseError("unterminated string", line, column)
+            text = source[i : j + 1]
+            tokens.append(Token("string", text, "".join(buf), line, column))
+            column += len(text)
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            is_float = False
+            if j < n and source[j] == "." and j + 1 < n and source[j + 1].isdigit():
+                is_float = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            value = float(text) if is_float else int(text)
+            tokens.append(Token("number", text, value, line, column))
+            column += len(text)
+            i = j
+            continue
+        if ch.isalpha() or (ch == "_" and keep_underscore_var):
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_-"):
+                # Hyphenated identifiers (e.g. "not-desc-of") follow the paper;
+                # a hyphen counts only when surrounded by alphanumerics.
+                if source[j] == "-":
+                    if not (j + 1 < n and source[j + 1].isalnum()):
+                        break
+                j += 1
+            text = source[i:j]
+            if text == "_" or text[0].isupper() or text[0] == "_":
+                kind = "var"
+            else:
+                kind = "ident"
+            tokens.append(Token(kind, text, text, line, column))
+            column += len(text)
+            i = j
+            continue
+        for punct in PUNCTUATION:
+            if source.startswith(punct, i):
+                tokens.append(Token("punct", punct, punct, line, column))
+                column += len(punct)
+                i += len(punct)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", None, line, column))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, ahead=0):
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self):
+        token = self.peek()
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def at(self, kind, text=None):
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def at_punct(self, *texts):
+        token = self.peek()
+        return token.kind == "punct" and token.text in texts
+
+    def accept(self, kind, text=None):
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind, text=None):
+        token = self.peek()
+        if not self.at(kind, text):
+            wanted = text if text is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text or token.kind!r}",
+                token.line,
+                token.column,
+            )
+        return self.next()
+
+    @property
+    def exhausted(self):
+        return self.peek().kind == "eof"

@@ -1,0 +1,144 @@
+"""Parser for textual Datalog programs.
+
+Syntax::
+
+    ancestor(X, Y) :- parent(X, Y).
+    ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+    rich(X)        :- person(X), not poor(X).
+    next(X, Y)     :- num(X), num(Y), Y = X + 1.
+    small(X)       :- num(X), X < 10.
+    start(a).                      % a fact
+
+Conventions: variables start uppercase (or ``_``); identifiers starting
+lowercase are predicate names or constants depending on position; numbers
+and quoted strings are constants.  ``not``/``~``/``!`` negate a literal.
+``%`` and ``#`` start comments.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.ast import (
+    ArithmeticAssign,
+    Atom,
+    Comparison,
+    Literal,
+    Program,
+    Rule,
+)
+from repro.datalog.lexer import TokenStream, tokenize
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ParseError
+
+_COMPARISON_TOKENS = {"=": "==", "==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+_ARITH_TOKENS = ("+", "-", "*", "/", "%")
+
+
+def parse_program(source):
+    """Parse a complete Datalog program from *source* text."""
+    stream = TokenStream(tokenize(source))
+    rules = []
+    while not stream.exhausted:
+        rules.append(_parse_rule(stream))
+    return Program(rules)
+
+
+def parse_rule(source):
+    """Parse a single rule (or fact) from *source* text."""
+    stream = TokenStream(tokenize(source))
+    rule = _parse_rule(stream)
+    if not stream.exhausted:
+        token = stream.peek()
+        raise ParseError("trailing input after rule", token.line, token.column)
+    return rule
+
+
+def parse_atom(source):
+    """Parse a single atom such as ``p(X, a)``."""
+    stream = TokenStream(tokenize(source))
+    atom = _parse_atom(stream)
+    if not stream.exhausted:
+        token = stream.peek()
+        raise ParseError("trailing input after atom", token.line, token.column)
+    return atom
+
+
+def _parse_rule(stream):
+    head = _parse_atom(stream)
+    body = []
+    if stream.accept("punct", ":-"):
+        body.append(_parse_body_element(stream))
+        while stream.accept("punct", ","):
+            body.append(_parse_body_element(stream))
+    stream.expect("punct", ".")
+    return Rule(head, body)
+
+
+def _parse_body_element(stream):
+    if stream.at("ident", "not") or stream.at_punct("~", "!"):
+        stream.next()
+        return Literal(_parse_atom(stream), positive=False)
+    # Either a relational atom or a builtin starting with a term.
+    if stream.at("ident") and stream.peek(1).kind == "punct" and stream.peek(1).text == "(":
+        return Literal(_parse_atom(stream), positive=True)
+    if stream.at("ident") and not _next_is_comparison(stream):
+        # Zero-ary predicate used as a propositional atom.
+        return Literal(_parse_atom(stream), positive=True)
+    left = _parse_term(stream)
+    token = stream.peek()
+    if token.kind != "punct" or token.text not in _COMPARISON_TOKENS:
+        raise ParseError(
+            f"expected comparison operator, found {token.text!r}", token.line, token.column
+        )
+    op = _COMPARISON_TOKENS[stream.next().text]
+    if op == "==" and stream.at("ident", "min") or op == "==" and stream.at("ident", "max"):
+        func = stream.next().text
+        stream.expect("punct", "(")
+        first = _parse_term(stream)
+        stream.expect("punct", ",")
+        second = _parse_term(stream)
+        stream.expect("punct", ")")
+        return ArithmeticAssign(left, func, first, second)
+    right = _parse_term(stream)
+    if op == "==" and stream.at_punct(*_ARITH_TOKENS):
+        arith_op = stream.next().text
+        second = _parse_term(stream)
+        return ArithmeticAssign(left, arith_op, right, second)
+    return Comparison(op, left, right)
+
+
+def _next_is_comparison(stream):
+    token = stream.peek(1)
+    return token.kind == "punct" and token.text in _COMPARISON_TOKENS
+
+
+def _parse_atom(stream):
+    name = stream.expect("ident").text
+    args = []
+    if stream.accept("punct", "("):
+        if not stream.at_punct(")"):
+            args.append(_parse_term(stream))
+            while stream.accept("punct", ","):
+                args.append(_parse_term(stream))
+        stream.expect("punct", ")")
+    return Atom(name, args)
+
+
+def _parse_term(stream):
+    token = stream.peek()
+    if token.kind == "var":
+        stream.next()
+        return Variable(token.text)
+    if token.kind == "ident":
+        stream.next()
+        return Constant(token.text)
+    if token.kind == "number":
+        stream.next()
+        return Constant(token.value)
+    if token.kind == "string":
+        stream.next()
+        return Constant(token.value)
+    if token.kind == "punct" and token.text == "-" and stream.peek(1).kind == "number":
+        stream.next()
+        number = stream.next()
+        return Constant(-number.value)
+    raise ParseError(f"expected a term, found {token.text or token.kind!r}", token.line, token.column)

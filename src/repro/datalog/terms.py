@@ -1,0 +1,169 @@
+"""Terms of the Datalog language: variables, constants, and sentinels.
+
+The convention throughout the library mirrors textual Datalog: variables
+start with an uppercase letter (or underscore), constants are lowercase
+identifiers, quoted strings, or numbers.  :class:`Sentinel` constants are
+used by Algorithm 3.1 as *signature* values guaranteed not to collide with
+any domain value (Section 3 of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class Term:
+    """Abstract base class for Datalog terms."""
+
+    __slots__ = ()
+
+    @property
+    def is_variable(self):
+        return isinstance(self, Variable)
+
+    @property
+    def is_constant(self):
+        return isinstance(self, Constant)
+
+
+class Variable(Term):
+    """A logic variable, identified by its name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("var", self.name))
+
+    def __repr__(self):
+        return f"Variable({self.name!r})"
+
+    def __str__(self):
+        return self.name
+
+    @property
+    def is_anonymous(self):
+        """True for underscore variables, which never join with anything."""
+        return self.name.startswith("_")
+
+
+class Constant(Term):
+    """A constant term wrapping an arbitrary hashable Python value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("const", self.value))
+
+    def __repr__(self):
+        return f"Constant({self.value!r})"
+
+    def __str__(self):
+        value = self.value
+        if isinstance(value, str):
+            # Hyphenated lowercase identifiers (the paper's style, e.g.
+            # "async-io") print bare; anything else is quoted.
+            bare = value.replace("-", "_")
+            if bare.isidentifier() and value[:1].islower():
+                return value
+            return repr(value)
+        return str(value)
+
+
+class Sentinel:
+    """An out-of-domain marker value with identity-free equality by name.
+
+    Algorithm 3.1 pads predicate arguments with signature constants that must
+    never equal a database value.  Wrapping a ``Sentinel`` in a
+    :class:`Constant` guarantees collision-freedom because sentinels compare
+    equal only to sentinels carrying the same name.
+    """
+
+    __slots__ = ("name",)
+
+    _counter = itertools.count()
+
+    def __init__(self, name=None):
+        if name is None:
+            name = f"#s{next(Sentinel._counter)}"
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, Sentinel) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("sentinel", self.name))
+
+    def __repr__(self):
+        return f"Sentinel({self.name!r})"
+
+    def __str__(self):
+        return f"#{self.name}"
+
+
+def make_term(value):
+    """Coerce a Python value into a :class:`Term`.
+
+    Strings beginning with an uppercase letter or underscore become
+    variables; every other value becomes a constant.  Existing terms pass
+    through unchanged.
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Variable(value)
+    return Constant(value)
+
+
+def make_constant(value):
+    """Coerce a Python value into a :class:`Constant` (never a variable)."""
+    if isinstance(value, Constant):
+        return value
+    if isinstance(value, Variable):
+        raise TypeError(f"expected a constant, got variable {value}")
+    return Constant(value)
+
+
+def make_variable(name):
+    """Coerce a name into a :class:`Variable`."""
+    if isinstance(name, Variable):
+        return name
+    if isinstance(name, Constant):
+        raise TypeError(f"expected a variable, got constant {name}")
+    return Variable(str(name))
+
+
+class FreshVariables:
+    """A generator of variable names guaranteed fresh w.r.t. a used set."""
+
+    def __init__(self, used=(), prefix="V"):
+        self._used = {v.name if isinstance(v, Variable) else str(v) for v in used}
+        self._prefix = prefix
+        self._next = 0
+
+    def reserve(self, name):
+        """Mark *name* as used so it is never handed out."""
+        self._used.add(name)
+
+    def fresh(self, hint=None):
+        """Return a new :class:`Variable` not seen before."""
+        base = hint or self._prefix
+        while True:
+            candidate = f"{base}{self._next}"
+            self._next += 1
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return Variable(candidate)

@@ -1,0 +1,60 @@
+"""Workloads: exact paper instances plus seeded scalable generators."""
+
+from repro.datasets.airlines import (
+    FIGURE12_ROUTES,
+    figure12_database,
+    figure12_graph,
+    random_airline_graph,
+)
+from repro.datasets.family import (
+    chain_family,
+    example25_family,
+    figure2_family,
+    random_genealogy,
+)
+from repro.datasets.flights import (
+    FIGURE1_CAPITALS,
+    FIGURE1_FLIGHTS,
+    figure1_database,
+    figure1_graph,
+    hhmm,
+    random_flights,
+)
+from repro.datasets.hypertext import hypertext_graph, random_hypertext
+from repro.datasets.random_graphs import (
+    chain_database,
+    cycle_database,
+    layered_dag,
+    random_edge_relation,
+    random_labeled_graph,
+)
+from repro.datasets.software import figure6_database, random_callgraph
+from repro.datasets.tasks import figure11_database, random_project
+
+__all__ = [
+    "FIGURE1_CAPITALS",
+    "FIGURE1_FLIGHTS",
+    "FIGURE12_ROUTES",
+    "chain_database",
+    "chain_family",
+    "cycle_database",
+    "example25_family",
+    "figure11_database",
+    "figure12_database",
+    "figure12_graph",
+    "figure1_database",
+    "figure1_graph",
+    "figure2_family",
+    "figure6_database",
+    "hhmm",
+    "hypertext_graph",
+    "layered_dag",
+    "random_airline_graph",
+    "random_callgraph",
+    "random_edge_relation",
+    "random_flights",
+    "random_genealogy",
+    "random_hypertext",
+    "random_labeled_graph",
+    "random_project",
+]

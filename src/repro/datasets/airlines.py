@@ -1,0 +1,66 @@
+"""Airline route multigraphs (Figure 12 / the Section 5 prototype).
+
+Nodes are cities; each edge is a flight labeled by its airline code (one
+binary predicate per airline, e.g. the ``AA`` edge from Buenos Aires to Lima
+mentioned in Section 5).  ``figure12_graph`` contains a Canadian Pacific
+route from Rome to Tokyo so the screendump's *RT-scale* query has answers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.multigraph import LabeledMultigraph
+
+#: (airline, origin, destination) routes in the style of Figure 12.
+FIGURE12_ROUTES = (
+    # The Canadian Pacific chain from Rome to Tokyo (the RT-scale answer set).
+    ("CP", "rome", "geneva"),
+    ("CP", "geneva", "montreal"),
+    ("CP", "montreal", "toronto"),
+    ("CP", "toronto", "vancouver"),
+    ("CP", "vancouver", "tokyo"),
+    # A shortcut that skips some scales.
+    ("CP", "geneva", "toronto"),
+    # Aerolineas Argentinas, including the Buenos Aires -> Lima edge of the text.
+    ("AA", "buenos-aires", "lima"),
+    ("AA", "lima", "los-angeles"),
+    ("AA", "los-angeles", "tokyo"),
+    ("AA", "rome", "buenos-aires"),
+    # Air France distractors.
+    ("AF", "rome", "paris"),
+    ("AF", "paris", "montreal"),
+    ("AF", "paris", "tokyo"),
+)
+
+
+def figure12_graph():
+    """The airline multigraph of Figure 12."""
+    graph = LabeledMultigraph()
+    for airline, origin, destination in FIGURE12_ROUTES:
+        graph.add_edge(origin, destination, airline)
+    return graph
+
+
+def figure12_database():
+    """Relational form: one binary predicate per airline."""
+    from repro.datalog.database import Database
+
+    database = Database()
+    for airline, origin, destination in FIGURE12_ROUTES:
+        database.add_fact(airline.lower(), origin, destination)
+    return database
+
+
+def random_airline_graph(seed, n_cities=30, airlines=("CP", "AA", "AF", "BA"), flights_per_airline=40):
+    """A random airline multigraph (parallel edges across airlines allowed)."""
+    rng = random.Random(seed)
+    cities = [f"city{i}" for i in range(n_cities)]
+    graph = LabeledMultigraph()
+    for city in cities:
+        graph.add_node(city)
+    for airline in airlines:
+        for _ in range(flights_per_airline):
+            origin, destination = rng.sample(cities, 2)
+            graph.add_edge(origin, destination, airline)
+    return graph

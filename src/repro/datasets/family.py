@@ -1,0 +1,127 @@
+"""Genealogy databases (Figures 2/3/5 and the same-generation example).
+
+Provides a small concrete family for the Figure 2 query, plus seeded
+generators for arbitrary-size genealogies with ``descendant``, ``parent``,
+``father``, ``mother`` (with the hospital attribute of Example 2.5),
+``person``, ``friend``, and ``residence`` relations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datalog.database import Database
+
+
+def figure2_family():
+    """A three-generation family for the Figure 2 query.
+
+    ``descendant(X, Y)`` means Y is a (direct) descendant of X, matching the
+    reading of Example 2.2 where ``descendant+`` from P1 reaches the
+    descendants of P1.
+    """
+    database = Database()
+    descendants = [
+        ("adam", "beth"),
+        ("adam", "carl"),
+        ("beth", "dora"),
+        ("beth", "evan"),
+        ("carl", "fern"),
+        ("gina", "hugo"),
+    ]
+    database.add_facts("descendant", descendants)
+    people = sorted({p for pair in descendants for p in pair})
+    database.add_facts("person", [(p,) for p in people])
+    return database
+
+
+def example25_family():
+    """The Example 2.5 scenario: father/mother(hospital)/friend/residence."""
+    database = Database()
+    database.add_facts(
+        "father",
+        [("frank", "me"), ("george", "frank")],
+    )
+    database.add_facts(
+        "mother",
+        [("mary", "me", "general-hospital"), ("nora", "frank", "st-josephs")],
+    )
+    database.add_facts(
+        "friend",
+        [
+            ("me", "carol"),
+            ("frank", "alice"),
+            ("mary", "bob"),
+            ("george", "dave"),
+            ("nora", "erin"),
+        ],
+    )
+    database.add_facts(
+        "residence",
+        [
+            ("carol", "toronto"),
+            ("alice", "toronto"),
+            ("bob", "ottawa"),
+            ("dave", "montreal"),
+            ("erin", "toronto"),
+            ("me", "toronto"),
+        ],
+    )
+    return database
+
+
+def random_genealogy(seed, generations=5, people_per_generation=8, cities=None):
+    """A layered random genealogy.
+
+    Each person in generation g > 0 gets a father and a mother from
+    generation g-1.  Friendships are random; residences are uniform over
+    *cities*.  ``parent`` is the union of father/mother; ``descendant`` is
+    the parent-child edge set (so ``descendant+`` walks down generations).
+    """
+    rng = random.Random(seed)
+    cities = list(cities) if cities else ["toronto", "ottawa", "montreal", "vancouver"]
+    hospitals = ["general-hospital", "st-josephs", "mount-sinai"]
+    database = Database()
+    layers = []
+    counter = 0
+    for generation in range(generations):
+        layer = []
+        for _ in range(people_per_generation):
+            layer.append(f"p{counter}")
+            counter += 1
+        layers.append(layer)
+    everyone = [p for layer in layers for p in layer]
+    database.add_facts("person", [(p,) for p in everyone])
+    for generation in range(1, generations):
+        previous = layers[generation - 1]
+        for child in layers[generation]:
+            father = rng.choice(previous)
+            mother = rng.choice(previous)
+            database.add_fact("father", father, child)
+            database.add_fact("mother", mother, child, rng.choice(hospitals))
+            database.add_fact("parent", father, child)
+            database.add_fact("parent", mother, child)
+            database.add_fact("descendant", father, child)
+            if mother != father:
+                database.add_fact("descendant", mother, child)
+    for person in everyone:
+        for _ in range(rng.randrange(0, 3)):
+            other = rng.choice(everyone)
+            if other != person:
+                database.add_fact("friend", person, other)
+        database.add_fact("residence", person, rng.choice(cities))
+    return database
+
+
+def chain_family(length):
+    """A single descent chain of the given length (worst case for TC)."""
+    database = Database()
+    people = [f"g{i}" for i in range(length + 1)]
+    database.add_facts("person", [(p,) for p in people])
+    database.add_facts(
+        "descendant", [(people[i], people[i + 1]) for i in range(length)]
+    )
+    database.add_facts(
+        "parent", [(people[i], people[i + 1]) for i in range(length)]
+    )
+    return database

@@ -1,0 +1,84 @@
+"""Flight-schedule databases (Figure 1 and Example 2.1).
+
+``figure1_database`` is a concrete instance with the exact schema of
+Figure 1: each flight number connects two cities (``from``/``to``), has
+``departure`` and ``arrival`` times, and ``capital`` marks capital cities.
+The printed figure's data values are not digitally recoverable, so the
+instance mirrors its shape (a small multi-city schedule where some
+connections are only reachable through time-feasible stops); the scalable
+:func:`random_flights` generator drives the benchmarks.
+
+Times are minutes since midnight (so ``21:45`` is ``1305``), keeping the
+``<`` comparison of Figure 4 meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datalog.database import Database
+
+
+def hhmm(text):
+    """Parse ``"21:45"`` into minutes since midnight."""
+    hours, minutes = text.split(":")
+    return int(hours) * 60 + int(minutes)
+
+
+#: (flight, origin, destination, departure, arrival) in the style of Figure 1.
+FIGURE1_FLIGHTS = (
+    (21, "toronto", "ottawa", hhmm("08:00"), hhmm("09:00")),
+    (32, "ottawa", "montreal", hhmm("09:30"), hhmm("10:15")),
+    (45, "toronto", "montreal", hhmm("21:45"), hhmm("23:15")),
+    (57, "montreal", "new-york", hhmm("11:00"), hhmm("12:30")),
+    (64, "montreal", "new-york", hhmm("09:00"), hhmm("10:30")),
+    (78, "new-york", "washington", hhmm("13:30"), hhmm("14:45")),
+    (81, "ottawa", "toronto", hhmm("17:00"), hhmm("18:00")),
+    (92, "washington", "toronto", hhmm("15:30"), hhmm("17:10")),
+)
+
+FIGURE1_CAPITALS = ("ottawa", "washington")
+
+
+def figure1_database():
+    """The flights database of Figure 1 as a relational Database."""
+    database = Database()
+    for flight, origin, destination, departure, arrival in FIGURE1_FLIGHTS:
+        database.add_fact("from", flight, origin)
+        database.add_fact("to", flight, destination)
+        database.add_fact("departure", flight, departure)
+        database.add_fact("arrival", flight, arrival)
+    for city in FIGURE1_CAPITALS:
+        database.add_fact("capital", city)
+    return database
+
+
+def figure1_graph():
+    """The Figure 1 database in its graph representation."""
+    from repro.graphs.bridge import graph_from_database
+
+    return graph_from_database(figure1_database())
+
+
+def random_flights(seed, n_cities=20, n_flights=120, min_leg=30, max_leg=240):
+    """A random but deterministic flight schedule.
+
+    Flights connect random distinct city pairs at random times; leg duration
+    is between *min_leg* and *max_leg* minutes.  Roughly a quarter of cities
+    are capitals.  Returns a Database with the Figure 1 schema.
+    """
+    rng = random.Random(seed)
+    cities = [f"city{i}" for i in range(n_cities)]
+    database = Database()
+    for flight in range(1, n_flights + 1):
+        origin, destination = rng.sample(cities, 2)
+        departure = rng.randrange(5 * 60, 22 * 60)
+        arrival = departure + rng.randrange(min_leg, max_leg)
+        database.add_fact("from", flight, origin)
+        database.add_fact("to", flight, destination)
+        database.add_fact("departure", flight, departure)
+        database.add_fact("arrival", flight, arrival)
+    for city in cities:
+        if rng.random() < 0.25:
+            database.add_fact("capital", city)
+    return database

@@ -1,0 +1,50 @@
+"""Hypertext webs (the [CM89] companion application, Section 1/5).
+
+The paper's test-case domain for GraphLog was Hypertext: nodes are cards
+(documents/sections), edges are typed links.  The generator produces a web
+with a containment hierarchy, a next/prev reading path per document, and
+random cross-reference / annotation links — the structural patterns the
+[CM89] queries (reachable cards, cycles of references, tables of contents)
+exercise.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datalog.database import Database
+from repro.graphs.multigraph import LabeledMultigraph
+
+
+def random_hypertext(seed, n_documents=4, sections_per_document=5, cross_refs=12):
+    """A hypertext database with ``contains``, ``next``, ``refers-to`` and
+    ``annotates`` link relations plus unary ``document`` and ``card``."""
+    rng = random.Random(seed)
+    database = Database()
+    all_cards = []
+    for d in range(n_documents):
+        document = f"doc{d}"
+        database.add_fact("document", document)
+        previous = None
+        for s in range(sections_per_document):
+            card = f"doc{d}-s{s}"
+            all_cards.append(card)
+            database.add_fact("card", card)
+            database.add_fact("contains", document, card)
+            if previous is not None:
+                database.add_fact("next", previous, card)
+            previous = card
+    for _ in range(cross_refs):
+        source, target = rng.sample(all_cards, 2)
+        database.add_fact("refers-to", source, target)
+    for _ in range(max(1, cross_refs // 3)):
+        source, target = rng.sample(all_cards, 2)
+        database.add_fact("annotates", source, target)
+    return database
+
+
+def hypertext_graph(seed=0, **kwargs):
+    """The same web in graph form."""
+    from repro.graphs.bridge import graph_from_database
+
+    return graph_from_database(random_hypertext(seed, **kwargs))

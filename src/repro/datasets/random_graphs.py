@@ -1,0 +1,68 @@
+"""Seeded random graph generators for the benchmark workloads."""
+
+from __future__ import annotations
+
+import random
+
+from repro.datalog.database import Database
+from repro.graphs.multigraph import LabeledMultigraph
+
+
+def random_edge_relation(seed, n_nodes, n_edges, predicate="edge"):
+    """A Database with one binary relation of random distinct edges."""
+    rng = random.Random(seed)
+    database = Database()
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    seen = set()
+    while len(seen) < min(n_edges, n_nodes * (n_nodes - 1)):
+        pair = tuple(rng.sample(nodes, 2))
+        seen.add(pair)
+    database.add_facts(predicate, seen)
+    database.add_facts("node", [(n,) for n in nodes])
+    return database
+
+
+def chain_database(length, predicate="edge"):
+    """A simple path n0 -> n1 -> ... (worst case depth for TC iteration)."""
+    database = Database()
+    nodes = [f"n{i}" for i in range(length + 1)]
+    database.add_facts(predicate, [(nodes[i], nodes[i + 1]) for i in range(length)])
+    database.add_facts("node", [(n,) for n in nodes])
+    return database
+
+
+def cycle_database(length, predicate="edge"):
+    """A directed cycle of the given length."""
+    database = Database()
+    nodes = [f"n{i}" for i in range(length)]
+    edges = [(nodes[i], nodes[(i + 1) % length]) for i in range(length)]
+    database.add_facts(predicate, edges)
+    database.add_facts("node", [(n,) for n in nodes])
+    return database
+
+
+def layered_dag(seed, layers, width, density=0.4, predicate="edge"):
+    """A layered DAG: edges only go from layer i to layer i+1."""
+    rng = random.Random(seed)
+    database = Database()
+    grid = [[f"l{i}_{j}" for j in range(width)] for i in range(layers)]
+    for i in range(layers - 1):
+        for a in grid[i]:
+            for b in grid[i + 1]:
+                if rng.random() < density:
+                    database.add_fact(predicate, a, b)
+    database.add_facts("node", [(n,) for layer in grid for n in layer])
+    return database
+
+
+def random_labeled_graph(seed, n_nodes, n_edges, labels=("a", "b", "c")):
+    """A LabeledMultigraph with random edges over a small label alphabet."""
+    rng = random.Random(seed)
+    graph = LabeledMultigraph()
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    for node in nodes:
+        graph.add_node(node)
+    for _ in range(n_edges):
+        source, target = rng.sample(nodes, 2)
+        graph.add_edge(source, target, rng.choice(labels))
+    return graph

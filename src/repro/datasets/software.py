@@ -1,0 +1,98 @@
+"""Software-development-environment databases (Figure 6 / Example 2.6).
+
+Schema: ``in-module(F, M)``, ``calls-local(F1, F2)``, ``calls-extn(F1, F2)``,
+``in-library(F, L)``.  ``figure6_database`` builds an instance in which some
+modules use the ``async-io`` library and call themselves back through other
+modules — the *self-used* pattern Example 2.6 queries for — while other
+modules do not, so the query's answer is a strict subset.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datalog.database import Database
+
+
+def figure6_database():
+    """A concrete software graph exercising the Example 2.6 query.
+
+    - module ``netd``: calls through ``buffers`` back into itself and uses
+      async-io -> qualifies;
+    - module ``logger``: circular through ``format`` but never reaches
+      async-io -> does not qualify;
+    - module ``shell``: uses async-io but no circular call -> does not
+      qualify.
+    """
+    database = Database()
+    in_module = [
+        ("netd-recv", "netd"),
+        ("netd-send", "netd"),
+        ("buf-alloc", "buffers"),
+        ("buf-flush", "buffers"),
+        ("log-write", "logger"),
+        ("fmt-render", "format"),
+        ("shell-run", "shell"),
+    ]
+    database.add_facts("in-module", in_module)
+    database.add_facts(
+        "calls-local",
+        [("netd-recv", "netd-send"), ("buf-alloc", "buf-flush")],
+    )
+    database.add_facts(
+        "calls-extn",
+        [
+            # netd -> buffers -> netd : the circle
+            ("netd-send", "buf-alloc"),
+            ("buf-flush", "netd-recv"),
+            # netd reaches the async-io library function
+            ("netd-recv", "aio-poll"),
+            # logger <-> format circle without async-io
+            ("log-write", "fmt-render"),
+            ("fmt-render", "log-write"),
+            # shell uses async-io, no circle
+            ("shell-run", "aio-poll"),
+        ],
+    )
+    database.add_facts("in-library", [("aio-poll", "async-io"), ("aio-submit", "async-io")])
+    return database
+
+
+def random_callgraph(
+    seed, n_modules=10, functions_per_module=6, n_libraries=3, call_density=0.08
+):
+    """A random software graph with the Figure 6 schema.
+
+    Functions call others in the same module (``calls-local``) or elsewhere
+    (``calls-extn``); library functions exist outside modules and belong to
+    libraries, one of which is always ``async-io``.
+    """
+    rng = random.Random(seed)
+    database = Database()
+    functions = []
+    for m in range(n_modules):
+        module = f"mod{m}"
+        for f in range(functions_per_module):
+            function = f"fn{m}_{f}"
+            functions.append((function, module))
+            database.add_fact("in-module", function, module)
+    libraries = ["async-io"] + [f"lib{i}" for i in range(1, n_libraries)]
+    library_functions = []
+    for i, library in enumerate(libraries):
+        for j in range(3):
+            function = f"libfn{i}_{j}"
+            library_functions.append(function)
+            database.add_fact("in-library", function, library)
+    names = [f for f, _m in functions]
+    module_of = dict(functions)
+    for caller in names:
+        for callee in names:
+            if caller == callee or rng.random() >= call_density:
+                continue
+            if module_of[caller] == module_of[callee]:
+                database.add_fact("calls-local", caller, callee)
+            else:
+                database.add_fact("calls-extn", caller, callee)
+        if rng.random() < 0.15:
+            database.add_fact("calls-extn", caller, rng.choice(library_functions))
+    return database

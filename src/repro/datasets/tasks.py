@@ -1,0 +1,82 @@
+"""Task-scheduling databases (Figure 11 / Example 4.1).
+
+Schema: ``affects(T1, T2)`` (T1 must finish before T2 can start),
+``duration(T, D)`` and ``scheduled-start(T, S)``, durations and starts in
+days since day 0.  Schedules are generated consistent: each task's
+scheduled start is at least the latest finish implied by its predecessors.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datalog.database import Database
+
+
+def figure11_database():
+    """A small project with parallel branches and a join, like Figure 11."""
+    database = Database()
+    affects = [
+        ("design", "build-ui"),
+        ("design", "build-core"),
+        ("build-ui", "integrate"),
+        ("build-core", "integrate"),
+        ("integrate", "test"),
+        ("test", "ship"),
+    ]
+    durations = {
+        "design": 5,
+        "build-ui": 8,
+        "build-core": 12,
+        "integrate": 4,
+        "test": 6,
+        "ship": 1,
+    }
+    database.add_facts("affects", affects)
+    for task, duration in durations.items():
+        database.add_fact("duration", task, duration)
+    starts = _consistent_starts(affects, durations)
+    for task, start in starts.items():
+        database.add_fact("scheduled-start", task, start)
+    return database
+
+
+def _consistent_starts(affects, durations):
+    """Earliest-start schedule: start(T) = max over predecessors of
+    (start(P) + duration(P)), 0 for sources."""
+    from repro.graphs.algorithms import topological_sort
+
+    adjacency = {}
+    for a, b in affects:
+        adjacency.setdefault(a, set()).add(b)
+    for task in durations:
+        adjacency.setdefault(task, set())
+    order = topological_sort(adjacency)
+    starts = {task: 0 for task in durations}
+    for task in order:
+        finish = starts[task] + durations[task]
+        for successor in adjacency.get(task, ()):
+            starts[successor] = max(starts[successor], finish)
+    return starts
+
+
+def random_project(seed, n_tasks=30, layers=6, density=0.3, max_duration=10):
+    """A random layered project DAG with consistent scheduled starts."""
+    rng = random.Random(seed)
+    tasks = [f"t{i}" for i in range(n_tasks)]
+    layer_of = {task: rng.randrange(layers) for task in tasks}
+    affects = []
+    for a in tasks:
+        for b in tasks:
+            if layer_of[a] < layer_of[b] and rng.random() < density / max(
+                1, layer_of[b] - layer_of[a]
+            ):
+                affects.append((a, b))
+    durations = {task: rng.randrange(1, max_duration + 1) for task in tasks}
+    database = Database()
+    database.add_facts("affects", affects)
+    for task in tasks:
+        database.add_fact("duration", task, durations[task])
+    for task, start in _consistent_starts(affects, durations).items():
+        database.add_fact("scheduled-start", task, start)
+    return database

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the GraphLog reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library signals with a single ``except`` clause while
+still being able to distinguish the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class DatalogError(ReproError):
+    """Base class for errors in the Datalog substrate."""
+
+
+class ParseError(DatalogError):
+    """A textual program, query, or expression failed to parse.
+
+    Attributes:
+        message: human-readable description.
+        line: 1-based line of the offending token (0 when unknown).
+        column: 1-based column of the offending token (0 when unknown).
+    """
+
+    def __init__(self, message, line=0, column=0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.message = message
+        self.line = line
+        self.column = column
+
+
+class SafetyError(DatalogError):
+    """A rule is unsafe: some variable is not bound by a positive literal."""
+
+
+class StratificationError(DatalogError):
+    """A program has negation (or aggregation) through recursion."""
+
+
+class ArityError(DatalogError):
+    """A predicate is used with inconsistent arities."""
+
+
+class EvaluationError(DatalogError):
+    """Runtime failure during bottom-up evaluation."""
+
+
+class GraphLogError(ReproError):
+    """Base class for errors in the GraphLog core language."""
+
+
+class QueryGraphError(GraphLogError):
+    """A query graph violates Definition 2.3 (e.g. isolated node, bad arity)."""
+
+
+class GhostVariableError(GraphLogError):
+    """A ghost variable escapes the scope of its alternation (Section 2)."""
+
+
+class DependenceCycleError(GraphLogError):
+    """A graphical query's dependence graph is cyclic (violates Def. 2.7)."""
+
+
+class TranslationError(ReproError):
+    """Algorithm 3.1 (or λ) was applied to an input outside its domain."""
+
+
+class NotLinearError(TranslationError):
+    """A program expected to be linear has a rule with >1 recursive subgoal."""
+
+
+class RegexError(ReproError):
+    """A regular (path) expression is malformed."""
+
+
+class FormulaError(ReproError):
+    """An FO+TC formula is malformed or unsafe to evaluate."""
+
+
+class AggregationError(ReproError):
+    """An aggregate rule or path summarization is invalid."""
+
+
+class StoreError(ReproError):
+    """Base class for HAM storage errors."""
+
+
+class TransactionError(StoreError):
+    """Invalid transaction usage (e.g. commit without begin)."""

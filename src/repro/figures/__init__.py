@@ -1,0 +1,37 @@
+"""Programmatic reproduction of every figure in the paper.
+
+Each ``figNN`` module exposes ``reproduce()`` (structured artifacts) and
+``render()`` (printable text); ``python -m repro.figures.figNN`` prints it.
+"""
+
+from repro.figures import (
+    fig01,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+)
+
+ALL_FIGURES = {
+    "fig01": fig01,
+    "fig02": fig02,
+    "fig03": fig03,
+    "fig04": fig04,
+    "fig05": fig05,
+    "fig06": fig06,
+    "fig07": fig07,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+}
+
+__all__ = ["ALL_FIGURES"] + sorted(ALL_FIGURES)

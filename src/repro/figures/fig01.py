@@ -1,0 +1,33 @@
+"""Figure 1: a graph representation of a flights schedule database."""
+
+from __future__ import annotations
+
+from repro.datasets.flights import figure1_database, figure1_graph
+from repro.visual.ascii_art import render_database, render_graph
+from repro.visual.dot import graph_to_dot
+
+
+def reproduce():
+    """Build the Figure 1 artifacts: the relational database, its graph
+    encoding, and both renderings."""
+    database = figure1_database()
+    graph = figure1_graph()
+    return {
+        "database": database,
+        "graph": graph,
+        "dot": graph_to_dot(graph, name="figure1"),
+        "text": render_graph(graph, title="Figure 1: flights schedule database"),
+    }
+
+
+def render():
+    artifacts = reproduce()
+    return artifacts["text"] + "\n" + render_database(artifacts["database"], "relations")
+
+
+def main():
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Figure 2: the descendants of P1 which are not descendants of P2."""
+
+from __future__ import annotations
+
+from repro.core.dsl import parse_graphical_query
+from repro.core.engine import GraphLogEngine
+from repro.datasets.family import figure2_family
+from repro.visual.ascii_art import render_graphical_query, render_relation
+from repro.visual.dot import graphical_query_to_dot
+
+QUERY_TEXT = """
+define (P1) -[not-desc-of(P2)]-> (P3) {
+    (P1) -[descendant+]-> (P3);
+    (P2) -[~descendant+]-> (P3);
+    person(P2);
+}
+"""
+
+
+def query():
+    """The Figure 2 query graph as a GraphicalQuery."""
+    return parse_graphical_query(QUERY_TEXT, name="figure2")
+
+
+def reproduce():
+    graphical = query()
+    database = figure2_family()
+    answers = GraphLogEngine().answers(graphical, database, "not-desc-of")
+    return {
+        "query": graphical,
+        "database": database,
+        "answers": answers,
+        "dot": graphical_query_to_dot(graphical, name="figure2"),
+        "text": render_graphical_query(graphical, title="Figure 2"),
+    }
+
+
+def render():
+    artifacts = reproduce()
+    return artifacts["text"] + "\n" + render_relation(
+        artifacts["answers"],
+        header=("P1", "P3", "P2"),
+        title="not-desc-of on the sample family",
+    )
+
+
+def main():
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

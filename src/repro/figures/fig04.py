@@ -1,0 +1,72 @@
+"""Figure 4: feasible flight connections.
+
+Two query graphs: ``feasible(F1, F2)`` holds when flight F1 arrives at the
+city F2 departs from, before F2's departure; ``stop-connected(C1, C2)``
+holds when a sequence of *at least two* feasible flights links the cities
+(that is why the closure edge sits between the first and last flight:
+``from``/``to`` contribute one flight each and ``feasible+`` at least one
+hop).
+"""
+
+from __future__ import annotations
+
+from repro.core.dsl import parse_graphical_query
+from repro.core.engine import GraphLogEngine
+from repro.datasets.flights import figure1_database
+from repro.visual.ascii_art import render_graphical_query, render_relation
+from repro.visual.dot import graphical_query_to_dot
+
+QUERY_TEXT = """
+define (F1) -[feasible]-> (F2) {
+    (F1) -[to]-> (C);
+    (C) <-[from]- (F2);
+    (F1) -[arrival]-> (TA);
+    (F2) -[departure]-> (TD);
+    (TA) -[<]-> (TD);
+}
+
+define (C1) -[stop-connected]-> (C2) {
+    (C1) <-[from]- (F1);
+    (F1) -[feasible+]-> (F2);
+    (F2) -[to]-> (C2);
+}
+"""
+
+
+def query():
+    return parse_graphical_query(QUERY_TEXT, name="figure4")
+
+
+def reproduce(database=None):
+    graphical = query()
+    database = database or figure1_database()
+    engine = GraphLogEngine()
+    result = engine.run(graphical, database)
+    return {
+        "query": graphical,
+        "database": database,
+        "feasible": set(result.facts("feasible")),
+        "stop_connected": set(result.facts("stop-connected")),
+        "dot": graphical_query_to_dot(graphical, name="figure4"),
+        "text": render_graphical_query(graphical, title="Figure 4"),
+    }
+
+
+def render():
+    artifacts = reproduce()
+    out = artifacts["text"] + "\n"
+    out += render_relation(
+        artifacts["feasible"], header=("F1", "F2"), title="feasible"
+    )
+    out += "\n" + render_relation(
+        artifacts["stop_connected"], header=("C1", "C2"), title="stop-connected"
+    )
+    return out
+
+
+def main():
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Figure 5: finding the local family friends (Example 2.5).
+
+One query graph with two nodes, made possible by path regular expressions:
+friends of me or of my ancestors, living in Toronto.  The ancestor path is
+``(father | mother(_))*`` — the underscore projects out the hospital
+attribute of ``mother`` so it is not a ghost variable; without p.r.e.s this
+would need three query graphs (one of them with four nodes).
+"""
+
+from __future__ import annotations
+
+from repro.core.dsl import parse_graphical_query
+from repro.core.engine import GraphLogEngine
+from repro.datasets.family import example25_family
+from repro.visual.ascii_art import render_graphical_query, render_relation
+from repro.visual.dot import graphical_query_to_dot
+
+QUERY_TEXT = """
+define (P1) -[local-family-friend]-> (P2) {
+    (P1) <-[(father | mother(_))*]- (A);
+    (A) -[friend]-> (P2);
+    (P2) -[residence]-> (toronto);
+}
+"""
+
+
+def query():
+    return parse_graphical_query(QUERY_TEXT, name="figure5")
+
+
+def reproduce(database=None):
+    graphical = query()
+    database = database or example25_family()
+    answers = GraphLogEngine().answers(graphical, database, "local-family-friend")
+    return {
+        "query": graphical,
+        "database": database,
+        "answers": answers,
+        "dot": graphical_query_to_dot(graphical, name="figure5"),
+        "text": render_graphical_query(graphical, title="Figure 5"),
+    }
+
+
+def render():
+    artifacts = reproduce()
+    mine = sorted(t for t in artifacts["answers"] if t[0] == "me")
+    return (
+        artifacts["text"]
+        + "\n"
+        + render_relation(
+            artifacts["answers"], header=("P1", "P2"), title="local-family-friend"
+        )
+        + "\nfriends of 'me' and of my ancestors in Toronto: "
+        + ", ".join(t[1] for t in mine)
+        + "\n"
+    )
+
+
+def main():
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

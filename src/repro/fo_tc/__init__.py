@@ -1,0 +1,59 @@
+"""First-order logic with transitive closure: formulas, evaluation, and the
+STC-DATALOG -> TC translation of Lemma 3.3 / Theorem 3.3."""
+
+from repro.fo_tc.evaluate import Structure, answers, holds
+from repro.fo_tc.formulas import (
+    And,
+    Compare,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    PredAtom,
+    TCApp,
+    count_tc_operators,
+    eq,
+    exists,
+    forall,
+    is_existential,
+    is_positive_tc,
+    pred,
+    tc,
+)
+from repro.fo_tc.from_stc import TCQuery, stc_to_tc
+from repro.fo_tc.reachability import (
+    peak_frontier_size,
+    tc_holds,
+    tc_reachable_set,
+    tc_relation,
+)
+
+__all__ = [
+    "And",
+    "Compare",
+    "Exists",
+    "Forall",
+    "Formula",
+    "Not",
+    "Or",
+    "PredAtom",
+    "Structure",
+    "TCApp",
+    "TCQuery",
+    "answers",
+    "count_tc_operators",
+    "eq",
+    "exists",
+    "forall",
+    "holds",
+    "is_existential",
+    "is_positive_tc",
+    "peak_frontier_size",
+    "pred",
+    "stc_to_tc",
+    "tc",
+    "tc_holds",
+    "tc_reachable_set",
+    "tc_relation",
+]

@@ -1,0 +1,158 @@
+"""Evaluation of FO+TC formulas over finite structures.
+
+Active-domain semantics: quantifiers range over the structure's domain
+(active domain of its relations plus any explicitly declared values).  The
+TC operator is evaluated by reachability search over k-tuples — see
+:mod:`repro.fo_tc.reachability` for the frontier-only variant that exhibits
+the NLOGSPACE memory profile of Lemma 3.5.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.datalog.database import Database
+from repro.datalog.terms import Constant, Variable
+from repro.errors import FormulaError
+from repro.fo_tc.formulas import (
+    And,
+    Compare,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    PredAtom,
+    TCApp,
+)
+from repro.fo_tc.reachability import tc_holds
+
+_COMPARATORS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Structure:
+    """A finite structure: a domain plus named relations.
+
+    Built directly or from a :class:`~repro.datalog.database.Database`
+    (domain = active domain union *extra_domain*).
+    """
+
+    def __init__(self, domain=(), relations=None):
+        self.domain = sorted(set(domain), key=_domain_key)
+        self._relations = {
+            name: frozenset(map(tuple, rows)) for name, rows in (relations or {}).items()
+        }
+
+    @classmethod
+    def from_database(cls, database, extra_domain=()):
+        relations = {name: set(database.facts(name)) for name in database}
+        domain = set(database.active_domain()) | set(extra_domain)
+        return cls(domain, relations)
+
+    def relation(self, name):
+        return self._relations.get(name, frozenset())
+
+    def has(self, name, row):
+        return tuple(row) in self.relation(name)
+
+    def __repr__(self):
+        return f"Structure(|domain|={len(self.domain)}, {len(self._relations)} relations)"
+
+
+def _domain_key(value):
+    return (type(value).__name__, str(value))
+
+
+def _value(term, assignment):
+    if isinstance(term, Constant):
+        return term.value
+    if isinstance(term, Variable):
+        try:
+            return assignment[term]
+        except KeyError:
+            raise FormulaError(f"unassigned free variable {term} during evaluation") from None
+    raise FormulaError(f"cannot evaluate term {term!r}")
+
+
+def holds(formula, structure, assignment=None):
+    """Does *structure* satisfy *formula* under *assignment*?"""
+    assignment = dict(assignment or {})
+    return _holds(formula, structure, assignment)
+
+
+def _holds(formula, structure, assignment):
+    if isinstance(formula, PredAtom):
+        row = tuple(_value(t, assignment) for t in formula.args)
+        return structure.has(formula.predicate, row)
+    if isinstance(formula, Compare):
+        left = _value(formula.left, assignment)
+        right = _value(formula.right, assignment)
+        try:
+            return _COMPARATORS[formula.op](left, right)
+        except TypeError:
+            # Mixed-type comparison: fall back to the canonical domain order.
+            return _COMPARATORS[formula.op](_domain_key(left), _domain_key(right))
+    if isinstance(formula, Not):
+        return not _holds(formula.inner, structure, assignment)
+    if isinstance(formula, And):
+        return all(_holds(part, structure, assignment) for part in formula.parts)
+    if isinstance(formula, Or):
+        return any(_holds(part, structure, assignment) for part in formula.parts)
+    if isinstance(formula, Exists):
+        return _quantify(formula, structure, assignment, any)
+    if isinstance(formula, Forall):
+        return _quantify(formula, structure, assignment, all)
+    if isinstance(formula, TCApp):
+        left = tuple(_value(t, assignment) for t in formula.left)
+        right = tuple(_value(t, assignment) for t in formula.right)
+
+        def edge(source, target):
+            inner = dict(assignment)
+            inner.update(zip(formula.xs, source))
+            inner.update(zip(formula.ys, target))
+            return _holds(formula.phi, structure, inner)
+
+        return tc_holds(structure.domain, formula.width, left, right, edge)
+    raise FormulaError(f"unknown formula node {formula!r}")
+
+
+def _quantify(formula, structure, assignment, combine):
+    variables = formula.variables
+    inner = formula.inner
+
+    def candidates():
+        for values in itertools.product(structure.domain, repeat=len(variables)):
+            scoped = dict(assignment)
+            scoped.update(zip(variables, values))
+            yield _holds(inner, structure, scoped)
+
+    return combine(candidates())
+
+
+def answers(formula, structure, variables):
+    """The set of assignments to *variables* satisfying *formula*.
+
+    Returns tuples in the order of *variables*; other free variables of the
+    formula must be absent.
+    """
+    variables = tuple(
+        v if isinstance(v, Variable) else Variable(str(v)) for v in variables
+    )
+    free = formula.free_variables()
+    missing = free - set(variables)
+    if missing:
+        names = ", ".join(sorted(v.name for v in missing))
+        raise FormulaError(f"unbound free variables: {names}")
+    out = set()
+    for values in itertools.product(structure.domain, repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if _holds(formula, structure, assignment):
+            out.add(values)
+    return out

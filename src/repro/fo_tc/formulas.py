@@ -1,0 +1,383 @@
+"""First-order logic with a transitive-closure operator (Section 3).
+
+The language TC of the paper: domain relational calculus plus formulas
+``TR φ(x̄; R)`` — here represented as :class:`TCApp`, the transitive closure
+of a formula ``φ(ūx̄, ūy)`` with two designated equal-length variable
+vectors, applied to argument terms.
+
+Formulas are evaluated over a :class:`~repro.fo_tc.evaluate.Structure`
+(active-domain semantics).  Comparison atoms (``<`` etc.) are interpreted
+over the natural Python order of the domain, giving the ordered variants
+(TC^<) used by Theorem 3.4.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.datalog.terms import Constant, Variable, make_term
+from repro.errors import FormulaError
+
+
+class Formula:
+    """Abstract base class for FO+TC formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other):
+        return And(self, other)
+
+    def __or__(self, other):
+        return Or(self, other)
+
+    def __invert__(self):
+        return Not(self)
+
+    def free_variables(self):
+        raise NotImplementedError
+
+    def substitute(self, binding):
+        """Capture-avoiding substitution of terms for free variables."""
+        raise NotImplementedError
+
+    def walk(self):
+        yield self
+        for child in self._children():
+            yield from child.walk()
+
+    def _children(self):
+        return ()
+
+
+def _terms(values):
+    return tuple(make_term(v) for v in values)
+
+
+def _term_vars(terms):
+    return {t for t in terms if isinstance(t, Variable)}
+
+
+def _sub_term(term, binding):
+    if isinstance(term, Variable):
+        return binding.get(term, term)
+    return term
+
+
+class PredAtom(Formula):
+    """A relational atom ``p(t1, ..., tn)``."""
+
+    __slots__ = ("predicate", "args")
+
+    def __init__(self, predicate, args=()):
+        self.predicate = str(predicate)
+        self.args = _terms(args)
+
+    def free_variables(self):
+        return _term_vars(self.args)
+
+    def substitute(self, binding):
+        return PredAtom(self.predicate, tuple(_sub_term(t, binding) for t in self.args))
+
+    def __repr__(self):
+        return f"PredAtom({self})"
+
+    def __str__(self):
+        return f"{self.predicate}({', '.join(map(str, self.args))})"
+
+
+class Compare(Formula):
+    """A comparison atom ``t1 op t2`` with op in ==, !=, <, <=, >, >=."""
+
+    __slots__ = ("op", "left", "right")
+
+    _OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+    def __init__(self, op, left, right):
+        if op not in self._OPS:
+            raise FormulaError(f"unknown comparison {op!r}")
+        self.op = op
+        self.left = make_term(left)
+        self.right = make_term(right)
+
+    def free_variables(self):
+        return _term_vars((self.left, self.right))
+
+    def substitute(self, binding):
+        return Compare(self.op, _sub_term(self.left, binding), _sub_term(self.right, binding))
+
+    def __repr__(self):
+        return f"Compare({self})"
+
+    def __str__(self):
+        return f"{self.left} {self.op} {self.right}"
+
+
+class Not(Formula):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def free_variables(self):
+        return self.inner.free_variables()
+
+    def substitute(self, binding):
+        return Not(self.inner.substitute(binding))
+
+    def _children(self):
+        return (self.inner,)
+
+    def __repr__(self):
+        return f"Not({self.inner!r})"
+
+    def __str__(self):
+        return f"¬({self.inner})"
+
+
+class And(Formula):
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts):
+        flattened = []
+        for part in parts:
+            if isinstance(part, And):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        self.parts = tuple(flattened)
+
+    def free_variables(self):
+        out = set()
+        for part in self.parts:
+            out |= part.free_variables()
+        return out
+
+    def substitute(self, binding):
+        return And(*(part.substitute(binding) for part in self.parts))
+
+    def _children(self):
+        return self.parts
+
+    def __repr__(self):
+        return f"And({', '.join(map(repr, self.parts))})"
+
+    def __str__(self):
+        return "(" + " ∧ ".join(map(str, self.parts)) + ")"
+
+
+class Or(Formula):
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts):
+        flattened = []
+        for part in parts:
+            if isinstance(part, Or):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        self.parts = tuple(flattened)
+
+    def free_variables(self):
+        out = set()
+        for part in self.parts:
+            out |= part.free_variables()
+        return out
+
+    def substitute(self, binding):
+        return Or(*(part.substitute(binding) for part in self.parts))
+
+    def _children(self):
+        return self.parts
+
+    def __repr__(self):
+        return f"Or({', '.join(map(repr, self.parts))})"
+
+    def __str__(self):
+        return "(" + " ∨ ".join(map(str, self.parts)) + ")"
+
+
+class _Quantifier(Formula):
+    __slots__ = ("variables", "inner")
+
+    def __init__(self, variables, inner):
+        if isinstance(variables, (str, Variable)):
+            variables = [variables]
+        self.variables = tuple(
+            v if isinstance(v, Variable) else Variable(str(v)) for v in variables
+        )
+        if not self.variables:
+            raise FormulaError("quantifier needs at least one variable")
+        self.inner = inner
+
+    def free_variables(self):
+        return self.inner.free_variables() - set(self.variables)
+
+    def _children(self):
+        return (self.inner,)
+
+    def _substitute_under(self, binding, cls):
+        binding = {
+            var: value for var, value in binding.items() if var not in self.variables
+        }
+        # Capture avoidance: rename bound variables that appear in the
+        # substituted terms.
+        used = set()
+        for value in binding.values():
+            if isinstance(value, Variable):
+                used.add(value.name)
+        renames = {}
+        fresh_index = 0
+        for bound in self.variables:
+            if bound.name in used:
+                while f"{bound.name}_r{fresh_index}" in used:
+                    fresh_index += 1
+                renamed = Variable(f"{bound.name}_r{fresh_index}")
+                used.add(renamed.name)
+                renames[bound] = renamed
+        inner = self.inner
+        if renames:
+            inner = inner.substitute(renames)
+        new_vars = tuple(renames.get(v, v) for v in self.variables)
+        return cls(new_vars, inner.substitute(binding))
+
+
+class Exists(_Quantifier):
+    def substitute(self, binding):
+        return self._substitute_under(binding, Exists)
+
+    def __repr__(self):
+        return f"Exists({[v.name for v in self.variables]}, {self.inner!r})"
+
+    def __str__(self):
+        names = ",".join(v.name for v in self.variables)
+        return f"∃{names}.({self.inner})"
+
+
+class Forall(_Quantifier):
+    def substitute(self, binding):
+        return self._substitute_under(binding, Forall)
+
+    def __repr__(self):
+        return f"Forall({[v.name for v in self.variables]}, {self.inner!r})"
+
+    def __str__(self):
+        names = ",".join(v.name for v in self.variables)
+        return f"∀{names}.({self.inner})"
+
+
+class TCApp(Formula):
+    """The transitive closure of a formula, applied to terms.
+
+    ``TCApp(xs, ys, phi, left, right)`` holds when ``(left, right)`` is in
+    the transitive closure of the binary (on k-tuples) relation
+    ``{(x̄, ȳ) | phi}``.  Free variables of *phi* other than xs/ys are
+    parameters, evaluated under the ambient assignment.
+    """
+
+    __slots__ = ("xs", "ys", "phi", "left", "right")
+
+    def __init__(self, xs, ys, phi, left, right):
+        self.xs = tuple(v if isinstance(v, Variable) else Variable(str(v)) for v in xs)
+        self.ys = tuple(v if isinstance(v, Variable) else Variable(str(v)) for v in ys)
+        if len(self.xs) != len(self.ys) or not self.xs:
+            raise FormulaError("TC needs two non-empty variable vectors of equal length")
+        if set(self.xs) & set(self.ys):
+            raise FormulaError("TC variable vectors must be disjoint")
+        self.phi = phi
+        self.left = _terms(left)
+        self.right = _terms(right)
+        if len(self.left) != len(self.xs) or len(self.right) != len(self.ys):
+            raise FormulaError("TC application arity mismatch")
+
+    @property
+    def width(self):
+        return len(self.xs)
+
+    def parameters(self):
+        """Free variables of phi that are not closed by the TC operator."""
+        return self.phi.free_variables() - set(self.xs) - set(self.ys)
+
+    def free_variables(self):
+        out = _term_vars(self.left + self.right)
+        out |= self.parameters()
+        return out
+
+    def substitute(self, binding):
+        bound = set(self.xs) | set(self.ys)
+        inner_binding = {v: t for v, t in binding.items() if v not in bound}
+        # Capture check: substituted terms must not mention the TC-bound
+        # variables (callers use fresh formula variables, so this is rare).
+        for value in inner_binding.values():
+            if isinstance(value, Variable) and value in bound:
+                raise FormulaError(
+                    f"substitution would capture TC-bound variable {value}"
+                )
+        return TCApp(
+            self.xs,
+            self.ys,
+            self.phi.substitute(inner_binding),
+            tuple(_sub_term(t, binding) for t in self.left),
+            tuple(_sub_term(t, binding) for t in self.right),
+        )
+
+    def _children(self):
+        return (self.phi,)
+
+    def __repr__(self):
+        return f"TCApp({self})"
+
+    def __str__(self):
+        xs = ",".join(v.name for v in self.xs)
+        ys = ",".join(v.name for v in self.ys)
+        left = ",".join(map(str, self.left))
+        right = ",".join(map(str, self.right))
+        return f"TC[{xs};{ys}]({self.phi})({left};{right})"
+
+
+# --------------------------------------------------------------- shortcuts
+
+
+def pred(name, *args):
+    return PredAtom(name, args)
+
+
+def eq(left, right):
+    return Compare("==", left, right)
+
+
+def exists(variables, inner):
+    return Exists(variables, inner)
+
+
+def forall(variables, inner):
+    return Forall(variables, inner)
+
+
+def tc(xs, ys, phi, left, right):
+    return TCApp(xs, ys, phi, left, right)
+
+
+def count_tc_operators(formula):
+    """Number of TC operators (the 'one application suffices' discussion)."""
+    return sum(1 for node in formula.walk() if isinstance(node, TCApp))
+
+
+def is_positive_tc(formula):
+    """PTC membership: no TC operator occurs under a negation."""
+
+    def visit(node, under_negation):
+        if isinstance(node, TCApp) and under_negation:
+            return False
+        next_flag = under_negation or isinstance(node, Not)
+        children = node._children() if not isinstance(node, Not) else (node.inner,)
+        return all(visit(child, next_flag) for child in children)
+
+    return visit(formula, False)
+
+
+def is_existential(formula):
+    """E membership: built from atoms with ∧, ∨, ∃ only (used by TE)."""
+    for node in formula.walk():
+        if isinstance(node, (Not, Forall, TCApp)):
+            return False
+    return True

@@ -1,0 +1,188 @@
+"""Translate stratified TC Datalog programs into FO+TC formulas.
+
+This is the STC-DATALOG ⊆ TC direction of Lemma 3.3 made executable: since
+an STC program's only recursion is its TC rule pairs, every IDB predicate
+has a finite formula obtained by inlining, with recursive predicates
+becoming TC operators.  Combined with Algorithm 3.1
+(:mod:`repro.translation.sl_to_stc`) and the GraphLog translation λ, this
+yields the full Theorem 3.3 pipeline
+
+    GRAPHLOG  →  SL-DATALOG  →  STC-DATALOG  →  TC
+
+whose four stages the ``thm33`` benchmark evaluates and compares.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.ast import ArithmeticAssign, Comparison, Literal, Program
+from repro.datalog.classify import recursive_predicates, tc_base_predicates
+from repro.datalog.stratify import DependenceGraph, stratify
+from repro.datalog.terms import Constant, Variable
+from repro.errors import TranslationError
+from repro.fo_tc.formulas import (
+    And,
+    Compare,
+    Exists,
+    Formula,
+    Not,
+    Or,
+    PredAtom,
+    TCApp,
+)
+
+
+class TCQuery:
+    """A named FO+TC query: canonical parameters plus the formula."""
+
+    def __init__(self, predicate, parameters, formula):
+        self.predicate = predicate
+        self.parameters = tuple(parameters)
+        self.formula = formula
+
+    @property
+    def arity(self):
+        return len(self.parameters)
+
+    def instantiate(self, args):
+        """The formula with *args* substituted for the parameters."""
+        from repro.datalog.terms import make_term
+
+        args = tuple(make_term(a) for a in args)
+        if len(args) != self.arity:
+            raise TranslationError(
+                f"{self.predicate} expects {self.arity} arguments, got {len(args)}"
+            )
+        binding = dict(zip(self.parameters, args))
+        return self.formula.substitute(binding)
+
+    def __repr__(self):
+        return f"TCQuery({self.predicate}/{self.arity})"
+
+    def __str__(self):
+        params = ", ".join(v.name for v in self.parameters)
+        return f"{self.predicate}({params}) ≡ {self.formula}"
+
+
+def stc_to_tc(program):
+    """Translate an STC-DATALOG program into ``{predicate: TCQuery}``.
+
+    Requirements: the program is stratified; every recursive predicate is
+    defined by exactly a TC rule pair (Definition 3.2); no arithmetic
+    built-ins (they are outside first-order logic over the domain).
+    """
+    stratify(program)
+    recursive = recursive_predicates(program)
+    bases = tc_base_predicates(program)
+    not_tc = recursive - set(bases)
+    if not_tc:
+        names = ", ".join(sorted(not_tc))
+        raise TranslationError(
+            f"predicates {names} are recursive but not TC-shaped; run Algorithm "
+            f"3.1 (sl_to_stc) first"
+        )
+
+    graph = DependenceGraph.of_program(program)
+    order = [
+        predicate
+        for component in reversed(graph.strongly_connected_components())
+        for predicate in sorted(component)
+        if predicate in program.idb_predicates
+    ]
+
+    queries = {}
+    for predicate in order:
+        if predicate in bases:
+            queries[predicate] = _tc_predicate_query(program, predicate, bases[predicate], queries)
+        else:
+            queries[predicate] = _flat_predicate_query(program, predicate, queries)
+    return queries
+
+
+def _parameters(predicate, arity):
+    return tuple(Variable(f"{_safe(predicate)}_p{i}") for i in range(arity))
+
+
+def _safe(name):
+    return name.replace("-", "_")
+
+
+def _tc_predicate_query(program, predicate, base, queries):
+    arity = program.arity_of(predicate)
+    if arity % 2 != 0:
+        raise TranslationError(f"TC predicate {predicate} has odd arity {arity}")
+    half = arity // 2
+    xs = tuple(Variable(f"{_safe(predicate)}_x{i}") for i in range(half))
+    ys = tuple(Variable(f"{_safe(predicate)}_y{i}") for i in range(half))
+    inner = _atom_formula(base, xs + ys, queries)
+    parameters = _parameters(predicate, arity)
+    formula = TCApp(xs, ys, inner, parameters[:half], parameters[half:])
+    return TCQuery(predicate, parameters, formula)
+
+
+def _flat_predicate_query(program, predicate, queries):
+    rules = program.rules_for(predicate)
+    arity = program.arity_of(predicate)
+    parameters = _parameters(predicate, arity)
+    disjuncts = []
+    for index, rule in enumerate(rules):
+        disjuncts.append(_rule_formula(rule, parameters, queries, index))
+    if not disjuncts:
+        raise TranslationError(f"IDB predicate {predicate} has no rules")
+    formula = disjuncts[0] if len(disjuncts) == 1 else Or(*disjuncts)
+    return TCQuery(predicate, parameters, formula)
+
+
+def _rule_formula(rule, parameters, queries, rule_index):
+    """One rule as a formula over the head's canonical parameters."""
+    # Rename every rule variable to a fresh, rule-local name so that inlining
+    # the same predicate twice cannot collide.
+    suffix = f"_r{rule_index}"
+    renamed = rule.rename_variables(suffix)
+    conjuncts = []
+    binding_vars = set()
+    # Equate head arguments with the canonical parameters.
+    head_binding = {}
+    for parameter, term in zip(parameters, renamed.head.args):
+        if isinstance(term, Constant):
+            conjuncts.append(Compare("==", parameter, term))
+        else:
+            if term in head_binding:
+                conjuncts.append(Compare("==", parameter, head_binding[term]))
+            else:
+                head_binding[term] = parameter
+    body_vars = set()
+    for element in renamed.body:
+        formula = _body_element_formula(element, head_binding, queries)
+        conjuncts.append(formula)
+        body_vars |= {
+            v for v in element.substitute(head_binding).variables()
+        }
+    existential = sorted(
+        (v for v in body_vars if v not in set(parameters) and not v.is_anonymous),
+        key=lambda v: v.name,
+    )
+    matrix = conjuncts[0] if len(conjuncts) == 1 else And(*conjuncts)
+    if existential:
+        return Exists(existential, matrix)
+    return matrix
+
+
+def _body_element_formula(element, head_binding, queries):
+    element = element.substitute(head_binding)
+    if isinstance(element, Literal):
+        formula = _atom_formula(element.predicate, element.atom.args, queries)
+        return formula if element.positive else Not(formula)
+    if isinstance(element, Comparison):
+        return Compare(element.op, element.left, element.right)
+    if isinstance(element, ArithmeticAssign):
+        raise TranslationError(
+            f"arithmetic built-in {element} has no first-order counterpart"
+        )
+    raise TranslationError(f"unsupported body element {element!r}")
+
+
+def _atom_formula(predicate, args, queries):
+    query = queries.get(predicate)
+    if query is None:
+        return PredAtom(predicate, args)
+    return query.instantiate(args)

@@ -1,0 +1,112 @@
+"""Transitive closure via frontier-only reachability (Lemma 3.5 flavour).
+
+A TC formula is decided by graph reachability over k-tuples of domain
+values.  A nondeterministic logspace machine guesses the path one tuple at
+a time, storing only the current tuple (O(k log n) bits); our deterministic
+search stores a frontier and a visited set — still never materializing the
+closure relation itself, which is what the ``lem35`` benchmark contrasts
+against full-closure computation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+
+
+def tc_holds(domain, width, source, target, edge):
+    """Is *target* reachable from *source* in one-or-more *edge* steps?
+
+    Args:
+        domain: iterable of domain values.
+        width: tuple width k.
+        source, target: k-tuples.
+        edge: callable ``edge(u, v) -> bool``, the φ oracle.
+    """
+    domain = list(domain)
+    source = tuple(source)
+    target = tuple(target)
+    visited = set()
+    queue = deque()
+    for candidate in itertools.product(domain, repeat=width):
+        if edge(source, candidate):
+            if candidate == target:
+                return True
+            if candidate not in visited:
+                visited.add(candidate)
+                queue.append(candidate)
+    while queue:
+        current = queue.popleft()
+        for candidate in itertools.product(domain, repeat=width):
+            if candidate in visited:
+                continue
+            if edge(current, candidate):
+                if candidate == target:
+                    return True
+                visited.add(candidate)
+                queue.append(candidate)
+    return False
+
+
+def tc_reachable_set(domain, width, source, edge):
+    """All tuples reachable from *source* in one-or-more edge steps."""
+    domain = list(domain)
+    source = tuple(source)
+    visited = set()
+    queue = deque([source])
+    first = True
+    while queue:
+        current = queue.popleft()
+        for candidate in itertools.product(domain, repeat=width):
+            if candidate in visited:
+                continue
+            if edge(current, candidate):
+                visited.add(candidate)
+                queue.append(candidate)
+        first = False
+    return visited
+
+
+def tc_relation(domain, width, edge):
+    """The full transitive closure as a set of (k-tuple, k-tuple) pairs.
+
+    This is the *materializing* evaluation the frontier search avoids;
+    provided for testing and for the lem35 memory/time comparison.
+    """
+    domain = list(domain)
+    tuples = list(itertools.product(domain, repeat=width))
+    base = {(u, v) for u in tuples for v in tuples if edge(u, v)}
+    closure = set(base)
+    delta = set(base)
+    successors = {}
+    for u, v in base:
+        successors.setdefault(u, set()).add(v)
+    while delta:
+        new_delta = set()
+        for u, v in delta:
+            for w in successors.get(v, ()):
+                if (u, w) not in closure:
+                    closure.add((u, w))
+                    new_delta.add((u, w))
+        delta = new_delta
+    return closure
+
+
+def peak_frontier_size(domain, width, source, edge):
+    """Instrumented variant of the frontier search: returns
+    ``(reachable_count, peak_queue_length)`` for the lem35 benchmark."""
+    domain = list(domain)
+    source = tuple(source)
+    visited = set()
+    queue = deque([source])
+    peak = 1
+    while queue:
+        peak = max(peak, len(queue))
+        current = queue.popleft()
+        for candidate in itertools.product(domain, repeat=width):
+            if candidate in visited:
+                continue
+            if edge(current, candidate):
+                visited.add(candidate)
+                queue.append(candidate)
+    return len(visited), peak

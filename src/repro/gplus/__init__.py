@@ -1,0 +1,18 @@
+"""G+ compatibility layer: the regular-expression pattern/summary queries of
+[CMW88], the language GraphLog evolved from (Section 1)."""
+
+from repro.gplus.query import (
+    GPlusEngine,
+    GPlusQuery,
+    PatternEdge,
+    SummaryEdge,
+    evaluate_gplus,
+)
+
+__all__ = [
+    "GPlusEngine",
+    "GPlusQuery",
+    "PatternEdge",
+    "SummaryEdge",
+    "evaluate_gplus",
+]

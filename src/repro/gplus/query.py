@@ -1,0 +1,250 @@
+"""G+ queries: the predecessor language GraphLog evolved from ([CMW88]).
+
+A G+ query is a pair of graphs: a *pattern* graph whose edges are labeled by
+regular expressions over the database's edge labels, and a *summary* graph
+that says what to construct for each match.  The Section 5 prototype
+evaluates the single-edge case ("edge queries"); this module implements the
+general pattern/summary form over the RPQ engine:
+
+1. each pattern edge is evaluated as a regular path query, yielding a binary
+   relation over node bindings;
+2. the per-edge relations are joined on shared variables (constants pin);
+3. each complete binding instantiates the summary edges, whose union is a
+   new :class:`LabeledMultigraph` — exactly the prototype's "turn the
+   answers into a new graph which can then itself be queried".
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.datalog.terms import Constant, Variable, make_term
+from repro.errors import QueryGraphError
+from repro.graphs.multigraph import LabeledMultigraph
+from repro.rpq.evaluate import RPQEvaluator, default_label_key
+from repro.rpq.regex import Regex, parse_regex
+from repro.rpq.simple_paths import regular_simple_paths
+
+
+def _as_regex(value):
+    if isinstance(value, Regex):
+        return value
+    return parse_regex(str(value))
+
+
+class PatternEdge:
+    __slots__ = ("source", "target", "regex")
+
+    def __init__(self, source, target, regex):
+        self.source = make_term(source)
+        self.target = make_term(target)
+        self.regex = _as_regex(regex)
+
+    def __repr__(self):
+        return f"PatternEdge({self.source} -[{self.regex}]-> {self.target})"
+
+
+class SummaryEdge:
+    __slots__ = ("source", "target", "label")
+
+    def __init__(self, source, target, label):
+        self.source = make_term(source)
+        self.target = make_term(target)
+        self.label = label
+
+    def __repr__(self):
+        return f"SummaryEdge({self.source} -[{self.label}]-> {self.target})"
+
+
+class GPlusQuery:
+    """Builder for G+ queries.
+
+    Example (the RT-scale query of Figure 12)::
+
+        q = GPlusQuery()
+        q.pattern("rome", "C", "CP+")
+        q.pattern("C", "tokyo", "CP+")
+        q.summary("C", "C", "RT-scale")
+    """
+
+    def __init__(self, name=None):
+        self.name = name
+        self.pattern_edges = []
+        self.summary_edges = []
+
+    def pattern(self, source, target, regex):
+        edge = PatternEdge(source, target, regex)
+        self.pattern_edges.append(edge)
+        return edge
+
+    def summary(self, source, target, label):
+        edge = SummaryEdge(source, target, label)
+        self.summary_edges.append(edge)
+        return edge
+
+    # ----------------------------------------------------------- analysis
+
+    def variables(self):
+        out = []
+        for edge in self.pattern_edges + self.summary_edges:
+            for term in (edge.source, edge.target):
+                if isinstance(term, Variable) and term not in out:
+                    out.append(term)
+        return out
+
+    def validate(self):
+        if not self.pattern_edges:
+            raise QueryGraphError("a G+ query needs at least one pattern edge")
+        pattern_vars = set()
+        for edge in self.pattern_edges:
+            pattern_vars.update(
+                t for t in (edge.source, edge.target) if isinstance(t, Variable)
+            )
+        for edge in self.summary_edges:
+            loose = {
+                t
+                for t in (edge.source, edge.target)
+                if isinstance(t, Variable) and t not in pattern_vars
+            }
+            if loose:
+                names = ", ".join(sorted(v.name for v in loose))
+                raise QueryGraphError(
+                    f"summary variable(s) {names} do not occur in the pattern"
+                )
+        return self
+
+
+class GPlusEngine:
+    """Evaluates G+ queries over a labeled multigraph."""
+
+    def __init__(self, graph, label_key=default_label_key):
+        self.graph = graph
+        self.evaluator = RPQEvaluator(graph, label_key)
+
+    def bindings(self, query):
+        """All variable bindings satisfying the pattern.
+
+        Returns a list of ``{Variable: node}`` dicts (deduplicated).
+        """
+        query.validate()
+        # Evaluate each edge into a set of (source_value, target_value)
+        # pairs honouring constants, then join left to right.
+        partials = [dict()]
+        for edge in query.pattern_edges:
+            pairs = self._edge_pairs(edge, partials)
+            next_partials = []
+            seen = set()
+            for binding in partials:
+                source_bound = self._value(edge.source, binding)
+                target_bound = self._value(edge.target, binding)
+                for source_value, target_value in pairs:
+                    if source_bound is not None and source_value != source_bound:
+                        continue
+                    if target_bound is not None and target_value != target_bound:
+                        continue
+                    extended = dict(binding)
+                    if isinstance(edge.source, Variable):
+                        extended[edge.source] = source_value
+                    if isinstance(edge.target, Variable):
+                        # A loop edge (X)-[r]->(X) binds the same variable
+                        # on both sides: the values must agree.
+                        if extended.get(edge.target, target_value) != target_value:
+                            continue
+                        extended[edge.target] = target_value
+                    key = tuple(sorted((v.name, str(val)) for v, val in extended.items()))
+                    if key not in seen:
+                        seen.add(key)
+                        next_partials.append(extended)
+            partials = next_partials
+            if not partials:
+                return []
+        return partials
+
+    def summary_graph(self, query):
+        """The union of instantiated summary edges over all bindings."""
+        out = LabeledMultigraph()
+        emitted = set()
+        for binding in self.bindings(query):
+            for edge in query.summary_edges:
+                source = self._instantiate(edge.source, binding)
+                target = self._instantiate(edge.target, binding)
+                key = (source, target, edge.label)
+                if key not in emitted:
+                    emitted.add(key)
+                    out.add_edge(source, target, edge.label)
+        return out
+
+    def witness_paths(self, query, binding):
+        """One witness path per pattern edge for a given binding."""
+        paths = []
+        for edge in query.pattern_edges:
+            source = self._instantiate(edge.source, binding)
+            target = self._instantiate(edge.target, binding)
+            paths.append(self.evaluator.witness_path(edge.regex, source, target))
+        return paths
+
+    def simple_path_answers(self, query, max_paths_per_edge=20):
+        """[MW89]-style: bindings witnessed by *simple* paths on every edge.
+
+        Exponential in the worst case; bounded by ``max_paths_per_edge``.
+        """
+        answers = []
+        for binding in self.bindings(query):
+            witnessed = True
+            for edge in query.pattern_edges:
+                source = self._instantiate(edge.source, binding)
+                target = self._instantiate(edge.target, binding)
+                paths = regular_simple_paths(
+                    self.graph,
+                    edge.regex,
+                    source,
+                    target=target,
+                    max_paths=max_paths_per_edge,
+                )
+                if not paths:
+                    witnessed = False
+                    break
+            if witnessed:
+                answers.append(binding)
+        return answers
+
+    # ------------------------------------------------------------ helpers
+
+    @staticmethod
+    def _value(term, binding):
+        if isinstance(term, Constant):
+            return term.value
+        return binding.get(term)
+
+    @staticmethod
+    def _instantiate(term, binding):
+        if isinstance(term, Constant):
+            return term.value
+        return binding[term]
+
+    def _edge_pairs(self, edge, partials):
+        """Pairs for one edge, seeding the product search from known
+        sources when the edge's source side is already pinned."""
+        sources = set()
+        pinned = True
+        if isinstance(edge.source, Constant):
+            sources = {edge.source.value}
+        else:
+            for binding in partials:
+                value = binding.get(edge.source)
+                if value is None:
+                    pinned = False
+                    break
+                sources.add(value)
+            if not partials:
+                pinned = False
+        if pinned and sources:
+            return self.evaluator.pairs(edge.regex, sources=sources)
+        return self.evaluator.pairs(edge.regex)
+
+
+def evaluate_gplus(graph, query):
+    """One-shot: bindings plus the summary graph."""
+    engine = GPlusEngine(graph)
+    bindings = engine.bindings(query)
+    return bindings, engine.summary_graph(query)

@@ -1,0 +1,126 @@
+"""Transitive-closure kernels.
+
+The paper argues (Section 6) that GraphLog implementations "can benefit from
+the existing work on transitive closure computation"; this module provides
+four interchangeable kernels over a set of pairs, used by the engine and
+compared in the ``abl2`` ablation benchmark:
+
+- ``naive``: iterate ``T = T ∪ T∘E`` from scratch each round;
+- ``seminaive``: delta iteration (only new pairs are re-joined);
+- ``warshall``: Floyd–Warshall boolean closure over the node set;
+- ``squaring``: logarithmic rounds of ``T = T ∪ T∘T`` ("smart" closure).
+
+All return the transitive (not reflexive) closure as a set of pairs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+def _successor_map(pairs):
+    successors = defaultdict(set)
+    for source, target in pairs:
+        successors[source].add(target)
+    return successors
+
+
+def transitive_closure_naive(pairs):
+    closure = set(pairs)
+    base = _successor_map(pairs)
+    changed = True
+    while changed:
+        changed = False
+        additions = set()
+        for source, target in closure:
+            for nxt in base.get(target, ()):
+                candidate = (source, nxt)
+                if candidate not in closure:
+                    additions.add(candidate)
+        if additions:
+            closure |= additions
+            changed = True
+    return closure
+
+
+def transitive_closure_seminaive(pairs):
+    closure = set(pairs)
+    base = _successor_map(pairs)
+    delta = set(pairs)
+    while delta:
+        new_delta = set()
+        for source, target in delta:
+            for nxt in base.get(target, ()):
+                candidate = (source, nxt)
+                if candidate not in closure:
+                    closure.add(candidate)
+                    new_delta.add(candidate)
+        delta = new_delta
+    return closure
+
+
+def transitive_closure_warshall(pairs):
+    nodes = set()
+    for source, target in pairs:
+        nodes.add(source)
+        nodes.add(target)
+    successors = {node: set() for node in nodes}
+    for source, target in pairs:
+        successors[source].add(target)
+    for middle in nodes:
+        middle_successors = successors[middle]
+        if not middle_successors:
+            continue
+        for node in nodes:
+            if middle in successors[node]:
+                successors[node] |= middle_successors
+    return {(s, t) for s, targets in successors.items() for t in targets}
+
+
+def transitive_closure_squaring(pairs):
+    closure = set(pairs)
+    while True:
+        successors = _successor_map(closure)
+        additions = set()
+        for source, target in closure:
+            for nxt in successors.get(target, ()):
+                candidate = (source, nxt)
+                if candidate not in closure:
+                    additions.add(candidate)
+        if not additions:
+            return closure
+        closure |= additions
+
+
+_METHODS = {
+    "naive": transitive_closure_naive,
+    "seminaive": transitive_closure_seminaive,
+    "warshall": transitive_closure_warshall,
+    "squaring": transitive_closure_squaring,
+}
+
+
+def transitive_closure(pairs, method="seminaive"):
+    """Dispatch to one of the closure kernels by name."""
+    try:
+        kernel = _METHODS[method]
+    except KeyError:
+        raise ValueError(f"unknown closure method {method!r}") from None
+    return kernel(pairs)
+
+
+def closure_methods():
+    """Names of the available kernels (for benchmarks)."""
+    return tuple(_METHODS)
+
+
+def reflexive_transitive_closure(pairs, nodes=(), method="seminaive"):
+    """Kleene-star closure: the transitive closure plus ``(n, n)`` for every
+    node in *nodes* and every endpoint of *pairs*."""
+    closure = transitive_closure(pairs, method=method)
+    all_nodes = set(nodes)
+    for source, target in pairs:
+        all_nodes.add(source)
+        all_nodes.add(target)
+    closure |= {(node, node) for node in all_nodes}
+    return closure

@@ -1,0 +1,218 @@
+"""Directed labeled multigraphs (Definition 2.1 of the paper).
+
+A graph is the septuple ``(N, E, L_N, L_E, iota, nu, epsilon)``: finite node
+and edge sets, label sets, an incidence function assigning each edge a source
+and target node, and node/edge labeling functions.  This module keeps the
+definition's shape (explicit edge identities, so parallel edges with the same
+label coexist) while also maintaining adjacency indexes for fast traversal.
+
+For *database graphs* (Section 2): nodes are tuples of domain values, and an
+edge label is a pair ``(predicate, extra_args)`` so that a tuple
+``P(a₁..aᵢ, b₁..bⱼ, c₁..cₖ)`` becomes an edge from node ``(a₁..aᵢ)`` to node
+``(b₁..bⱼ)`` labeled ``P(c₁..cₖ)``.  The :mod:`repro.graphs.bridge` module
+performs that encoding.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+
+class Edge:
+    """An edge identity with source, target, and label."""
+
+    __slots__ = ("key", "source", "target", "label")
+
+    def __init__(self, key, source, target, label):
+        self.key = key
+        self.source = source
+        self.target = target
+        self.label = label
+
+    def __repr__(self):
+        return f"Edge({self.source!r} -[{self.label!r}]-> {self.target!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, Edge) and self.key == other.key
+
+    def __hash__(self):
+        return hash(self.key)
+
+    def as_tuple(self):
+        return (self.source, self.target, self.label)
+
+
+class LabeledMultigraph:
+    """A directed labeled multigraph with adjacency indexes.
+
+    Nodes are arbitrary hashable values; each node may carry a label
+    (``nu``).  Edges have identities (auto-assigned integer keys), so two
+    edges with identical endpoints and label are distinct objects, exactly as
+    in Definition 2.1.
+    """
+
+    def __init__(self):
+        self._node_labels = {}  # node -> label (may be None)
+        self._edges = {}  # key -> Edge
+        self._out = defaultdict(list)  # node -> [Edge]
+        self._in = defaultdict(list)  # node -> [Edge]
+        self._by_label = defaultdict(list)  # label -> [Edge]
+        self._key_counter = itertools.count()
+
+    # -------------------------------------------------------------- nodes
+
+    @property
+    def nodes(self):
+        return self._node_labels.keys()
+
+    def node_count(self):
+        return len(self._node_labels)
+
+    def has_node(self, node):
+        return node in self._node_labels
+
+    def add_node(self, node, label=None):
+        """Add a node (idempotent); a non-None label overwrites."""
+        if node not in self._node_labels or label is not None:
+            self._node_labels[node] = label
+        return node
+
+    def node_label(self, node):
+        return self._node_labels[node]
+
+    def set_node_label(self, node, label):
+        if node not in self._node_labels:
+            raise KeyError(node)
+        self._node_labels[node] = label
+
+    # -------------------------------------------------------------- edges
+
+    @property
+    def edges(self):
+        return self._edges.values()
+
+    def edge_count(self):
+        return len(self._edges)
+
+    def add_edge(self, source, target, label):
+        """Insert a new edge (always a distinct identity); returns it."""
+        self.add_node(source)
+        self.add_node(target)
+        edge = Edge(next(self._key_counter), source, target, label)
+        self._edges[edge.key] = edge
+        self._out[source].append(edge)
+        self._in[target].append(edge)
+        self._by_label[label].append(edge)
+        return edge
+
+    def remove_edge(self, edge):
+        if edge.key not in self._edges:
+            raise KeyError(edge)
+        del self._edges[edge.key]
+        self._out[edge.source].remove(edge)
+        self._in[edge.target].remove(edge)
+        self._by_label[edge.label].remove(edge)
+
+    def remove_node(self, node):
+        """Remove a node and every incident edge."""
+        if node not in self._node_labels:
+            raise KeyError(node)
+        for edge in list(self._out[node]) + list(self._in[node]):
+            if edge.key in self._edges:
+                self.remove_edge(edge)
+        del self._node_labels[node]
+        self._out.pop(node, None)
+        self._in.pop(node, None)
+
+    def out_edges(self, node):
+        return list(self._out.get(node, ()))
+
+    def in_edges(self, node):
+        return list(self._in.get(node, ()))
+
+    def successors(self, node):
+        return {edge.target for edge in self._out.get(node, ())}
+
+    def predecessors(self, node):
+        return {edge.source for edge in self._in.get(node, ())}
+
+    def edges_with_label(self, label):
+        return list(self._by_label.get(label, ()))
+
+    def labels(self):
+        """Edge labels actually in use."""
+        return {label for label, edges in self._by_label.items() if edges}
+
+    def has_edge(self, source, target, label=None):
+        for edge in self._out.get(source, ()):
+            if edge.target == target and (label is None or edge.label == label):
+                return True
+        return False
+
+    def edge_triples(self):
+        """The set of ``(source, target, label)`` triples (identities dropped)."""
+        return {edge.as_tuple() for edge in self._edges.values()}
+
+    # ------------------------------------------------------------ utility
+
+    def isolated_nodes(self):
+        """Nodes with no incident edge (forbidden in query graphs, Def 2.3)."""
+        return {
+            node
+            for node in self._node_labels
+            if not self._out.get(node) and not self._in.get(node)
+        }
+
+    def subgraph(self, nodes):
+        """The induced subgraph on *nodes* (labels preserved)."""
+        nodes = set(nodes)
+        sub = LabeledMultigraph()
+        for node in nodes:
+            if node in self._node_labels:
+                sub.add_node(node, self._node_labels[node])
+        for edge in self._edges.values():
+            if edge.source in nodes and edge.target in nodes:
+                sub.add_edge(edge.source, edge.target, edge.label)
+        return sub
+
+    def copy(self):
+        clone = LabeledMultigraph()
+        for node, label in self._node_labels.items():
+            clone.add_node(node, label)
+        for edge in self._edges.values():
+            clone.add_edge(edge.source, edge.target, edge.label)
+        return clone
+
+    def reverse(self):
+        """A new graph with every edge direction flipped."""
+        rev = LabeledMultigraph()
+        for node, label in self._node_labels.items():
+            rev.add_node(node, label)
+        for edge in self._edges.values():
+            rev.add_edge(edge.target, edge.source, edge.label)
+        return rev
+
+    def adjacency(self, label=None):
+        """``{node: set of successors}`` restricted to *label* when given."""
+        adjacency = {node: set() for node in self._node_labels}
+        for edge in self._edges.values():
+            if label is None or edge.label == label:
+                adjacency[edge.source].add(edge.target)
+        return adjacency
+
+    def __eq__(self, other):
+        if not isinstance(other, LabeledMultigraph):
+            return NotImplemented
+        return (
+            dict(self._node_labels) == dict(other._node_labels)
+            and sorted(map(_edge_sort_key, self.edge_triples()))
+            == sorted(map(_edge_sort_key, other.edge_triples()))
+        )
+
+    def __repr__(self):
+        return f"LabeledMultigraph({self.node_count()} nodes, {self.edge_count()} edges)"
+
+
+def _edge_sort_key(triple):
+    return tuple(str(part) for part in triple)

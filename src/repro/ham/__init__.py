@@ -1,0 +1,21 @@
+"""HAM-style transactional, versioned graph storage (Section 5 substrate),
+plus materialized GraphLog views with incremental maintenance."""
+
+from repro.ham.store import HAMStore, Session, Transaction, TransactionRecord
+from repro.ham.views import (
+    MaterializedView,
+    ViewManager,
+    incremental_insert,
+    is_monotone_program,
+)
+
+__all__ = [
+    "HAMStore",
+    "MaterializedView",
+    "Session",
+    "Transaction",
+    "TransactionRecord",
+    "ViewManager",
+    "incremental_insert",
+    "is_monotone_program",
+]

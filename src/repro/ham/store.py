@@ -1,0 +1,275 @@
+"""A Hypertext-Abstract-Machine-style graph store (Section 5 substrate).
+
+The paper's prototype runs GraphLog queries on top of the HAM [DS86]: "a
+general-purpose, transaction-based, multiuser server for a hypertext storage
+system".  This module provides the equivalent in-process substrate:
+
+- a versioned graph: every committed transaction produces a new version;
+- transactions with begin/commit/abort and snapshot isolation (a session
+  reads the version current when its transaction began);
+- history: any past version can be reconstructed by log replay;
+- query integration: evaluate GraphLog graphical queries and regular path
+  queries directly against the committed graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import StoreError, TransactionError
+from repro.graphs.multigraph import LabeledMultigraph
+
+
+class _Op:
+    """One replayable operation of the commit log."""
+
+    __slots__ = ("kind", "args")
+
+    ADD_NODE = "add_node"
+    SET_NODE_LABEL = "set_node_label"
+    REMOVE_NODE = "remove_node"
+    ADD_EDGE = "add_edge"
+    REMOVE_EDGE = "remove_edge"
+
+    def __init__(self, kind, *args):
+        self.kind = kind
+        self.args = args
+
+    def apply(self, graph):
+        if self.kind == self.ADD_NODE:
+            node, label = self.args
+            graph.add_node(node, label)
+        elif self.kind == self.SET_NODE_LABEL:
+            node, label = self.args
+            graph.set_node_label(node, label)
+        elif self.kind == self.REMOVE_NODE:
+            (node,) = self.args
+            graph.remove_node(node)
+        elif self.kind == self.ADD_EDGE:
+            source, target, label = self.args
+            graph.add_edge(source, target, label)
+        elif self.kind == self.REMOVE_EDGE:
+            source, target, label = self.args
+            for edge in graph.out_edges(source):
+                if edge.target == target and edge.label == label:
+                    graph.remove_edge(edge)
+                    break
+            else:
+                raise StoreError(
+                    f"edge {source!r} -[{label!r}]-> {target!r} not found"
+                )
+        else:  # pragma: no cover - closed set
+            raise StoreError(f"unknown operation {self.kind!r}")
+
+    def __repr__(self):
+        return f"_Op({self.kind}, {self.args!r})"
+
+
+class TransactionRecord:
+    """A committed transaction: its id, session, and operations."""
+
+    __slots__ = ("txn_id", "session_id", "operations")
+
+    def __init__(self, txn_id, session_id, operations):
+        self.txn_id = txn_id
+        self.session_id = session_id
+        self.operations = tuple(operations)
+
+    def __repr__(self):
+        return f"TransactionRecord(#{self.txn_id}, {len(self.operations)} ops)"
+
+
+class Transaction:
+    """A buffered unit of work; apply through a :class:`Session`."""
+
+    def __init__(self, session):
+        self._session = session
+        self._ops = []
+        self._workspace = session.snapshot()
+        self.state = "active"  # active | committed | aborted
+
+    # ------------------------------------------------------------- edits
+
+    def _record(self, op):
+        if self.state != "active":
+            raise TransactionError(f"transaction is {self.state}")
+        op.apply(self._workspace)  # validate eagerly against the workspace
+        self._ops.append(op)
+
+    def add_node(self, node, label=None):
+        self._record(_Op(_Op.ADD_NODE, node, label))
+        return node
+
+    def set_node_label(self, node, label):
+        self._record(_Op(_Op.SET_NODE_LABEL, node, label))
+
+    def remove_node(self, node):
+        self._record(_Op(_Op.REMOVE_NODE, node))
+
+    def add_edge(self, source, target, label):
+        self._record(_Op(_Op.ADD_EDGE, source, target, label))
+
+    def remove_edge(self, source, target, label):
+        self._record(_Op(_Op.REMOVE_EDGE, source, target, label))
+
+    # ------------------------------------------------------------ control
+
+    @property
+    def workspace(self):
+        """The transaction's private view (committed snapshot + local edits)."""
+        return self._workspace
+
+    def commit(self):
+        if self.state != "active":
+            raise TransactionError(f"cannot commit a {self.state} transaction")
+        self._session._commit(self._ops)
+        self.state = "committed"
+
+    def abort(self):
+        if self.state != "active":
+            raise TransactionError(f"cannot abort a {self.state} transaction")
+        self.state = "aborted"
+        self._ops = []
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb):
+        if self.state == "active":
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False
+
+
+class Session:
+    """One client of the store (the HAM is multiuser)."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, store):
+        self._store = store
+        self.session_id = next(Session._ids)
+        self._active = None
+
+    def snapshot(self):
+        """A private copy of the current committed graph."""
+        return self._store.graph.copy()
+
+    def transaction(self):
+        if self._active is not None and self._active.state == "active":
+            raise TransactionError("session already has an active transaction")
+        self._active = Transaction(self)
+        return self._active
+
+    def _commit(self, ops):
+        self._store._apply_commit(self.session_id, ops)
+        self._active = None
+
+
+class HAMStore:
+    """The versioned, transactional graph store."""
+
+    def __init__(self):
+        self.graph = LabeledMultigraph()
+        self._log = []  # list of TransactionRecord
+        self._txn_counter = itertools.count(1)
+        self._subscribers = []
+
+    def subscribe(self, callback):
+        """Register a callback invoked with each committed
+        :class:`TransactionRecord` (used by materialized views)."""
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback):
+        self._subscribers.remove(callback)
+
+    # ------------------------------------------------------------ sessions
+
+    def session(self):
+        return Session(self)
+
+    def _apply_commit(self, session_id, ops):
+        # Operations were validated against the transaction workspace; apply
+        # them to the authoritative graph (last-committer-wins at the
+        # operation level; a conflicting replay error aborts the commit).
+        staged = self.graph.copy()
+        for op in ops:
+            try:
+                op.apply(staged)
+            except (KeyError, StoreError) as exc:
+                raise TransactionError(f"commit conflict: {exc}") from exc
+        self.graph = staged
+        record = TransactionRecord(next(self._txn_counter), session_id, ops)
+        self._log.append(record)
+        for callback in self._subscribers:
+            callback(record)
+        return record
+
+    # ------------------------------------------------------------ history
+
+    @property
+    def version(self):
+        """The committed version number (0 = empty store)."""
+        return len(self._log)
+
+    def history(self):
+        return list(self._log)
+
+    def graph_at(self, version):
+        """Reconstruct the graph as of *version* by log replay."""
+        if version < 0 or version > self.version:
+            raise StoreError(f"no such version {version}; current is {self.version}")
+        graph = LabeledMultigraph()
+        for record in self._log[:version]:
+            for op in record.operations:
+                op.apply(graph)
+        return graph
+
+    # ------------------------------------------------------------- loading
+
+    def load_graph(self, graph):
+        """Commit an entire graph as one transaction (bulk load)."""
+        session = self.session()
+        with session.transaction() as txn:
+            for node in graph.nodes:
+                txn.add_node(node, graph.node_label(node))
+            for edge in graph.edges:
+                txn.add_edge(edge.source, edge.target, edge.label)
+        return self.version
+
+    def load_database(self, database, schema=None):
+        """Bulk-load a relational database via the Section 2 encoding."""
+        from repro.graphs.bridge import graph_from_database
+
+        return self.load_graph(graph_from_database(database, schema))
+
+    # ------------------------------------------------------------- queries
+
+    def query(self, graphical_query):
+        """Evaluate a GraphLog graphical query against the committed graph."""
+        from repro.core.engine import GraphLogEngine
+
+        return GraphLogEngine().run(graphical_query, self.graph)
+
+    def answers(self, graphical_query, predicate=None):
+        from repro.core.engine import GraphLogEngine
+
+        return GraphLogEngine().answers(graphical_query, self.graph, predicate)
+
+    def rpq(self, regex, source=None):
+        """Evaluate a G+ edge query (regular path query)."""
+        from repro.rpq.evaluate import RPQEvaluator
+
+        evaluator = RPQEvaluator(self.graph)
+        if source is None:
+            return evaluator.pairs(regex)
+        return evaluator.targets(regex, source)
+
+    def __repr__(self):
+        return (
+            f"HAMStore(version={self.version}, {self.graph.node_count()} nodes, "
+            f"{self.graph.edge_count()} edges)"
+        )

@@ -1,0 +1,236 @@
+"""Materialized GraphLog views over the HAM store, maintained incrementally.
+
+The prototype (Section 5) turns query answers into new graphs that can be
+queried again; a server-backed implementation wants those derived graphs
+kept up to date as transactions commit.  This module maintains materialized
+views:
+
+- *monotone* views (the λ translation contains no negation) are maintained
+  under edge/node insertions by **delta evaluation**: only the new facts are
+  re-joined, semi-naive style, through the whole stratified program;
+- deletions, label updates, or non-monotone views fall back to full
+  recomputation (sound and simple; counting/DRed is future work).
+
+The ``abl5`` benchmark compares incremental maintenance against recompute.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.engine import GraphLogEngine, prepare_database
+from repro.core.query_graph import GraphicalQuery, QueryGraph
+from repro.core.translate import DOMAIN_PREDICATE, translate
+from repro.datalog.ast import Literal
+from repro.datalog.database import Database
+from repro.datalog.engine import Engine, _as_relation
+from repro.datalog.safety import schedule_body
+from repro.datalog.stratify import stratify
+from repro.errors import AggregationError
+from repro.graphs.bridge import database_from_graph
+
+
+def is_monotone_program(program):
+    """No negated literals anywhere: insertions can only add answers."""
+    return all(
+        element.positive
+        for rule in program
+        for element in rule.body
+        if isinstance(element, Literal)
+    )
+
+
+def incremental_insert(program, materialized, new_facts, method="seminaive"):
+    """Maintain *materialized* (a fully-evaluated Database for *program*)
+    under the insertion of *new_facts* (``{predicate: iterable of rows}``).
+
+    Requires a monotone program (raises :class:`AggregationError` -- the
+    caller should fall back to full recomputation).  Returns a new Database;
+    the input is not modified.
+    """
+    if not is_monotone_program(program):
+        raise AggregationError(
+            "incremental insertion maintenance requires a monotone program"
+        )
+    database = materialized.copy()
+    engine = Engine(method=method, check_safety=False)
+
+    # Global delta: facts that are new since the last fixpoint.
+    delta = {}
+    for predicate, rows in new_facts.items():
+        rows = [tuple(r) for r in rows]
+        if not rows:
+            continue
+        relation = database.relation(predicate, len(rows[0]))
+        added = {row for row in rows if relation.add(row)}
+        if added:
+            delta[predicate] = added
+
+    if not delta:
+        return database
+
+    strata = stratify(program)
+    idb = program.idb_predicates
+    groups = Engine._evaluation_groups(program, strata, idb)
+
+    for group in groups:
+        rules = [
+            (rule, schedule_body(rule))
+            for rule in program
+            if not rule.is_fact and rule.head.predicate in group
+        ]
+        if not rules:
+            continue
+        # Round 0 consumes the external delta (earlier groups + EDB);
+        # later rounds consume only this group's own newly derived facts.
+        current = dict(delta)
+        group_new = defaultdict(set)
+        while current:
+            produced = defaultdict(set)
+            delta_relations = {
+                predicate: _as_relation(predicate, rows, database)
+                for predicate, rows in current.items()
+            }
+            for rule, schedule in rules:
+                head_pred = rule.head.predicate
+                relation = database.relation(head_pred)
+                for position, element in enumerate(schedule):
+                    if not (isinstance(element, Literal) and element.positive):
+                        continue
+                    delta_relation = delta_relations.get(element.predicate)
+                    if delta_relation is None:
+                        continue
+                    for row, _support in engine._fire(
+                        rule,
+                        schedule,
+                        database,
+                        delta_position=position,
+                        delta_relation=delta_relation,
+                    ):
+                        if relation.add(row):
+                            produced[head_pred].add(row)
+            for predicate, rows in produced.items():
+                group_new[predicate] |= rows
+            # Only this group's derivations can trigger further rounds here.
+            current = {p: rows for p, rows in produced.items() if p in group}
+        for predicate, rows in group_new.items():
+            delta.setdefault(predicate, set())
+            delta[predicate] |= rows
+
+    return database
+
+
+class MaterializedView:
+    """One registered view: the query, its program, and the current state."""
+
+    def __init__(self, name, query, domain_predicate=DOMAIN_PREDICATE):
+        if isinstance(query, QueryGraph):
+            query = GraphicalQuery([query])
+        self.name = name
+        self.query = query
+        self.program = translate(query, domain_predicate=domain_predicate)
+        self.monotone = is_monotone_program(self.program)
+        self.domain_predicate = domain_predicate
+        self.state = None  # evaluated Database
+        self.full_refreshes = 0
+        self.incremental_updates = 0
+
+    def answers(self, predicate=None):
+        if self.state is None:
+            raise RuntimeError(f"view {self.name!r} has not been refreshed")
+        if predicate is None:
+            predicate = self.query.graphs[-1].head_predicate
+        return set(self.state.facts(predicate))
+
+    def refresh_full(self, edb):
+        prepared = prepare_database(edb, self.domain_predicate)
+        self.state = Engine().evaluate(self.program, prepared)
+        self.full_refreshes += 1
+        return self.state
+
+    def apply_insertions(self, new_facts):
+        """Incremental path; raises AggregationError when not monotone."""
+        if self.state is None:
+            raise RuntimeError(f"view {self.name!r} has not been refreshed")
+        self.state = incremental_insert(self.program, self.state, new_facts)
+        self.incremental_updates += 1
+        return self.state
+
+
+class ViewManager:
+    """Keeps a set of materialized views in sync with a HAM store.
+
+    Subscribe-on-commit: insertion-only transactions maintain monotone views
+    incrementally; anything else triggers a full refresh of the affected
+    views.
+    """
+
+    def __init__(self, store):
+        self.store = store
+        self.views = {}
+        store.subscribe(self._on_commit)
+
+    def register(self, name, query):
+        view = MaterializedView(name, query)
+        view.refresh_full(self._current_edb())
+        self.views[name] = view
+        return view
+
+    def answers(self, name, predicate=None):
+        return self.views[name].answers(predicate)
+
+    def _current_edb(self):
+        return database_from_graph(self.store.graph)
+
+    def _on_commit(self, record):
+        parsed = self._insertions_of(record)
+        if parsed is None:
+            for view in self.views.values():
+                view.refresh_full(self._current_edb())
+            return
+        insertions, new_nodes = parsed
+        domain_values = set(new_nodes)
+        for rows in insertions.values():
+            for row in rows:
+                domain_values.update((value,) for value in row)
+        for view in self.views.values():
+            if view.monotone:
+                # New values extend the active domain used by star/optional.
+                facts = {p: set(rows) for p, rows in insertions.items()}
+                if domain_values:
+                    facts[view.domain_predicate] = (
+                        facts.get(view.domain_predicate, set()) | domain_values
+                    )
+                try:
+                    view.apply_insertions(facts)
+                    continue
+                except AggregationError:  # pragma: no cover - guarded above
+                    pass
+            view.refresh_full(self._current_edb())
+
+    @staticmethod
+    def _insertions_of(record):
+        """Convert a commit record into ``(fact insertions, new node values)``
+        or None when the transaction contains non-insert operations."""
+        from repro.graphs.bridge import EdgeLabel
+        from repro.ham.store import _Op
+
+        insertions = defaultdict(set)
+        new_nodes = set()
+        for op in record.operations:
+            if op.kind == _Op.ADD_EDGE:
+                source, target, label = op.args
+                if not isinstance(label, EdgeLabel):
+                    label = EdgeLabel(str(label))
+                source = source if isinstance(source, tuple) else (source,)
+                target = target if isinstance(target, tuple) else (target,)
+                insertions[label.predicate].add(source + target + label.extra)
+            elif op.kind == _Op.ADD_NODE:
+                node, label = op.args
+                if label:
+                    return None  # labeled nodes are annotation facts: recompute
+                node = node if isinstance(node, tuple) else (node,)
+                new_nodes.update((value,) for value in node)
+            else:
+                return None
+        return dict(insertions), new_nodes

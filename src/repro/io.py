@@ -1,0 +1,176 @@
+"""Serialization: databases and graphs to/from disk.
+
+Two formats:
+
+- **Datalog text** for relational databases — the same fact syntax the
+  parser reads, so files round-trip through the CLI and the shell;
+- **JSON** for labeled multigraphs — nodes (with annotations) and edges
+  (with :class:`~repro.graphs.bridge.EdgeLabel` structure preserved).
+
+Values survive a round trip when they are strings, ints, floats, bools, or
+None; exotic Python values are rejected rather than silently stringified.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.errors import ReproError
+from repro.graphs.bridge import EdgeLabel
+from repro.graphs.multigraph import LabeledMultigraph
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+class SerializationError(ReproError):
+    """A value or structure cannot be represented in the chosen format."""
+
+
+# ------------------------------------------------------------- datalog text
+
+
+def _fact_term(value):
+    if isinstance(value, bool) or value is None:
+        raise SerializationError(
+            f"Datalog text cannot hold {value!r}; use the JSON graph format"
+        )
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, str):
+        bare = value.replace("-", "_")
+        if bare.isidentifier() and value[:1].islower():
+            return value
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    raise SerializationError(f"cannot serialize value {value!r} to Datalog text")
+
+
+def database_to_source(database):
+    """Render every fact as Datalog text (sorted, deterministic)."""
+    lines = []
+    for predicate in sorted(database.predicates):
+        rows = sorted(database.facts(predicate), key=lambda r: tuple(map(str, r)))
+        for row in rows:
+            args = ", ".join(_fact_term(v) for v in row)
+            lines.append(f"{predicate}({args}).")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def database_from_source(text):
+    """Parse a fact file back into a Database (rules are rejected)."""
+    program = parse_program(text)
+    database = Database()
+    for rule in program:
+        if not rule.is_fact:
+            raise SerializationError(f"expected facts only, found rule: {rule}")
+        database.add_fact(rule.head.predicate, *(t.value for t in rule.head.args))
+    return database
+
+
+def save_database(database, path):
+    with open(path, "w") as handle:
+        handle.write(database_to_source(database))
+    return path
+
+
+def load_database(path):
+    with open(path) as handle:
+        return database_from_source(handle.read())
+
+
+# -------------------------------------------------------------- JSON graphs
+
+
+def _check_scalar(value, where):
+    if isinstance(value, tuple):
+        for part in value:
+            _check_scalar(part, where)
+        return
+    if not isinstance(value, _SCALARS):
+        raise SerializationError(f"cannot serialize {value!r} in {where}")
+
+
+def _encode_node(node):
+    if isinstance(node, tuple):
+        return {"tuple": [_encode_node(part) for part in node]}
+    _check_scalar(node, "node")
+    return {"value": node}
+
+
+def _decode_node(obj):
+    if "tuple" in obj:
+        return tuple(_decode_node(part) for part in obj["tuple"])
+    return obj["value"]
+
+
+def _encode_label(label):
+    if isinstance(label, EdgeLabel):
+        _check_scalar(label.extra, "edge label extras")
+        return {"predicate": label.predicate, "extra": list(label.extra)}
+    _check_scalar(label, "edge label")
+    return {"value": label}
+
+
+def _decode_label(obj):
+    if "predicate" in obj:
+        return EdgeLabel(obj["predicate"], tuple(obj["extra"]))
+    return obj["value"]
+
+
+def graph_to_json(graph):
+    """Encode a LabeledMultigraph as a JSON-compatible dict."""
+    nodes = []
+    for node in graph.nodes:
+        entry = _encode_node(node)
+        annotation = graph.node_label(node)
+        if annotation is not None:
+            if isinstance(annotation, frozenset):
+                entry["annotations"] = sorted(annotation)
+            else:
+                _check_scalar(annotation, "node annotation")
+                entry["annotation"] = annotation
+        nodes.append(entry)
+    edges = [
+        {
+            "source": _encode_node(edge.source),
+            "target": _encode_node(edge.target),
+            "label": _encode_label(edge.label),
+        }
+        for edge in graph.edges
+    ]
+    return {"format": "repro-graph", "version": 1, "nodes": nodes, "edges": edges}
+
+
+def graph_from_json(data):
+    """Decode :func:`graph_to_json` output back into a LabeledMultigraph."""
+    if data.get("format") != "repro-graph":
+        raise SerializationError("not a repro-graph document")
+    graph = LabeledMultigraph()
+    for entry in data["nodes"]:
+        node = _decode_node(entry)
+        if "annotations" in entry:
+            graph.add_node(node, frozenset(entry["annotations"]))
+        elif "annotation" in entry:
+            graph.add_node(node, entry["annotation"])
+        else:
+            graph.add_node(node)
+    for entry in data["edges"]:
+        graph.add_edge(
+            _decode_node(entry["source"]),
+            _decode_node(entry["target"]),
+            _decode_label(entry["label"]),
+        )
+    return graph
+
+
+def save_graph(graph, path):
+    with open(path, "w") as handle:
+        json.dump(graph_to_json(graph), handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_graph(path):
+    with open(path) as handle:
+        return graph_from_json(json.load(handle))

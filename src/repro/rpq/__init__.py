@@ -1,0 +1,44 @@
+"""Regular path queries: regexes, automata, product evaluation, simple paths."""
+
+from repro.rpq.automaton import DFA, NFA, compile_regex, determinize, minimize, thompson
+from repro.rpq.evaluate import RPQEvaluator, default_label_key, rpq_pairs
+from repro.rpq.regex import (
+    Concat,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    Union,
+    concat,
+    parse_regex,
+    sym,
+    union,
+)
+from repro.rpq.simple_paths import has_regular_simple_path, regular_simple_paths
+
+__all__ = [
+    "Concat",
+    "DFA",
+    "Epsilon",
+    "NFA",
+    "Opt",
+    "Plus",
+    "RPQEvaluator",
+    "Regex",
+    "Star",
+    "Sym",
+    "Union",
+    "compile_regex",
+    "concat",
+    "default_label_key",
+    "determinize",
+    "has_regular_simple_path",
+    "minimize",
+    "parse_regex",
+    "rpq_pairs",
+    "sym",
+    "thompson",
+    "union",
+]

@@ -1,0 +1,229 @@
+"""Finite automata for regular path queries.
+
+Thompson construction (regex -> NFA with epsilon moves), subset construction
+(NFA -> DFA), and Moore partition-refinement minimization.  Automaton
+symbols are ``(label, inverted)`` pairs, so one automaton drives both
+forward and backward edge traversals in the product search.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.rpq.regex import Concat, Epsilon, Opt, Plus, Regex, Star, Sym, Union
+from repro.errors import RegexError
+
+
+class NFA:
+    """A nondeterministic finite automaton with epsilon transitions."""
+
+    def __init__(self):
+        self.start = 0
+        self.accept = set()
+        self.transitions = defaultdict(set)  # (state, symbol) -> {states}
+        self.epsilon = defaultdict(set)  # state -> {states}
+        self._count = 0
+
+    def new_state(self):
+        state = self._count
+        self._count += 1
+        return state
+
+    @property
+    def states(self):
+        return range(self._count)
+
+    def add_transition(self, source, symbol, target):
+        self.transitions[(source, symbol)].add(target)
+
+    def add_epsilon(self, source, target):
+        self.epsilon[source].add(target)
+
+    def symbols(self):
+        return {symbol for (_state, symbol) in self.transitions}
+
+    def epsilon_closure(self, states):
+        closure = set(states)
+        queue = deque(states)
+        while queue:
+            state = queue.popleft()
+            for target in self.epsilon.get(state, ()):
+                if target not in closure:
+                    closure.add(target)
+                    queue.append(target)
+        return frozenset(closure)
+
+    def step(self, states, symbol):
+        out = set()
+        for state in states:
+            out |= self.transitions.get((state, symbol), set())
+        return self.epsilon_closure(out)
+
+    def accepts_empty(self):
+        return bool(self.epsilon_closure({self.start}) & self.accept)
+
+
+def thompson(regex):
+    """Build an NFA from a :class:`Regex` by Thompson's construction."""
+    if not isinstance(regex, Regex):
+        raise RegexError(f"expected a Regex, got {type(regex).__name__}")
+    nfa = NFA()
+
+    def build(node):
+        """Returns (entry_state, exit_state)."""
+        entry = nfa.new_state()
+        exit_ = nfa.new_state()
+        if isinstance(node, Sym):
+            nfa.add_transition(entry, (node.label, node.inverted), exit_)
+        elif isinstance(node, Epsilon):
+            nfa.add_epsilon(entry, exit_)
+        elif isinstance(node, Concat):
+            left = build(node.left)
+            right = build(node.right)
+            nfa.add_epsilon(entry, left[0])
+            nfa.add_epsilon(left[1], right[0])
+            nfa.add_epsilon(right[1], exit_)
+        elif isinstance(node, Union):
+            left = build(node.left)
+            right = build(node.right)
+            nfa.add_epsilon(entry, left[0])
+            nfa.add_epsilon(entry, right[0])
+            nfa.add_epsilon(left[1], exit_)
+            nfa.add_epsilon(right[1], exit_)
+        elif isinstance(node, Star):
+            inner = build(node.inner)
+            nfa.add_epsilon(entry, inner[0])
+            nfa.add_epsilon(entry, exit_)
+            nfa.add_epsilon(inner[1], inner[0])
+            nfa.add_epsilon(inner[1], exit_)
+        elif isinstance(node, Plus):
+            inner = build(node.inner)
+            nfa.add_epsilon(entry, inner[0])
+            nfa.add_epsilon(inner[1], inner[0])
+            nfa.add_epsilon(inner[1], exit_)
+        elif isinstance(node, Opt):
+            inner = build(node.inner)
+            nfa.add_epsilon(entry, inner[0])
+            nfa.add_epsilon(entry, exit_)
+            nfa.add_epsilon(inner[1], exit_)
+        else:  # pragma: no cover - Regex AST is closed
+            raise RegexError(f"unknown regex node {node!r}")
+        return entry, exit_
+
+    entry, exit_ = build(regex)
+    nfa.start = entry
+    nfa.accept = {exit_}
+    return nfa
+
+
+class DFA:
+    """A deterministic finite automaton over (label, inverted) symbols."""
+
+    def __init__(self, start, accept, transitions, n_states):
+        self.start = start
+        self.accept = frozenset(accept)
+        self.transitions = dict(transitions)  # (state, symbol) -> state
+        self.n_states = n_states
+
+    def step(self, state, symbol):
+        return self.transitions.get((state, symbol))
+
+    def symbols(self):
+        return {symbol for (_state, symbol) in self.transitions}
+
+    def outgoing(self, state):
+        """``[(symbol, target)]`` transitions leaving *state*."""
+        return [
+            (symbol, target)
+            for (source, symbol), target in self.transitions.items()
+            if source == state
+        ]
+
+    def accepts(self, word):
+        state = self.start
+        for symbol in word:
+            if not isinstance(symbol, tuple):
+                symbol = (symbol, False)
+            state = self.step(state, symbol)
+            if state is None:
+                return False
+        return state in self.accept
+
+    def __repr__(self):
+        return f"DFA({self.n_states} states, {len(self.transitions)} transitions)"
+
+
+def determinize(nfa):
+    """Subset construction (unreachable subsets never generated)."""
+    start = nfa.epsilon_closure({nfa.start})
+    symbols = nfa.symbols()
+    index = {start: 0}
+    transitions = {}
+    accept = set()
+    queue = deque([start])
+    if start & nfa.accept:
+        accept.add(0)
+    while queue:
+        subset = queue.popleft()
+        source = index[subset]
+        for symbol in symbols:
+            target_subset = nfa.step(subset, symbol)
+            if not target_subset:
+                continue
+            if target_subset not in index:
+                index[target_subset] = len(index)
+                queue.append(target_subset)
+                if target_subset & nfa.accept:
+                    accept.add(index[target_subset])
+            transitions[(source, symbol)] = index[target_subset]
+    return DFA(0, accept, transitions, len(index))
+
+
+def minimize(dfa):
+    """Moore's partition refinement (with an implicit dead state)."""
+    symbols = sorted(dfa.symbols(), key=str)
+    states = list(range(dfa.n_states))
+    DEAD = -1
+
+    def block_of(partition_index, state):
+        return partition_index.get(state, DEAD)
+
+    accepting = frozenset(dfa.accept)
+    partition = {}
+    for state in states:
+        partition[state] = 1 if state in accepting else 0
+
+    while True:
+        signature = {}
+        for state in states:
+            signature[state] = (
+                partition[state],
+                tuple(
+                    block_of(partition, dfa.step(state, symbol)) for symbol in symbols
+                ),
+            )
+        blocks = {}
+        new_partition = {}
+        for state in states:
+            key = signature[state]
+            if key not in blocks:
+                blocks[key] = len(blocks)
+            new_partition[state] = blocks[key]
+        if new_partition == partition:
+            break
+        partition = new_partition
+
+    # Rebuild the DFA over blocks.
+    start = partition[dfa.start]
+    accept = {partition[s] for s in dfa.accept}
+    transitions = {}
+    for (source, symbol), target in dfa.transitions.items():
+        transitions[(partition[source], symbol)] = partition[target]
+    n_states = len(set(partition.values()))
+    return DFA(start, accept, transitions, n_states)
+
+
+def compile_regex(regex, minimized=True):
+    """regex -> (minimized) DFA, the evaluator's workhorse."""
+    dfa = determinize(thompson(regex))
+    return minimize(dfa) if minimized else dfa

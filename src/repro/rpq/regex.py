@@ -1,0 +1,332 @@
+"""Regular expressions over edge-label alphabets (G+ edge queries).
+
+The prototype of Section 5 evaluates *edge queries*: two nodes joined by one
+edge labeled with an arbitrary regular expression over the database's edge
+labels (e.g. ``CP+`` — one or more Canadian Pacific flights, Figure 12).
+This module defines the regex AST and parser; automata and evaluation live
+in :mod:`repro.rpq.automaton` and :mod:`repro.rpq.evaluate`.
+
+A symbol may be *inverted* (written ``-a``): it matches traversing an
+``a``-labeled edge against its direction, mirroring GraphLog's inversion
+operator.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.lexer import TokenStream, tokenize
+from repro.errors import RegexError, ParseError
+
+
+class Regex:
+    """Abstract base class for label regular expressions."""
+
+    __slots__ = ()
+
+    def __or__(self, other):
+        return Union(self, _coerce(other))
+
+    def __rshift__(self, other):
+        return Concat(self, _coerce(other))
+
+    def plus(self):
+        return Plus(self)
+
+    def star(self):
+        return Star(self)
+
+    def optional(self):
+        return Opt(self)
+
+    def symbols(self):
+        """The set of (label, inverted) symbol pairs used."""
+        out = set()
+        for node in self.walk():
+            if isinstance(node, Sym):
+                out.add((node.label, node.inverted))
+        return out
+
+    def walk(self):
+        yield self
+        for child in self._children():
+            yield from child.walk()
+
+    def _children(self):
+        return ()
+
+
+def _coerce(value):
+    if isinstance(value, Regex):
+        return value
+    if isinstance(value, str):
+        return Sym(value)
+    raise TypeError(f"cannot interpret {value!r} as a label regex")
+
+
+class Sym(Regex):
+    """One edge traversal: label *label*, backwards when *inverted*."""
+
+    __slots__ = ("label", "inverted")
+
+    def __init__(self, label, inverted=False):
+        self.label = label
+        self.inverted = bool(inverted)
+
+    def _key(self):
+        return ("sym", self.label, self.inverted)
+
+    def __eq__(self, other):
+        return isinstance(other, Sym) and self._key() == other._key()
+
+    def __hash__(self):
+        return hash(self._key())
+
+    def __repr__(self):
+        return f"Sym({self})"
+
+    def __str__(self):
+        return f"-{self.label}" if self.inverted else str(self.label)
+
+
+class Epsilon(Regex):
+    """The empty word."""
+
+    __slots__ = ()
+
+    def __eq__(self, other):
+        return isinstance(other, Epsilon)
+
+    def __hash__(self):
+        return hash("epsilon")
+
+    def __repr__(self):
+        return "Epsilon()"
+
+    def __str__(self):
+        return "()"
+
+
+class Concat(Regex):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right):
+        self.left = _coerce(left)
+        self.right = _coerce(right)
+
+    def _children(self):
+        return (self.left, self.right)
+
+    def __eq__(self, other):
+        return isinstance(other, Concat) and (self.left, self.right) == (
+            other.left,
+            other.right,
+        )
+
+    def __hash__(self):
+        return hash(("concat", self.left, self.right))
+
+    def __repr__(self):
+        return f"Concat({self.left!r}, {self.right!r})"
+
+    def __str__(self):
+        return f"{_wrap(self.left)} {_wrap(self.right)}"
+
+
+class Union(Regex):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right):
+        self.left = _coerce(left)
+        self.right = _coerce(right)
+
+    def _children(self):
+        return (self.left, self.right)
+
+    def __eq__(self, other):
+        return isinstance(other, Union) and (self.left, self.right) == (
+            other.left,
+            other.right,
+        )
+
+    def __hash__(self):
+        return hash(("union", self.left, self.right))
+
+    def __repr__(self):
+        return f"Union({self.left!r}, {self.right!r})"
+
+    def __str__(self):
+        return f"({self.left} | {self.right})"
+
+
+class Star(Regex):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner):
+        self.inner = _coerce(inner)
+
+    def _children(self):
+        return (self.inner,)
+
+    def __eq__(self, other):
+        return isinstance(other, Star) and self.inner == other.inner
+
+    def __hash__(self):
+        return hash(("star", self.inner))
+
+    def __repr__(self):
+        return f"Star({self.inner!r})"
+
+    def __str__(self):
+        return f"{_wrap(self.inner)}*"
+
+
+class Plus(Regex):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner):
+        self.inner = _coerce(inner)
+
+    def _children(self):
+        return (self.inner,)
+
+    def __eq__(self, other):
+        return isinstance(other, Plus) and self.inner == other.inner
+
+    def __hash__(self):
+        return hash(("plus", self.inner))
+
+    def __repr__(self):
+        return f"Plus({self.inner!r})"
+
+    def __str__(self):
+        return f"{_wrap(self.inner)}+"
+
+
+class Opt(Regex):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner):
+        self.inner = _coerce(inner)
+
+    def _children(self):
+        return (self.inner,)
+
+    def __eq__(self, other):
+        return isinstance(other, Opt) and self.inner == other.inner
+
+    def __hash__(self):
+        return hash(("opt", self.inner))
+
+    def __repr__(self):
+        return f"Opt({self.inner!r})"
+
+    def __str__(self):
+        return f"{_wrap(self.inner)}?"
+
+
+def _wrap(expr):
+    if isinstance(expr, (Sym, Epsilon)):
+        return str(expr)
+    return f"({expr})"
+
+
+def sym(label, inverted=False):
+    return Sym(label, inverted)
+
+
+def concat(first, *rest):
+    expr = _coerce(first)
+    for item in rest:
+        expr = Concat(expr, _coerce(item))
+    return expr
+
+
+def union(first, *rest):
+    expr = _coerce(first)
+    for item in rest:
+        expr = Union(expr, _coerce(item))
+    return expr
+
+
+def parse_regex(source):
+    """Parse a label regex, e.g. ``"CP+"`` or ``"(AA | CP) -UA*"``.
+
+    Uppercase identifiers are plain labels here (unlike GraphLog variables):
+    the alphabet of an airline graph is airline codes like ``CP``.
+    """
+    stream = TokenStream(tokenize(source))
+    expr = _parse_union(stream)
+    if not stream.exhausted:
+        token = stream.peek()
+        raise ParseError("trailing input after regex", token.line, token.column)
+    return expr
+
+
+def _parse_union(stream):
+    expr = _parse_concat(stream)
+    while stream.at_punct("|"):
+        stream.next()
+        expr = Union(expr, _parse_concat(stream))
+    return expr
+
+
+def _starts_atom(stream):
+    token = stream.peek()
+    if token.kind in ("ident", "var", "number", "string"):
+        return True
+    return token.kind == "punct" and token.text in ("(", "-")
+
+
+def _parse_concat(stream):
+    expr = _parse_postfix(stream)
+    while True:
+        if stream.at_punct("."):
+            stream.next()
+            expr = Concat(expr, _parse_postfix(stream))
+            continue
+        if _starts_atom(stream):
+            expr = Concat(expr, _parse_postfix(stream))
+            continue
+        return expr
+
+
+def _parse_postfix(stream):
+    expr = _parse_atom(stream)
+    while True:
+        if stream.at_punct("+"):
+            stream.next()
+            expr = Plus(expr)
+        elif stream.at_punct("*"):
+            stream.next()
+            expr = Star(expr)
+        elif stream.at_punct("?"):
+            stream.next()
+            expr = Opt(expr)
+        else:
+            return expr
+
+
+def _parse_atom(stream):
+    token = stream.peek()
+    if stream.at_punct("-"):
+        stream.next()
+        inner = _parse_atom(stream)
+        if not isinstance(inner, Sym) or inner.inverted:
+            raise RegexError("inversion applies to a single label symbol")
+        return Sym(inner.label, inverted=True)
+    if stream.at_punct("("):
+        stream.next()
+        if stream.at_punct(")"):
+            stream.next()
+            return Epsilon()
+        expr = _parse_union(stream)
+        stream.expect("punct", ")")
+        return expr
+    if token.kind in ("ident", "var"):
+        stream.next()
+        return Sym(token.text)
+    if token.kind in ("number", "string"):
+        stream.next()
+        return Sym(token.value)
+    raise ParseError(
+        f"expected a regex atom, found {token.text or token.kind!r}", token.line, token.column
+    )

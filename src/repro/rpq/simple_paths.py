@@ -1,0 +1,92 @@
+"""Regular *simple* path search ([MW89], the prototype's G+ edge queries).
+
+Finding a simple (no repeated node) path matching a regular expression is
+NP-hard in general; [MW89] gives algorithms for tractable subclasses and a
+general search.  We implement the general depth-first product search with a
+per-path visited set, plus guard rails (depth and result limits) so callers
+cannot accidentally run an exponential search unbounded.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RegexError
+from repro.rpq.automaton import compile_regex
+from repro.rpq.evaluate import default_label_key
+from repro.rpq.regex import Regex, parse_regex
+
+
+def regular_simple_paths(
+    graph,
+    regex,
+    source,
+    target=None,
+    max_paths=None,
+    max_length=None,
+    label_key=default_label_key,
+):
+    """All simple paths from *source* matching *regex*.
+
+    Args:
+        graph: a :class:`LabeledMultigraph`.
+        regex: a :class:`~repro.rpq.regex.Regex` or its textual form.
+        source: start node.
+        target: restrict to paths ending there (None: any end node).
+        max_paths: stop after this many results (None: unbounded).
+        max_length: ignore paths longer than this many edges
+            (default: number of graph nodes, the simple-path maximum).
+        label_key: how edge labels map to regex symbols.
+
+    Returns a list of paths; each path is a list of edges.  The empty path
+    appears (as ``[]``) when the regex accepts the empty word and the source
+    qualifies (i.e. ``target`` is None or equals ``source``).
+    """
+    if isinstance(regex, str):
+        regex = parse_regex(regex)
+    if not isinstance(regex, Regex):
+        raise RegexError(f"expected a Regex, got {type(regex).__name__}")
+    dfa = compile_regex(regex)
+    limit = max_length if max_length is not None else graph.node_count()
+    results = []
+
+    def full():
+        return max_paths is not None and len(results) >= max_paths
+
+    def moves(node, state):
+        for edge in graph.out_edges(node):
+            next_state = dfa.step(state, (label_key(edge.label), False))
+            if next_state is not None:
+                yield edge, edge.target, next_state
+        for edge in graph.in_edges(node):
+            next_state = dfa.step(state, (label_key(edge.label), True))
+            if next_state is not None:
+                yield edge, edge.source, next_state
+
+    def search(node, state, visited, path):
+        if full():
+            return
+        if state in dfa.accept and (target is None or node == target):
+            results.append(list(path))
+            if full():
+                return
+        if len(path) >= limit:
+            return
+        for edge, next_node, next_state in moves(node, state):
+            if next_node in visited:
+                continue
+            visited.add(next_node)
+            path.append(edge)
+            search(next_node, next_state, visited, path)
+            path.pop()
+            visited.discard(next_node)
+
+    search(source, dfa.start, {source}, [])
+    return results
+
+
+def has_regular_simple_path(graph, regex, source, target, label_key=default_label_key):
+    """Decision form: is there a simple path from source to target matching
+    the regex?"""
+    paths = regular_simple_paths(
+        graph, regex, source, target=target, max_paths=1, label_key=label_key
+    )
+    return bool(paths)

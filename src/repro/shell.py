@@ -1,0 +1,277 @@
+"""An interactive GraphLog shell: ``python -m repro shell``.
+
+A terminal stand-in for the Section 5 prototype's interactive loop: build a
+database, draw (type) query graphs, evaluate, inspect translations, explain
+answers.  Commands:
+
+    parent(ann, bob).                  add a fact
+    define (X) -[anc]-> (Y) { ... }    add a query graph (may span lines)
+    ? anc(ann, X)                      evaluate and match a goal
+    run [predicate]                    evaluate; show one or all relations
+    program                            show the λ translation
+    explain anc(ann, bob)              derivation tree of one answer
+    load FILE                          load a Datalog fact file
+    rpq REGEX [SOURCE]                 regular path query over the graph
+    facts [predicate]                  list stored facts
+    queries                            list registered query graphs
+    clear                              drop all queries (facts stay)
+    reset                              drop everything
+    help                               this text
+    quit / exit                        leave
+
+The engine state lives in a :class:`ShellSession`; every command is a pure
+``execute(line) -> str`` call, so the shell is fully scriptable and
+testable.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.dsl import parse_graphical_query
+from repro.core.engine import GraphLogEngine
+from repro.core.query_graph import GraphicalQuery
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom, parse_rule
+from repro.datalog.provenance import explain as explain_derivation
+from repro.errors import ReproError
+from repro.visual.ascii_art import render_graphical_query, render_relation
+
+HELP_TEXT = __doc__.split("Commands:", 1)[1].rsplit("The engine state", 1)[0]
+
+
+class ShellSession:
+    """State + command interpreter for the interactive shell."""
+
+    def __init__(self):
+        self.database = Database()
+        self.graphs = []
+        self._buffer = []  # pending multi-line define
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def query(self):
+        return GraphicalQuery(list(self.graphs)) if self.graphs else None
+
+    def _engine(self):
+        return GraphLogEngine()
+
+    def _evaluate(self):
+        query = self.query
+        if query is None:
+            return self.database.copy()
+        return self._engine().run(query, self.database)
+
+    # -------------------------------------------------------------- execute
+
+    @property
+    def pending(self):
+        """True while a multi-line ``define`` is being collected."""
+        return bool(self._buffer)
+
+    def execute(self, line):
+        """Run one input line; returns the text to display (may be '')."""
+        try:
+            return self._execute(line)
+        except ReproError as exc:
+            self._buffer = []
+            return f"error: {exc}"
+        except (KeyError, FileNotFoundError) as exc:
+            self._buffer = []
+            return f"error: {exc}"
+
+    def _execute(self, line):
+        if self._buffer:
+            self._buffer.append(line)
+            text = "\n".join(self._buffer)
+            if text.count("{") <= text.count("}"):
+                self._buffer = []
+                return self._add_define(text)
+            return ""
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("%", "#")):
+            return ""
+        command, _space, rest = stripped.partition(" ")
+        rest = rest.strip()
+        if command in ("quit", "exit"):
+            raise EOFError
+        if command == "help":
+            return HELP_TEXT.strip()
+        if command == "define":
+            if stripped.count("{") > stripped.count("}"):
+                self._buffer = [stripped]
+                return ""
+            return self._add_define(stripped)
+        if stripped.startswith("?"):
+            return self._goal(stripped[1:].strip())
+        if command == "run":
+            return self._run(rest or None)
+        if command == "program":
+            return self._program()
+        if command == "explain":
+            return self._explain(rest)
+        if command == "load":
+            return self._load(rest)
+        if command == "rpq":
+            return self._rpq(rest)
+        if command == "facts":
+            return self._facts(rest or None)
+        if command == "queries":
+            return self._queries()
+        if command == "clear":
+            self.graphs = []
+            return "queries cleared"
+        if command == "reset":
+            self.database = Database()
+            self.graphs = []
+            return "session reset"
+        # Fallback: a Datalog fact (or rule-as-fact error surfaces nicely).
+        return self._add_fact(stripped)
+
+    # ------------------------------------------------------------- commands
+
+    def _add_define(self, text):
+        query = parse_graphical_query(text)
+        candidate = GraphicalQuery(list(self.graphs) + list(query.graphs))
+        candidate.validate()
+        self.graphs = list(candidate.graphs)
+        names = ", ".join(g.head_predicate for g in query.graphs)
+        return f"defined {names}"
+
+    def _add_fact(self, text):
+        if not text.endswith("."):
+            text += "."
+        rule = parse_rule(text)
+        if not rule.is_fact:
+            return "error: only facts can be asserted here; use 'define' for queries"
+        self.database.add_fact(rule.head.predicate, *(t.value for t in rule.head.args))
+        return f"+ {rule.head}"
+
+    def _goal(self, text):
+        goal = parse_atom(text)
+        result = self._evaluate()
+        from repro.datalog.engine import match_atom
+
+        matches = match_atom(result, goal)
+        if not matches:
+            return "no"
+        if matches == {()}:
+            return "yes"
+        variables = []
+        for term in goal.args:
+            name = getattr(term, "name", None)
+            if name and not name.startswith("_") and name[0].isupper() and name not in variables:
+                variables.append(name)
+        return render_relation(matches, header=tuple(variables) or None).rstrip()
+
+    def _run(self, predicate):
+        result = self._evaluate()
+        if predicate is not None:
+            rows = result.facts(predicate)
+            return render_relation(rows, title=f"{predicate} ({len(rows)} tuples)").rstrip()
+        names = sorted(g.head_predicate for g in self.graphs)
+        if not names:
+            return "no queries defined; use 'facts' to inspect the database"
+        blocks = [
+            render_relation(result.facts(name), title=name).rstrip() for name in names
+        ]
+        return "\n\n".join(blocks)
+
+    def _program(self):
+        query = self.query
+        if query is None:
+            return "no queries defined"
+        return self._engine().translate(query).pretty().rstrip()
+
+    def _explain(self, text):
+        atom = parse_atom(text)
+        if not atom.is_ground():
+            return "error: explain needs a ground answer, e.g. explain anc(ann, bob)"
+        query = self.query
+        if query is None:
+            return "no queries defined"
+        row = tuple(t.value for t in atom.args)
+        _result, provenance = self._engine().run_with_provenance(query, self.database)
+        if (atom.predicate, row) not in provenance:
+            return f"{atom} is not a derived answer"
+        return explain_derivation(provenance, atom.predicate, row).render()
+
+    def _load(self, path):
+        if not path:
+            return "usage: load FILE"
+        with open(path) as handle:
+            from repro.datalog.parser import parse_program
+
+            program = parse_program(handle.read())
+        count = 0
+        for rule in program:
+            if not rule.is_fact:
+                return f"error: {path} contains rules; the shell loads fact files"
+            self.database.add_fact(
+                rule.head.predicate, *(t.value for t in rule.head.args)
+            )
+            count += 1
+        return f"loaded {count} facts from {path}"
+
+    def _rpq(self, rest):
+        if not rest:
+            return "usage: rpq REGEX [SOURCE]"
+        parts = rest.rsplit(" ", 1)
+        from repro.graphs.bridge import graph_from_database
+        from repro.rpq.evaluate import RPQEvaluator
+
+        graph = graph_from_database(self.database)
+        evaluator = RPQEvaluator(graph)
+        if len(parts) == 2 and graph.has_node(parts[1]):
+            targets = evaluator.targets(parts[0], parts[1])
+            return render_relation(
+                [(t,) for t in targets], title=f"targets from {parts[1]}"
+            ).rstrip()
+        pairs = evaluator.pairs(rest)
+        return render_relation(pairs, title="matching pairs").rstrip()
+
+    def _facts(self, predicate):
+        if predicate is not None:
+            rows = self.database.facts(predicate)
+            return render_relation(rows, title=f"{predicate} ({len(rows)})").rstrip()
+        if not self.database.predicates:
+            return "(empty database)"
+        blocks = []
+        for name in sorted(self.database.predicates):
+            rows = self.database.facts(name)
+            if rows:
+                blocks.append(f"{name}/{self.database.arity_of(name)}: {len(rows)} facts")
+        return "\n".join(blocks)
+
+    def _queries(self):
+        if not self.graphs:
+            return "(no queries)"
+        return render_graphical_query(GraphicalQuery(list(self.graphs))).rstrip()
+
+
+def repl(stdin=None, stdout=None):
+    """The interactive loop (reads stdin when not a TTY too, for piping)."""
+    stdin = stdin or sys.stdin
+    stdout = stdout or sys.stdout
+    session = ShellSession()
+    print("GraphLog shell — 'help' for commands, 'quit' to leave.", file=stdout)
+    while True:
+        prompt = "....> " if session.pending else "glog> "
+        if stdin.isatty():
+            try:
+                line = input(prompt)
+            except (EOFError, KeyboardInterrupt):
+                print(file=stdout)
+                return 0
+        else:
+            line = stdin.readline()
+            if not line:
+                return 0
+            line = line.rstrip("\n")
+        try:
+            output = session.execute(line)
+        except EOFError:
+            return 0
+        if output:
+            print(output, file=stdout)

@@ -1,0 +1,38 @@
+"""Algorithm 3.1 (SL-DATALOG -> STC-DATALOG) and its test harness."""
+
+from repro.translation.differential import (
+    check_equivalence,
+    idb_snapshot,
+    random_database,
+    random_sl_program,
+)
+from repro.translation.sl_to_stc import (
+    ADOM_PREDICATE,
+    TranslationResult,
+    prepare_adom,
+    sl_to_stc,
+    translate_and_check,
+)
+from repro.translation.merge_tc import (
+    MergeResult,
+    count_tc_pairs,
+    merge_independent_closures,
+)
+from repro.translation.to_graphlog import diagonal_projection, graphlog_from_stc
+
+__all__ = [
+    "ADOM_PREDICATE",
+    "MergeResult",
+    "count_tc_pairs",
+    "merge_independent_closures",
+    "TranslationResult",
+    "check_equivalence",
+    "diagonal_projection",
+    "graphlog_from_stc",
+    "idb_snapshot",
+    "prepare_adom",
+    "random_database",
+    "random_sl_program",
+    "sl_to_stc",
+    "translate_and_check",
+]

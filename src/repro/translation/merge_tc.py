@@ -1,0 +1,173 @@
+"""Merging independent transitive closures into one (Theorem 3.4 flavour).
+
+Section 3 observes that with constants and an order relation, stratified
+linear programs "collapse into equivalent programs with only one application
+of transitive closure".  The general construction simulates evaluation
+*stages* inside a single closure using the order — out of scope here (we
+cite it).  This module implements the unconditional special case, which is
+also the workhorse of the general one: **independent** TC pairs (no pair's
+base depends on another pair's closure) merge into a single TC by
+disjoint-union tagging:
+
+- every base relation ``e_i`` (arity 2·n_i) feeds one wide edge relation
+  ``E`` with its tuples padded to a common width and *tagged* with a
+  per-closure signature constant on both sides;
+- ``T`` is the transitive closure of ``E``; because every ``e_i`` edge
+  carries its own tag on both endpoints, paths can never cross from one
+  component into another, so ``T`` restricted to tag ``s_i`` is exactly the
+  closure of ``e_i``;
+- each original predicate is read back by selecting its tag.
+
+The result has exactly **one** TC pair regardless of how many the input had.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.ast import Atom, Literal, Program, Rule
+from repro.datalog.classify import tc_base_predicates
+from repro.datalog.stratify import DependenceGraph, stratify
+from repro.datalog.terms import Constant, Sentinel, Variable
+from repro.errors import TranslationError
+
+
+class MergeResult:
+    """Outcome of :func:`merge_independent_closures`."""
+
+    def __init__(self, program, merged, skipped, edge_predicate, closure_predicate):
+        self.program = program
+        self.merged = merged  # predicates whose TC pairs were merged
+        self.skipped = skipped  # recursive predicates left alone (dependent)
+        self.edge_predicate = edge_predicate
+        self.closure_predicate = closure_predicate
+
+    def __repr__(self):
+        return (
+            f"MergeResult(merged={sorted(self.merged)}, "
+            f"skipped={sorted(self.skipped)})"
+        )
+
+
+def count_tc_pairs(program):
+    """How many TC rule pairs the program contains."""
+    return len(tc_base_predicates(program))
+
+
+def merge_independent_closures(program):
+    """Merge every *independent* TC pair of an STC program into one.
+
+    A TC predicate is independent when its base does not (transitively)
+    depend on any other TC predicate.  Dependent (stacked) closures are kept
+    as-is and reported in ``skipped`` — collapsing those needs the ordered-
+    domain staging construction of Theorem 3.4.
+
+    Raises :class:`TranslationError` when the program has recursion that is
+    not TC-shaped (run Algorithm 3.1 first).
+    """
+    stratify(program)
+    bases = tc_base_predicates(program)
+    from repro.datalog.classify import recursive_predicates
+
+    not_tc = recursive_predicates(program) - set(bases)
+    if not_tc:
+        names = ", ".join(sorted(not_tc))
+        raise TranslationError(
+            f"predicates {names} are recursive but not TC pairs; run sl_to_stc first"
+        )
+    if len(bases) <= 1:
+        return MergeResult(program, set(), set(bases), None, None)
+
+    graph = DependenceGraph.of_program(program)
+
+    def depends_on_tc(predicate, seen=None):
+        seen = seen if seen is not None else set()
+        for dependency in graph.dependencies(predicate):
+            if dependency in seen:
+                continue
+            seen.add(dependency)
+            if dependency in bases:
+                return True
+            if depends_on_tc(dependency, seen):
+                return True
+        return False
+
+    mergeable = {
+        predicate: base
+        for predicate, base in bases.items()
+        if not depends_on_tc(base)
+    }
+    skipped = set(bases) - set(mergeable)
+    if len(mergeable) <= 1:
+        return MergeResult(program, set(), set(bases), None, None)
+
+    used = set(program.predicates)
+    edge_name = _fresh(used, "merged-e")
+    closure_name = _fresh(used, "merged-t")
+
+    half = max(program.arity_of(p) // 2 for p in mergeable)
+    side = half + 1  # + the tag position
+    tags = {predicate: Constant(Sentinel(f"tag:{predicate}")) for predicate in mergeable}
+    pad = Constant(Sentinel("pad"))
+
+    rules = []
+    for rule in program:
+        if rule.head.predicate in mergeable:
+            continue  # the TC pair is replaced
+        rules.append(rule)
+
+    def padded(terms, tag):
+        terms = tuple(terms)
+        return terms + (pad,) * (half - len(terms)) + (tag,)
+
+    for predicate, base in sorted(mergeable.items()):
+        n = program.arity_of(predicate) // 2
+        xs = tuple(Variable(f"X{i+1}") for i in range(n))
+        ys = tuple(Variable(f"Y{i+1}") for i in range(n))
+        tag = tags[predicate]
+        rules.append(
+            Rule(
+                Atom(edge_name, padded(xs, tag) + padded(ys, tag)),
+                (Literal(Atom(base, xs + ys)),),
+            )
+        )
+
+    us = tuple(Variable(f"U{i+1}") for i in range(side))
+    vs = tuple(Variable(f"V{i+1}") for i in range(side))
+    ws = tuple(Variable(f"W{i+1}") for i in range(side))
+    t_head = Atom(closure_name, us + vs)
+    rules.append(Rule(t_head, (Literal(Atom(edge_name, us + vs)),)))
+    rules.append(
+        Rule(
+            t_head,
+            (
+                Literal(Atom(edge_name, us + ws)),
+                Literal(Atom(closure_name, ws + vs)),
+            ),
+        )
+    )
+
+    for predicate in sorted(mergeable):
+        n = program.arity_of(predicate) // 2
+        xs = tuple(Variable(f"X{i+1}") for i in range(n))
+        ys = tuple(Variable(f"Y{i+1}") for i in range(n))
+        tag = tags[predicate]
+        rules.append(
+            Rule(
+                Atom(predicate, xs + ys),
+                (Literal(Atom(closure_name, padded(xs, tag) + padded(ys, tag))),),
+            )
+        )
+
+    return MergeResult(
+        Program(rules), set(mergeable), skipped, edge_name, closure_name
+    )
+
+
+def _fresh(used, base):
+    if base not in used:
+        used.add(base)
+        return base
+    index = 1
+    while f"{base}{index}" in used:
+        index += 1
+    used.add(f"{base}{index}")
+    return f"{base}{index}"

@@ -1,0 +1,304 @@
+"""Algorithm 3.1: translate SL-DATALOG into STC-DATALOG (Figure 7).
+
+Given a stratified *linear* Datalog program, produce an equivalent
+stratified *TC* Datalog program: one in which every recursive predicate is
+defined by exactly the two transitive-closure rules of Definition 3.2.
+
+For each recursive strongly connected component ``S_l`` of the dependence
+graph (with predicates ``p_1..p_n`` of maximum arity ``m``) the algorithm
+introduces an edge predicate ``e_l`` and a closure predicate ``t_l`` of
+arity ``2*(m+1)`` and uses *signature constants*: a start marker ``c`` and
+one marker ``c_i`` per predicate, padding every tuple to width ``m+1`` so
+that tuples of different member predicates share ``e_l`` without colliding.
+
+- a recursive rule  ``p_i(X̄) :- p_j(Ȳ), s_1..s_k``  becomes the edge rule
+  ``e_l(Ȳ, c_j^{m-n_j+1}, X̄, c_i^{m-n_i+1}) :- s_1..s_k``;
+- a non-recursive rule  ``p_i(X̄) :- s_1..s_k``  becomes
+  ``e_l(c^{m+1}, X̄, c_i^{m-n_i+1}) :- s_1..s_k``  (an edge out of the start
+  node, as in Figure 9 where the start node is ``(c,c,c)``);
+- ``t_l`` is the transitive closure of ``e_l`` (the TC rule pair);
+- each member predicate is read back by
+  ``p_i(X̄) :- t_l(c^{m+1}, X̄, c_i^{m-n_i+1})``.
+
+Executable-bottom-up deviation from the paper: a variable of the original
+rule that occurs *only* in the removed recursive subgoal and the head (a
+"carried" variable, e.g. the X in ``anc(X,Y) :- anc(X,Z), e(Z,Y)``) leaves
+the edge rule range-unrestricted.  The paper works at the logical level and
+does not address safety; we guard every such variable with the active-domain
+predicate ``adom`` (materialized by :func:`prepare_adom`), which preserves
+equivalence because every derivation of the original program stays within
+the active domain.  The guards keep the translation polynomial.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.datalog.ast import Atom, Literal, Program, Rule
+from repro.datalog.classify import is_linear
+from repro.datalog.safety import limited_variables
+from repro.datalog.stratify import DependenceGraph, stratify
+from repro.datalog.terms import Constant, Sentinel, Variable
+from repro.errors import NotLinearError, TranslationError
+
+ADOM_PREDICATE = "adom"
+
+
+class TranslationResult:
+    """Output of Algorithm 3.1 with bookkeeping for tests and inspection."""
+
+    def __init__(self, program, components, edge_predicates, closure_predicates, constants):
+        self.program = program
+        self.components = components  # list of frozensets (recursive SCCs)
+        self.edge_predicates = edge_predicates  # component index -> name
+        self.closure_predicates = closure_predicates
+        self.constants = constants  # {'start': Constant, predicate: Constant}
+
+    def __repr__(self):
+        return (
+            f"TranslationResult({len(self.program)} rules, "
+            f"{len(self.components)} recursive component(s))"
+        )
+
+
+def _fresh_name(base, used):
+    if base not in used:
+        used.add(base)
+        return base
+    index = 1
+    while f"{base}{index}" in used:
+        index += 1
+    name = f"{base}{index}"
+    used.add(name)
+    return name
+
+
+def sl_to_stc(program, use_predicate_name_signatures=True, adom_guard=True):
+    """Run Algorithm 3.1 on a stratified linear program.
+
+    Args:
+        program: the input :class:`Program` (must be stratified and linear).
+        use_predicate_name_signatures: when True (the paper's Figure 9
+            style), the signature constant of predicate ``sg`` is the string
+            ``sg`` and the start marker is ``c``, *provided* those strings do
+            not occur as constants in the program; otherwise out-of-domain
+            :class:`Sentinel` constants are used.
+        adom_guard: add active-domain guards for carried variables (see
+            module docstring).  Disable only for display purposes.
+
+    Returns a :class:`TranslationResult` whose ``program`` is an equivalent
+    stratified TC program.
+    """
+    stratify(program)  # raises StratificationError when not stratified
+    if not is_linear(program):
+        raise NotLinearError("Algorithm 3.1 requires a linear program")
+
+    graph = DependenceGraph.of_program(program)
+    components = graph.strongly_connected_components()
+    component_of = {}
+    for component in components:
+        for predicate in component:
+            component_of[predicate] = component
+
+    idb = program.idb_predicates
+    used_names = set(program.predicates) | {ADOM_PREDICATE}
+    program_constants = _program_constants(program)
+
+    def is_recursive_rule(rule):
+        head_component = component_of.get(rule.head.predicate)
+        for element in rule.body:
+            if isinstance(element, Literal) and element.positive:
+                if component_of.get(element.predicate) is head_component and (
+                    element.predicate in head_component
+                ):
+                    if len(head_component) > 1 or element.predicate == rule.head.predicate:
+                        return True
+        return False
+
+    # Identify recursive components (more than one predicate, or self-loop).
+    recursive_components = []
+    for component in components:
+        if len(component) > 1:
+            recursive_components.append(component)
+        else:
+            (predicate,) = component
+            if predicate in graph.dependencies(predicate):
+                recursive_components.append(component)
+
+    rules_by_component = defaultdict(list)
+    loose_rules = []
+    recursive_set = {p for component in recursive_components for p in component}
+    for rule in program:
+        head = rule.head.predicate
+        if head in recursive_set:
+            rules_by_component[component_of[head]].append(rule)
+        else:
+            loose_rules.append(rule)
+
+    # Constants.
+    def make_signature(name):
+        if use_predicate_name_signatures and name not in program_constants:
+            return Constant(name)
+        return Constant(Sentinel(name))
+
+    start = make_signature("c")
+    signatures = {}
+
+    output_rules = list(loose_rules)
+    edge_predicates = {}
+    closure_predicates = {}
+    needs_adom = False
+
+    for index, component in enumerate(
+        sorted(recursive_components, key=lambda c: sorted(c)[0])
+    ):
+        members = sorted(component)
+        arity_of = {p: program.arity_of(p) for p in members}
+        m = max(arity_of.values())
+        for predicate in members:
+            signatures.setdefault(predicate, make_signature(predicate))
+        e_name = _fresh_name(f"e{index}" if len(recursive_components) > 1 else "e", used_names)
+        t_name = _fresh_name(f"t{index}" if len(recursive_components) > 1 else "t", used_names)
+        edge_predicates[index] = e_name
+        closure_predicates[index] = t_name
+        side = m + 1
+
+        def pad(terms, signature):
+            terms = tuple(terms)
+            return terms + (signature,) * (side - len(terms))
+
+        start_node = (start,) * side
+
+        for rule in rules_by_component[component]:
+            head = rule.head
+            head_sig = signatures[head.predicate]
+            if is_recursive_rule(rule):
+                recursive_literal, rest = _split_recursive(rule, component)
+                body_sig = signatures[recursive_literal.predicate]
+                edge_head = Atom(
+                    e_name,
+                    pad(recursive_literal.atom.args, body_sig) + pad(head.args, head_sig),
+                )
+                body = list(rest)
+                if adom_guard:
+                    guards = _adom_guards(edge_head, rest)
+                    if guards:
+                        needs_adom = True
+                        body = guards + body
+                output_rules.append(Rule(edge_head, tuple(body)))
+            else:
+                edge_head = Atom(e_name, start_node + pad(head.args, head_sig))
+                body = list(rule.body)
+                if adom_guard:
+                    guards = _adom_guards(edge_head, rule.body)
+                    if guards:
+                        needs_adom = True
+                        body = guards + body
+                output_rules.append(Rule(edge_head, tuple(body)))
+
+        # The TC rule pair for t_l (Definition 3.2 shape).
+        xs = tuple(Variable(f"X{i+1}") for i in range(side))
+        ys = tuple(Variable(f"Y{i+1}") for i in range(side))
+        zs = tuple(Variable(f"Z{i+1}") for i in range(side))
+        t_head = Atom(t_name, xs + ys)
+        output_rules.append(Rule(t_head, (Literal(Atom(e_name, xs + ys)),)))
+        output_rules.append(
+            Rule(
+                t_head,
+                (
+                    Literal(Atom(e_name, xs + zs)),
+                    Literal(Atom(t_name, zs + ys)),
+                ),
+            )
+        )
+
+        # Read-back rules r3'.
+        for predicate in members:
+            args = tuple(Variable(f"X{i+1}") for i in range(arity_of[predicate]))
+            body_atom = Atom(t_name, start_node + pad(args, signatures[predicate]))
+            output_rules.append(Rule(Atom(predicate, args), (Literal(body_atom),)))
+
+    constants = {"start": start}
+    constants.update(signatures)
+    return TranslationResult(
+        Program(output_rules),
+        recursive_components,
+        edge_predicates,
+        closure_predicates,
+        constants,
+    )
+
+
+def _split_recursive(rule, component):
+    """Return ``(recursive_literal, other_body_elements)``; error when the
+    rule has more than one recursive subgoal (not linear)."""
+    recursive = []
+    rest = []
+    for element in rule.body:
+        if (
+            isinstance(element, Literal)
+            and element.positive
+            and element.predicate in component
+        ):
+            recursive.append(element)
+        else:
+            rest.append(element)
+    if len(recursive) != 1:
+        raise NotLinearError(
+            f"rule {rule} has {len(recursive)} recursive subgoals; expected exactly 1"
+        )
+    return recursive[0], tuple(rest)
+
+
+def _adom_guards(edge_head, body):
+    """Active-domain guard literals for head variables not limited by *body*."""
+    probe = Rule(edge_head, tuple(body))
+    limited = limited_variables(probe)
+    loose = [
+        v
+        for v in _ordered_variables(edge_head.args)
+        if v not in limited and not v.is_anonymous
+    ]
+    return [Literal(Atom(ADOM_PREDICATE, (v,))) for v in loose]
+
+
+def _ordered_variables(terms):
+    seen = []
+    for term in terms:
+        if isinstance(term, Variable) and term not in seen:
+            seen.append(term)
+    return seen
+
+
+def _program_constants(program):
+    values = set()
+    for rule in program:
+        atoms = [rule.head] + [e.atom for e in rule.body if isinstance(e, Literal)]
+        for atom in atoms:
+            for term in atom.args:
+                if isinstance(term, Constant):
+                    values.add(term.value)
+    return values
+
+
+def prepare_adom(database, predicate=ADOM_PREDICATE):
+    """Return a copy of *database* with the active-domain relation added."""
+    prepared = database.copy()
+    prepared.add_facts(predicate, [(value,) for value in prepared.active_domain()])
+    return prepared
+
+
+def translate_and_check(program, **kwargs):
+    """Run Algorithm 3.1 and verify the output is STC-shaped.
+
+    Raises :class:`TranslationError` when the output fails the Definition
+    3.2 membership test (which would indicate a bug, per Theorem 3.2).
+    """
+    from repro.datalog.classify import is_stratified_tc_program
+
+    result = sl_to_stc(program, **kwargs)
+    if not is_stratified_tc_program(result.program):
+        raise TranslationError(
+            "Algorithm 3.1 produced a program outside STC-DATALOG"
+        )
+    return result

@@ -1,0 +1,168 @@
+"""STC-DATALOG -> GraphLog: the converse direction of Lemma 3.4.
+
+Lemma 3.4 sandwiches GraphLog between STC-DATALOG and SL-DATALOG; Algorithm
+3.1 closes the circle.  This module makes the ``TC = STC-DATALOG ⊆
+GRAPHLOG`` inclusion executable: every stratified TC Datalog program becomes
+a graphical query —
+
+- a TC rule pair for ``p`` with base ``p0`` (arity 2n) becomes one query
+  graph whose only pattern edge is the closure literal ``p0+`` between two
+  n-term nodes;
+- every other rule becomes a query graph with one edge per body literal
+  (first argument -> second argument, remaining arguments as edge label
+  arguments; unary literals become node annotations) and the head as the
+  distinguished edge.
+
+Composed with λ and Algorithm 3.1 this yields a full round trip
+
+    GraphLog --λ--> SL-DATALOG --Alg 3.1--> STC-DATALOG --this--> GraphLog
+
+that preserves answers (tested in ``tests/test_to_graphlog.py`` and
+exercised by the thm33 benchmark family).
+
+Shape restrictions (inherent to the edge reading of Definition 2.4):
+head and body literals need arity ≥ 1; heads of arity 1 are expressed as a
+loop edge defining the *diagonal* relation, so the caller must read unary
+answers off the diagonal (helper :func:`diagonal_projection` provided).
+"""
+
+from __future__ import annotations
+
+from repro.core.pre import Closure, Pred
+from repro.core.query_graph import GraphicalQuery, QueryGraph
+from repro.datalog.ast import Comparison, Literal
+from repro.datalog.classify import recursive_predicates, tc_base_predicates
+from repro.datalog.stratify import stratify
+from repro.datalog.terms import FreshVariables, Variable
+from repro.errors import TranslationError
+
+
+def graphlog_from_stc(program, name=None):
+    """Convert an STC-DATALOG program into an equivalent GraphicalQuery.
+
+    Raises :class:`TranslationError` when the program is not STC-shaped
+    (run Algorithm 3.1 first) or contains arity-0 literals / arithmetic.
+    Unary head predicates are encoded as diagonal loop relations named
+    ``<pred>``; read them back with :func:`diagonal_projection`.
+    """
+    stratify(program)
+    recursive = recursive_predicates(program)
+    bases = tc_base_predicates(program)
+    missing = recursive - set(bases)
+    if missing:
+        names = ", ".join(sorted(missing))
+        raise TranslationError(
+            f"predicates {names} are recursive but not TC pairs; run sl_to_stc first"
+        )
+
+    # Unary IDB heads are encoded as binary diagonal (loop) relations, so
+    # body usages of those predicates must become loop edges, not unary
+    # annotations.  Compute the set upfront for consistency.
+    unary_heads = {
+        predicate
+        for predicate in program.idb_predicates
+        if program.arity_of(predicate) == 1
+    }
+
+    graphs = []
+    for rule in program:
+        if rule.head.predicate in bases:
+            continue  # handled as one closure graph per TC predicate below
+        if rule.is_fact:
+            raise TranslationError(
+                f"ground fact {rule} cannot be drawn as a pattern; move facts "
+                f"into the extensional database"
+            )
+        graphs.append(_rule_to_graph(rule, unary_heads))
+
+    for predicate, base in sorted(bases.items()):
+        graphs.append(_tc_pair_to_graph(program, predicate, base))
+
+    query = GraphicalQuery(graphs, name=name)
+    query.validate()
+    return query, unary_heads
+
+
+def diagonal_projection(result, predicate):
+    """Read a unary predicate encoded as a loop relation: {x | (x, x)}."""
+    return {row[0] for row in result.facts(predicate) if row[0] == row[1]}
+
+
+def _rule_to_graph(rule, unary_heads):
+    """One non-TC rule as a query graph (see module docstring)."""
+    graph = QueryGraph()
+    fresh = FreshVariables(rule.variables(), prefix="C")
+    for element in rule.body:
+        if isinstance(element, Comparison):
+            _comparison_edge(graph, element, fresh)
+            continue
+        if not isinstance(element, Literal):
+            raise TranslationError(
+                f"cannot express body element {element} as a query-graph edge"
+            )
+        args = element.atom.args
+        if len(args) == 0:
+            raise TranslationError(
+                f"arity-0 literal {element} has no edge reading"
+            )
+        if len(args) == 1:
+            term = _nodeterm(args[0], fresh, graph)
+            if element.predicate in unary_heads:
+                # Defined as a diagonal loop relation: use a loop edge.
+                label = Pred(element.predicate)
+                pre = label if element.positive else ~label
+                graph.edge((term,), (term,), pre)
+            else:
+                graph.annotate(
+                    (term,), element.predicate, positive=element.positive
+                )
+            continue
+        source = (_nodeterm(args[0], fresh, graph),)
+        target = (_nodeterm(args[1], fresh, graph),)
+        label = Pred(element.predicate, args[2:])
+        pre = label if element.positive else ~label
+        graph.edge(source, target, pre)
+
+    head = rule.head
+    if head.arity == 0:
+        raise TranslationError(f"arity-0 head {head} has no edge reading")
+    if head.arity == 1:
+        term = head.args[0]
+        graph.distinguished((term,), (term,), head.predicate)
+    else:
+        graph.distinguished(
+            (head.args[0],), (head.args[1],), head.predicate, extra=head.args[2:]
+        )
+    return graph
+
+
+def _nodeterm(term, fresh, graph):
+    """Anonymous variables cannot label query-graph nodes; rename fresh."""
+    if isinstance(term, Variable) and term.is_anonymous:
+        return fresh.fresh(hint="Anon")
+    return term
+
+
+def _comparison_edge(graph, comparison, fresh):
+    from repro.core.pre import ComparisonPrimitive, Equality, Inequality
+
+    label_by_op = {
+        "==": Equality(),
+        "!=": Inequality(),
+        "<": ComparisonPrimitive("<"),
+        "<=": ComparisonPrimitive("<="),
+        ">": ComparisonPrimitive(">"),
+        ">=": ComparisonPrimitive(">="),
+    }
+    graph.edge((comparison.left,), (comparison.right,), label_by_op[comparison.op])
+
+
+def _tc_pair_to_graph(program, predicate, base):
+    arity = program.arity_of(predicate)
+    half = arity // 2
+    xs = tuple(Variable(f"X{i+1}") for i in range(half))
+    ys = tuple(Variable(f"Y{i+1}") for i in range(half))
+    graph = QueryGraph()
+    graph.edge(xs, ys, Closure(Pred(base)))
+    graph.distinguished(xs, ys, predicate)
+    return graph

@@ -1,0 +1,31 @@
+"""Rendering and answer-highlighting (the prototype's display layer)."""
+
+from repro.visual.ascii_art import (
+    render_database,
+    render_graph,
+    render_graphical_query,
+    render_query_graph,
+    render_relation,
+)
+from repro.visual.dot import graph_to_dot, graphical_query_to_dot, query_graph_to_dot
+from repro.visual.highlight import (
+    answer_union_graph,
+    answers_one_by_one,
+    highlight_rpq,
+    new_edges_graph,
+)
+
+__all__ = [
+    "answer_union_graph",
+    "answers_one_by_one",
+    "graph_to_dot",
+    "graphical_query_to_dot",
+    "highlight_rpq",
+    "new_edges_graph",
+    "query_graph_to_dot",
+    "render_database",
+    "render_graph",
+    "render_graphical_query",
+    "render_query_graph",
+    "render_relation",
+]

@@ -1,0 +1,118 @@
+"""Plain-text rendering of graphs, query graphs, and relations.
+
+The prototype displayed graphs in windows; the terminal equivalent is a
+structured text listing — compact, diff-friendly, and used by the figure
+modules to print their reproduced artifacts.
+"""
+
+from __future__ import annotations
+
+from repro.core.query_graph import GraphicalQuery, QueryGraph
+
+
+def _sort_key(value):
+    return (type(value).__name__, str(value))
+
+
+def render_graph(graph, title="graph"):
+    """A text listing: nodes (with annotations) then edges."""
+    lines = [title, "=" * len(title)]
+    for node in sorted(graph.nodes, key=_sort_key):
+        label = graph.node_label(node)
+        if label:
+            annotation = (
+                ", ".join(sorted(map(str, label)))
+                if isinstance(label, frozenset)
+                else str(label)
+            )
+            lines.append(f"  {node}  [{annotation}]")
+        else:
+            lines.append(f"  {node}")
+    lines.append("")
+    for edge in sorted(graph.edges, key=lambda e: (_sort_key(e.source), _sort_key(e.target), str(e.label))):
+        lines.append(f"  {edge.source} -[{edge.label}]-> {edge.target}")
+    return "\n".join(lines) + "\n"
+
+
+def render_query_graph(graph, title=None):
+    """A text rendering following the DSL's concrete syntax."""
+    graph.validate()
+    distinguished = graph.distinguished_edge
+    extra = (
+        "(" + ", ".join(str(t) for t in distinguished.extra) + ")"
+        if distinguished.extra
+        else ""
+    )
+    source = "(" + ", ".join(str(t) for t in distinguished.source) + ")"
+    target = "(" + ", ".join(str(t) for t in distinguished.target) + ")"
+    lines = [f"define {source} -[{distinguished.predicate}{extra}]-> {target} {{"]
+    for edge in graph.edges:
+        edge_source = "(" + ", ".join(str(t) for t in edge.source) + ")"
+        edge_target = "(" + ", ".join(str(t) for t in edge.target) + ")"
+        lines.append(f"    {edge_source} -[{edge.pre}]-> {edge_target};")
+    for summary in graph.summaries:
+        s = "(" + ", ".join(str(t) for t in summary.source) + ")"
+        t = "(" + ", ".join(str(t) for t in summary.target) + ")"
+        semiring = getattr(summary.semiring, "name", summary.semiring)
+        semiring = str(semiring).split()[0]
+        lines.append(
+            f"    {s} -[{summary.weight_predicate} @ {semiring} "
+            f"{summary.value_var}]-> {t};"
+        )
+    for annotation in graph.annotations:
+        sign = "" if annotation.positive else "~"
+        args = ", ".join(str(t) for t in annotation.node + annotation.extra)
+        lines.append(f"    {sign}{annotation.predicate}({args});")
+    lines.append("}")
+    if title:
+        lines.insert(0, f"# {title}")
+    return "\n".join(lines) + "\n"
+
+
+def render_graphical_query(query, title=None):
+    if isinstance(query, QueryGraph):
+        query = GraphicalQuery([query])
+    blocks = [render_query_graph(graph) for graph in query.graphs]
+    text = "\n".join(blocks)
+    if title:
+        text = f"# {title}\n{text}"
+    return text
+
+
+def render_relation(rows, header=None, title=None):
+    """A fixed-width table of tuples."""
+    rows = sorted(rows, key=lambda r: tuple(_sort_key(v) for v in r))
+    if not rows:
+        body = "(empty)"
+        widths = []
+    else:
+        n_columns = len(rows[0])
+        cells = [[str(v) for v in row] for row in rows]
+        widths = [max(len(row[i]) for row in cells) for i in range(n_columns)]
+        if header:
+            widths = [max(w, len(h)) for w, h in zip(widths, header)]
+        body_lines = [
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            for row in cells
+        ]
+        body = "\n".join(body_lines)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    if header and widths:
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+    lines.append(body)
+    return "\n".join(lines) + "\n"
+
+
+def render_database(database, title="database"):
+    """Every non-empty relation of a Database as tables."""
+    sections = [title, "=" * len(title), ""]
+    for predicate in sorted(database.predicates):
+        rows = database.facts(predicate)
+        if not rows:
+            continue
+        sections.append(render_relation(rows, title=f"{predicate}/{database.arity_of(predicate)}"))
+    return "\n".join(sections)

@@ -1,0 +1,134 @@
+"""Graphviz DOT rendering with the paper's visual conventions.
+
+Query graphs render as in Figure 2: closure-literal edges are *dashed*, the
+distinguished edge is *bold*, and negated edge labels are shown crossed
+(approximated as a ``¬`` prefix plus a red edge, since DOT has no
+cross-over-the-edge glyph).  Database graphs render nodes with their
+annotation predicates attached, as in Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.core.pre import Closure, Negation, Star, strip_outer_negation
+from repro.core.query_graph import GraphicalQuery, QueryGraph
+
+
+def _quote(text):
+    escaped = str(text).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def graph_to_dot(graph, name="database", highlighted_edges=()):
+    """Render a :class:`LabeledMultigraph` as DOT text.
+
+    *highlighted_edges* (edge objects) render bold red — the prototype's
+    answer-highlighting display (Figure 12).
+    """
+    highlighted = set(highlighted_edges)
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    for node in graph.nodes:
+        label = graph.node_label(node)
+        if label:
+            annotation = ",".join(sorted(map(str, label))) if isinstance(label, frozenset) else str(label)
+            lines.append(f"  {_quote(node)} [label={_quote(f'{node} : {annotation}')}];")
+        else:
+            lines.append(f"  {_quote(node)};")
+    for edge in graph.edges:
+        attrs = [f"label={_quote(edge.label)}"]
+        if edge in highlighted:
+            attrs.append("color=red")
+            attrs.append("penwidth=2.5")
+        lines.append(
+            f"  {_quote(edge.source)} -> {_quote(edge.target)} [{', '.join(attrs)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _node_id(node):
+    return "(" + ",".join(str(t) for t in node) + ")"
+
+
+def _edge_attrs(pre):
+    """DOT attributes implementing the Figure 2 conventions."""
+    inner, positive = strip_outer_negation(pre)
+    attrs = []
+    label = str(inner)
+    if not positive:
+        label = f"¬{label}"
+        attrs.append("color=red")
+    if isinstance(inner, (Closure, Star)):
+        attrs.append("style=dashed")
+    attrs.insert(0, f"label={_quote(label)}")
+    return attrs
+
+
+def query_graph_to_dot(graph, name=None, cluster_index=None):
+    """Render one query graph; standalone digraph unless clustered."""
+    graph.validate()
+    title = name or graph.name or "query"
+    body = []
+    prefix = "  "
+    # DOT node names are global across clusters; prefix them per cluster so
+    # the same variable name in two query graphs stays two nodes.
+    id_prefix = f"g{cluster_index}_" if cluster_index is not None else ""
+
+    def nid(node):
+        return id_prefix + _node_id(node)
+
+    for node in graph.nodes:
+        annotations = [
+            a.predicate if a.positive else f"¬{a.predicate}"
+            for a in graph.annotations
+            if a.node == node and not a.extra
+        ]
+        label = _node_id(node)
+        if annotations:
+            label = f"{label}\\n{', '.join(annotations)}"
+        body.append(f"{prefix}{_quote(nid(node))} [label={_quote(label)}];")
+    for edge in graph.edges:
+        attrs = _edge_attrs(edge.pre)
+        body.append(
+            f"{prefix}{_quote(nid(edge.source))} -> "
+            f"{_quote(nid(edge.target))} [{', '.join(attrs)}];"
+        )
+    for summary in graph.summaries:
+        semiring = getattr(summary.semiring, "name", summary.semiring)
+        semiring = str(semiring).split()[0]
+        label = f"{summary.weight_predicate} @ {semiring} {summary.value_var}"
+        body.append(
+            f"{prefix}{_quote(nid(summary.source))} -> "
+            f"{_quote(nid(summary.target))} "
+            f"[label={_quote(label)}, style=dotted, color=blue];"
+        )
+    distinguished = graph.distinguished_edge
+    label = distinguished.predicate
+    if distinguished.extra:
+        label += "(" + ",".join(str(t) for t in distinguished.extra) + ")"
+    body.append(
+        f"{prefix}{_quote(nid(distinguished.source))} -> "
+        f"{_quote(nid(distinguished.target))} "
+        f"[label={_quote(label)}, style=bold, penwidth=2.5];"
+    )
+    if cluster_index is None:
+        lines = [f"digraph {_quote(title)} {{", "  rankdir=LR;"]
+        lines.extend(body)
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+    lines = [f"  subgraph cluster_{cluster_index} {{", f"    label={_quote(title)};"]
+    lines.extend("  " + line for line in body)
+    lines.append("  }")
+    return "\n".join(lines)
+
+
+def graphical_query_to_dot(query, name="graphical_query"):
+    """Render a graphical query: one cluster per query graph, matching the
+    paper's 'each query graph in a separate region within the box' style."""
+    if isinstance(query, QueryGraph):
+        query = GraphicalQuery([query])
+    query.validate()
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;", "  compound=true;"]
+    for index, graph in enumerate(query.graphs):
+        lines.append(query_graph_to_dot(graph, cluster_index=index))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,93 @@
+"""Answer highlighting, as in the Section 5 prototype.
+
+The prototype offered three displays for query answers: highlight the
+qualifying paths on the database graph, view them one by one, or turn their
+union into a new graph that can itself be queried (iterative filtering).
+All three are provided here over the RPQ evaluator.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.multigraph import LabeledMultigraph
+from repro.rpq.evaluate import RPQEvaluator, default_label_key
+from repro.rpq.simple_paths import regular_simple_paths
+from repro.visual.dot import graph_to_dot
+
+
+def highlight_rpq(graph, regex, sources=None, label_key=default_label_key):
+    """Edges lying on some matching path (the highlight set) plus DOT text
+    with those edges drawn bold red (Figure 12's display)."""
+    evaluator = RPQEvaluator(graph, label_key)
+    edges = evaluator.matching_edges(regex, sources)
+    return edges, graph_to_dot(graph, highlighted_edges=edges)
+
+
+def answers_one_by_one(graph, regex, source, max_paths=10, label_key=default_label_key):
+    """Individual qualifying (simple) paths, the 'view one by one' display."""
+    return regular_simple_paths(
+        graph, regex, source, max_paths=max_paths, label_key=label_key
+    )
+
+
+def answer_union_graph(graph, regex, sources=None, label_key=default_label_key):
+    """The union of qualifying paths as a new graph (iterative filtering).
+
+    The result contains exactly the highlighted edges and their endpoints;
+    being a LabeledMultigraph it can be queried again.
+    """
+    evaluator = RPQEvaluator(graph, label_key)
+    edges = evaluator.matching_edges(regex, sources)
+    union = LabeledMultigraph()
+    for edge in edges:
+        union.add_edge(edge.source, edge.target, edge.label)
+    return union
+
+
+def highlight_graphlog(query, database, predicate, row, schema=None):
+    """Highlight the database edges justifying one GraphLog answer.
+
+    Evaluates *query* with provenance, takes the base facts supporting the
+    answer ``predicate(row)``, maps them back to edges of the database graph
+    (Section 2 encoding), and returns ``(graph, edges, dot)`` — the Section 5
+    display of qualifying paths, for arbitrary GraphLog queries.
+    """
+    from repro.core.engine import GraphLogEngine
+    from repro.datalog.provenance import why
+    from repro.graphs.bridge import GraphSchema, graph_from_database
+
+    engine = GraphLogEngine()
+    _result, provenance = engine.run_with_provenance(query, database)
+    key = (predicate, tuple(row))
+    if key not in provenance:
+        raise KeyError(f"{predicate}{tuple(row)} is not a derived answer")
+    base = why(provenance, predicate, tuple(row))
+
+    schema = schema or GraphSchema()
+    graph = graph_from_database(database)
+    wanted = set()
+    for pred, fact_row in base:
+        if pred not in database:
+            continue  # auxiliary domain facts like node(x)
+        shape = schema.shape_for(pred, len(fact_row))
+        if shape.target_arity == 0:
+            continue  # node annotations highlight no edge
+        source, target, extra = shape.split(fact_row)
+        source = source[0] if len(source) == 1 else source
+        target = target[0] if len(target) == 1 else target
+        wanted.add((source, target, pred, extra))
+    edges = {
+        edge
+        for edge in graph.edges
+        if (edge.source, edge.target, getattr(edge.label, "predicate", None),
+            getattr(edge.label, "extra", ())) in wanted
+    }
+    return graph, edges, graph_to_dot(graph, highlighted_edges=edges)
+
+
+def new_edges_graph(graph, pairs, label):
+    """Materialize query answers as new edges on a copy of the graph —
+    GraphLog's 'new edges are added whenever the pattern is found'."""
+    out = graph.copy()
+    for source, target in pairs:
+        out.add_edge(source, target, label)
+    return out

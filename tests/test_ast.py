@@ -1,0 +1,188 @@
+"""Unit tests for the Datalog AST."""
+
+import pytest
+
+from repro.datalog.ast import (
+    ArithmeticAssign,
+    Atom,
+    Comparison,
+    Literal,
+    Program,
+    Rule,
+    atom,
+    fact,
+    lit,
+    neglit,
+    rule,
+)
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ArityError
+
+
+class TestAtom:
+    def test_args_coerced(self):
+        a = Atom("p", ("X", "ann", 3))
+        assert a.args == (Variable("X"), Constant("ann"), Constant(3))
+
+    def test_arity(self):
+        assert Atom("p", ("X", "Y")).arity == 2
+        assert Atom("p").arity == 0
+
+    def test_variables(self):
+        a = Atom("p", ("X", "ann", "X"))
+        assert a.variables() == {Variable("X")}
+
+    def test_is_ground(self):
+        assert Atom("p", ("ann", 3)).is_ground()
+        assert not Atom("p", ("X",)).is_ground()
+
+    def test_substitute(self):
+        a = Atom("p", ("X", "Y"))
+        b = a.substitute({Variable("X"): Constant("ann")})
+        assert b == Atom("p", ("ann", "Y"))
+
+    def test_substitute_leaves_unbound(self):
+        a = Atom("p", ("X",))
+        assert a.substitute({}) == a
+
+    def test_str(self):
+        assert str(Atom("p", ("X", "ann"))) == "p(X, ann)"
+        assert str(Atom("q")) == "q"
+
+
+class TestLiteral:
+    def test_negate(self):
+        l = lit("p", "X")
+        assert l.negate().negative
+        assert l.negate().negate() == l
+
+    def test_str(self):
+        assert str(neglit("p", "X")) == "not p(X)"
+
+    def test_wraps_atom_only(self):
+        with pytest.raises(TypeError):
+            Literal("p")
+
+
+class TestComparison:
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Comparison("~~", "X", "Y")
+
+    def test_variables(self):
+        c = Comparison("<", "X", 3)
+        assert c.variables() == {Variable("X")}
+
+    def test_substitute(self):
+        c = Comparison("<", "X", "Y")
+        c2 = c.substitute({Variable("X"): Constant(1)})
+        assert c2.left == Constant(1)
+        assert c2.right == Variable("Y")
+
+
+class TestArithmetic:
+    def test_input_variables(self):
+        a = ArithmeticAssign("Z", "+", "X", 1)
+        assert a.input_variables() == {Variable("X")}
+        assert a.variables() == {Variable("Z"), Variable("X")}
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            ArithmeticAssign("Z", "**", "X", "Y")
+
+    def test_str_function_style(self):
+        assert str(ArithmeticAssign("Z", "max", "X", "Y")) == "Z = max(X, Y)"
+
+
+class TestRule:
+    def test_fact_detection(self):
+        assert fact("p", "ann").is_fact
+        assert not rule(atom("p", "X"), lit("q", "X")).is_fact
+
+    def test_fact_requires_ground(self):
+        with pytest.raises(ValueError):
+            fact("p", "X")
+
+    def test_body_partition(self):
+        r = rule(
+            atom("h", "X"),
+            lit("p", "X"),
+            neglit("q", "X"),
+            Comparison("<", "X", 3),
+        )
+        assert len(r.positive_literals()) == 1
+        assert len(r.negative_literals()) == 1
+        assert len(r.builtins()) == 1
+
+    def test_body_predicates(self):
+        r = rule(atom("h", "X"), lit("p", "X"), neglit("q", "X"))
+        assert r.body_predicates() == {"p", "q"}
+
+    def test_rename_variables(self):
+        r = rule(atom("h", "X"), lit("p", "X", "Y"))
+        renamed = r.rename_variables("_1")
+        assert renamed.head.args[0] == Variable("X_1")
+        assert renamed.body[0].atom.args == (Variable("X_1"), Variable("Y_1"))
+
+    def test_str_roundtrippable_shape(self):
+        r = rule(atom("h", "X"), lit("p", "X"))
+        assert str(r) == "h(X) :- p(X)."
+
+    def test_rejects_non_body_literal(self):
+        with pytest.raises(TypeError):
+            Rule(atom("h", "X"), [atom("p", "X")])
+
+
+class TestProgram:
+    def test_idb_edb_split(self):
+        p = Program([rule(atom("h", "X"), lit("p", "X"))])
+        assert p.idb_predicates == {"h"}
+        assert p.edb_predicates == {"p"}
+
+    def test_arity_check_on_init(self):
+        with pytest.raises(ArityError):
+            Program(
+                [
+                    rule(atom("h", "X"), lit("p", "X")),
+                    rule(atom("h", "X", "Y"), lit("p", "X", "Y")),
+                ]
+            )
+
+    def test_arity_check_on_add(self):
+        p = Program([rule(atom("h", "X"), lit("p", "X"))])
+        with pytest.raises(ArityError):
+            p.add(rule(atom("g", "X"), lit("p", "X", "Y")))
+
+    def test_rules_for(self):
+        p = Program(
+            [
+                rule(atom("h", "X"), lit("p", "X")),
+                rule(atom("h", "X"), lit("q", "X")),
+                rule(atom("g", "X"), lit("h", "X")),
+            ]
+        )
+        assert len(p.rules_for("h")) == 2
+        assert len(p.rules_for("g")) == 1
+
+    def test_arity_of(self):
+        p = Program([rule(atom("h", "X", "Y"), lit("p", "X", "Y"))])
+        assert p.arity_of("h") == 2
+        assert p.arity_of("p") == 2
+        with pytest.raises(KeyError):
+            p.arity_of("missing")
+
+    def test_concatenation(self):
+        p1 = Program([rule(atom("h", "X"), lit("p", "X"))])
+        p2 = Program([rule(atom("g", "X"), lit("h", "X"))])
+        assert len(p1 + p2) == 2
+
+    def test_pretty_groups_by_head(self):
+        p = Program(
+            [
+                rule(atom("a", "X"), lit("e", "X")),
+                rule(atom("b", "X"), lit("e", "X")),
+                rule(atom("a", "X"), lit("f", "X")),
+            ]
+        )
+        text = p.pretty()
+        assert text.index("a(X) :- e(X).") < text.index("a(X) :- f(X).") < text.index("b(X)")

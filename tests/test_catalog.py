@@ -1,0 +1,146 @@
+"""Tests for the query catalog: each pattern's semantics verified
+independently with plain graph computations."""
+
+import pytest
+
+from repro.core.catalog import (
+    CATALOG,
+    ancestors,
+    bottlenecks,
+    connected,
+    in_cycle,
+    reachability,
+    reachable_from,
+    same_generation,
+    siblings,
+    sources_and_sinks,
+    table_of_contents,
+)
+from repro.core.engine import GraphLogEngine
+from repro.datalog.database import Database
+from repro.graphs.closure import transitive_closure
+
+
+@pytest.fixture
+def engine():
+    return GraphLogEngine()
+
+
+def graph_db(pairs, predicate="edge"):
+    db = Database()
+    db.add_facts(predicate, pairs)
+    return db
+
+
+class TestReachability:
+    def test_matches_closure(self, engine):
+        pairs = [("a", "b"), ("b", "c"), ("x", "y")]
+        answers = engine.answers(reachability(), graph_db(pairs), "reachable")
+        assert answers == transitive_closure(set(pairs))
+
+    def test_reachable_from_constant(self, engine):
+        pairs = [("a", "b"), ("b", "c"), ("x", "y")]
+        answers = engine.answers(reachable_from("a"), graph_db(pairs), "reached")
+        assert answers == {("a", "b"), ("a", "c")}
+
+    def test_custom_edge_predicate(self, engine):
+        db = graph_db([("a", "b")], predicate="link")
+        answers = engine.answers(reachability(edge="link"), db, "reachable")
+        assert answers == {("a", "b")}
+
+
+class TestConnected:
+    def test_direction_ignored(self, engine):
+        pairs = [("a", "b"), ("c", "b")]
+        answers = engine.answers(connected(), graph_db(pairs), "connected")
+        assert ("a", "c") in answers  # a -> b <- c
+        assert ("c", "a") in answers
+
+    def test_components_separate(self, engine):
+        pairs = [("a", "b"), ("x", "y")]
+        answers = engine.answers(connected(), graph_db(pairs), "connected")
+        assert ("a", "x") not in answers
+
+
+class TestCycles:
+    def test_cycle_members(self, engine):
+        pairs = [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]
+        answers = engine.answers(in_cycle(), graph_db(pairs), "in-cycle")
+        assert {x for x, _ in answers} == {"a", "b", "c"}
+
+    def test_acyclic_empty(self, engine):
+        answers = engine.answers(in_cycle(), graph_db([("a", "b")]), "in-cycle")
+        assert answers == set()
+
+
+class TestSourcesSinks:
+    def test_chain(self, engine):
+        result = engine.run(sources_and_sinks(), graph_db([("a", "b"), ("b", "c")]))
+        assert {x for x, _ in result.facts("source")} == {"a"}
+        assert {x for x, _ in result.facts("sink")} == {"c"}
+
+    def test_cycle_has_neither(self, engine):
+        result = engine.run(sources_and_sinks(), graph_db([("a", "b"), ("b", "a")]))
+        assert not result.facts("source")
+        assert not result.facts("sink")
+
+
+class TestGenealogy:
+    FAMILY = [("g", "p1"), ("g", "p2"), ("p1", "c1"), ("p1", "c2"), ("p2", "c3")]
+
+    def test_ancestors(self, engine):
+        db = graph_db(self.FAMILY, predicate="parent")
+        answers = engine.answers(ancestors(), db, "ancestor")
+        assert ("g", "c1") in answers
+        assert ("p1", "c3") not in answers
+
+    def test_siblings(self, engine):
+        db = graph_db(self.FAMILY, predicate="parent")
+        answers = engine.answers(siblings(), db, "sibling")
+        assert ("c1", "c2") in answers and ("c2", "c1") in answers
+        assert ("c1", "c3") not in answers  # cousins, not siblings
+        assert all(x != y for x, y in answers)
+
+    def test_same_generation(self, engine):
+        db = graph_db(self.FAMILY, predicate="parent")
+        answers = engine.answers(same_generation(), db, "same-generation")
+        assert ("c1", "c3") in answers  # cousins: equal depth below g
+        assert ("p1", "p2") in answers
+        assert ("p1", "c1") not in answers
+
+    def test_same_generation_includes_self_with_parent(self, engine):
+        db = graph_db(self.FAMILY, predicate="parent")
+        answers = engine.answers(same_generation(), db, "same-generation")
+        assert ("c1", "c1") in answers
+
+
+class TestBottlenecks:
+    def test_single_path_bottleneck(self, engine):
+        # a -> t -> b and no other route: t is the bottleneck for (a, b).
+        db = graph_db([("a", "t"), ("t", "b")])
+        db.add_facts("node", [("a",), ("t",), ("b",)])
+        answers = engine.answers(bottlenecks(), db, "bottleneck")
+        assert ("a", "b", "t") in answers
+
+    def test_bypass_removes_bottleneck(self, engine):
+        db = graph_db([("a", "t"), ("t", "b"), ("a", "b")])
+        db.add_facts("node", [("a",), ("t",), ("b",)])
+        answers = engine.answers(bottlenecks(), db, "bottleneck")
+        assert ("a", "b", "t") not in answers
+
+
+class TestTableOfContents:
+    def test_reading_order(self, engine):
+        db = Database()
+        db.add_facts("contains", [("doc", "s0"), ("doc", "s1"), ("doc", "s2")])
+        db.add_facts("next", [("s0", "s1"), ("s1", "s2")])
+        answers = engine.answers(table_of_contents(), db, "toc")
+        assert ("doc", "s0", "s2") in answers
+        assert ("doc", "s0", "s0") in answers  # star includes zero steps
+
+
+class TestCatalogIndex:
+    def test_every_entry_validates(self):
+        for name, builder in CATALOG.items():
+            query = builder()
+            assert query.idb_predicates, name

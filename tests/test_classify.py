@@ -1,0 +1,151 @@
+"""Tests for program classification (Definition 3.2)."""
+
+from repro.datalog.classify import (
+    classification,
+    is_linear,
+    is_stratified_linear,
+    is_stratified_tc_program,
+    is_tc_program,
+    recursive_predicates,
+    tc_base_predicates,
+)
+from repro.datalog.parser import parse_program
+
+
+TC_TEXT = """
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+"""
+
+SG_TEXT = """
+sg(X, X) :- person(X).
+sg(X, Y) :- parent(X, Z), sg(Z, W), parent(Y, W).
+"""
+
+NONLINEAR_TEXT = """
+path(X, Y) :- e(X, Y).
+path(X, Y) :- path(X, Z), path(Z, Y).
+"""
+
+
+class TestLinear:
+    def test_tc_is_linear(self):
+        assert is_linear(parse_program(TC_TEXT))
+
+    def test_sg_is_linear(self):
+        assert is_linear(parse_program(SG_TEXT))
+
+    def test_doubling_not_linear(self):
+        assert not is_linear(parse_program(NONLINEAR_TEXT))
+
+    def test_mutual_recursion_linear(self):
+        program = parse_program(
+            """
+            even(X) :- zero(X).
+            even(Y) :- succ(X, Y), odd(X).
+            odd(Y) :- succ(X, Y), even(X).
+            """
+        )
+        assert is_linear(program)
+
+    def test_two_occurrences_of_lower_idb_still_linear(self):
+        # Multiple subgoals on a *lower* (non-recursive-with-head) IDB are
+        # fine: only same-SCC subgoals count.
+        program = parse_program(
+            """
+            base(X, Y) :- e(X, Y).
+            q(X, Y) :- base(X, Z), base(Z, Y).
+            """
+        )
+        assert is_linear(program)
+
+    def test_non_recursive_program_is_linear(self):
+        assert is_linear(parse_program("a(X) :- e(X)."))
+
+    def test_stratified_linear(self):
+        program = parse_program(
+            TC_TEXT + "out(X, Y) :- n(X), n(Y), not tc(X, Y)."
+        )
+        assert is_stratified_linear(program)
+
+
+class TestRecursivePredicates:
+    def test_simple(self):
+        assert recursive_predicates(parse_program(TC_TEXT)) == {"tc"}
+
+    def test_non_recursive(self):
+        assert recursive_predicates(parse_program("a(X) :- e(X).")) == set()
+
+    def test_mutual(self):
+        program = parse_program(
+            """
+            a(X) :- e(X).
+            a(X) :- s(X, Y), b(Y).
+            b(X) :- s(X, Y), a(Y).
+            """
+        )
+        assert recursive_predicates(program) == {"a", "b"}
+
+
+class TestTCShape:
+    def test_tc_program_detected(self):
+        assert is_tc_program(parse_program(TC_TEXT))
+        assert is_stratified_tc_program(parse_program(TC_TEXT))
+
+    def test_sg_not_tc(self):
+        assert not is_tc_program(parse_program(SG_TEXT))
+
+    def test_wide_tc(self):
+        program = parse_program(
+            """
+            t(X1, X2, Y1, Y2) :- e(X1, X2, Y1, Y2).
+            t(X1, X2, Y1, Y2) :- e(X1, X2, Z1, Z2), t(Z1, Z2, Y1, Y2).
+            """
+        )
+        assert is_tc_program(program)
+
+    def test_extra_rule_breaks_shape(self):
+        program = parse_program(
+            TC_TEXT + "tc(X, Y) :- special(X, Y)."
+        )
+        assert not is_tc_program(program)
+
+    def test_base_on_recursive_pred_rejected(self):
+        program = parse_program(
+            """
+            t(X, Y) :- t2(X, Y).
+            t(X, Y) :- t2(X, Z), t(Z, Y).
+            t2(X, Y) :- e(X, Y).
+            t2(X, Y) :- e(X, Z), t2(Z, Y).
+            """
+        )
+        assert is_tc_program(program)  # two independent TC pairs
+
+    def test_odd_arity_rejected(self):
+        program = parse_program(
+            """
+            t(X, Y, W) :- e(X, Y, W).
+            t(X, Y, W) :- e(X, Z, W), t(Z, Y, W).
+            """
+        )
+        assert not is_tc_program(program)
+
+    def test_tc_base_predicates(self):
+        assert tc_base_predicates(parse_program(TC_TEXT)) == {"tc": "e"}
+
+    def test_step_with_shared_variable_rejected(self):
+        program = parse_program(
+            """
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- e(X, X), t(X, Y).
+            """
+        )
+        assert not is_tc_program(program)
+
+
+class TestClassification:
+    def test_summary_keys(self):
+        summary = classification(parse_program(TC_TEXT))
+        assert summary["linear"] and summary["stratified"] and summary["tc"]
+        assert summary["recursive_predicates"] == ["tc"]
+        assert summary["edb"] == ["e"]

@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def facts_file(tmp_path):
+    path = tmp_path / "facts.dl"
+    path.write_text(
+        """
+        descendant(ann, bob).
+        descendant(bob, cal).
+        person(ann). person(bob). person(cal).
+        """
+    )
+    return str(path)
+
+
+@pytest.fixture
+def query_file(tmp_path):
+    path = tmp_path / "query.gl"
+    path.write_text(
+        """
+        define (P1) -[anc-of]-> (P3) {
+            (P1) -[descendant+]-> (P3);
+        }
+        """
+    )
+    return str(path)
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.dl"
+    path.write_text(
+        """
+        sg(X, X) :- person(X).
+        sg(X, Y) :- parent(X, Z), sg(Z, W), parent(Y, W).
+        """
+    )
+    return str(path)
+
+
+class TestCommands:
+    def test_figure_by_number(self, capsys):
+        assert main(["figure", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "descendant-tc" in out
+
+    def test_figure_by_name(self, capsys):
+        assert main(["figure", "fig08"]) == 0
+        assert "same generation" in capsys.readouterr().out
+
+    def test_figure_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_query(self, capsys, query_file, facts_file):
+        assert main(["query", query_file, facts_file]) == 0
+        out = capsys.readouterr().out
+        assert "anc-of (3 tuples)" in out
+        assert "ann  cal" in out
+
+    def test_query_naive_method(self, capsys, query_file, facts_file):
+        assert main(["query", query_file, facts_file, "--method", "naive"]) == 0
+        assert "anc-of (3 tuples)" in capsys.readouterr().out
+
+    def test_datalog(self, capsys, tmp_path, facts_file):
+        program = tmp_path / "p.dl"
+        program.write_text("anc(X, Y) :- descendant(X, Y).\nanc(X, Y) :- descendant(X, Z), anc(Z, Y).\n")
+        assert main(["datalog", str(program), "--data", facts_file]) == 0
+        assert "anc (3 tuples)" in capsys.readouterr().out
+
+    def test_datalog_inline_facts(self, capsys, tmp_path):
+        program = tmp_path / "p.dl"
+        program.write_text("e(a, b).\nr(X, Y) :- e(X, Y).\n")
+        assert main(["datalog", str(program)]) == 0
+        assert "r (1 tuples)" in capsys.readouterr().out
+
+    def test_translate(self, capsys, program_file):
+        assert main(["translate", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "e(c, c, c, X, X, sg)" in out
+
+    def test_rpq(self, capsys, facts_file):
+        assert main(["rpq", "descendant+", facts_file]) == 0
+        assert "pairs matching" in capsys.readouterr().out
+
+    def test_rpq_with_source(self, capsys, facts_file):
+        assert main(["rpq", "descendant+", facts_file, "--source", "ann"]) == 0
+        out = capsys.readouterr().out
+        assert "bob" in out and "cal" in out
+
+    def test_dot(self, capsys, query_file):
+        assert main(["dot", query_file]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_facts_file_with_rule_rejected(self, tmp_path, query_file):
+        bad = tmp_path / "bad.dl"
+        bad.write_text("p(X) :- q(X).")
+        with pytest.raises(SystemExit):
+            main(["query", query_file, str(bad)])
+
+
+class TestNewCommands:
+    def test_optimize(self, capsys, tmp_path):
+        program = tmp_path / "p.dl"
+        program.write_text(
+            "v(X, Y) :- a(X, Z), b(Z, Y).\nout(X, Y) :- v(X, Y), c(Y).\n"
+        )
+        assert main(["optimize", str(program), "--roots", "out"]) == 0
+        out = capsys.readouterr().out
+        assert "v(" not in out  # the view was inlined away
+        assert "out(X, Y)" in out
+
+    def test_magic(self, capsys, tmp_path, facts_file):
+        program = tmp_path / "p.dl"
+        program.write_text(
+            "anc(X, Y) :- descendant(X, Y).\n"
+            "anc(X, Y) :- descendant(X, Z), anc(Z, Y).\n"
+        )
+        assert main(["magic", str(program), "anc(ann, Y)", "--data", facts_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 answers" in out
+        assert "facts derived:" in out
+
+    def test_export(self, capsys, tmp_path, facts_file):
+        out_path = tmp_path / "g.json"
+        assert main(["export", facts_file, str(out_path)]) == 0
+        from repro.io import load_graph
+
+        graph = load_graph(out_path)
+        assert graph.edge_count() == 2  # two descendant edges

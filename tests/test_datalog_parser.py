@@ -1,0 +1,153 @@
+"""Tests for the textual Datalog parser and the shared lexer."""
+
+import pytest
+
+from repro.datalog.ast import ArithmeticAssign, Comparison, Literal
+from repro.datalog.lexer import tokenize
+from repro.datalog.parser import parse_atom, parse_program, parse_rule
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ParseError
+
+
+class TestLexer:
+    def test_kinds(self):
+        tokens = tokenize("p(X, ann, 3, 'Hi') :- q.")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            "ident", "punct", "var", "punct", "ident", "punct", "number",
+            "punct", "string", "punct", "punct", "ident", "punct", "eof",
+        ]
+
+    def test_hyphenated_identifier(self):
+        tokens = tokenize("not-desc-of")
+        assert tokens[0].kind == "ident"
+        assert tokens[0].text == "not-desc-of"
+
+    def test_hyphen_then_bracket_is_punct(self):
+        tokens = tokenize("a -[b]")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["a", "-", "[", "b", "]"]
+
+    def test_line_comments(self):
+        tokens = tokenize("p. % comment\nq. # another")
+        idents = [t.text for t in tokens if t.kind == "ident"]
+        assert idents == ["p", "q"]
+
+    def test_block_comment(self):
+        tokens = tokenize("p /* hi\nthere */ q")
+        idents = [t.text for t in tokens if t.kind == "ident"]
+        assert idents == ["p", "q"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("p('oops)")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("p /* oops")
+
+    def test_float(self):
+        tokens = tokenize("3.25")
+        assert tokens[0].value == 3.25
+
+    def test_positions(self):
+        tokens = tokenize("p\nq")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 1)
+
+    def test_string_escape(self):
+        tokens = tokenize(r"'a\'b'")
+        assert tokens[0].value == "a'b"
+
+
+class TestParseAtom:
+    def test_simple(self):
+        a = parse_atom("parent(X, ann)")
+        assert a.predicate == "parent"
+        assert a.args == (Variable("X"), Constant("ann"))
+
+    def test_zero_ary(self):
+        assert parse_atom("go").arity == 0
+
+    def test_negative_number(self):
+        assert parse_atom("p(-3)").args == (Constant(-3),)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(X) extra")
+
+
+class TestParseRule:
+    def test_fact(self):
+        r = parse_rule("parent(ann, bob).")
+        assert r.is_fact
+
+    def test_rule(self):
+        r = parse_rule("anc(X, Y) :- parent(X, Z), anc(Z, Y).")
+        assert len(r.body) == 2
+        assert r.head.predicate == "anc"
+
+    def test_negation_keyword(self):
+        r = parse_rule("p(X) :- q(X), not r(X).")
+        assert r.body[1].negative
+
+    def test_negation_punct(self):
+        for form in ("p(X) :- q(X), ~r(X).", "p(X) :- q(X), !r(X)."):
+            r = parse_rule(form)
+            assert r.body[1].negative
+
+    def test_comparison(self):
+        r = parse_rule("p(X) :- q(X), X < 10.")
+        c = r.body[1]
+        assert isinstance(c, Comparison)
+        assert c.op == "<"
+
+    def test_equality_single_equals(self):
+        r = parse_rule("p(X) :- q(X, Y), X = Y.")
+        assert r.body[1].op == "=="
+
+    def test_arithmetic(self):
+        r = parse_rule("p(Y) :- q(X), Y = X + 1.")
+        a = r.body[1]
+        assert isinstance(a, ArithmeticAssign)
+        assert a.op == "+"
+
+    def test_arithmetic_min(self):
+        r = parse_rule("p(Z) :- q(X), r(Y), Z = min(X, Y).")
+        a = r.body[2]
+        assert isinstance(a, ArithmeticAssign)
+        assert a.op == "min"
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) :- q(X)")
+
+    def test_propositional_atom_in_body(self):
+        r = parse_rule("p(X) :- q(X), flag.")
+        assert isinstance(r.body[1], Literal)
+        assert r.body[1].predicate == "flag"
+
+
+class TestParseProgram:
+    def test_multiple_rules(self):
+        p = parse_program(
+            """
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- parent(X, Z), anc(Z, Y).
+            parent(ann, bob).
+            """
+        )
+        assert len(p) == 3
+        assert p.idb_predicates == {"anc", "parent"}
+
+    def test_hyphenated_predicates(self):
+        p = parse_program("not-desc-of(X) :- some-rel(X).")
+        assert p.idb_predicates == {"not-desc-of"}
+
+    def test_empty_program(self):
+        assert len(parse_program("  % nothing\n")) == 0
+
+    def test_roundtrip_through_str(self):
+        source = "anc(X, Y) :- parent(X, Z), anc(Z, Y)."
+        p = parse_program(source)
+        assert parse_program(str(p)) == p

@@ -1,0 +1,186 @@
+"""Tests for dataset generators: determinism, schema, consistency."""
+
+from repro.datasets.airlines import figure12_database, figure12_graph, random_airline_graph
+from repro.datasets.family import (
+    chain_family,
+    example25_family,
+    figure2_family,
+    random_genealogy,
+)
+from repro.datasets.flights import figure1_database, figure1_graph, hhmm, random_flights
+from repro.datasets.hypertext import hypertext_graph, random_hypertext
+from repro.datasets.random_graphs import (
+    chain_database,
+    cycle_database,
+    layered_dag,
+    random_edge_relation,
+    random_labeled_graph,
+)
+from repro.datasets.software import figure6_database, random_callgraph
+from repro.datasets.tasks import figure11_database, random_project
+from repro.graphs.algorithms import is_acyclic
+
+
+class TestFlights:
+    def test_hhmm(self):
+        assert hhmm("21:45") == 21 * 60 + 45
+        assert hhmm("00:05") == 5
+
+    def test_figure1_schema(self):
+        db = figure1_database()
+        assert db.count("from") == db.count("to") == db.count("departure") == db.count("arrival")
+        assert db.facts("capital") == {("ottawa",), ("washington",)}
+
+    def test_flight_times_consistent(self):
+        db = figure1_database()
+        departures = dict(db.facts("departure"))
+        arrivals = dict(db.facts("arrival"))
+        for flight in departures:
+            assert departures[flight] < arrivals[flight]
+
+    def test_figure1_graph_encoding(self):
+        g = figure1_graph()
+        assert g.node_label("ottawa") == frozenset({"capital"})
+
+    def test_random_flights_deterministic(self):
+        a = random_flights(3, n_cities=5, n_flights=20)
+        b = random_flights(3, n_cities=5, n_flights=20)
+        assert a.to_dict() == b.to_dict()
+        c = random_flights(4, n_cities=5, n_flights=20)
+        assert a.to_dict() != c.to_dict()
+
+    def test_random_flights_legs_positive(self):
+        db = random_flights(1, n_flights=30)
+        departures = dict(db.facts("departure"))
+        arrivals = dict(db.facts("arrival"))
+        assert all(arrivals[f] > departures[f] for f in departures)
+
+
+class TestFamily:
+    def test_figure2_people_cover_descendants(self):
+        db = figure2_family()
+        people = {p for (p,) in db.facts("person")}
+        for a, b in db.facts("descendant"):
+            assert a in people and b in people
+
+    def test_example25_schema(self):
+        db = example25_family()
+        assert db.arity_of("mother") == 3
+        assert db.arity_of("father") == 2
+
+    def test_random_genealogy_layers(self):
+        db = random_genealogy(7, generations=3, people_per_generation=4)
+        assert db.count("person") == 12
+        # parent edges only go one generation down: graph is acyclic
+        adjacency = {}
+        for a, b in db.facts("parent"):
+            adjacency.setdefault(a, set()).add(b)
+        assert is_acyclic(adjacency)
+
+    def test_random_genealogy_deterministic(self):
+        assert random_genealogy(1).to_dict() == random_genealogy(1).to_dict()
+
+    def test_chain_family(self):
+        db = chain_family(5)
+        assert db.count("descendant") == 5
+        assert db.count("person") == 6
+
+
+class TestSoftware:
+    def test_figure6_expected_answer(self):
+        # The instance is constructed so only netd and buffers qualify.
+        from repro.figures.fig06 import reproduce
+
+        assert reproduce()["modules"] == ["buffers", "netd"]
+
+    def test_random_callgraph_separates_local_external(self):
+        db = random_callgraph(2)
+        module_of = dict(db.facts("in-module"))
+        for a, b in db.facts("calls-local"):
+            assert module_of[a] == module_of[b]
+        for a, b in db.facts("calls-extn"):
+            assert module_of.get(a) != module_of.get(b)
+
+    def test_random_callgraph_has_async_io(self):
+        db = random_callgraph(2)
+        assert any(lib == "async-io" for _f, lib in db.facts("in-library"))
+
+
+class TestTasks:
+    def test_figure11_consistent_schedule(self):
+        db = figure11_database()
+        starts = dict(db.facts("scheduled-start"))
+        durations = dict(db.facts("duration"))
+        for a, b in db.facts("affects"):
+            assert starts[b] >= starts[a] + durations[a]
+
+    def test_random_project_acyclic(self):
+        db = random_project(5)
+        adjacency = {}
+        for a, b in db.facts("affects"):
+            adjacency.setdefault(a, set()).add(b)
+        assert is_acyclic(adjacency)
+
+    def test_random_project_consistent(self):
+        db = random_project(5)
+        starts = dict(db.facts("scheduled-start"))
+        durations = dict(db.facts("duration"))
+        for a, b in db.facts("affects"):
+            assert starts[b] >= starts[a] + durations[a]
+
+
+class TestAirlines:
+    def test_figure12_rt_scale_has_answers(self):
+        from repro.figures.fig12 import rt_scale_cities
+
+        scales = rt_scale_cities(figure12_graph())
+        assert scales == {"geneva", "montreal", "toronto", "vancouver"}
+
+    def test_database_form_matches_graph(self):
+        db = figure12_database()
+        g = figure12_graph()
+        assert sum(db.count(p) for p in db.predicates) == g.edge_count()
+
+    def test_random_airline_deterministic(self):
+        assert random_airline_graph(9).edge_triples() == random_airline_graph(9).edge_triples()
+
+
+class TestHypertext:
+    def test_contains_and_next_shapes(self):
+        db = random_hypertext(3, n_documents=2, sections_per_document=3)
+        assert db.count("document") == 2
+        assert db.count("card") == 6
+        assert db.count("contains") == 6
+        assert db.count("next") == 4  # (sections-1) per document
+
+    def test_graph_form(self):
+        g = hypertext_graph(seed=3, n_documents=2, sections_per_document=3)
+        assert g.node_count() >= 8
+
+
+class TestRandomGraphs:
+    def test_chain(self):
+        db = chain_database(4)
+        assert db.count("edge") == 4
+        assert db.count("node") == 5
+
+    def test_cycle(self):
+        db = cycle_database(4)
+        assert db.count("edge") == 4
+
+    def test_layered_dag_acyclic(self):
+        db = layered_dag(1, layers=4, width=3)
+        adjacency = {}
+        for a, b in db.facts("edge"):
+            adjacency.setdefault(a, set()).add(b)
+        assert is_acyclic(adjacency)
+
+    def test_random_edge_relation_distinct(self):
+        db = random_edge_relation(1, 10, 30)
+        assert db.count("edge") == 30
+        assert all(a != b for a, b in db.facts("edge"))
+
+    def test_random_labeled_graph(self):
+        g = random_labeled_graph(1, 10, 25, labels=("a", "b"))
+        assert g.edge_count() == 25
+        assert g.labels() <= {"a", "b"}

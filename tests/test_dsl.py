@@ -1,0 +1,152 @@
+"""Tests for the textual GraphLog DSL."""
+
+import pytest
+
+from repro.core.dsl import parse_graphical_query, parse_query_graph
+from repro.core.pre import Closure, Negation, Pred, closure, neg, rel, seq, star
+from repro.datalog.terms import Constant, Variable
+from repro.errors import DependenceCycleError, ParseError, QueryGraphError
+
+
+FIG2 = """
+define (P1) -[not-desc-of(P2)]-> (P3) {
+    (P1) -[descendant+]-> (P3);
+    (P2) -[~descendant+]-> (P3);
+    person(P2);
+}
+"""
+
+
+class TestSingleGraph:
+    def test_figure2_shape(self):
+        g = parse_query_graph(FIG2)
+        assert g.head_predicate == "not-desc-of"
+        assert len(g.edges) == 2
+        assert len(g.annotations) == 1
+        assert g.distinguished_edge.extra == (Variable("P2"),)
+
+    def test_edge_labels(self):
+        g = parse_query_graph(FIG2)
+        assert g.edges[0].pre == closure("descendant")
+        assert g.edges[1].pre == neg(closure("descendant"))
+
+    def test_reverse_arrow(self):
+        g = parse_query_graph(
+            """
+            define (C) -[origin]-> (F) {
+                (C) <-[from]- (F);
+            }
+            """
+        )
+        edge = g.edges[0]
+        assert edge.source == (Variable("F"),)
+        assert edge.target == (Variable("C"),)
+
+    def test_edge_chain(self):
+        g = parse_query_graph(
+            """
+            define (X) -[out]-> (Z) {
+                (X) -[a]-> (Y) -[b]-> (Z);
+            }
+            """
+        )
+        assert len(g.edges) == 2
+        assert g.edges[0].target == g.edges[1].source
+
+    def test_multi_term_nodes(self):
+        g = parse_query_graph(
+            """
+            define (X, Y) -[out]-> (U, V) {
+                (X, Y) -[sg+]-> (U, V);
+            }
+            """
+        )
+        assert g.edges[0].pre == closure("sg")
+        assert g.distinguished_edge.arity == 4
+
+    def test_constant_node(self):
+        g = parse_query_graph(
+            """
+            define (P) -[tor]-> (P) {
+                (P) -[residence]-> (toronto);
+            }
+            """
+        )
+        assert (Constant("toronto"),) in g.nodes
+
+    def test_negated_annotation(self):
+        g = parse_query_graph(
+            """
+            define (X) -[out]-> (X) {
+                (X) -[e]-> (Y);
+                ~vip(X);
+            }
+            """
+        )
+        assert not g.annotations[0].positive
+
+    def test_trailing_semicolon_optional(self):
+        g = parse_query_graph(
+            "define (X) -[o]-> (Y) { (X) -[e]-> (Y) }"
+        )
+        assert len(g.edges) == 1
+
+    def test_validation_runs(self):
+        with pytest.raises(QueryGraphError):
+            parse_query_graph("define (X) -[o]-> (Y) { }")
+
+
+class TestMultipleGraphs:
+    def test_two_defines(self):
+        q = parse_graphical_query(
+            """
+            define (F1) -[feasible]-> (F2) {
+                (F1) -[leg]-> (F2);
+            }
+            define (C1) -[conn]-> (C2) {
+                (C1) -[feasible+]-> (C2);
+            }
+            """
+        )
+        assert len(q) == 2
+        assert q.idb_predicates == {"feasible", "conn"}
+
+    def test_cycle_detected(self):
+        with pytest.raises(DependenceCycleError):
+            parse_graphical_query(
+                """
+                define (X) -[a]-> (Y) { (X) -[b]-> (Y); }
+                define (X) -[b]-> (Y) { (X) -[a]-> (Y); }
+                """
+            )
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ParseError):
+            parse_graphical_query("   ")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query_graph(FIG2 + " extra tokens")
+
+    def test_comments_allowed(self):
+        q = parse_graphical_query(
+            """
+            % the figure 2 query
+            define (P1) -[d]-> (P3) {
+                (P1) -[descendant+]-> (P3);  # a comment
+            }
+            """
+        )
+        assert len(q) == 1
+
+
+class TestRoundTrip:
+    def test_render_then_parse(self):
+        from repro.visual.ascii_art import render_graphical_query
+
+        q = parse_graphical_query(FIG2)
+        text = render_graphical_query(q)
+        q2 = parse_graphical_query(text)
+        assert q2.idb_predicates == q.idb_predicates
+        assert len(q2.graphs[0].edges) == len(q.graphs[0].edges)
+        assert q2.graphs[0].edges[0].pre == q.graphs[0].edges[0].pre

@@ -1,0 +1,168 @@
+"""Tests that every paper figure reproduces with the expected content."""
+
+import pytest
+
+from repro.figures import ALL_FIGURES, fig01, fig02, fig03, fig04, fig05, fig06
+from repro.figures import fig07, fig08, fig09, fig10, fig11, fig12
+
+
+class TestAllFigures:
+    @pytest.mark.parametrize("name", sorted(ALL_FIGURES))
+    def test_render_produces_text(self, name):
+        text = ALL_FIGURES[name].render()
+        assert isinstance(text, str) and len(text) > 20
+
+
+class TestFig01:
+    def test_graph_shape(self):
+        artifacts = fig01.reproduce()
+        graph = artifacts["graph"]
+        assert graph.node_label("ottawa") == frozenset({"capital"})
+        # flights appear as nodes connected by from/to edges
+        assert graph.has_node(21)
+
+    def test_database_relations(self):
+        db = fig01.reproduce()["database"]
+        assert {"from", "to", "departure", "arrival", "capital"} <= db.predicates
+
+
+class TestFig02:
+    def test_answers(self):
+        artifacts = fig02.reproduce()
+        answers = artifacts["answers"]
+        # dora descends from adam (via beth) but not from gina.
+        assert ("adam", "dora", "gina") in answers
+        # beth descends from adam, so (.., beth, adam) never appears.
+        assert all(not (p3 == "beth" and p2 == "adam") for _p1, p3, p2 in answers)
+
+    def test_query_structure(self):
+        q = fig02.query()
+        graph = q.graphs[0]
+        assert graph.head_predicate == "not-desc-of"
+        assert len(graph.edges) == 2
+
+
+class TestFig03:
+    def test_matches_paper_program(self):
+        text = fig03.reproduce()["text"]
+        assert (
+            "not-desc-of(P1, P3, P2) :- descendant-tc(P1, P3), "
+            "not descendant-tc(P2, P3), person(P2)." in text
+        )
+        assert text.count("descendant-tc") >= 4  # head + bodies of TC pair
+
+    def test_predicates(self):
+        assert fig03.reproduce()["predicates"] == ["descendant-tc", "not-desc-of"]
+
+
+class TestFig04:
+    def test_feasible_requires_time_order(self):
+        artifacts = fig04.reproduce()
+        feasible = artifacts["feasible"]
+        db = artifacts["database"]
+        arrivals = dict(db.facts("arrival"))
+        departures = dict(db.facts("departure"))
+        to_city = dict(db.facts("to"))
+        from_city = dict(db.facts("from"))
+        for f1, f2 in feasible:
+            assert to_city[f1] == from_city[f2]
+            assert arrivals[f1] < departures[f2]
+
+    def test_stop_connected_needs_two_flights(self):
+        artifacts = fig04.reproduce()
+        # toronto -> ottawa is a single direct flight (21); with at least two
+        # feasible flights the pair (toronto, ottawa) requires a real chain.
+        stop = artifacts["stop_connected"]
+        assert ("toronto", "montreal") in stop  # 21 then 32
+        assert ("toronto", "ottawa") not in stop  # only direct
+
+
+class TestFig05:
+    def test_answers_include_self_and_ancestors_friends(self):
+        answers = fig05.reproduce()["answers"]
+        mine = {p2 for p1, p2 in answers if p1 == "me"}
+        # me's own friend carol (zero-step star), father's friend alice,
+        # grandfather's friend dave lives in montreal (excluded),
+        # grandmother nora's friend erin (toronto, included).
+        assert mine == {"carol", "alice", "erin"}
+
+    def test_ottawa_friend_excluded(self):
+        answers = fig05.reproduce()["answers"]
+        assert all(p2 != "bob" for _p1, p2 in answers)
+
+
+class TestFig06:
+    def test_expected_modules(self):
+        assert fig06.reproduce()["modules"] == ["buffers", "netd"]
+
+    def test_logger_circle_without_library_excluded(self):
+        assert "logger" not in fig06.reproduce()["modules"]
+        assert "shell" not in fig06.reproduce()["modules"]
+
+
+class TestFig07:
+    def test_trace_structure(self):
+        artifacts = fig07.reproduce()
+        assert artifacts["steps"][0]["component"] == ["sg"]
+        assert artifacts["constants"]["start"] == "c"
+
+
+class TestFig08:
+    def test_classification(self):
+        flags = fig08.reproduce()["classification"]
+        assert flags["linear"] and flags["stratified"] and not flags["tc"]
+
+
+class TestFig09:
+    def test_output_stc_and_equivalent(self):
+        artifacts = fig09.reproduce()
+        assert artifacts["is_stc"]
+        assert artifacts["equivalent_on_sample"], artifacts["differences"]
+
+    def test_signature_constant_is_sg(self):
+        text = fig09.reproduce()["text"]
+        assert "e(c, c, c, X, X, sg)" in text
+
+
+class TestFig10:
+    def test_all_checks_pass(self):
+        artifacts = fig10.reproduce()
+        assert artifacts["all_pass"], artifacts["checks"]
+
+
+class TestFig11:
+    def test_earlier_start_longest_sums(self):
+        earlier = fig11.reproduce()["earlier_start"]
+        # design -> integrate: max(build-ui 8, build-core 12) + 4 = 16
+        assert earlier[("design", "integrate")] == 16
+        # design -> ship: 12 + 4 + 6 + 1 = 23
+        assert earlier[("design", "ship")] == 23
+
+    def test_delay_propagation(self):
+        artifacts = fig11.reproduce(task="design", delay=7)
+        delayed = artifacts["delayed"]
+        # design start 0, duration 5, delay 7 -> finishes 12;
+        # build-core may then start at 12 (was 5).
+        assert delayed["build-core"] == 12
+
+    def test_no_impact_without_delay(self):
+        from repro.figures.fig11 import delayed_start
+        from repro.datasets.tasks import figure11_database
+
+        assert delayed_start(figure11_database(), "design", 0) == {}
+
+
+class TestFig12:
+    def test_scale_cities(self):
+        artifacts = fig12.reproduce()
+        assert artifacts["scales"] == ["geneva", "montreal", "toronto", "vancouver"]
+
+    def test_result_graph_has_loops(self):
+        result_graph = fig12.reproduce()["result_graph"]
+        assert result_graph.has_edge("geneva", "geneva", "RT-scale")
+
+    def test_highlight_only_cp(self):
+        dot = fig12.reproduce()["highlight_dot"]
+        for line in dot.splitlines():
+            if "color=red" in line:
+                assert "CP" in line

@@ -1,0 +1,305 @@
+"""Tests for FO+TC formulas, evaluation, reachability, and the STC -> TC
+translation (Lemma 3.3 / Theorem 3.3)."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Variable
+from repro.errors import FormulaError, TranslationError
+from repro.fo_tc.evaluate import Structure, answers, holds
+from repro.fo_tc.formulas import (
+    And,
+    Compare,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    PredAtom,
+    TCApp,
+    count_tc_operators,
+    is_existential,
+    is_positive_tc,
+    pred,
+    tc,
+)
+from repro.fo_tc.from_stc import stc_to_tc
+from repro.fo_tc.reachability import (
+    peak_frontier_size,
+    tc_holds,
+    tc_reachable_set,
+    tc_relation,
+)
+
+
+@pytest.fixture
+def chain():
+    db = Database()
+    db.add_facts("edge", [(f"n{i}", f"n{i+1}") for i in range(4)])
+    return Structure.from_database(db)
+
+
+X, Y, U, V = (Variable(n) for n in "XYUV")
+
+
+class TestFOEvaluation:
+    def test_atom(self, chain):
+        assert holds(pred("edge", "n0", "n1"), chain)
+        assert not holds(pred("edge", "n1", "n0"), chain)
+
+    def test_connectives(self, chain):
+        f = And(pred("edge", "n0", "n1"), Not(pred("edge", "n1", "n0")))
+        assert holds(f, chain)
+        assert holds(Or(pred("edge", "n9", "n0"), pred("edge", "n0", "n1")), chain)
+
+    def test_exists(self, chain):
+        assert holds(Exists([Y], pred("edge", "n0", Y)), chain)
+        assert not holds(Exists([Y], pred("edge", "n4", Y)), chain)
+
+    def test_forall(self, chain):
+        # every node with an outgoing edge goes "up" the chain
+        f = Forall([X], Or(Not(pred("edge", X, "n1")), Compare("==", X, "n0")))
+        assert holds(f, chain)
+
+    def test_comparison_mixed_types_fall_back(self):
+        db = Database()
+        db.add_facts("v", [(1,), ("a",)])
+        structure = Structure.from_database(db)
+        assert holds(
+            Exists([X, Y], And(pred("v", X), pred("v", Y), Compare("!=", X, Y))),
+            structure,
+        )
+
+    def test_unassigned_free_variable_raises(self, chain):
+        with pytest.raises(FormulaError):
+            holds(pred("edge", X, Y), chain)
+
+    def test_answers(self, chain):
+        result = answers(pred("edge", X, Y), chain, (X, Y))
+        assert ("n0", "n1") in result
+        assert len(result) == 4
+
+    def test_answers_missing_variable_rejected(self, chain):
+        with pytest.raises(FormulaError):
+            answers(pred("edge", X, Y), chain, (X,))
+
+
+class TestTCOperator:
+    def test_reachability(self, chain):
+        f = tc((U,), (V,), pred("edge", U, V), (X,), (Y,))
+        result = answers(f, chain, (X, Y))
+        assert ("n0", "n4") in result
+        assert len(result) == 10
+
+    def test_tc_is_one_or_more_steps(self, chain):
+        f = tc((U,), (V,), pred("edge", U, V), ("n0",), ("n0",))
+        assert not holds(f, chain)
+
+    def test_tc_with_parameter(self, chain):
+        # phi(u,v) = edge(u,v) and v != P : closure avoiding node P.
+        P = Variable("P")
+        phi = And(pred("edge", U, V), Compare("!=", V, P))
+        f = tc((U,), (V,), phi, (X,), (Y,))
+        result = answers(f, chain, (X, Y, P))
+        assert ("n0", "n4", "n1") not in result  # path passes through n1
+        assert ("n0", "n1", "n3") in result
+
+    def test_tc_negated(self, chain):
+        f = Not(tc((U,), (V,), pred("edge", U, V), ("n4",), ("n0",)))
+        assert holds(f, chain)
+
+    def test_tc_width_two(self):
+        db = Database()
+        db.add_facts("sg", [("a", "b", "c", "d"), ("c", "d", "e", "f")])
+        structure = Structure.from_database(db)
+        us = (Variable("U1"), Variable("U2"))
+        vs = (Variable("V1"), Variable("V2"))
+        f = tc(us, vs, pred("sg", *us, *vs), ("a", "b"), ("e", "f"))
+        assert holds(f, structure)
+
+    def test_tc_vector_validation(self):
+        with pytest.raises(FormulaError):
+            TCApp((U,), (U,), pred("e", U, U), (X,), (Y,))
+        with pytest.raises(FormulaError):
+            TCApp((U,), (V,), pred("e", U, V), (X, Y), (Y,))
+
+    def test_substitution_capture_avoided(self):
+        f = Exists([Y], pred("edge", X, Y))
+        g = f.substitute({X: Y})  # Y must not be captured
+        assert holds(
+            g,
+            Structure.from_database(
+                Database.from_facts({"edge": [("a", "b")]})
+            ),
+            {Y: "a"},
+        )
+
+    def test_flags(self):
+        inner = pred("edge", U, V)
+        positive = tc((U,), (V,), inner, (X,), (Y,))
+        assert is_positive_tc(positive)
+        assert not is_positive_tc(Not(positive))
+        assert is_existential(Exists([X], pred("p", X)))
+        assert not is_existential(Not(pred("p", X)))
+        assert count_tc_operators(And(positive, positive)) == 2
+
+
+class TestReachabilityKernels:
+    def edge_oracle(self, pairs):
+        pairs = set(pairs)
+        return lambda u, v: (u[0], v[0]) in pairs
+
+    def test_tc_holds(self):
+        edge = self.edge_oracle([("a", "b"), ("b", "c")])
+        assert tc_holds(["a", "b", "c"], 1, ("a",), ("c",), edge)
+        assert not tc_holds(["a", "b", "c"], 1, ("c",), ("a",), edge)
+
+    def test_reachable_set(self):
+        edge = self.edge_oracle([("a", "b"), ("b", "c")])
+        assert tc_reachable_set(["a", "b", "c"], 1, ("a",), edge) == {("b",), ("c",)}
+
+    def test_tc_relation_matches_holds(self):
+        pairs = [("a", "b"), ("b", "c"), ("c", "a")]
+        edge = self.edge_oracle(pairs)
+        domain = ["a", "b", "c"]
+        relation = tc_relation(domain, 1, edge)
+        for u in domain:
+            for v in domain:
+                assert (((u,), (v,)) in relation) == tc_holds(
+                    domain, 1, (u,), (v,), edge
+                )
+
+    def test_frontier_stays_small_on_chain(self):
+        n = 40
+        pairs = [(f"n{i}", f"n{i+1}") for i in range(n)]
+        edge = self.edge_oracle(pairs)
+        domain = [f"n{i}" for i in range(n + 1)]
+        reached, peak = peak_frontier_size(domain, 1, ("n0",), edge)
+        assert reached == n
+        assert peak <= 2  # the NLOGSPACE flavour: frontier is O(1) on a chain
+
+
+class TestSTCToTC:
+    def test_tc_pair_becomes_tc_operator(self):
+        program = parse_program(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+            """
+        )
+        queries = stc_to_tc(program)
+        assert count_tc_operators(queries["tc"].formula) == 1
+
+    def test_non_tc_recursion_rejected(self):
+        with pytest.raises(TranslationError):
+            stc_to_tc(
+                parse_program(
+                    """
+                    sg(X, X) :- person(X).
+                    sg(X, Y) :- parent(X, Z), sg(Z, W), parent(Y, W).
+                    """
+                )
+            )
+
+    def test_arithmetic_rejected(self):
+        with pytest.raises(TranslationError):
+            stc_to_tc(parse_program("p(Y) :- e(X), Y = X + 1."))
+
+    @pytest.mark.parametrize(
+        "program_text,edb",
+        [
+            (
+                """
+                tc(X, Y) :- e(X, Y).
+                tc(X, Y) :- e(X, Z), tc(Z, Y).
+                far(X, Y) :- tc(X, Y), not e(X, Y).
+                """,
+                {"e": [("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")]},
+            ),
+            (
+                """
+                two(X, Y) :- e(X, Z), e(Z, Y).
+                t2(X, Y) :- two(X, Y).
+                t2(X, Y) :- two(X, Z), t2(Z, Y).
+                """,
+                {"e": [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]},
+            ),
+            (
+                """
+                head(X) :- e(X, a).
+                pick(X, Y) :- e(X, Y), head(X).
+                """,
+                {"e": [("a", "b"), ("b", "a"), ("c", "a")]},
+            ),
+        ],
+    )
+    def test_formula_matches_datalog(self, program_text, edb):
+        program = parse_program(program_text)
+        db = Database.from_facts(edb)
+        expected = evaluate(program, db)
+        structure = Structure.from_database(db)
+        queries = stc_to_tc(program)
+        for predicate, tc_query in queries.items():
+            got = answers(tc_query.formula, structure, tc_query.parameters)
+            assert got == set(expected.facts(predicate)), predicate
+
+    def test_repeated_head_variables(self):
+        program = parse_program("d(X, X) :- v(X).")
+        db = Database.from_facts({"v": [("a",), ("b",)]})
+        queries = stc_to_tc(program)
+        structure = Structure.from_database(db)
+        got = answers(queries["d"].formula, structure, queries["d"].parameters)
+        assert got == {("a", "a"), ("b", "b")}
+
+    def test_constants_in_head(self):
+        program = parse_program("t(marker, X) :- v(X).")
+        db = Database.from_facts({"v": [("a",), ("marker",)]})
+        queries = stc_to_tc(program)
+        structure = Structure.from_database(db)
+        got = answers(queries["t"].formula, structure, queries["t"].parameters)
+        assert got == {("marker", "a"), ("marker", "marker")}
+
+    def test_instantiate_arity_checked(self):
+        program = parse_program("p(X) :- v(X).")
+        queries = stc_to_tc(program)
+        with pytest.raises(TranslationError):
+            queries["p"].instantiate(("a", "b"))
+
+
+class TestQuantifierTCInterplay:
+    def test_forall_over_tc(self, chain):
+        # every node that reaches n4 does so via edges: trivially true;
+        # check the universal evaluates over the whole active domain.
+        f = Forall(
+            [X],
+            Or(
+                Not(tc((U,), (V,), pred("edge", U, V), (X,), ("n4",))),
+                tc((U,), (V,), pred("edge", U, V), (X,), ("n4",)),
+            ),
+        )
+        assert holds(f, chain)
+
+    def test_exists_binding_feeds_tc(self, chain):
+        # some node X reaches n4 and has an edge out of n0 into it
+        f = Exists(
+            [X],
+            And(
+                pred("edge", "n0", X),
+                tc((U,), (V,), pred("edge", U, V), (X,), ("n4",)),
+            ),
+        )
+        assert holds(f, chain)
+
+    def test_nested_tc_in_phi(self, chain):
+        # TC whose step relation is itself a TC: edge+ composed = still edge+
+        inner = tc((U,), (V,), pred("edge", U, V), (Variable("A"),), (Variable("B"),))
+        outer = tc(
+            (Variable("A"),), (Variable("B"),), inner, ("n0",), ("n4",)
+        )
+        assert holds(outer, chain)
+
+    def test_structure_from_explicit_relations(self):
+        structure = Structure(domain=["a", "b"], relations={"r": [("a", "b")]})
+        assert holds(pred("r", "a", "b"), structure)
+        assert not holds(pred("r", "b", "a"), structure)

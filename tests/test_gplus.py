@@ -1,0 +1,153 @@
+"""Tests for the G+ compatibility layer."""
+
+import pytest
+
+from repro.datalog.terms import Variable
+from repro.datasets.airlines import figure12_graph
+from repro.errors import QueryGraphError
+from repro.gplus import GPlusEngine, GPlusQuery, evaluate_gplus
+from repro.graphs.multigraph import LabeledMultigraph
+
+C = Variable("C")
+X = Variable("X")
+Y = Variable("Y")
+
+
+def rt_scale_query():
+    q = GPlusQuery("rt-scale")
+    q.pattern("rome", "C", "CP+")
+    q.pattern("C", "tokyo", "CP+")
+    q.summary("C", "C", "RT-scale")
+    return q
+
+
+class TestValidation:
+    def test_needs_pattern(self):
+        with pytest.raises(QueryGraphError):
+            GPlusQuery().validate()
+
+    def test_summary_variables_must_occur(self):
+        q = GPlusQuery()
+        q.pattern("a", "X", "r")
+        q.summary("X", "Z", "out")
+        with pytest.raises(QueryGraphError):
+            q.validate()
+
+    def test_variables_ordered(self):
+        q = GPlusQuery()
+        q.pattern("X", "Y", "r")
+        q.pattern("Y", "Z", "s")
+        assert [v.name for v in q.variables()] == ["X", "Y", "Z"]
+
+
+class TestEvaluation:
+    def test_figure12_rt_scale(self):
+        engine = GPlusEngine(figure12_graph())
+        bindings = engine.bindings(rt_scale_query())
+        cities = sorted(b[C] for b in bindings)
+        assert cities == ["geneva", "montreal", "toronto", "vancouver"]
+
+    def test_summary_graph_loops(self):
+        _bindings, summary = evaluate_gplus(figure12_graph(), rt_scale_query())
+        assert summary.has_edge("geneva", "geneva", "RT-scale")
+        assert summary.edge_count() == 4
+
+    def test_constant_to_constant(self):
+        q = GPlusQuery()
+        q.pattern("rome", "tokyo", "CP+")
+        engine = GPlusEngine(figure12_graph())
+        assert len(engine.bindings(q)) == 1  # the empty binding: it holds
+
+    def test_unsatisfiable(self):
+        q = GPlusQuery()
+        q.pattern("tokyo", "rome", "CP+")
+        engine = GPlusEngine(figure12_graph())
+        assert engine.bindings(q) == []
+
+    def test_join_across_edges(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        g.add_edge("b", "c", "y")
+        g.add_edge("a", "d", "x")  # d has no outgoing y
+        q = GPlusQuery()
+        q.pattern("X", "Y", "x")
+        q.pattern("Y", "Z", "y")
+        engine = GPlusEngine(g)
+        bindings = engine.bindings(q)
+        assert len(bindings) == 1
+        assert bindings[0][Variable("Y")] == "b"
+
+    def test_witness_paths(self):
+        engine = GPlusEngine(figure12_graph())
+        bindings = engine.bindings(rt_scale_query())
+        binding = next(b for b in bindings if b[C] == "montreal")
+        first, second = engine.witness_paths(rt_scale_query(), binding)
+        assert [e.label for e in first] == ["CP", "CP"]
+        assert first[-1].target == "montreal"
+        assert second[0].source == "montreal"
+
+    def test_simple_path_answers_subset(self):
+        engine = GPlusEngine(figure12_graph())
+        all_bindings = engine.bindings(rt_scale_query())
+        simple = engine.simple_path_answers(rt_scale_query())
+        keys = lambda bs: {tuple(sorted((v.name, b[v]) for v in b)) for b in bs}
+        assert keys(simple) <= keys(all_bindings)
+        # On this acyclic CP subgraph every answer is simply witnessed.
+        assert keys(simple) == keys(all_bindings)
+
+    def test_inverted_symbol_pattern(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        q = GPlusQuery()
+        q.pattern("b", "Y", "-x")
+        engine = GPlusEngine(g)
+        bindings = engine.bindings(q)
+        assert [b[Y] for b in bindings] == ["a"]
+
+
+class TestEngineInternals:
+    def test_unpinned_source_pattern(self):
+        # The first edge's source variable is unpinned: full pairs scan.
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        g.add_edge("c", "b", "x")
+        q = GPlusQuery()
+        q.pattern("X", "b", "x")
+        engine = GPlusEngine(g)
+        assert {b[X] for b in engine.bindings(q)} == {"a", "c"}
+
+    def test_shared_variable_three_edges(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "m", "x")
+        g.add_edge("m", "b", "y")
+        g.add_edge("m", "c", "z")
+        q = GPlusQuery()
+        q.pattern("a", "M", "x")
+        q.pattern("M", "B", "y")
+        q.pattern("M", "C", "z")
+        engine = GPlusEngine(g)
+        bindings = engine.bindings(q)
+        assert len(bindings) == 1
+        binding = bindings[0]
+        assert binding[Variable("M")] == "m"
+        assert binding[Variable("B")] == "b"
+        assert binding[Variable("C")] == "c"
+
+    def test_summary_with_constants_only(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        q = GPlusQuery()
+        q.pattern("a", "b", "x")
+        q.summary("a", "b", "hit")
+        engine = GPlusEngine(g)
+        summary = engine.summary_graph(q)
+        assert summary.has_edge("a", "b", "hit")
+
+    def test_same_variable_source_and_target(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "a", "x")
+        g.add_edge("a", "b", "x")
+        q = GPlusQuery()
+        q.pattern("X", "X", "x")
+        engine = GPlusEngine(g)
+        assert {b[X] for b in engine.bindings(q)} == {"a"}

@@ -1,0 +1,240 @@
+"""Tests for the graph data model: multigraphs, bridge, algorithms, closure."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.graphs.algorithms import (
+    condensation,
+    is_acyclic,
+    reachable_from,
+    shortest_path_lengths,
+    strongly_connected_components,
+    topological_sort,
+)
+from repro.graphs.bridge import (
+    EdgeLabel,
+    GraphSchema,
+    PredicateShape,
+    database_from_graph,
+    graph_from_database,
+    node_relation,
+)
+from repro.graphs.closure import (
+    closure_methods,
+    reflexive_transitive_closure,
+    transitive_closure,
+)
+from repro.graphs.multigraph import LabeledMultigraph
+
+
+class TestMultigraph:
+    def test_parallel_edges_distinct(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        g.add_edge("a", "b", "x")
+        assert g.edge_count() == 2
+        assert len(g.edge_triples()) == 1  # identities collapse in triples
+
+    def test_adjacency_by_label(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        g.add_edge("a", "c", "y")
+        assert g.adjacency("x")["a"] == {"b"}
+        assert g.adjacency()["a"] == {"b", "c"}
+
+    def test_remove_edge_updates_indexes(self):
+        g = LabeledMultigraph()
+        e = g.add_edge("a", "b", "x")
+        g.remove_edge(e)
+        assert g.edge_count() == 0
+        assert g.successors("a") == set()
+        assert g.edges_with_label("x") == []
+
+    def test_remove_node_cascades(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        g.add_edge("b", "c", "y")
+        g.remove_node("b")
+        assert g.edge_count() == 0
+        assert not g.has_node("b")
+
+    def test_isolated_nodes(self):
+        g = LabeledMultigraph()
+        g.add_node("lonely")
+        g.add_edge("a", "b", "x")
+        assert g.isolated_nodes() == {"lonely"}
+
+    def test_subgraph(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        g.add_edge("b", "c", "y")
+        sub = g.subgraph({"a", "b"})
+        assert sub.edge_count() == 1
+        assert sub.has_edge("a", "b", "x")
+
+    def test_reverse(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        assert g.reverse().has_edge("b", "a", "x")
+
+    def test_copy_independent(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        clone = g.copy()
+        clone.add_edge("b", "c", "y")
+        assert g.edge_count() == 1
+
+    def test_node_labels(self):
+        g = LabeledMultigraph()
+        g.add_node("a", label="capital")
+        assert g.node_label("a") == "capital"
+        g.set_node_label("a", "city")
+        assert g.node_label("a") == "city"
+
+    def test_equality_by_structure(self):
+        g1 = LabeledMultigraph()
+        g1.add_edge("a", "b", "x")
+        g2 = LabeledMultigraph()
+        g2.add_edge("a", "b", "x")
+        assert g1 == g2
+
+
+class TestBridge:
+    def test_binary_predicate_becomes_edge(self):
+        db = Database.from_facts({"knows": [("a", "b")]})
+        g = graph_from_database(db)
+        assert g.has_edge("a", "b", EdgeLabel("knows"))
+
+    def test_unary_predicate_annotates_node(self):
+        db = Database.from_facts({"knows": [("a", "b")], "vip": [("a",)]})
+        g = graph_from_database(db)
+        assert g.node_label("a") == frozenset({"vip"})
+
+    def test_wide_predicate_extra_becomes_label_args(self):
+        db = Database.from_facts({"flight": [("tor", "ott", 800, 900)]})
+        g = graph_from_database(db)
+        assert g.has_edge("tor", "ott", EdgeLabel("flight", (800, 900)))
+
+    def test_roundtrip(self):
+        db = Database.from_facts(
+            {
+                "knows": [("a", "b"), ("b", "c")],
+                "vip": [("a",)],
+                "flight": [("x", "y", 1)],
+            }
+        )
+        back = database_from_graph(graph_from_database(db))
+        assert back == db
+
+    def test_custom_shape(self):
+        schema = GraphSchema().declare("m", 2, 1, 0)
+        db = Database.from_facts({"m": [("a", "b", "c")]})
+        g = graph_from_database(db, schema)
+        assert g.has_edge(("a", "b"), "c", EdgeLabel("m"))
+
+    def test_shape_mismatch_raises(self):
+        schema = GraphSchema().declare("m", 1, 1, 0)
+        db = Database.from_facts({"m": [("a", "b", "c")]})
+        with pytest.raises(ValueError):
+            graph_from_database(db, schema)
+
+    def test_shape_split_join_inverse(self):
+        shape = PredicateShape(1, 2, 1)
+        row = ("a", "b", "c", "w")
+        assert shape.join(*shape.split(row)) == row
+
+    def test_node_relation(self):
+        db = Database.from_facts({"e": [("a", "b")]})
+        node_relation(db)
+        assert db.facts("node") == {("a",), ("b",)}
+
+
+class TestAlgorithms:
+    def test_scc(self):
+        adjacency = {"a": {"b"}, "b": {"a", "c"}, "c": set()}
+        comps = strongly_connected_components(adjacency)
+        assert frozenset({"a", "b"}) in comps
+        assert frozenset({"c"}) in comps
+
+    def test_condensation_dag(self):
+        adjacency = {"a": {"b"}, "b": {"a", "c"}, "c": set()}
+        comps, cadj = condensation(adjacency)
+        ab = comps.index(frozenset({"a", "b"}))
+        c = comps.index(frozenset({"c"}))
+        assert cadj[ab] == {c}
+
+    def test_topological_sort(self):
+        order = topological_sort({"a": {"b"}, "b": {"c"}, "c": set()})
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_topological_sort_cycle_raises(self):
+        with pytest.raises(ValueError):
+            topological_sort({"a": {"b"}, "b": {"a"}})
+
+    def test_is_acyclic(self):
+        assert is_acyclic({"a": {"b"}})
+        assert not is_acyclic({"a": {"a"}})
+
+    def test_reachable_from(self):
+        adjacency = {"a": {"b"}, "b": {"c"}, "c": set(), "d": {"a"}}
+        assert reachable_from(adjacency, "a") == {"b", "c"}
+
+    def test_shortest_path_lengths(self):
+        adjacency = {"a": {"b"}, "b": {"c"}, "c": set()}
+        assert shortest_path_lengths(adjacency, "a") == {"a": 0, "b": 1, "c": 2}
+
+
+class TestClosureKernels:
+    CASES = [
+        set(),
+        {("a", "b")},
+        {("a", "b"), ("b", "c"), ("c", "d")},
+        {("a", "b"), ("b", "a")},
+        {("a", "b"), ("b", "c"), ("c", "a"), ("x", "y")},
+        {(i, i + 1) for i in range(20)},
+    ]
+
+    @pytest.mark.parametrize("pairs", CASES, ids=range(len(CASES)))
+    def test_kernels_agree(self, pairs):
+        results = {m: transitive_closure(pairs, m) for m in closure_methods()}
+        baseline = results["seminaive"]
+        for method, result in results.items():
+            assert result == baseline, method
+
+    def test_chain_closure_size(self):
+        pairs = {(i, i + 1) for i in range(10)}
+        assert len(transitive_closure(pairs)) == 10 * 11 // 2
+
+    def test_cycle_full(self):
+        pairs = {("a", "b"), ("b", "c"), ("c", "a")}
+        assert len(transitive_closure(pairs)) == 9
+
+    def test_reflexive_variant(self):
+        closure = reflexive_transitive_closure({("a", "b")}, nodes=["z"])
+        assert ("z", "z") in closure
+        assert ("a", "a") in closure
+        assert ("a", "b") in closure
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            transitive_closure(set(), method="quantum")
+
+    def test_agrees_with_networkx(self):
+        import networkx as nx
+        import random
+
+        rng = random.Random(7)
+        nodes = list(range(15))
+        pairs = {
+            (rng.choice(nodes), rng.choice(nodes)) for _ in range(40)
+        }
+        pairs = {(a, b) for a, b in pairs if a != b}
+        g = nx.DiGraph(pairs)
+        expected = set()
+        for u in g:
+            # one-or-more-step reachability (nx.descendants excludes u even
+            # when u lies on a cycle through itself).
+            for s in g.successors(u):
+                expected.add((u, s))
+                expected.update((u, v) for v in nx.descendants(g, s))
+        assert transitive_closure(pairs) == expected

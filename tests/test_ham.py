@@ -1,0 +1,172 @@
+"""Tests for the HAM-style transactional, versioned graph store."""
+
+import pytest
+
+from repro.core.dsl import parse_graphical_query
+from repro.datasets.airlines import figure12_graph
+from repro.errors import StoreError, TransactionError
+from repro.graphs.bridge import EdgeLabel
+from repro.graphs.multigraph import LabeledMultigraph
+from repro.ham.store import HAMStore
+
+
+@pytest.fixture
+def store():
+    return HAMStore()
+
+
+class TestTransactions:
+    def test_commit_applies(self, store):
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_edge("a", "b", "x")
+        assert store.graph.has_edge("a", "b", "x")
+        assert store.version == 1
+
+    def test_abort_discards(self, store):
+        session = store.session()
+        txn = session.transaction()
+        txn.add_edge("a", "b", "x")
+        txn.abort()
+        assert store.graph.edge_count() == 0
+        assert store.version == 0
+
+    def test_exception_aborts(self, store):
+        session = store.session()
+        with pytest.raises(RuntimeError):
+            with session.transaction() as txn:
+                txn.add_edge("a", "b", "x")
+                raise RuntimeError("boom")
+        assert store.version == 0
+        assert store.graph.edge_count() == 0
+
+    def test_uncommitted_invisible(self, store):
+        session = store.session()
+        txn = session.transaction()
+        txn.add_edge("a", "b", "x")
+        assert store.graph.edge_count() == 0  # not yet committed
+        assert txn.workspace.edge_count() == 1  # visible to the transaction
+        txn.commit()
+        assert store.graph.edge_count() == 1
+
+    def test_double_commit_rejected(self, store):
+        session = store.session()
+        txn = session.transaction()
+        txn.add_edge("a", "b", "x")
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_edit_after_commit_rejected(self, store):
+        session = store.session()
+        txn = session.transaction()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.add_node("z")
+
+    def test_one_active_transaction_per_session(self, store):
+        session = store.session()
+        session.transaction()
+        with pytest.raises(TransactionError):
+            session.transaction()
+
+    def test_remove_missing_edge_fails_eagerly(self, store):
+        session = store.session()
+        txn = session.transaction()
+        with pytest.raises(StoreError):
+            txn.remove_edge("a", "b", "x")
+
+    def test_snapshot_isolation(self, store):
+        session1 = store.session()
+        session2 = store.session()
+        txn1 = session1.transaction()
+        txn1.add_edge("a", "b", "x")
+        txn2 = session2.transaction()
+        # txn2 began before txn1 committed: its workspace is empty.
+        txn1.commit()
+        assert txn2.workspace.edge_count() == 0
+        txn2.add_edge("c", "d", "y")
+        txn2.commit()
+        # Both commits are applied to the store.
+        assert store.graph.edge_count() == 2
+
+    def test_conflicting_commit_rejected(self, store):
+        seed = store.session()
+        with seed.transaction() as txn:
+            txn.add_edge("a", "b", "x")
+        s1, s2 = store.session(), store.session()
+        t1 = s1.transaction()
+        t1.remove_edge("a", "b", "x")
+        t2 = s2.transaction()
+        t2.remove_edge("a", "b", "x")
+        t1.commit()
+        with pytest.raises(TransactionError):
+            t2.commit()
+
+
+class TestVersioning:
+    def test_history(self, store):
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_edge("a", "b", "x")
+        with session.transaction() as txn:
+            txn.add_edge("b", "c", "y")
+        history = store.history()
+        assert [r.txn_id for r in history] == [1, 2]
+
+    def test_graph_at(self, store):
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_edge("a", "b", "x")
+        with session.transaction() as txn:
+            txn.remove_edge("a", "b", "x")
+        assert store.graph.edge_count() == 0
+        assert store.graph_at(1).has_edge("a", "b", "x")
+        assert store.graph_at(0).node_count() == 0
+
+    def test_graph_at_bad_version(self, store):
+        with pytest.raises(StoreError):
+            store.graph_at(99)
+
+    def test_node_label_versions(self, store):
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_node("a", label="old")
+        with session.transaction() as txn:
+            txn.set_node_label("a", "new")
+        assert store.graph_at(1).node_label("a") == "old"
+        assert store.graph.node_label("a") == "new"
+
+
+class TestLoadingAndQueries:
+    def test_load_graph_single_version(self, store):
+        store.load_graph(figure12_graph())
+        assert store.version == 1
+        assert store.graph.edge_count() == len(figure12_graph().edges)
+
+    def test_load_database(self, store):
+        from repro.datalog.database import Database
+
+        db = Database.from_facts({"link": [("a", "b"), ("b", "c")]})
+        store.load_database(db)
+        assert store.graph.has_edge("a", "b", EdgeLabel("link"))
+
+    def test_rpq_over_store(self, store):
+        store.load_graph(figure12_graph())
+        assert "tokyo" in store.rpq("CP+", source="rome")
+        pairs = store.rpq("AF AF")
+        assert ("rome", "tokyo") in pairs
+
+    def test_graphlog_over_store(self, store):
+        from repro.datalog.database import Database
+
+        db = Database.from_facts({"link": [("a", "b"), ("b", "c")]})
+        store.load_database(db)
+        query = parse_graphical_query(
+            """
+            define (X) -[reach]-> (Y) {
+                (X) -[link+]-> (Y);
+            }
+            """
+        )
+        assert ("a", "c") in store.answers(query, "reach")

@@ -1,0 +1,55 @@
+"""Every module imports cleanly and the public API surface is intact."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _finder, name, _ispkg in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+    # __main__ runs the CLI at import time by design.
+    if name != "repro.__main__"
+)
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} is missing a module docstring"
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "package",
+    [
+        "repro.core",
+        "repro.datalog",
+        "repro.graphs",
+        "repro.rpq",
+        "repro.translation",
+        "repro.fo_tc",
+        "repro.aggregation",
+        "repro.ham",
+        "repro.gplus",
+        "repro.datasets",
+        "repro.visual",
+    ],
+)
+def test_package_all_resolves(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.{name}"
+
+
+def test_expected_module_count():
+    # A tripwire against accidentally dropping packages from the build.
+    assert len(MODULES) >= 60, MODULES

@@ -1,0 +1,179 @@
+"""Cross-module integration tests: full pipelines spanning the library."""
+
+import pytest
+
+from repro.core.dsl import parse_graphical_query
+from repro.core.engine import GraphLogEngine, prepare_database
+from repro.core.translate import translate
+from repro.datalog.classify import is_stratified_linear, is_stratified_tc_program
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate
+from repro.datasets.family import figure2_family, random_genealogy
+from repro.datasets.flights import figure1_database, random_flights
+from repro.datasets.random_graphs import random_labeled_graph
+from repro.fo_tc.evaluate import Structure, answers as fo_answers
+from repro.fo_tc.from_stc import stc_to_tc
+from repro.graphs.bridge import database_from_graph, graph_from_database
+from repro.ham.store import HAMStore
+from repro.rpq.evaluate import RPQEvaluator
+from repro.translation.differential import check_equivalence
+from repro.translation.sl_to_stc import prepare_adom, sl_to_stc
+
+
+class TestTheorem33Pipeline:
+    """GraphLog -> SL-DATALOG -> STC-DATALOG -> TC on one query (Theorem 3.3)."""
+
+    QUERY = """
+    define (P1) -[not-desc-of(P2)]-> (P3) {
+        (P1) -[descendant+]-> (P3);
+        (P2) -[~descendant+]-> (P3);
+        person(P2);
+    }
+    """
+
+    @pytest.fixture
+    def database(self):
+        return prepare_database(figure2_family())
+
+    def test_all_four_formalisms_agree(self, database):
+        query = parse_graphical_query(self.QUERY)
+        # Stage 0: GraphLog evaluation.
+        graphlog = GraphLogEngine().answers(query, database, "not-desc-of")
+        # Stage 1: λ translation into SL-DATALOG.
+        sl = translate(query)
+        assert is_stratified_linear(sl)
+        sl_answers = set(evaluate(sl, database).facts("not-desc-of"))
+        assert sl_answers == graphlog
+        # Stage 2: Algorithm 3.1 into STC-DATALOG.
+        stc = sl_to_stc(sl, use_predicate_name_signatures=False)
+        assert is_stratified_tc_program(stc.program)
+        stc_answers = set(
+            evaluate(stc.program, prepare_adom(database)).facts("not-desc-of")
+        )
+        assert stc_answers == graphlog
+        # Stage 3: TC formula.
+        queries = stc_to_tc(sl)
+        tc_query = queries["not-desc-of"]
+        structure = Structure.from_database(database)
+        tc_answers = fo_answers(tc_query.formula, structure, tc_query.parameters)
+        assert tc_answers == graphlog
+
+    def test_pipeline_on_random_genealogies(self):
+        query = parse_graphical_query(self.QUERY)
+        for seed in range(3):
+            database = prepare_database(
+                random_genealogy(seed, generations=3, people_per_generation=4)
+            )
+            graphlog = GraphLogEngine().answers(query, database, "not-desc-of")
+            sl = translate(query)
+            equal, diffs = check_equivalence(sl, database)
+            assert equal, (seed, diffs)
+            sl_answers = set(evaluate(sl, database).facts("not-desc-of"))
+            assert sl_answers == graphlog
+
+
+class TestRPQAgainstDatalog:
+    """The automaton evaluator and the λ-translated Datalog program agree."""
+
+    @pytest.mark.parametrize(
+        "pre_text,regex_text",
+        [
+            ("a+", "a+"),
+            ("a b", "a b"),
+            ("(a | b)+", "(a | b)+"),
+            ("a* b", "a* b"),
+            ("-a b", "-a b"),
+            ("(a | b)* c?", "(a | b)* c?"),
+        ],
+    )
+    def test_same_pairs(self, pre_text, regex_text):
+        graph = random_labeled_graph(13, 12, 30, labels=("a", "b", "c"))
+        query = parse_graphical_query(
+            f"define (X) -[out]-> (Y) {{ (X) -[{pre_text}]-> (Y); }}"
+        )
+        database = database_from_graph(graph)
+        datalog_pairs = GraphLogEngine().answers(query, database, "out")
+        rpq_pairs = RPQEvaluator(graph).pairs(regex_text)
+        # The Datalog star/optional include only active-domain nodes; the
+        # RPQ side ranges over graph nodes — identical here by construction.
+        assert datalog_pairs == rpq_pairs
+
+
+class TestFlightsEndToEnd:
+    def test_fig4_on_random_schedule(self):
+        query = parse_graphical_query(
+            """
+            define (F1) -[feasible]-> (F2) {
+                (F1) -[to]-> (C);
+                (C) <-[from]- (F2);
+                (F1) -[arrival]-> (TA);
+                (F2) -[departure]-> (TD);
+                (TA) -[<]-> (TD);
+            }
+            define (C1) -[stop-connected]-> (C2) {
+                (C1) <-[from]- (F1);
+                (F1) -[feasible+]-> (F2);
+                (F2) -[to]-> (C2);
+            }
+            """
+        )
+        db = random_flights(42, n_cities=8, n_flights=40)
+        result = GraphLogEngine().run(query, db)
+        feasible = result.facts("feasible")
+        departures = dict(db.facts("departure"))
+        arrivals = dict(db.facts("arrival"))
+        for f1, f2 in feasible:
+            assert arrivals[f1] < departures[f2]
+        # stop-connected ⊆ (cities x cities)
+        cities = {c for _f, c in db.facts("from")} | {c for _f, c in db.facts("to")}
+        for c1, c2 in result.facts("stop-connected"):
+            assert c1 in cities and c2 in cities
+
+
+class TestHAMWorkflow:
+    def test_store_query_edit_requery(self):
+        store = HAMStore()
+        store.load_database(figure1_database())
+        query = parse_graphical_query(
+            """
+            define (C1) -[linked]-> (C2) {
+                (C1) <-[from]- (F);
+                (F) -[to]-> (C2);
+            }
+            """
+        )
+        before = store.answers(query, "linked")
+        assert ("toronto", "ottawa") in before
+        # Add a direct toronto -> washington flight inside a transaction.
+        from repro.graphs.bridge import EdgeLabel
+
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_node(99)
+            txn.add_edge(99, "toronto", EdgeLabel("from"))
+            txn.add_edge(99, "washington", EdgeLabel("to"))
+        after = store.answers(query, "linked")
+        assert ("toronto", "washington") in after
+        assert len(after) == len(before) + 1
+
+    def test_graph_roundtrip_through_store(self):
+        db = figure1_database()
+        store = HAMStore()
+        store.load_database(db)
+        back = database_from_graph(store.graph)
+        assert back == db
+
+
+class TestGraphRelationalDuality:
+    def test_query_same_on_both_representations(self):
+        db = figure2_family()
+        graph = graph_from_database(db)
+        query = parse_graphical_query(
+            """
+            define (X) -[line]-> (Y) {
+                (X) -[descendant+]-> (Y);
+            }
+            """
+        )
+        engine = GraphLogEngine()
+        assert engine.answers(query, db, "line") == engine.answers(query, graph, "line")

@@ -1,0 +1,130 @@
+"""Tests for the magic-sets transformation (goal-directed evaluation)."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.engine import Engine
+from repro.datalog.magic import (
+    adornment_of,
+    magic_answers,
+    magic_query,
+    magic_rewrite,
+)
+from repro.datalog.parser import parse_atom, parse_program
+from repro.errors import TranslationError
+
+TC = parse_program(
+    """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- e(X, Z), tc(Z, Y).
+    """
+)
+
+
+def two_component_db(n=20):
+    db = Database()
+    db.add_facts("e", [(f"a{i}", f"a{i+1}") for i in range(5)])
+    db.add_facts("e", [(f"b{i}", f"b{i+1}") for i in range(n)])
+    return db
+
+
+class TestAdornment:
+    def test_patterns(self):
+        assert adornment_of(parse_atom("tc(a, Y)")) == "bf"
+        assert adornment_of(parse_atom("tc(X, b)")) == "fb"
+        assert adornment_of(parse_atom("tc(a, b)")) == "bb"
+        assert adornment_of(parse_atom("tc(X, Y)")) == "ff"
+
+
+class TestRewrite:
+    def test_rule_shape(self):
+        rewritten = magic_rewrite(TC, parse_atom("tc(a, Y)"))
+        text = str(rewritten.program)
+        assert "magic#tc@bf(X)" in text
+        assert "tc@bf(X, Y)" in text
+        # The magic rule propagating the binding through the recursion.
+        assert "magic#tc@bf(Z) :- magic#tc@bf(X), e(X, Z)." in text
+
+    def test_goal_must_be_idb(self):
+        with pytest.raises(TranslationError):
+            magic_rewrite(TC, parse_atom("e(a, Y)"))
+
+    def test_negation_rejected(self):
+        program = parse_program("p(X) :- e(X, _), not q(X).")
+        with pytest.raises(TranslationError):
+            magic_rewrite(program, parse_atom("p(a)"))
+
+    def test_builtins_rejected(self):
+        program = parse_program("p(X) :- e(X, Y), Y < 3.")
+        with pytest.raises(TranslationError):
+            magic_rewrite(program, parse_atom("p(a)"))
+
+
+class TestAnswers:
+    @pytest.mark.parametrize(
+        "goal",
+        ["tc(a0, Y)", "tc(X, a3)", "tc(a0, a4)", "tc(X, Y)", "tc(a0, b3)"],
+    )
+    def test_matches_full_evaluation(self, goal):
+        goal = parse_atom(goal)
+        db = two_component_db()
+        expected = Engine().query(TC, db, goal)
+        assert magic_answers(TC, db, goal) == expected
+
+    def test_explores_less(self):
+        db = two_component_db(n=100)
+        goal = parse_atom("tc(a0, Y)")
+        _answers, magic_stats = magic_query(TC, db, goal)
+        full = Engine()
+        full.query(TC, db, goal)
+        assert magic_stats.facts_derived < full.stats.facts_derived / 5
+
+    def test_same_generation_bound_goal(self):
+        program = parse_program(
+            """
+            sg(X, X) :- person(X).
+            sg(X, Y) :- parent(X, Z), sg(Z, W), parent(Y, W).
+            """
+        )
+        db = Database()
+        db.add_facts("person", [(p,) for p in "abcdef"])
+        db.add_facts("parent", [("c", "a"), ("d", "a"), ("e", "b"), ("f", "b")])
+        goal = parse_atom("sg(c, Y)")
+        expected = Engine().query(program, db, goal)
+        assert magic_answers(program, db, goal) == expected
+        assert expected == {("c",), ("d",)}
+
+    def test_multi_idb_chain(self):
+        program = parse_program(
+            """
+            hop(X, Y) :- e(X, Y).
+            tc(X, Y) :- hop(X, Y).
+            tc(X, Y) :- hop(X, Z), tc(Z, Y).
+            """
+        )
+        db = two_component_db()
+        goal = parse_atom("tc(b0, Y)")
+        expected = Engine().query(program, db, goal)
+        assert magic_answers(program, db, goal) == expected
+
+    def test_all_free_goal_still_correct(self):
+        db = two_component_db(5)
+        goal = parse_atom("tc(X, Y)")
+        assert magic_answers(TC, db, goal) == Engine().query(TC, db, goal)
+
+    def test_empty_answer(self):
+        db = two_component_db(5)
+        goal = parse_atom("tc(a4, a0)")
+        assert magic_answers(TC, db, goal) == set()
+
+    def test_constants_inside_rules(self):
+        program = parse_program(
+            """
+            special(X) :- e(hub, X).
+            far(Y) :- special(X), e(X, Y).
+            """
+        )
+        db = Database()
+        db.add_facts("e", [("hub", "m"), ("m", "t"), ("x", "y")])
+        goal = parse_atom("far(Y)")
+        assert magic_answers(program, db, goal) == Engine().query(program, db, goal)

@@ -1,0 +1,148 @@
+"""Tests for merging independent transitive closures (Theorem 3.4 flavour)."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate
+from repro.datalog.parser import parse_program
+from repro.errors import TranslationError
+from repro.translation.merge_tc import count_tc_pairs, merge_independent_closures
+
+TWO_INDEPENDENT = """
+reach-a(X, Y) :- ea(X, Y).
+reach-a(X, Y) :- ea(X, Z), reach-a(Z, Y).
+reach-b(X, Y) :- eb(X, Y).
+reach-b(X, Y) :- eb(X, Z), reach-b(Z, Y).
+both(X, Y) :- reach-a(X, Y), reach-b(X, Y).
+"""
+
+STACKED = """
+t0(X, Y) :- e(X, Y).
+t0(X, Y) :- e(X, Z), t0(Z, Y).
+t1(X, Y) :- t0(X, Y).
+t1(X, Y) :- t0(X, Z), t1(Z, Y).
+"""
+
+
+def sample_db():
+    db = Database()
+    db.add_facts("ea", [("a", "b"), ("b", "c"), ("x", "y")])
+    db.add_facts("eb", [("a", "b"), ("c", "d"), ("b", "c")])
+    return db
+
+
+class TestMerge:
+    def test_two_closures_become_one(self):
+        program = parse_program(TWO_INDEPENDENT)
+        assert count_tc_pairs(program) == 2
+        result = merge_independent_closures(program)
+        assert result.merged == {"reach-a", "reach-b"}
+        assert count_tc_pairs(result.program) == 1
+
+    def test_merged_program_equivalent(self):
+        program = parse_program(TWO_INDEPENDENT)
+        result = merge_independent_closures(program)
+        db = sample_db()
+        original = evaluate(program, db)
+        merged = evaluate(result.program, db)
+        for predicate in ("reach-a", "reach-b", "both"):
+            assert original.facts(predicate) == merged.facts(predicate), predicate
+
+    def test_no_cross_component_leakage(self):
+        # ea and eb share nodes; tagging must keep the closures apart.
+        program = parse_program(TWO_INDEPENDENT)
+        result = merge_independent_closures(program)
+        db = sample_db()
+        merged = evaluate(result.program, db)
+        # a ->ea b ->eb c would be a leaked mixed path.
+        assert ("x", "c") not in merged.facts("reach-a")
+        assert ("a", "d") not in merged.facts("reach-a")
+        assert ("a", "d") in merged.facts("reach-b")  # within eb alone: a->b->c->d
+
+    def test_different_arities_merge(self):
+        program = parse_program(
+            """
+            t2(X1, X2, Y1, Y2) :- wide(X1, X2, Y1, Y2).
+            t2(X1, X2, Y1, Y2) :- wide(X1, X2, Z1, Z2), t2(Z1, Z2, Y1, Y2).
+            t1(X, Y) :- narrow(X, Y).
+            t1(X, Y) :- narrow(X, Z), t1(Z, Y).
+            """
+        )
+        result = merge_independent_closures(program)
+        assert result.merged == {"t1", "t2"}
+        db = Database()
+        db.add_facts("wide", [("a", "b", "c", "d"), ("c", "d", "e", "f")])
+        db.add_facts("narrow", [("1", "2"), ("2", "3")])
+        merged = evaluate(result.program, db)
+        original = evaluate(program, db)
+        assert merged.facts("t1") == original.facts("t1")
+        assert merged.facts("t2") == original.facts("t2")
+
+    def test_stacked_closures_skipped(self):
+        program = parse_program(STACKED)
+        result = merge_independent_closures(program)
+        # t1's base depends on t0's closure: cannot merge without ordering.
+        assert result.merged == set()
+        assert result.skipped == {"t0", "t1"}
+        assert result.program is program
+
+    def test_mixed_independent_and_stacked(self):
+        program = parse_program(STACKED + TWO_INDEPENDENT)
+        result = merge_independent_closures(program)
+        # t0's base is plain EDB, so it merges; t1 is stacked on t0's
+        # closure and must stay a separate TC pair.
+        assert result.merged == {"reach-a", "reach-b", "t0"}
+        assert result.skipped == {"t1"}
+        db = sample_db()
+        db.add_facts("e", [("p", "q"), ("q", "r")])
+        original = evaluate(program, db)
+        merged = evaluate(result.program, db)
+        for predicate in ("reach-a", "reach-b", "both", "t0", "t1"):
+            assert original.facts(predicate) == merged.facts(predicate), predicate
+
+    def test_single_closure_untouched(self):
+        program = parse_program(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+            """
+        )
+        result = merge_independent_closures(program)
+        assert result.program is program
+        assert result.merged == set()
+
+    def test_non_tc_recursion_rejected(self):
+        with pytest.raises(TranslationError):
+            merge_independent_closures(
+                parse_program(
+                    """
+                    sg(X, X) :- person(X).
+                    sg(X, Y) :- parent(X, Z), sg(Z, W), parent(Y, W).
+                    """
+                )
+            )
+
+    def test_composes_with_algorithm31(self):
+        # SL program with two recursions -> Alg 3.1 -> merge -> 1 TC pair.
+        from repro.translation.sl_to_stc import prepare_adom, sl_to_stc
+
+        program = parse_program(
+            """
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- parent(X, Z), anc(Z, Y).
+            boss(X, Y) :- manages(X, Y).
+            boss(X, Y) :- manages(X, Z), boss(Z, Y).
+            """
+        )
+        stc = sl_to_stc(program, use_predicate_name_signatures=False)
+        assert count_tc_pairs(stc.program) == 2
+        merged = merge_independent_closures(stc.program)
+        assert count_tc_pairs(merged.program) == 1
+        db = Database()
+        db.add_facts("parent", [("a", "b"), ("b", "c")])
+        db.add_facts("manages", [("x", "y"), ("y", "z")])
+        prepared = prepare_adom(db)
+        original = evaluate(program, db)
+        via_merged = evaluate(merged.program, prepared)
+        assert original.facts("anc") == via_merged.facts("anc")
+        assert original.facts("boss") == via_merged.facts("boss")

@@ -1,0 +1,241 @@
+"""Tests for the Datalog rule optimizer."""
+
+import pytest
+
+from repro.core.dsl import parse_graphical_query
+from repro.core.engine import prepare_database
+from repro.core.translate import translate
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate
+from repro.datalog.optimize import (
+    canonical_rule_key,
+    eliminate_duplicate_rules,
+    inline_views,
+    optimize,
+    remove_unused,
+)
+from repro.datalog.parser import parse_program, parse_rule
+
+
+class TestDuplicateElimination:
+    def test_alpha_equivalent_rules_merge(self):
+        program = parse_program(
+            """
+            p(X, Y) :- e(X, Y).
+            p(A, B) :- e(A, B).
+            """
+        )
+        assert len(eliminate_duplicate_rules(program)) == 1
+
+    def test_different_rules_kept(self):
+        program = parse_program(
+            """
+            p(X, Y) :- e(X, Y).
+            p(X, Y) :- e(Y, X).
+            """
+        )
+        assert len(eliminate_duplicate_rules(program)) == 2
+
+    def test_constants_distinguish(self):
+        program = parse_program(
+            """
+            p(X) :- e(X, a).
+            p(X) :- e(X, b).
+            """
+        )
+        assert len(eliminate_duplicate_rules(program)) == 2
+
+    def test_builtins_in_key(self):
+        program = parse_program(
+            """
+            p(X) :- e(X, Y), X < Y.
+            p(A) :- e(A, B), A < B.
+            p(X) :- e(X, Y), X > Y.
+            """
+        )
+        assert len(eliminate_duplicate_rules(program)) == 2
+
+    def test_key_ignores_variable_names(self):
+        r1 = parse_rule("p(X, Y) :- e(X, Z), f(Z, Y).")
+        r2 = parse_rule("p(U, V) :- e(U, W), f(W, V).")
+        assert canonical_rule_key(r1) == canonical_rule_key(r2)
+
+
+class TestInlining:
+    def test_single_view_chain_flattens(self):
+        program = parse_program(
+            """
+            v(X, Y) :- a(X, Z), b(Z, Y).
+            out(X, Y) :- v(X, Y), c(Y).
+            """
+        )
+        optimized = inline_views(program, keep=["out"])
+        assert optimized.idb_predicates == {"out"}
+        (rule,) = optimized.rules
+        assert rule.body_predicates() == {"a", "b", "c"}
+
+    def test_nested_views(self):
+        program = parse_program(
+            """
+            v1(X, Y) :- a(X, Y).
+            v2(X, Y) :- v1(X, Z), b(Z, Y).
+            out(X, Y) :- v2(X, Y).
+            """
+        )
+        optimized = inline_views(program, keep=["out"])
+        (rule,) = optimized.rules
+        assert rule.body_predicates() == {"a", "b"}
+
+    def test_multi_rule_predicate_not_inlined(self):
+        program = parse_program(
+            """
+            v(X) :- a(X).
+            v(X) :- b(X).
+            out(X) :- v(X).
+            """
+        )
+        optimized = inline_views(program, keep=["out"])
+        assert "v" in optimized.idb_predicates
+
+    def test_recursive_predicate_not_inlined(self):
+        program = parse_program(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+            out(X, Y) :- tc(X, Y).
+            """
+        )
+        optimized = inline_views(program, keep=["out"])
+        assert "tc" in optimized.idb_predicates
+
+    def test_negated_view_not_inlined(self):
+        program = parse_program(
+            """
+            v(X) :- a(X).
+            out(X) :- b(X), not v(X).
+            """
+        )
+        optimized = inline_views(program, keep=["out"])
+        assert "v" in optimized.idb_predicates
+
+    def test_repeated_head_vars_not_inlined(self):
+        program = parse_program(
+            """
+            diag(X, X) :- a(X).
+            out(X, Y) :- diag(X, Y).
+            """
+        )
+        optimized = inline_views(program, keep=["out"])
+        assert "diag" in optimized.idb_predicates
+
+    def test_view_used_twice_gets_fresh_variables(self):
+        program = parse_program(
+            """
+            v(X, Y) :- e(X, Z), f(Z, Y).
+            out(X, Y) :- v(X, M), v(M, Y).
+            """
+        )
+        optimized = inline_views(program, keep=["out"])
+        (rule,) = optimized.rules
+        assert len(rule.body) == 4
+        # The two unfolded Z's must be distinct variables.
+        z_vars = {
+            t
+            for lit in rule.positive_literals()
+            for t in lit.atom.args
+            if t.name.startswith("Z")
+        }
+        assert len(z_vars) == 2
+
+    def test_semantics_preserved(self):
+        program = parse_program(
+            """
+            v(X, Y) :- e(X, Z), f(Z, Y).
+            out(X, Y) :- v(X, M), v(M, Y).
+            """
+        )
+        optimized = inline_views(program, keep=["out"])
+        db = Database.from_facts(
+            {"e": [("a", "m1"), ("b", "m2")], "f": [("m1", "b"), ("m2", "c")]}
+        )
+        assert evaluate(program, db).facts("out") == evaluate(optimized, db).facts("out")
+
+
+class TestRemoveUnused:
+    def test_prunes_unreachable(self):
+        program = parse_program(
+            """
+            keepme(X) :- e(X).
+            dead(X) :- f(X).
+            """
+        )
+        pruned = remove_unused(program, ["keepme"])
+        assert pruned.idb_predicates == {"keepme"}
+
+    def test_keeps_transitive_dependencies(self):
+        program = parse_program(
+            """
+            a(X) :- b(X).
+            b(X) :- c(X), e(X).
+            c(X) :- e(X).
+            dead(X) :- e(X).
+            """
+        )
+        pruned = remove_unused(program, ["a"])
+        assert pruned.idb_predicates == {"a", "b", "c"}
+
+
+class TestOptimizePipeline:
+    @pytest.mark.parametrize(
+        "source,facts",
+        [
+            (
+                "define (X) -[out]-> (Y) { (X) -[a b c]-> (Y); }",
+                {"a": [("1", "2")], "b": [("2", "3")], "c": [("3", "4")]},
+            ),
+            (
+                "define (X) -[out]-> (Y) { (X) -[(a | b) c+]-> (Y); }",
+                {"a": [("1", "2")], "b": [("0", "2")], "c": [("2", "3"), ("3", "4")]},
+            ),
+            (
+                """
+                define (X) -[out]-> (Y) {
+                    (X) -[a* -b]-> (Y);
+                    (X) -[~c]-> (Y);
+                }
+                """,
+                {"a": [("1", "2")], "b": [("9", "2")], "c": [("1", "7")]},
+            ),
+        ],
+    )
+    def test_translated_queries_equivalent(self, source, facts):
+        query = parse_graphical_query(source)
+        program = translate(query)
+        optimized = optimize(program, roots=["out"])
+        prepared = prepare_database(Database.from_facts(facts))
+        assert evaluate(program, prepared).facts("out") == evaluate(
+            optimized, prepared
+        ).facts("out")
+
+    def test_composition_becomes_single_rule(self):
+        query = parse_graphical_query(
+            "define (X) -[out]-> (Y) { (X) -[a b c d]-> (Y); }"
+        )
+        optimized = optimize(translate(query), roots=["out"])
+        assert len(optimized) == 1
+        (rule,) = optimized.rules
+        assert rule.body_predicates() == {"a", "b", "c", "d"}
+
+    def test_random_sl_programs_preserved(self):
+        from repro.translation.differential import random_database, random_sl_program
+
+        for seed in range(8):
+            program = random_sl_program(seed)
+            roots = sorted(program.idb_predicates)
+            optimized = optimize(program, roots=roots)
+            arities = {p: program.arity_of(p) for p in program.edb_predicates}
+            db = random_database(seed, arities, domain_size=5, facts_per_predicate=6)
+            full = evaluate(program, db)
+            opt = evaluate(optimized, db)
+            for predicate in roots:
+                assert full.facts(predicate) == opt.facts(predicate), (seed, predicate)

@@ -1,0 +1,194 @@
+"""Tests for path regular expressions (Definition 2.8)."""
+
+import pytest
+
+from repro.core.pre import (
+    Alternation,
+    Closure,
+    ComparisonPrimitive,
+    Composition,
+    Equality,
+    Inequality,
+    Inversion,
+    Negation,
+    Optional,
+    Pred,
+    Star,
+    alt,
+    closure,
+    exported_variables,
+    inverse,
+    neg,
+    optional,
+    rel,
+    seq,
+    star,
+    strip_outer_negation,
+    validate_pre,
+)
+from repro.core.pre_parser import parse_pre
+from repro.datalog.terms import Variable
+from repro.errors import ParseError, RegexError
+
+
+class TestConstruction:
+    def test_operator_sugar(self):
+        expr = rel("a") >> rel("b")
+        assert isinstance(expr, Composition)
+        expr = rel("a") | rel("b")
+        assert isinstance(expr, Alternation)
+        assert isinstance(-rel("a"), Inversion)
+        assert isinstance(~rel("a"), Negation)
+
+    def test_string_coercion(self):
+        expr = seq("father", "friend")
+        assert expr.left == Pred("father")
+
+    def test_structural_equality(self):
+        assert closure(rel("d")) == closure(rel("d"))
+        assert closure(rel("d")) != closure(rel("e"))
+        assert rel("m", "_") == rel("m", "_")
+
+    def test_str_forms(self):
+        assert str(closure(rel("descendant"))) == "descendant+"
+        assert str(rel("mother", "_")) == "mother(_)"
+        assert str(star(alt("father", rel("mother", "_")))) == "(father | mother(_))*"
+        assert str(neg(closure("d"))) == "~(d+)"
+        assert str(inverse("from")) == "-from"
+
+
+class TestLabelVariables:
+    def test_pred_exports_named_vars(self):
+        assert rel("m", "H", "_").label_variables() == [Variable("H")]
+
+    def test_closure_passes_through(self):
+        assert closure(rel("m", "H")).label_variables() == [Variable("H")]
+
+    def test_alternation_keeps_shared_only(self):
+        expr = alt(rel("a", "X", "Y"), rel("b", "Y", "Z"))
+        assert expr.label_variables() == [Variable("Y")]
+        assert expr.ghost_variables() == {Variable("X"), Variable("Z")}
+
+    def test_composition_unions(self):
+        expr = seq(rel("a", "X"), rel("b", "Y"))
+        assert expr.label_variables() == [Variable("X"), Variable("Y")]
+
+    def test_star_exports_nothing(self):
+        assert star(rel("m", "H")).label_variables() == []
+
+    def test_optional_exports_nothing(self):
+        assert optional(rel("m", "H")).label_variables() == []
+
+    def test_exported_strips_negation(self):
+        assert exported_variables(neg(rel("a", "X"))) == [Variable("X")]
+
+
+class TestValidation:
+    def test_outer_negation_ok(self):
+        validate_pre(neg(closure("d")))
+
+    def test_inner_negation_rejected(self):
+        with pytest.raises(RegexError):
+            validate_pre(seq("a", neg("b")))
+
+    def test_double_negation_rejected(self):
+        with pytest.raises(RegexError):
+            validate_pre(neg(neg("a")))
+
+    def test_ghost_escape_within_expression(self):
+        # H is ghost of the alternation but used by the composed literal.
+        expr = seq(alt(rel("a", "H"), rel("b")), rel("c", "H"))
+        with pytest.raises(RegexError):
+            validate_pre(expr)
+
+    def test_no_false_positive_when_shared(self):
+        expr = seq(alt(rel("a", "H"), rel("b", "H")), rel("c", "H"))
+        validate_pre(expr)
+
+    def test_strip_outer_negation(self):
+        inner, positive = strip_outer_negation(neg("a"))
+        assert not positive and inner == Pred("a")
+        inner, positive = strip_outer_negation(rel("a"))
+        assert positive
+
+
+class TestParser:
+    def test_closure(self):
+        assert parse_pre("descendant+") == closure("descendant")
+
+    def test_negated_closure(self):
+        assert parse_pre("~descendant+") == neg(closure("descendant"))
+
+    def test_bang_negation(self):
+        assert parse_pre("!descendant+") == neg(closure("descendant"))
+
+    def test_figure5_expression(self):
+        expr = parse_pre("(father | mother(_))* friend")
+        assert isinstance(expr, Composition)
+        assert isinstance(expr.left, Star)
+
+    def test_composition_juxtaposition_and_dot(self):
+        assert parse_pre("a b") == parse_pre("a . b")
+
+    def test_inversion_composition(self):
+        expr = parse_pre("-from to")
+        assert expr == seq(inverse("from"), "to")
+
+    def test_precedence_alternation_lowest(self):
+        expr = parse_pre("a b | c")
+        assert isinstance(expr, Alternation)
+        assert isinstance(expr.left, Composition)
+
+    def test_postfix_stacking(self):
+        expr = parse_pre("a+?")
+        assert isinstance(expr, Optional)
+        assert isinstance(expr.inner, Closure)
+
+    def test_args_vs_group_disambiguation(self):
+        # mother(_) is args; f (a | b) is composition.
+        assert parse_pre("mother(_)") == rel("mother", "_")
+        expr = parse_pre("f (a | b)")
+        assert isinstance(expr, Composition)
+        assert isinstance(expr.right, Alternation)
+
+    def test_single_ident_in_parens_is_argument(self):
+        # Documented choice: f(g) is a literal with constant argument g.
+        expr = parse_pre("f(g)")
+        assert expr == rel("f", "g")
+        # Composition with a parenthesized literal uses an explicit dot.
+        expr = parse_pre("f . (g)")
+        assert isinstance(expr, Composition)
+
+    def test_two_idents_in_parens_is_group(self):
+        expr = parse_pre("f (g h)")
+        assert isinstance(expr, Composition)
+        assert isinstance(expr.right, Composition)
+
+    def test_equality_primitives(self):
+        assert parse_pre("=") == Equality()
+        assert parse_pre("!=") == Inequality()
+
+    def test_comparison_primitives(self):
+        assert parse_pre("<") == ComparisonPrimitive("<")
+        assert parse_pre(">=") == ComparisonPrimitive(">=")
+
+    def test_arguments_mixed(self):
+        expr = parse_pre("flight(cp, 3, X, _)")
+        assert len(expr.args) == 4
+
+    def test_error_on_garbage(self):
+        with pytest.raises(ParseError):
+            parse_pre("a |")
+        with pytest.raises(ParseError):
+            parse_pre("(a")
+        with pytest.raises(ParseError):
+            parse_pre("")
+
+    def test_validates_on_parse(self):
+        with pytest.raises(RegexError):
+            parse_pre("a ~b")
+
+    def test_walk_covers_all_nodes(self):
+        expr = parse_pre("(a | b+) c?")
+        kinds = {type(node).__name__ for node in expr.walk()}
+        assert {"Composition", "Alternation", "Closure", "Optional", "Pred"} <= kinds

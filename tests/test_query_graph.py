@@ -1,0 +1,186 @@
+"""Tests for query graphs and graphical queries (Definitions 2.3-2.7)."""
+
+import pytest
+
+from repro.core.pre import closure, neg, rel, seq, star
+from repro.core.query_graph import GraphicalQuery, QueryGraph
+from repro.datalog.terms import Constant, Variable
+from repro.errors import (
+    DependenceCycleError,
+    GhostVariableError,
+    QueryGraphError,
+)
+
+
+def figure2_graph():
+    g = QueryGraph()
+    g.edge("P1", "P3", "descendant+")
+    g.edge("P2", "P3", "~descendant+")
+    g.annotate("P2", "person")
+    g.distinguished("P1", "P3", "not-desc-of", extra=["P2"])
+    return g
+
+
+class TestBuilder:
+    def test_nodes_identified_by_terms(self):
+        g = QueryGraph()
+        g.edge("X", "Y", "e")
+        g.edge("X", "Z", "e")
+        assert len(g.nodes) == 3
+
+    def test_multi_variable_nodes(self):
+        g = QueryGraph()
+        g.edge(("X", "Y"), ("U", "V"), "sg+")
+        assert g.nodes[0] == (Variable("X"), Variable("Y"))
+
+    def test_constant_nodes(self):
+        g = QueryGraph()
+        g.edge("P", "toronto", "residence")
+        assert (Constant("toronto"),) in g.nodes
+
+    def test_name_defaults_to_head(self):
+        g = figure2_graph()
+        assert g.name == "not-desc-of"
+        assert g.head_predicate == "not-desc-of"
+
+    def test_single_distinguished_edge(self):
+        g = figure2_graph()
+        with pytest.raises(QueryGraphError):
+            g.distinguished("P1", "P2", "again")
+
+    def test_body_predicates(self):
+        g = figure2_graph()
+        assert g.body_predicates() == {"descendant", "person"}
+
+    def test_string_labels_parsed(self):
+        g = QueryGraph()
+        edge = g.edge("X", "Y", "(a | b)+")
+        assert edge.pre == closure(rel("a") | rel("b"))
+
+
+class TestValidation:
+    def test_figure2_valid(self):
+        figure2_graph().validate()
+
+    def test_missing_distinguished(self):
+        g = QueryGraph()
+        g.edge("X", "Y", "e")
+        with pytest.raises(QueryGraphError):
+            g.validate()
+
+    def test_empty_pattern_rejected(self):
+        g = QueryGraph()
+        g.distinguished("X", "Y", "p")
+        with pytest.raises(QueryGraphError):
+            g.validate()
+
+    def test_isolated_node_rejected(self):
+        g = QueryGraph()
+        g.edge("X", "Y", "e")
+        g.node("Lonely")
+        g.distinguished("X", "Y", "p")
+        with pytest.raises(QueryGraphError):
+            g.validate()
+
+    def test_annotation_counts_as_incidence(self):
+        g = QueryGraph()
+        g.edge("X", "Y", "e")
+        g.annotate("Z", "person")
+        g.distinguished("X", "Y", "p", extra=["Z"])
+        g.validate()
+
+    def test_closure_needs_equal_lengths(self):
+        g = QueryGraph()
+        g.edge(("X", "Y"), "Z", "sg+")
+        g.distinguished(("X", "Y"), "Z", "p")
+        with pytest.raises(QueryGraphError):
+            g.validate()
+
+    def test_composite_needs_singleton_nodes(self):
+        g = QueryGraph()
+        g.edge(("X", "Y"), ("U", "V"), seq("a", "b"))
+        g.distinguished(("X", "Y"), ("U", "V"), "p")
+        with pytest.raises(QueryGraphError):
+            g.validate()
+
+    def test_comparison_edge_needs_singletons(self):
+        g = QueryGraph()
+        g.edge(("X", "Y"), ("U", "V"), "<")
+        g.distinguished(("X", "Y"), ("U", "V"), "p")
+        with pytest.raises(QueryGraphError):
+            g.validate()
+
+    def test_ghost_variable_escape_across_edges(self):
+        g = QueryGraph()
+        # H is a ghost of the alternation but reused on another edge.
+        g.edge("X", "Y", rel("a", "H") | rel("b"))
+        g.edge("Y", "Z", rel("c", "H"))
+        g.distinguished("X", "Z", "p")
+        with pytest.raises(GhostVariableError):
+            g.validate()
+
+    def test_ghost_of_star_escapes(self):
+        g = QueryGraph()
+        g.edge("X", "Y", star(rel("m", "H")))
+        g.edge("Y", "Z", rel("c", "H"))
+        g.distinguished("X", "Z", "p")
+        with pytest.raises(GhostVariableError):
+            g.validate()
+
+    def test_underscore_prevents_ghost(self):
+        g = QueryGraph()
+        g.edge("X", "Y", star(rel("father") | rel("mother", "_")))
+        g.distinguished("X", "Y", "anc")
+        g.validate()
+
+    def test_shared_alternation_variable_not_ghost(self):
+        g = QueryGraph()
+        g.edge("X", "Y", rel("a", "H") | rel("b", "H"))
+        g.edge("Y", "Z", rel("c", "H"))
+        g.distinguished("X", "Z", "p")
+        g.validate()
+
+
+class TestGraphicalQuery:
+    def test_idb_edb_partition(self):
+        q = GraphicalQuery()
+        g1 = q.define("F1", "F2", "feasible")
+        g1.edge("F1", "F2", "leg")
+        g2 = q.define("C1", "C2", "connected")
+        g2.edge("C1", "C2", "feasible+")
+        assert q.idb_predicates == {"feasible", "connected"}
+        assert q.edb_predicates == {"leg"}
+
+    def test_dependence_cycle_rejected(self):
+        q = GraphicalQuery()
+        g1 = q.define("X", "Y", "a")
+        g1.edge("X", "Y", "b")
+        g2 = q.define("X", "Y", "b")
+        g2.edge("X", "Y", "a")
+        with pytest.raises(DependenceCycleError):
+            q.validate()
+
+    def test_self_reference_rejected(self):
+        q = GraphicalQuery()
+        g = q.define("X", "Y", "p")
+        g.edge("X", "Y", "p")
+        with pytest.raises(DependenceCycleError):
+            q.validate()
+
+    def test_closure_of_defined_edge_still_acyclic(self):
+        q = GraphicalQuery()
+        g1 = q.define("X", "Y", "feasible")
+        g1.edge("X", "Y", "leg")
+        g2 = q.define("X", "Y", "conn")
+        g2.edge("X", "Y", "feasible+")
+        q.validate()
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryGraphError):
+            GraphicalQuery().validate()
+
+    def test_member_graphs_validated(self):
+        q = GraphicalQuery()
+        q.add(QueryGraph())  # no distinguished edge
+        with pytest.raises(QueryGraphError):
+            q.validate()

@@ -1,0 +1,241 @@
+"""Tests for the RPQ engine: regexes, automata, evaluation, simple paths."""
+
+import pytest
+
+from repro.errors import ParseError, RegexError
+from repro.graphs.multigraph import LabeledMultigraph
+from repro.rpq.automaton import compile_regex, determinize, minimize, thompson
+from repro.rpq.evaluate import RPQEvaluator, rpq_pairs
+from repro.rpq.regex import (
+    Concat,
+    Epsilon,
+    Opt,
+    Plus,
+    Star,
+    Sym,
+    Union,
+    concat,
+    parse_regex,
+    sym,
+    union,
+)
+from repro.rpq.simple_paths import has_regular_simple_path, regular_simple_paths
+
+
+class TestRegexParser:
+    def test_plus(self):
+        assert parse_regex("CP+") == Plus(Sym("CP"))
+
+    def test_union_and_concat(self):
+        expr = parse_regex("(AA | CP) UA")
+        assert isinstance(expr, Concat)
+        assert isinstance(expr.left, Union)
+
+    def test_inverted_symbol(self):
+        assert parse_regex("-a") == Sym("a", inverted=True)
+
+    def test_inversion_only_on_symbols(self):
+        with pytest.raises(RegexError):
+            parse_regex("-(a b)")
+
+    def test_epsilon(self):
+        assert parse_regex("()") == Epsilon()
+
+    def test_postfix_stack(self):
+        expr = parse_regex("a+?")
+        assert isinstance(expr, Opt)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_regex("a )")
+
+    def test_symbols(self):
+        expr = parse_regex("(a | -b) c*")
+        assert expr.symbols() == {("a", False), ("b", True), ("c", False)}
+
+
+def _accepts(regex_text, word):
+    return compile_regex(parse_regex(regex_text)).accepts(word)
+
+
+class TestAutomata:
+    @pytest.mark.parametrize(
+        "regex,accepted,rejected",
+        [
+            ("a", [["a"]], [[], ["a", "a"], ["b"]]),
+            ("a b", [["a", "b"]], [["a"], ["b", "a"]]),
+            ("a | b", [["a"], ["b"]], [["a", "b"], []]),
+            ("a*", [[], ["a"], ["a"] * 5], [["b"]]),
+            ("a+", [["a"], ["a", "a"]], [[]]),
+            ("a?", [[], ["a"]], [["a", "a"]]),
+            ("(a | b)* c", [["c"], ["a", "b", "c"]], [["a", "b"], ["c", "c"]]),
+            ("a (b a)*", [["a"], ["a", "b", "a"]], [["a", "b"]]),
+        ],
+    )
+    def test_acceptance(self, regex, accepted, rejected):
+        for word in accepted:
+            assert _accepts(regex, word), (regex, word)
+        for word in rejected:
+            assert not _accepts(regex, word), (regex, word)
+
+    def test_nfa_accepts_empty(self):
+        assert thompson(parse_regex("a*")).accepts_empty()
+        assert not thompson(parse_regex("a+")).accepts_empty()
+
+    def test_minimization_preserves_language(self):
+        import itertools
+
+        regex = parse_regex("(a | b)* a b")
+        big = determinize(thompson(regex))
+        small = minimize(big)
+        assert small.n_states <= big.n_states
+        for length in range(5):
+            for word in itertools.product("ab", repeat=length):
+                word = [(c, False) for c in word]
+                assert big.accepts(word) == small.accepts(word)
+
+    def test_minimization_reduces_redundant_states(self):
+        # (a a) | (a a) determinizes with duplicated paths; minimization
+        # should reach the canonical 3-live-state machine.
+        regex = parse_regex("(a a) | (a a)")
+        small = minimize(determinize(thompson(regex)))
+        assert small.n_states <= 3
+
+
+@pytest.fixture
+def airline_graph():
+    g = LabeledMultigraph()
+    for a, b in [
+        ("rome", "geneva"),
+        ("geneva", "montreal"),
+        ("montreal", "toronto"),
+        ("toronto", "tokyo"),
+    ]:
+        g.add_edge(a, b, "CP")
+    g.add_edge("rome", "paris", "AF")
+    g.add_edge("paris", "tokyo", "AF")
+    return g
+
+
+class TestEvaluation:
+    def test_targets(self, airline_graph):
+        evaluator = RPQEvaluator(airline_graph)
+        assert evaluator.targets("CP+", "rome") == {
+            "geneva",
+            "montreal",
+            "toronto",
+            "tokyo",
+        }
+
+    def test_pairs(self, airline_graph):
+        pairs = rpq_pairs(airline_graph, "CP CP")
+        assert ("rome", "montreal") in pairs
+        assert ("rome", "geneva") not in pairs
+
+    def test_star_includes_self(self, airline_graph):
+        evaluator = RPQEvaluator(airline_graph)
+        assert "rome" in evaluator.targets("CP*", "rome")
+
+    def test_holds(self, airline_graph):
+        evaluator = RPQEvaluator(airline_graph)
+        assert evaluator.holds("(CP | AF)+", "rome", "tokyo")
+        assert not evaluator.holds("AF CP", "rome", "tokyo")
+
+    def test_inverted_traversal(self, airline_graph):
+        evaluator = RPQEvaluator(airline_graph)
+        assert evaluator.targets("-CP", "geneva") == {"rome"}
+
+    def test_mixed_inversion_path(self, airline_graph):
+        # forward to tokyo by CP+, back one AF edge lands in paris
+        evaluator = RPQEvaluator(airline_graph)
+        assert "paris" in evaluator.targets("CP+ -AF", "rome")
+
+    def test_sources_restriction(self, airline_graph):
+        evaluator = RPQEvaluator(airline_graph)
+        pairs = evaluator.pairs("CP+", sources=["geneva"])
+        assert all(source == "geneva" for source, _ in pairs)
+
+    def test_witness_path_shortest(self, airline_graph):
+        evaluator = RPQEvaluator(airline_graph)
+        path = evaluator.witness_path("CP+", "rome", "montreal")
+        assert [e.target for e in path] == ["geneva", "montreal"]
+
+    def test_witness_path_none(self, airline_graph):
+        evaluator = RPQEvaluator(airline_graph)
+        assert evaluator.witness_path("AF+", "geneva", "rome") is None
+
+    def test_matching_edges_highlight(self, airline_graph):
+        evaluator = RPQEvaluator(airline_graph)
+        edges = evaluator.matching_edges("CP+", sources=["rome"])
+        labels = {e.label for e in edges}
+        assert labels == {"CP"}
+        assert len(edges) == 4
+
+    def test_parallel_edges(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        g.add_edge("a", "b", "y")
+        evaluator = RPQEvaluator(g)
+        assert evaluator.targets("x | y", "a") == {"b"}
+
+    def test_cyclic_graph_terminates(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        g.add_edge("b", "a", "x")
+        assert RPQEvaluator(g).targets("x+", "a") == {"a", "b"}
+
+
+class TestSimplePaths:
+    def test_cycle_limits_simple_paths(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        g.add_edge("b", "a", "x")
+        paths = regular_simple_paths(g, "x+", "a")
+        # a->b only: a->b->a revisits a.
+        assert len(paths) == 1
+
+    def test_empty_path_included_for_star(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        paths = regular_simple_paths(g, "x*", "a")
+        assert [] in paths
+
+    def test_target_filter(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        g.add_edge("b", "c", "x")
+        paths = regular_simple_paths(g, "x+", "a", target="c")
+        assert len(paths) == 1
+        assert [e.target for e in paths[0]] == ["b", "c"]
+
+    def test_max_paths_cap(self):
+        g = LabeledMultigraph()
+        for i in range(5):
+            g.add_edge("a", f"b{i}", "x")
+        paths = regular_simple_paths(g, "x", "a", max_paths=2)
+        assert len(paths) == 2
+
+    def test_max_length_cap(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        g.add_edge("b", "c", "x")
+        paths = regular_simple_paths(g, "x+", "a", max_length=1)
+        assert all(len(p) <= 1 for p in paths)
+
+    def test_decision_form(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        assert has_regular_simple_path(g, "x", "a", "b")
+        assert not has_regular_simple_path(g, "x x", "a", "b")
+
+    def test_simple_vs_unrestricted_divergence(self):
+        # The only path matching 'x x x y' from a to t is a->b->c->b->t,
+        # which revisits b; so the RPQ holds but no *simple* path matches.
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", "x")
+        g.add_edge("b", "c", "x")
+        g.add_edge("c", "b", "x")
+        g.add_edge("b", "t", "y")
+        evaluator = RPQEvaluator(g)
+        assert evaluator.holds("x x x y", "a", "t")
+        assert not has_regular_simple_path(g, "x x x y", "a", "t")

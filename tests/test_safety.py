@@ -1,0 +1,110 @@
+"""Tests for safety checking and body scheduling."""
+
+import pytest
+
+from repro.datalog.ast import ArithmeticAssign, Comparison, atom, lit, neglit, rule
+from repro.datalog.parser import parse_rule
+from repro.datalog.safety import (
+    check_rule_safety,
+    is_safe,
+    limited_variables,
+    schedule_body,
+)
+from repro.datalog.terms import Variable
+from repro.errors import SafetyError
+
+
+class TestLimitedVariables:
+    def test_positive_literal_limits(self):
+        r = parse_rule("h(X) :- p(X, Y).")
+        assert limited_variables(r) == {Variable("X"), Variable("Y")}
+
+    def test_equality_with_constant_limits(self):
+        r = parse_rule("h(X) :- p(Y), X = 3.")
+        assert Variable("X") in limited_variables(r)
+
+    def test_equality_propagates(self):
+        r = parse_rule("h(X) :- p(Y), X = Y.")
+        assert Variable("X") in limited_variables(r)
+
+    def test_arithmetic_propagates(self):
+        r = parse_rule("h(Z) :- p(X), Z = X + 1.")
+        assert Variable("Z") in limited_variables(r)
+
+    def test_arithmetic_chain(self):
+        r = parse_rule("h(W) :- p(X), Z = X + 1, W = Z * 2.")
+        assert Variable("W") in limited_variables(r)
+
+
+class TestSafety:
+    def test_safe_rule(self):
+        check_rule_safety(parse_rule("h(X) :- p(X)."))
+
+    def test_unsafe_head(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("h(X, Y) :- p(X)."))
+
+    def test_unsafe_negation(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("h(X) :- p(X), not q(Y)."))
+
+    def test_negation_with_anonymous_ok(self):
+        check_rule_safety(parse_rule("h(X) :- p(X), not q(X, _)."))
+
+    def test_unsafe_comparison(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("h(X) :- p(X), X < Y."))
+
+    def test_anonymous_in_head_rejected(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("h(_) :- p(_)."))
+
+    def test_is_safe_boolean(self):
+        assert is_safe(parse_rule("h(X) :- p(X)."))
+        assert not is_safe(parse_rule("h(Y) :- p(X)."))
+
+    def test_unsafe_arithmetic_input(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("h(X) :- p(X), Z = Y + 1."))
+
+
+class TestScheduling:
+    def test_builtins_deferred_until_bound(self):
+        r = parse_rule("h(X) :- X < Y, p(X), q(Y).")
+        schedule = schedule_body(r)
+        comparison_index = next(
+            i for i, e in enumerate(schedule) if isinstance(e, Comparison)
+        )
+        assert comparison_index == 2  # after both literals
+
+    def test_negation_scheduled_after_binding(self):
+        r = parse_rule("h(X) :- not q(X, Y), p(X), r(Y).")
+        schedule = schedule_body(r)
+        negated_index = next(
+            i
+            for i, e in enumerate(schedule)
+            if hasattr(e, "negative") and e.negative
+        )
+        assert negated_index == 2
+
+    def test_greedy_prefers_bound_join(self):
+        r = parse_rule("h(X, Z) :- a(X, Y), b(Y, Z), c(W, V), d(V, X).")
+        schedule = schedule_body(r)
+        # After a(X,Y), b shares Y; the join order should chain rather than
+        # jump to the disconnected c.
+        assert schedule[1].predicate == "b"
+
+    def test_equality_binding_allows_schedule(self):
+        r = parse_rule("h(X) :- p(Y), X = Y, X < 10.")
+        schedule = schedule_body(r)
+        assert len(schedule) == 3
+
+    def test_unschedulable_raises(self):
+        r = rule(atom("h", "X"), Comparison("<", "X", "Y"))
+        with pytest.raises(SafetyError):
+            schedule_body(r)
+
+    def test_arithmetic_after_inputs(self):
+        r = parse_rule("h(Z) :- Z = X + Y, p(X), q(Y).")
+        schedule = schedule_body(r)
+        assert isinstance(schedule[-1], ArithmeticAssign)

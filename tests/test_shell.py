@@ -1,0 +1,183 @@
+"""Tests for the interactive shell (driven through ShellSession.execute)."""
+
+import io
+
+import pytest
+
+from repro.shell import ShellSession, repl
+
+
+@pytest.fixture
+def session():
+    return ShellSession()
+
+
+def feed(session, *lines):
+    return [session.execute(line) for line in lines]
+
+
+class TestFacts:
+    def test_add_fact(self, session):
+        assert session.execute("parent(ann, bob).") == "+ parent(ann, bob)"
+        assert session.database.facts("parent") == {("ann", "bob")}
+
+    def test_fact_without_period(self, session):
+        session.execute("parent(ann, bob)")
+        assert session.database.count("parent") == 1
+
+    def test_rule_rejected_as_fact(self, session):
+        out = session.execute("p(X) :- q(X).")
+        assert out.startswith("error")
+
+    def test_facts_listing(self, session):
+        feed(session, "parent(ann, bob).", "city(rome).")
+        out = session.execute("facts")
+        assert "parent/2: 1 facts" in out
+        assert "city/1: 1 facts" in out
+
+    def test_facts_one_predicate(self, session):
+        session.execute("parent(ann, bob).")
+        out = session.execute("facts parent")
+        assert "ann" in out and "bob" in out
+
+
+class TestDefineAndRun:
+    def test_single_line_define(self, session):
+        out = session.execute("define (X) -[anc]-> (Y) { (X) -[parent+]-> (Y); }")
+        assert out == "defined anc"
+
+    def test_multi_line_define(self, session):
+        outputs = feed(
+            session,
+            "define (X) -[anc]-> (Y) {",
+            "  (X) -[parent+]-> (Y);",
+            "}",
+        )
+        assert outputs[:2] == ["", ""]
+        assert outputs[2] == "defined anc"
+        assert not session.pending
+
+    def test_goal(self, session):
+        feed(
+            session,
+            "parent(ann, bob).",
+            "parent(bob, cal).",
+            "define (X) -[anc]-> (Y) { (X) -[parent+]-> (Y); }",
+        )
+        out = session.execute("? anc(ann, X)")
+        assert "bob" in out and "cal" in out
+
+    def test_ground_goal_yes_no(self, session):
+        feed(
+            session,
+            "parent(ann, bob).",
+            "define (X) -[anc]-> (Y) { (X) -[parent+]-> (Y); }",
+        )
+        assert session.execute("? anc(ann, bob)") == "yes"
+        assert session.execute("? anc(bob, ann)") == "no"
+
+    def test_run_predicate(self, session):
+        feed(
+            session,
+            "parent(ann, bob).",
+            "define (X) -[anc]-> (Y) { (X) -[parent+]-> (Y); }",
+        )
+        out = session.execute("run anc")
+        assert "anc (1 tuples)" in out
+
+    def test_program(self, session):
+        session.execute("define (X) -[anc]-> (Y) { (X) -[parent+]-> (Y); }")
+        out = session.execute("program")
+        assert "parent-tc" in out
+
+    def test_explain(self, session):
+        feed(
+            session,
+            "parent(ann, bob).",
+            "define (X) -[anc]-> (Y) { (X) -[parent+]-> (Y); }",
+        )
+        out = session.execute("explain anc(ann, bob)")
+        assert "[base fact]" in out
+
+    def test_explain_non_answer(self, session):
+        feed(
+            session,
+            "parent(ann, bob).",
+            "define (X) -[anc]-> (Y) { (X) -[parent+]-> (Y); }",
+        )
+        assert "not a derived answer" in session.execute("explain anc(bob, ann)")
+
+    def test_queries_listing(self, session):
+        session.execute("define (X) -[anc]-> (Y) { (X) -[parent+]-> (Y); }")
+        assert "define" in session.execute("queries")
+
+    def test_incompatible_define_rejected_atomically(self, session):
+        session.execute("define (X) -[a]-> (Y) { (X) -[b]-> (Y); }")
+        out = session.execute("define (X) -[b]-> (Y) { (X) -[a]-> (Y); }")
+        assert out.startswith("error")
+        # The bad define must not have been partially registered.
+        assert len(session.graphs) == 1
+
+
+class TestOtherCommands:
+    def test_rpq(self, session):
+        feed(session, "link(a, b).", "link(b, c).")
+        out = session.execute("rpq link+ a")
+        assert "b" in out and "c" in out
+
+    def test_rpq_all_pairs(self, session):
+        feed(session, "link(a, b).")
+        out = session.execute("rpq link+")
+        assert "a" in out and "b" in out
+
+    def test_load(self, session, tmp_path):
+        path = tmp_path / "facts.dl"
+        path.write_text("parent(ann, bob).\nparent(bob, cal).\n")
+        out = session.execute(f"load {path}")
+        assert out == f"loaded 2 facts from {path}"
+
+    def test_load_rejects_rules(self, session, tmp_path):
+        path = tmp_path / "rules.dl"
+        path.write_text("p(X) :- q(X).\n")
+        assert session.execute(f"load {path}").startswith("error")
+
+    def test_clear_and_reset(self, session):
+        feed(
+            session,
+            "parent(ann, bob).",
+            "define (X) -[anc]-> (Y) { (X) -[parent+]-> (Y); }",
+        )
+        assert session.execute("clear") == "queries cleared"
+        assert session.database.count("parent") == 1
+        assert session.execute("reset") == "session reset"
+        assert session.database.count() == 0
+
+    def test_comments_and_blank_lines(self, session):
+        assert session.execute("") == ""
+        assert session.execute("% nothing") == ""
+
+    def test_help(self, session):
+        assert "define" in session.execute("help")
+
+    def test_quit_raises(self, session):
+        with pytest.raises(EOFError):
+            session.execute("quit")
+
+    def test_error_recovers(self, session):
+        assert session.execute("?? ! garbage").startswith("error")
+        assert session.execute("parent(a, b).") == "+ parent(a, b)"
+
+
+class TestReplLoop:
+    def test_scripted_session(self, capsys):
+        stdin = io.StringIO(
+            "parent(ann, bob).\n"
+            "define (X) -[anc]-> (Y) { (X) -[parent+]-> (Y); }\n"
+            "? anc(ann, X)\n"
+            "quit\n"
+        )
+        stdin.isatty = lambda: False
+        assert repl(stdin=stdin) == 0
+        out = capsys.readouterr().out
+        assert "defined anc" in out
+        assert "bob" in out

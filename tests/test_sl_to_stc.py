@@ -1,0 +1,200 @@
+"""Tests for Algorithm 3.1 (SL-DATALOG -> STC-DATALOG)."""
+
+import pytest
+
+from repro.datalog.classify import is_stratified_tc_program, recursive_predicates
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Constant, Sentinel
+from repro.errors import NotLinearError, StratificationError, TranslationError
+from repro.translation.differential import check_equivalence
+from repro.translation.sl_to_stc import prepare_adom, sl_to_stc, translate_and_check
+
+SG = """
+sg(X, X) :- person(X).
+sg(X, Y) :- parent(X, Z), sg(Z, W), parent(Y, W).
+"""
+
+
+def sg_db():
+    db = Database()
+    db.add_facts("person", [(p,) for p in "abcdefg"])
+    db.add_facts(
+        "parent", [("c", "a"), ("d", "a"), ("e", "b"), ("f", "b"), ("g", "c")]
+    )
+    return db
+
+
+class TestFigure9:
+    def test_exact_program_text(self):
+        result = sl_to_stc(parse_program(SG))
+        text = result.program.pretty()
+        assert "e(c, c, c, X, X, sg) :- person(X)." in text
+        assert "e(Z, W, sg, X, Y, sg) :- parent(X, Z), parent(Y, W)." in text
+        assert "t(X1, X2, X3, Y1, Y2, Y3) :- e(X1, X2, X3, Y1, Y2, Y3)." in text
+        assert "sg(X1, X2) :- t(c, c, c, X1, X2, sg)." in text
+
+    def test_output_is_stc(self):
+        result = sl_to_stc(parse_program(SG))
+        assert is_stratified_tc_program(result.program)
+
+    def test_equivalent_on_sample(self):
+        equal, diffs = check_equivalence(parse_program(SG), sg_db())
+        assert equal, diffs
+
+    def test_translate_and_check(self):
+        translate_and_check(parse_program(SG))
+
+
+class TestInputValidation:
+    def test_nonlinear_rejected(self):
+        with pytest.raises(NotLinearError):
+            sl_to_stc(
+                parse_program(
+                    """
+                    p(X, Y) :- e(X, Y).
+                    p(X, Y) :- p(X, Z), p(Z, Y).
+                    """
+                )
+            )
+
+    def test_unstratified_rejected(self):
+        with pytest.raises(StratificationError):
+            sl_to_stc(parse_program("p(X) :- e(X, X), not p(X)."))
+
+    def test_non_recursive_program_passes_through(self):
+        program = parse_program("a(X) :- e(X, Y). b(X) :- a(X).")
+        result = sl_to_stc(program)
+        assert result.components == []
+        assert len(result.program) == 2
+
+
+class TestSignatures:
+    def test_predicate_name_signatures_by_default(self):
+        result = sl_to_stc(parse_program(SG))
+        assert result.constants["sg"] == Constant("sg")
+        assert result.constants["start"] == Constant("c")
+
+    def test_sentinels_when_names_collide(self):
+        # The constant 'sg' occurs in the program: signature must dodge it.
+        program = parse_program(
+            SG + "special(X) :- tag(X, sg).\n"
+        )
+        result = sl_to_stc(program)
+        signature = result.constants["sg"]
+        assert isinstance(signature.value, Sentinel)
+
+    def test_sentinels_on_request(self):
+        result = sl_to_stc(parse_program(SG), use_predicate_name_signatures=False)
+        assert isinstance(result.constants["sg"].value, Sentinel)
+
+    def test_signature_collision_with_database_values(self):
+        # A database that actually *contains* the value "sg" would collide
+        # with name signatures; sentinel signatures stay correct.
+        db = sg_db()
+        db.add_fact("person", "sg")
+        program = parse_program(SG)
+        result = sl_to_stc(program, use_predicate_name_signatures=False)
+        equal, diffs = check_equivalence(program, db, translation=result)
+        assert equal, diffs
+
+
+class TestCarriedVariables:
+    CARRIED = """
+    anc(X, Y) :- e(X, Y).
+    anc(X, Y) :- anc(X, Z), e(Z, Y).
+    """
+
+    def test_left_linear_recursion(self):
+        # X occurs only in the head and recursive subgoal: needs adom guard.
+        program = parse_program(self.CARRIED)
+        result = sl_to_stc(program)
+        db = Database()
+        db.add_facts("e", [("a", "b"), ("b", "c"), ("c", "d")])
+        equal, diffs = check_equivalence(program, db, translation=result)
+        assert equal, diffs
+
+    def test_guard_rules_reference_adom(self):
+        result = sl_to_stc(parse_program(self.CARRIED))
+        text = str(result.program)
+        assert "adom(" in text
+
+    def test_no_guard_when_not_needed(self):
+        result = sl_to_stc(parse_program(SG))
+        assert "adom(" not in str(result.program)
+
+
+class TestMutualRecursion:
+    PROGRAM = """
+    reach-even(X) :- start(X).
+    reach-odd(Y) :- edge(X, Y), reach-even(X).
+    reach-even(Y) :- edge(X, Y), reach-odd(X).
+    """
+
+    def test_translates_and_matches(self):
+        program = parse_program(self.PROGRAM)
+        db = Database()
+        db.add_fact("start", "n0")
+        db.add_facts("edge", [(f"n{i}", f"n{i+1}") for i in range(6)])
+        equal, diffs = check_equivalence(program, db)
+        assert equal, diffs
+
+    def test_one_component_two_readbacks(self):
+        result = sl_to_stc(parse_program(self.PROGRAM))
+        assert len(result.components) == 1
+        component = result.components[0]
+        assert component == frozenset({"reach-even", "reach-odd"})
+        # Read-back rules: one per member predicate.
+        t_name = result.closure_predicates[0]
+        readbacks = [
+            r
+            for r in result.program
+            if r.head.predicate in component
+            and any(
+                lit.predicate == t_name for lit in r.positive_literals()
+            )
+        ]
+        assert len(readbacks) == 2
+
+
+class TestNegationAndStrata:
+    PROGRAM = """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- e(X, Z), tc(Z, Y).
+    node(X) :- e(X, _).
+    node(X) :- e(_, X).
+    sep(X, Y) :- node(X), node(Y), not tc(X, Y).
+    above(X, Y) :- sep(X, Y).
+    above(X, Y) :- sep(X, Z), above(Z, Y).
+    """
+
+    def test_stratified_negation_preserved(self):
+        program = parse_program(self.PROGRAM)
+        db = Database()
+        db.add_facts("e", [("a", "b"), ("b", "c")])
+        equal, diffs = check_equivalence(program, db)
+        assert equal, diffs
+
+    def test_two_recursive_components(self):
+        result = sl_to_stc(parse_program(self.PROGRAM))
+        assert len(result.components) == 2
+        assert len(set(result.edge_predicates.values())) == 2
+
+
+class TestAdomHelper:
+    def test_prepare_adom(self):
+        db = Database.from_facts({"e": [("a", 1)]})
+        prepared = prepare_adom(db)
+        assert prepared.facts("adom") == {("a",), (1,)}
+        assert "adom" not in db
+
+    def test_polynomial_output_size(self):
+        # Output rule count is linear in input rules + predicates.
+        program = parse_program(
+            "".join(
+                f"q{i}(X, Y) :- e(X, Y).\nq{i}(X, Y) :- e(X, Z), q{i}(Z, Y).\n"
+                for i in range(12)
+            )
+        )
+        result = sl_to_stc(program)
+        assert len(result.program) <= 6 * 12

@@ -1,0 +1,157 @@
+"""Tests for path-summarization edges in GraphLog queries (Section 4)."""
+
+import pytest
+
+from repro.core.dsl import parse_graphical_query
+from repro.core.engine import GraphLogEngine
+from repro.core.query_graph import GraphicalQuery, QueryGraph
+from repro.core.translate import translate, translate_extended
+from repro.datalog.database import Database
+from repro.datasets.tasks import figure11_database, random_project
+from repro.errors import ParseError, QueryGraphError, TranslationError
+from repro.figures.fig11 import earlier_start, earlier_start_oracle, query as fig11_query
+
+
+def weighted_db():
+    db = Database()
+    db.add_facts("hop", [("a", "b", 3), ("b", "c", 2), ("a", "c", 10), ("c", "d", 1)])
+    return db
+
+
+def summary_query(semiring="longest"):
+    q = GraphicalQuery()
+    g = q.define("X", "Y", "best", extra=["V"])
+    g.summarize("X", "Y", "hop", semiring, "V")
+    return q
+
+
+class TestBuilderAndValidation:
+    def test_summary_edge_recorded(self):
+        q = summary_query()
+        graph = q.graphs[0]
+        assert len(graph.summaries) == 1
+        assert graph.body_predicates() == {"hop"}
+
+    def test_single_term_nodes_required(self):
+        g = QueryGraph()
+        with pytest.raises(QueryGraphError):
+            g.summarize(("X", "Y"), "Z", "hop", "longest", "V")
+
+    def test_summary_alone_satisfies_pattern_requirement(self):
+        summary_query().validate()
+
+    def test_plain_translate_rejects_summaries(self):
+        with pytest.raises(TranslationError):
+            translate(summary_query())
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "semiring,expected_ac",
+        # widest a->c: the direct 10-edge beats min(3, 2) via b.
+        [("longest", 10), ("shortest", 5), ("widest", 10)],
+    )
+    def test_semantics(self, semiring, expected_ac):
+        answers = GraphLogEngine().answers(summary_query(semiring), weighted_db(), "best")
+        by_pair = {(a, b): v for a, b, v in answers}
+        assert by_pair[("a", "c")] == expected_ac
+
+    def test_shared_summary_predicate(self):
+        q = GraphicalQuery()
+        g1 = q.define("X", "Y", "p1", extra=["V"])
+        g1.summarize("X", "Y", "hop", "longest", "V")
+        g2 = q.define("X", "Y", "p2", extra=["V"])
+        g2.summarize("X", "Y", "hop", "longest", "V")
+        program = translate_extended(q)
+        assert len(program.summary_rules) == 1  # deduplicated
+
+    def test_summary_over_defined_relation(self):
+        # The weight relation is itself a query-graph result (fig11 shape).
+        answers = GraphLogEngine().answers(
+            fig11_query(), figure11_database(), "earlier-start"
+        )
+        assert ("design", "ship", 23) in answers
+
+    def test_matches_oracle_on_random_projects(self):
+        for seed in (1, 7):
+            db = random_project(seed, n_tasks=25, layers=5)
+            via_graphlog = earlier_start(db)
+            oracle = earlier_start_oracle(db)
+            assert via_graphlog == oracle
+
+    def test_summary_composes_with_comparison(self):
+        q = parse_graphical_query(
+            """
+            define (T1) -[moved(D)]-> (T2) {
+                (T1) -[affects]-> (T2);
+                (T2) -[duration]-> (D);
+            }
+            define (T1) -[long-dep]-> (T2) {
+                (T1) -[moved @ longest E]-> (T2);
+                (E) -[>]-> (TEN);
+                is-ten(TEN);
+            }
+            """
+        )
+        db = figure11_database()
+        db.add_fact("is-ten", 10)
+        answers = GraphLogEngine().answers(q, db, "long-dep")
+        oracle = earlier_start_oracle(db)
+        expected = {(a, b) for (a, b), e in oracle.items() if e > 10}
+        assert answers == expected and answers
+
+
+class TestDSL:
+    def test_parse_summary_edge(self):
+        q = parse_graphical_query(
+            """
+            define (X) -[best(V)]-> (Y) {
+                (X) -[hop @ shortest V]-> (Y);
+            }
+            """
+        )
+        graph = q.graphs[0]
+        assert len(graph.summaries) == 1
+        assert graph.summaries[0].weight_predicate == "hop"
+
+    def test_bad_semiring_name_fails_at_translate(self):
+        q = parse_graphical_query(
+            """
+            define (X) -[best(V)]-> (Y) {
+                (X) -[hop @ fanciest V]-> (Y);
+            }
+            """
+        )
+        with pytest.raises(KeyError):
+            translate_extended(q)
+
+    def test_left_of_at_must_be_bare_predicate(self):
+        with pytest.raises(ParseError):
+            parse_graphical_query(
+                """
+                define (X) -[best(V)]-> (Y) {
+                    (X) -[hop+ @ shortest V]-> (Y);
+                }
+                """
+            )
+
+    def test_value_must_be_variable(self):
+        with pytest.raises(ParseError):
+            parse_graphical_query(
+                """
+                define (X) -[best(V)]-> (Y) {
+                    (X) -[hop @ shortest 3]-> (Y);
+                }
+                """
+            )
+
+    def test_roundtrip_via_render(self):
+        from repro.visual.ascii_art import render_graphical_query
+
+        q = summary_query("shortest")
+        text = render_graphical_query(q)
+        q2 = parse_graphical_query(text)
+        assert q2.graphs[0].summaries[0].weight_predicate == "hop"
+        first = GraphLogEngine().answers(q, weighted_db(), "best")
+        second = GraphLogEngine().answers(q2, weighted_db(), "best")
+        assert first == second

@@ -1,0 +1,132 @@
+"""Unit tests for Datalog terms."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Constant,
+    FreshVariables,
+    Sentinel,
+    Variable,
+    make_constant,
+    make_term,
+    make_variable,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("P1")) == "P1"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_anonymous(self):
+        assert Variable("_").is_anonymous
+        assert Variable("_x").is_anonymous
+        assert not Variable("X").is_anonymous
+
+    def test_not_equal_to_constant(self):
+        assert Variable("x") != Constant("x")
+
+    def test_is_variable_flag(self):
+        assert Variable("X").is_variable
+        assert not Variable("X").is_constant
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant("3")
+
+    def test_hashable(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+    def test_str_lowercase_identifier_bare(self):
+        assert str(Constant("toronto")) == "toronto"
+
+    def test_str_hyphenated_bare(self):
+        assert str(Constant("async-io")) == "async-io"
+
+    def test_str_uppercase_quoted(self):
+        assert str(Constant("Toronto")) == "'Toronto'"
+
+    def test_str_number(self):
+        assert str(Constant(42)) == "42"
+
+    def test_is_constant_flag(self):
+        assert Constant(1).is_constant
+        assert not Constant(1).is_variable
+
+
+class TestSentinel:
+    def test_equality_by_name(self):
+        assert Sentinel("sg") == Sentinel("sg")
+        assert Sentinel("sg") != Sentinel("c")
+
+    def test_auto_names_unique(self):
+        assert Sentinel() != Sentinel()
+
+    def test_never_equals_plain_values(self):
+        assert Sentinel("sg") != "sg"
+        assert Constant(Sentinel("sg")) != Constant("sg")
+
+    def test_hashable(self):
+        assert len({Sentinel("a"), Sentinel("a")}) == 1
+
+
+class TestMakeTerm:
+    def test_uppercase_is_variable(self):
+        assert make_term("X") == Variable("X")
+
+    def test_underscore_is_variable(self):
+        assert make_term("_") == Variable("_")
+
+    def test_lowercase_is_constant(self):
+        assert make_term("ann") == Constant("ann")
+
+    def test_number_is_constant(self):
+        assert make_term(7) == Constant(7)
+
+    def test_term_passthrough(self):
+        v = Variable("X")
+        assert make_term(v) is v
+
+    def test_make_constant_rejects_variable(self):
+        with pytest.raises(TypeError):
+            make_constant(Variable("X"))
+
+    def test_make_variable_rejects_constant(self):
+        with pytest.raises(TypeError):
+            make_variable(Constant("a"))
+
+    def test_make_variable_from_string(self):
+        assert make_variable("Y") == Variable("Y")
+
+
+class TestFreshVariables:
+    def test_avoids_used(self):
+        gen = FreshVariables([Variable("V0"), Variable("V1")])
+        fresh = gen.fresh()
+        assert fresh.name not in ("V0", "V1")
+
+    def test_distinct_stream(self):
+        gen = FreshVariables()
+        names = {gen.fresh().name for _ in range(50)}
+        assert len(names) == 50
+
+    def test_reserve(self):
+        gen = FreshVariables()
+        gen.reserve("V0")
+        assert gen.fresh().name != "V0"
+
+    def test_hint(self):
+        gen = FreshVariables()
+        assert gen.fresh(hint="Z").name.startswith("Z")

@@ -1,0 +1,154 @@
+"""Tests for the STC-DATALOG -> GraphLog direction of Lemma 3.4."""
+
+import pytest
+
+from repro.core.engine import GraphLogEngine
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate
+from repro.datalog.parser import parse_program
+from repro.errors import TranslationError
+from repro.translation.sl_to_stc import prepare_adom, sl_to_stc
+from repro.translation.to_graphlog import diagonal_projection, graphlog_from_stc
+
+TC_TEXT = """
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+"""
+
+
+class TestShapes:
+    def test_tc_pair_becomes_single_closure_graph(self):
+        query, unary = graphlog_from_stc(parse_program(TC_TEXT))
+        assert len(query) == 1
+        graph = query.graphs[0]
+        assert len(graph.edges) == 1
+        assert str(graph.edges[0].pre) == "e+"
+        assert unary == set()
+
+    def test_wide_tc_pair(self):
+        program = parse_program(
+            """
+            t(X1, X2, Y1, Y2) :- b(X1, X2, Y1, Y2).
+            t(X1, X2, Y1, Y2) :- b(X1, X2, Z1, Z2), t(Z1, Z2, Y1, Y2).
+            """
+        )
+        query, _unary = graphlog_from_stc(program)
+        graph = query.graphs[0]
+        assert len(graph.edges[0].source) == 2
+
+    def test_non_tc_recursion_rejected(self):
+        with pytest.raises(TranslationError):
+            graphlog_from_stc(
+                parse_program(
+                    """
+                    sg(X, X) :- person(X).
+                    sg(X, Y) :- parent(X, Z), sg(Z, W), parent(Y, W).
+                    """
+                )
+            )
+
+    def test_facts_rejected(self):
+        with pytest.raises(TranslationError):
+            graphlog_from_stc(parse_program("p(a, b).\nq(X, Y) :- p(X, Y)."))
+
+    def test_arity0_rejected(self):
+        with pytest.raises(TranslationError):
+            graphlog_from_stc(parse_program("go :- p(X, Y)."))
+
+    def test_negated_body_literal_supported(self):
+        program = parse_program(
+            TC_TEXT + "far(X, Y) :- tc(X, Y), not e(X, Y).\n"
+        )
+        query, _unary = graphlog_from_stc(program)
+        db = Database.from_facts({"e": [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]})
+        got = GraphLogEngine().answers(query, db, "far")
+        want = set(evaluate(program, db).facts("far"))
+        assert got == want
+
+    def test_comparison_body_supported(self):
+        program = parse_program("older(X, Y) :- age(X, A), age(Y, B), B < A.")
+        query, _unary = graphlog_from_stc(program)
+        db = Database.from_facts({"age": [("ann", 30), ("bob", 20)]})
+        got = GraphLogEngine().answers(query, db, "older")
+        assert got == {("ann", "bob")}
+
+
+class TestRoundTrip:
+    def _roundtrip_answers(self, sl_text, edb, predicate):
+        program = parse_program(sl_text)
+        stc = sl_to_stc(program, use_predicate_name_signatures=False)
+        query, unary = graphlog_from_stc(stc.program)
+        db = Database.from_facts(edb)
+        result = GraphLogEngine().run(query, prepare_adom(db))
+        if predicate in unary:
+            got = diagonal_projection(result, predicate)
+            want = {r[0] for r in evaluate(program, db).facts(predicate)}
+        else:
+            got = set(result.facts(predicate))
+            want = set(evaluate(program, db).facts(predicate))
+        return got, want
+
+    def test_same_generation(self):
+        got, want = self._roundtrip_answers(
+            """
+            sg(X, X) :- person(X).
+            sg(X, Y) :- parent(X, Z), sg(Z, W), parent(Y, W).
+            """,
+            {
+                "person": [(p,) for p in "abcdef"],
+                "parent": [("c", "a"), ("d", "a"), ("e", "b"), ("f", "b")],
+            },
+            "sg",
+        )
+        assert got == want and want
+
+    def test_unary_reachability(self):
+        got, want = self._roundtrip_answers(
+            """
+            reach(Y) :- start(X), e(X, Y).
+            reach(Y) :- e(X, Y), reach(X).
+            """,
+            {"start": [("a",)], "e": [("a", "b"), ("b", "c"), ("x", "y")]},
+            "reach",
+        )
+        assert got == want == {"b", "c"}
+
+    def test_negation_across_strata(self):
+        got, want = self._roundtrip_answers(
+            TC_TEXT
+            + """
+            n(X, X) :- e(X, _).
+            far(X, Y) :- tc(X, Y), not e(X, Y).
+            """,
+            {"e": [("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")]},
+            "far",
+        )
+        assert got == want and want
+
+    def test_full_circle_from_graphlog(self):
+        # GraphLog -> λ -> Algorithm 3.1 -> GraphLog again.
+        from repro.core.dsl import parse_graphical_query
+        from repro.core.translate import translate
+
+        original = parse_graphical_query(
+            """
+            define (P1) -[not-desc-of(P2)]-> (P3) {
+                (P1) -[descendant+]-> (P3);
+                (P2) -[~descendant+]-> (P3);
+                person(P2);
+            }
+            """
+        )
+        db = Database.from_facts(
+            {
+                "descendant": [("a", "b"), ("b", "c"), ("d", "e")],
+                "person": [(p,) for p in "abcde"],
+            }
+        )
+        engine = GraphLogEngine()
+        first = engine.answers(original, db, "not-desc-of")
+        sl = translate(original)
+        stc = sl_to_stc(sl, use_predicate_name_signatures=False)
+        again, _unary = graphlog_from_stc(stc.program)
+        second = set(engine.run(again, prepare_adom(db)).facts("not-desc-of"))
+        assert first == second and first

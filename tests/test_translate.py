@@ -1,0 +1,299 @@
+"""Tests for the logical translation function λ (Definition 2.4)."""
+
+import pytest
+
+from repro.core.pre import closure, inverse, neg, optional, rel, seq, star
+from repro.core.query_graph import GraphicalQuery, QueryGraph
+from repro.core.translate import PredicateNamer, translate, translate_query_graph
+from repro.datalog.ast import Comparison, Literal
+from repro.datalog.classify import is_stratified_linear
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate
+from repro.datalog.stratify import is_stratified
+from repro.core.engine import prepare_database
+
+
+def run_query(graph_or_query, facts):
+    """Translate, prepare, evaluate; return the result database."""
+    program = translate(graph_or_query)
+    db = Database.from_facts(facts)
+    return evaluate(program, prepare_database(db))
+
+
+class TestBareLiterals:
+    def test_plain_edge(self):
+        g = QueryGraph()
+        g.edge("X", "Y", "e")
+        g.distinguished("X", "Y", "out")
+        rules = translate_query_graph(g)
+        assert str(rules[0]) == "out(X, Y) :- e(X, Y)."
+        assert len(rules) == 1
+
+    def test_edge_with_label_args(self):
+        g = QueryGraph()
+        g.edge("X", "Y", rel("flight", "T"))
+        g.distinguished("X", "Y", "out", extra=["T"])
+        rules = translate_query_graph(g)
+        assert str(rules[0]) == "out(X, Y, T) :- flight(X, Y, T)."
+
+    def test_negated_edge(self):
+        g = QueryGraph()
+        g.edge("X", "Y", "e")
+        g.edge("X", "Y", "~f")
+        g.distinguished("X", "Y", "out")
+        rules = translate_query_graph(g)
+        assert "not f(X, Y)" in str(rules[0])
+
+    def test_multi_variable_nodes(self):
+        g = QueryGraph()
+        g.edge(("X1", "X2"), ("Y1", "Y2"), "r")
+        g.distinguished(("X1", "X2"), ("Y1", "Y2"), "out")
+        rules = translate_query_graph(g)
+        assert str(rules[0]) == "out(X1, X2, Y1, Y2) :- r(X1, X2, Y1, Y2)."
+
+    def test_annotations_appended(self):
+        g = QueryGraph()
+        g.edge("X", "Y", "e")
+        g.annotate("X", "person")
+        g.annotate("Y", "evil", positive=False)
+        g.distinguished("X", "Y", "out")
+        body = str(translate_query_graph(g)[0])
+        assert "person(X)" in body and "not evil(Y)" in body
+
+
+class TestClosure:
+    def test_figure3_exact(self):
+        g = QueryGraph()
+        g.edge("P1", "P3", "descendant+")
+        g.edge("P2", "P3", "~descendant+")
+        g.annotate("P2", "person")
+        g.distinguished("P1", "P3", "not-desc-of", extra=["P2"])
+        rules = translate_query_graph(g)
+        main = str(rules[0])
+        assert main == (
+            "not-desc-of(P1, P3, P2) :- descendant-tc(P1, P3), "
+            "not descendant-tc(P2, P3), person(P2)."
+        )
+        # Rules (2) and (3) of Definition 2.4.
+        tc_rules = [str(r) for r in rules[1:]]
+        assert len(tc_rules) == 2
+        assert any(":- descendant(" in r and "descendant-tc" not in r.split(":-")[1] or True for r in tc_rules)
+
+    def test_shared_closure_compiled_once(self):
+        g = QueryGraph()
+        g.edge("X", "Y", "e+")
+        g.edge("Y", "Z", "e+")
+        g.distinguished("X", "Z", "out")
+        rules = translate_query_graph(g)
+        # one main + exactly two TC rules (not four)
+        assert len(rules) == 3
+
+    def test_closure_with_label_variable(self):
+        # Definition 2.4 case 3: the label value stays constant along the path.
+        result = run_query(
+            _single_edge_query(closure(rel("ride", "L")), extra=["L"]),
+            {"ride": [("a", "b", "red"), ("b", "c", "red"), ("c", "d", "blue")]},
+        )
+        answers = result.facts("out")
+        assert ("a", "c", "red") in answers
+        assert ("a", "d", "red") not in answers  # colour changes at c
+
+    def test_closure_with_constant_arg(self):
+        result = run_query(
+            _single_edge_query(closure(rel("flight", "cp"))),
+            {"flight": [("a", "b", "cp"), ("b", "c", "cp"), ("c", "d", "aa")]},
+        )
+        assert ("a", "c") in result.facts("out")
+        assert ("a", "d") not in result.facts("out")
+
+    def test_multiwidth_closure(self):
+        g = QueryGraph()
+        g.edge(("X1", "X2"), ("Y1", "Y2"), closure(rel("sg")))
+        g.distinguished(("X1", "X2"), ("Y1", "Y2"), "out")
+        result = evaluate(
+            translate(GraphicalQuery([g])),
+            prepare_database(
+                Database.from_facts({"sg": [("a", "b", "c", "d"), ("c", "d", "e", "f")]})
+            ),
+        )
+        assert ("a", "b", "e", "f") in result.facts("out")
+
+
+def _single_edge_query(pre, extra=()):
+    g = QueryGraph()
+    g.edge("X", "Y", pre)
+    g.distinguished("X", "Y", "out", extra=extra)
+    return GraphicalQuery([g])
+
+
+class TestCompositeExpressions:
+    def test_composition(self):
+        result = run_query(
+            _single_edge_query(seq("a", "b")),
+            {"a": [("x", "y")], "b": [("y", "z")]},
+        )
+        assert result.facts("out") == {("x", "z")}
+
+    def test_alternation(self):
+        result = run_query(
+            _single_edge_query(rel("a") | rel("b")),
+            {"a": [("x", "y")], "b": [("u", "v")]},
+        )
+        assert result.facts("out") == {("x", "y"), ("u", "v")}
+
+    def test_inversion(self):
+        result = run_query(
+            _single_edge_query(inverse("a")),
+            {"a": [("x", "y")]},
+        )
+        assert result.facts("out") == {("y", "x")}
+
+    def test_star_includes_zero_steps(self):
+        result = run_query(
+            _single_edge_query(star("a")),
+            {"a": [("x", "y")]},
+        )
+        assert ("x", "x") in result.facts("out")
+        assert ("y", "y") in result.facts("out")
+        assert ("x", "y") in result.facts("out")
+
+    def test_optional(self):
+        result = run_query(
+            _single_edge_query(optional("a")),
+            {"a": [("x", "y"), ("y", "z")]},
+        )
+        answers = result.facts("out")
+        assert ("x", "y") in answers and ("x", "x") in answers
+        assert ("x", "z") not in answers  # optional is at most one step
+
+    def test_negated_composite(self):
+        g = QueryGraph()
+        g.edge("X", "Y", "e")
+        g.edge("X", "Y", neg(seq("a", "b")))
+        g.distinguished("X", "Y", "out")
+        result = evaluate(
+            translate(GraphicalQuery([g])),
+            prepare_database(
+                Database.from_facts(
+                    {"e": [("x", "z"), ("x", "w")], "a": [("x", "y")], "b": [("y", "z")]}
+                )
+            ),
+        )
+        assert result.facts("out") == {("x", "w")}
+
+    def test_star_closure_composed(self):
+        # (father | mother)* friend : me, my ancestors' friends.
+        result = run_query(
+            _single_edge_query(seq(star(rel("father") | rel("mother", "_")), "friend")),
+            {
+                "father": [("f", "me")],
+                "mother": [("m", "me", "h1")],
+                "friend": [("f", "alice"), ("me", "carol")],
+            },
+        )
+        mine = {t for t in result.facts("out") if t[0] == "me"}
+        assert mine == {("me", "carol")}
+        assert ("f", "alice") in result.facts("out")
+
+    def test_inverted_star_composition(self):
+        # -(father)* walks *down* the tree from an ancestor.
+        result = run_query(
+            _single_edge_query(seq(inverse("father"), rel("friend"))),
+            {"father": [("dad", "kid")], "friend": [("dad", "ann")]},
+        )
+        assert result.facts("out") == {("kid", "ann")}
+
+
+class TestEqualityEdges:
+    def test_equality_edge(self):
+        g = QueryGraph()
+        g.edge("X", "Y", "e")
+        g.edge("X", "Y", "=")
+        g.distinguished("X", "Y", "out")
+        result = evaluate(
+            translate(GraphicalQuery([g])),
+            prepare_database(Database.from_facts({"e": [("a", "a"), ("a", "b")]})),
+        )
+        assert result.facts("out") == {("a", "a")}
+
+    def test_inequality_edge(self):
+        g = QueryGraph()
+        g.edge("X", "Y", "e")
+        g.edge("X", "Y", "!=")
+        g.distinguished("X", "Y", "out")
+        result = evaluate(
+            translate(GraphicalQuery([g])),
+            prepare_database(Database.from_facts({"e": [("a", "a"), ("a", "b")]})),
+        )
+        assert result.facts("out") == {("a", "b")}
+
+    def test_comparison_edge(self):
+        g = QueryGraph()
+        g.edge("X", "T1", "starts")
+        g.edge("Y", "T2", "starts")
+        g.edge("T1", "T2", "<")
+        g.distinguished("X", "Y", "earlier")
+        result = evaluate(
+            translate(GraphicalQuery([g])),
+            prepare_database(Database.from_facts({"starts": [("a", 1), ("b", 2)]})),
+        )
+        assert result.facts("earlier") == {("a", "b")}
+
+    def test_negated_comparison_edge(self):
+        g = QueryGraph()
+        g.edge("X", "T1", "starts")
+        g.edge("Y", "T2", "starts")
+        g.edge("T1", "T2", "~<")
+        g.distinguished("X", "Y", "not-earlier")
+        result = evaluate(
+            translate(GraphicalQuery([g])),
+            prepare_database(Database.from_facts({"starts": [("a", 1), ("b", 2)]})),
+        )
+        assert ("b", "a") in result.facts("not-earlier")
+        assert ("a", "b") not in result.facts("not-earlier")
+
+
+class TestProgramShape:
+    def test_output_is_stratified_linear(self):
+        q = GraphicalQuery()
+        g = q.define("P1", "P3", "ndo", extra=["P2"])
+        g.edge("P1", "P3", "descendant+")
+        g.edge("P2", "P3", "~descendant+")
+        g.annotate("P2", "person")
+        g2 = q.define("X", "Y", "friends-of-nd")
+        g2.edge("X", "Z", rel("ndo", "Q"))
+        g2.edge("Z", "Y", star("friend"))
+        g2.annotate("Q", "person")
+        program = translate(q)
+        assert is_stratified(program)
+        assert is_stratified_linear(program)
+
+    def test_namer_avoids_user_predicates(self):
+        namer = PredicateNamer(reserved={"e-tc"})
+        g = QueryGraph()
+        g.edge("X", "Y", "e+")
+        g.distinguished("X", "Y", "out")
+        rules = translate_query_graph(g, namer)
+        names = {r.head.predicate for r in rules}
+        assert "e-tc" not in names
+        assert any(name.startswith("e-tc-") for name in names)
+
+    def test_namer_width_distinct(self):
+        namer = PredicateNamer()
+        n1, _ = namer.name_for("key", "aux", width=1)
+        n2, _ = namer.name_for("key", "aux", width=2)
+        assert n1 != n2
+        again, fresh = namer.name_for("key", "aux", width=1)
+        assert again == n1 and not fresh
+
+    def test_constants_in_node_labels(self):
+        g = QueryGraph()
+        g.edge("P", "toronto", "residence")
+        g.distinguished("P", "P", "torontonian")
+        result = evaluate(
+            translate(GraphicalQuery([g])),
+            prepare_database(
+                Database.from_facts({"residence": [("ann", "toronto"), ("bob", "ottawa")]})
+            ),
+        )
+        assert result.facts("torontonian") == {("ann", "ann")}

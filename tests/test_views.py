@@ -1,0 +1,213 @@
+"""Tests for materialized views and incremental maintenance."""
+
+import pytest
+
+from repro.core.dsl import parse_graphical_query
+from repro.core.engine import prepare_database
+from repro.core.translate import translate
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate
+from repro.datalog.parser import parse_program
+from repro.errors import AggregationError
+from repro.graphs.bridge import EdgeLabel
+from repro.ham.store import HAMStore
+from repro.ham.views import (
+    MaterializedView,
+    ViewManager,
+    incremental_insert,
+    is_monotone_program,
+)
+
+REACH = parse_graphical_query(
+    """
+    define (X) -[reach]-> (Y) {
+        (X) -[link+]-> (Y);
+    }
+    """
+)
+
+NONMONO = parse_graphical_query(
+    """
+    define (X) -[blocked]-> (Y) {
+        (X) -[link]-> (Y);
+        (X) -[~fast]-> (Y);
+    }
+    """
+)
+
+
+class TestMonotonicity:
+    def test_positive_program_monotone(self):
+        assert is_monotone_program(translate(REACH))
+
+    def test_negation_not_monotone(self):
+        assert not is_monotone_program(translate(NONMONO))
+
+
+class TestIncrementalInsert:
+    def _materialize(self, program, edb):
+        return evaluate(program, edb)
+
+    def test_matches_recompute_simple(self):
+        program = parse_program(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+            """
+        )
+        edb = Database.from_facts({"e": [("a", "b"), ("b", "c")]})
+        materialized = self._materialize(program, edb)
+        updated = incremental_insert(program, materialized, {"e": [("c", "d")]})
+        full = self._materialize(
+            program, Database.from_facts({"e": [("a", "b"), ("b", "c"), ("c", "d")]})
+        )
+        assert updated.to_dict() == full.to_dict()
+
+    def test_bridging_edge_connects_components(self):
+        program = parse_program(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+            """
+        )
+        edb = Database.from_facts(
+            {"e": [("a1", "a2"), ("a2", "a3"), ("b1", "b2"), ("b2", "b3")]}
+        )
+        materialized = self._materialize(program, edb)
+        updated = incremental_insert(program, materialized, {"e": [("a3", "b1")]})
+        assert ("a1", "b3") in updated.facts("tc")
+
+    def test_multi_stratum_like_chain_of_idbs(self):
+        program = parse_program(
+            """
+            hop(X, Y) :- e(X, Y).
+            two(X, Z) :- hop(X, Y), hop(Y, Z).
+            far(X, Y) :- two(X, Y).
+            far(X, Y) :- two(X, Z), far(Z, Y).
+            """
+        )
+        edb = Database.from_facts({"e": [("a", "b"), ("b", "c"), ("c", "d")]})
+        materialized = self._materialize(program, edb)
+        updated = incremental_insert(program, materialized, {"e": [("d", "e")]})
+        full = self._materialize(
+            program,
+            Database.from_facts({"e": [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]}),
+        )
+        assert updated.to_dict() == full.to_dict()
+
+    def test_duplicate_insert_noop(self):
+        program = parse_program("p(X, Y) :- e(X, Y).")
+        edb = Database.from_facts({"e": [("a", "b")]})
+        materialized = self._materialize(program, edb)
+        updated = incremental_insert(program, materialized, {"e": [("a", "b")]})
+        assert updated.to_dict() == materialized.to_dict()
+
+    def test_input_not_mutated(self):
+        program = parse_program("p(X, Y) :- e(X, Y).")
+        edb = Database.from_facts({"e": [("a", "b")]})
+        materialized = self._materialize(program, edb)
+        before = materialized.to_dict()
+        incremental_insert(program, materialized, {"e": [("x", "y")]})
+        assert materialized.to_dict() == before
+
+    def test_nonmonotone_rejected(self):
+        program = translate(NONMONO)
+        with pytest.raises(AggregationError):
+            incremental_insert(program, Database(), {"link": [("a", "b")]})
+
+    def test_random_differential(self):
+        import random
+
+        program = parse_program(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+            """
+        )
+        rng = random.Random(5)
+        nodes = [f"n{i}" for i in range(12)]
+        edges = []
+        edb = Database.from_facts({"e": []})
+        edb.relation("e", 2)
+        materialized = self._materialize(program, edb)
+        for step in range(25):
+            new = (rng.choice(nodes), rng.choice(nodes))
+            if new[0] == new[1]:
+                continue
+            edges.append(new)
+            materialized = incremental_insert(program, materialized, {"e": [new]})
+            full = self._materialize(program, Database.from_facts({"e": edges}))
+            assert materialized.facts("tc") == full.facts("tc"), step
+
+
+class TestViewManager:
+    def _store(self):
+        store = HAMStore()
+        db = Database.from_facts({"link": [("a", "b"), ("b", "c")]})
+        store.load_database(db)
+        return store
+
+    def test_register_evaluates(self):
+        manager = ViewManager(self._store())
+        manager.register("reach", REACH)
+        assert ("a", "c") in manager.answers("reach")
+
+    def test_incremental_on_insert(self):
+        store = self._store()
+        manager = ViewManager(store)
+        view = manager.register("reach", REACH)
+        with store.session().transaction() as txn:
+            txn.add_edge("c", "d", EdgeLabel("link"))
+        assert ("a", "d") in manager.answers("reach")
+        assert view.incremental_updates == 1
+        assert view.full_refreshes == 1  # the initial one
+
+    def test_full_refresh_on_delete(self):
+        store = self._store()
+        manager = ViewManager(store)
+        view = manager.register("reach", REACH)
+        with store.session().transaction() as txn:
+            txn.remove_edge("b", "c", EdgeLabel("link"))
+        assert ("a", "c") not in manager.answers("reach")
+        assert view.full_refreshes == 2
+
+    def test_nonmonotone_view_always_refreshes(self):
+        store = self._store()
+        db = Database.from_facts({"fast": [("a", "b")]})
+        store.load_database(db)
+        manager = ViewManager(store)
+        view = manager.register("blocked", NONMONO)
+        assert manager.answers("blocked") == {("b", "c")}
+        with store.session().transaction() as txn:
+            txn.add_edge("c", "d", EdgeLabel("link"))
+        assert ("c", "d") in manager.answers("blocked")
+        assert view.incremental_updates == 0
+        assert view.full_refreshes >= 2
+
+    def test_star_view_sees_new_nodes(self):
+        store = self._store()
+        manager = ViewManager(store)
+        manager.register(
+            "reach0",
+            parse_graphical_query(
+                "define (X) -[reach0]-> (Y) { (X) -[link*]-> (Y); }"
+            ),
+        )
+        with store.session().transaction() as txn:
+            txn.add_node("z")
+            txn.add_edge("c", "z", EdgeLabel("link"))
+        answers = manager.answers("reach0")
+        assert ("z", "z") in answers
+        assert ("a", "z") in answers
+
+    def test_matches_fresh_evaluation_after_many_commits(self):
+        store = self._store()
+        manager = ViewManager(store)
+        manager.register("reach", REACH)
+        for edge in [("c", "d"), ("d", "e"), ("x", "y"), ("e", "a")]:
+            with store.session().transaction() as txn:
+                txn.add_edge(edge[0], edge[1], EdgeLabel("link"))
+        from repro.core.engine import GraphLogEngine
+
+        fresh = GraphLogEngine().answers(REACH, store.graph, "reach")
+        assert manager.answers("reach") == fresh

@@ -1,0 +1,133 @@
+"""Tests for DOT/ASCII rendering and answer highlighting."""
+
+from repro.core.dsl import parse_graphical_query, parse_query_graph
+from repro.datasets.airlines import figure12_graph
+from repro.datasets.flights import figure1_graph
+from repro.visual.ascii_art import (
+    render_database,
+    render_graph,
+    render_graphical_query,
+    render_query_graph,
+    render_relation,
+)
+from repro.visual.dot import graph_to_dot, graphical_query_to_dot, query_graph_to_dot
+from repro.visual.highlight import (
+    answer_union_graph,
+    answers_one_by_one,
+    highlight_rpq,
+    new_edges_graph,
+)
+
+FIG2 = """
+define (P1) -[not-desc-of(P2)]-> (P3) {
+    (P1) -[descendant+]-> (P3);
+    (P2) -[~descendant+]-> (P3);
+    person(P2);
+}
+"""
+
+
+class TestDot:
+    def test_graph_to_dot_nodes_and_edges(self):
+        dot = graph_to_dot(figure1_graph())
+        assert dot.startswith("digraph")
+        assert '"ottawa"' in dot
+        assert "capital" in dot  # node annotation shown
+        assert "->" in dot
+
+    def test_query_graph_conventions(self):
+        dot = query_graph_to_dot(parse_query_graph(FIG2))
+        assert "style=dashed" in dot  # closure edge
+        assert "style=bold" in dot  # distinguished edge
+        assert "color=red" in dot  # negated edge
+        assert "¬" in dot
+
+    def test_clustered_graphical_query(self):
+        q = parse_graphical_query(
+            FIG2
+            + """
+            define (X) -[reach]-> (Y) {
+                (X) -[descendant+]-> (Y);
+            }
+            """
+        )
+        dot = graphical_query_to_dot(q)
+        assert dot.count("subgraph cluster_") == 2
+        # Same variable names in different graphs stay distinct nodes.
+        assert '"g0_(P1)"' in dot and '"g1_(X)"' in dot
+
+    def test_highlight_attrs(self):
+        graph = figure12_graph()
+        edges = [e for e in graph.edges if e.label == "CP"][:2]
+        dot = graph_to_dot(graph, highlighted_edges=edges)
+        assert dot.count("color=red") == 2
+
+    def test_quoting(self):
+        from repro.graphs.multigraph import LabeledMultigraph
+
+        g = LabeledMultigraph()
+        g.add_edge('we"ird', "b", 'la"bel')
+        dot = graph_to_dot(g)
+        assert '\\"' in dot
+
+
+class TestAscii:
+    def test_render_relation_table(self):
+        text = render_relation(
+            {("a", 1), ("bb", 22)}, header=("x", "n"), title="rows"
+        )
+        assert "rows" in text
+        assert "bb" in text and "22" in text
+
+    def test_render_relation_empty(self):
+        assert "(empty)" in render_relation(set())
+
+    def test_render_graph_lists_annotations(self):
+        text = render_graph(figure1_graph())
+        assert "ottawa  [capital]" in text
+
+    def test_render_query_graph_roundtrips(self):
+        g = parse_query_graph(FIG2)
+        text = render_query_graph(g)
+        g2 = parse_query_graph(text)
+        assert g2.head_predicate == g.head_predicate
+
+    def test_render_graphical_query_all_blocks(self):
+        q = parse_graphical_query(FIG2)
+        text = render_graphical_query(q, title="fig2")
+        assert text.startswith("# fig2")
+        assert "define" in text
+
+    def test_render_database(self):
+        from repro.datasets.flights import figure1_database
+
+        text = render_database(figure1_database())
+        assert "from/2" in text
+        assert "capital/1" in text
+
+
+class TestHighlight:
+    def test_highlight_rpq(self):
+        graph = figure12_graph()
+        edges, dot = highlight_rpq(graph, "CP+", sources=["rome"])
+        assert all(e.label == "CP" for e in edges)
+        assert "penwidth=2.5" in dot
+
+    def test_answers_one_by_one(self):
+        paths = answers_one_by_one(figure12_graph(), "CP+", "rome", max_paths=3)
+        assert 1 <= len(paths) <= 3
+        assert all(e.label == "CP" for p in paths for e in p)
+
+    def test_answer_union_graph_queryable(self):
+        union = answer_union_graph(figure12_graph(), "CP+", sources=["rome"])
+        assert union.labels() == {"CP"}
+        # iterative filtering: query the filtered graph again
+        from repro.rpq.evaluate import RPQEvaluator
+
+        assert "tokyo" in RPQEvaluator(union).targets("CP+", "rome")
+
+    def test_new_edges_graph(self):
+        graph = figure12_graph()
+        out = new_edges_graph(graph, [("geneva", "geneva")], "RT-scale")
+        assert out.has_edge("geneva", "geneva", "RT-scale")
+        assert graph.edge_count() + 1 == out.edge_count()
