@@ -21,6 +21,9 @@ Subpackages:
   STC-DATALOG -> TC translation (Theorem 3.3);
 - :mod:`repro.aggregation` — aggregates and path summarization (Section 4);
 - :mod:`repro.ham` — the transactional, versioned graph store (Section 5);
+- :mod:`repro.service` — the concurrent query service: a JSON-lines TCP
+  server over the HAM store with prepared-plan caching and a
+  store-coherent result cache, plus its blocking client;
 - :mod:`repro.datasets` — paper instances and workload generators;
 - :mod:`repro.visual` — DOT/ASCII rendering and answer highlighting;
 - :mod:`repro.figures` — one module per paper figure, regenerating it.

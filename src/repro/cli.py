@@ -13,6 +13,8 @@ Commands:
 - ``optimize PROGRAM.dl``      dedupe/inline/prune a Datalog program
 - ``magic PROGRAM.dl GOAL``    goal-directed (magic sets) evaluation
 - ``export DATA.dl OUT.json``  convert a fact file to a JSON graph
+- ``serve``                    run the concurrent query service (TCP server)
+- ``call OP [ARG]``            send one request to a running server
 - ``shell``                    interactive session
 
 Fact files are Datalog programs whose rules are all facts
@@ -137,6 +139,79 @@ def cmd_export(args):
     return 0
 
 
+def cmd_serve(args):
+    import asyncio
+
+    from repro.graphs.bridge import graph_from_database
+    from repro.ham.store import HAMStore
+    from repro.service.server import ServiceConfig, ServiceServer
+
+    store = HAMStore()
+    if args.data:
+        store.load_graph(graph_from_database(_load_facts(args.data)))
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        timeout=args.timeout,
+        max_rows=args.max_rows,
+        max_bytes=args.max_bytes,
+        plan_cache_size=args.plan_cache,
+        result_cache_size=args.result_cache,
+    )
+    server = ServiceServer(store=store, config=config)
+
+    async def _run():
+        await server.start()
+        print(f"repro service listening on {server.host}:{server.port} "
+              f"(store version {store.version})", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def cmd_call(args):
+    import json
+
+    from repro.service.client import ServiceClient
+
+    payload = {}
+    if args.op in ("graphlog", "datalog"):
+        if not args.arg:
+            raise SystemExit(f"call {args.op} needs a query file argument")
+        payload["query"] = _load_text(args.arg)
+    elif args.op == "rpq":
+        if not args.arg:
+            raise SystemExit("call rpq needs a regex argument")
+        payload["query"] = args.arg
+    elif args.op == "update":
+        if not args.edge:
+            raise SystemExit("call update needs at least one --edge SOURCE LABEL TARGET")
+        payload["edges"] = [[s, l, t] for s, l, t in args.edge]
+    for field in ("source", "predicate", "method", "timeout"):
+        value = getattr(args, field, None)
+        if value is not None:
+            payload[field] = value
+
+    with ServiceClient(host=args.host, port=args.connect_port) as client:
+        response = client.call(args.op, **payload)
+    if args.json or args.op in ("stats", "ping", "update"):
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    relations = response["result"]["relations"]
+    for name in sorted(relations):
+        rows = [tuple(row) for row in relations[name]]
+        print(render_relation(rows, title=f"{name} ({len(rows)} tuples)"))
+    cache = response.get("cache")
+    print(f"version={response.get('version')} cache={cache} "
+          f"elapsed_ms={response.get('elapsed_ms')}")
+    return 0
+
+
 def cmd_shell(_args):
     from repro.shell import repl
 
@@ -197,6 +272,41 @@ def build_parser():
     p_export.add_argument("data", help="Datalog fact file")
     p_export.add_argument("out", help="output JSON path")
     p_export.set_defaults(func=cmd_export)
+
+    p_serve = sub.add_parser("serve", help="run the concurrent query service")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7464)
+    p_serve.add_argument("--data", default=None, help="Datalog fact file to load")
+    p_serve.add_argument("--workers", type=int, default=8, help="evaluation threads")
+    p_serve.add_argument("--timeout", type=float, default=30.0,
+                         help="default per-request deadline in seconds")
+    p_serve.add_argument("--max-rows", type=int, default=100_000,
+                         help="default answer row budget")
+    p_serve.add_argument("--max-bytes", type=int, default=8 * 1024 * 1024,
+                         help="default encoded-answer byte budget")
+    p_serve.add_argument("--plan-cache", type=int, default=256,
+                         help="prepared-plan cache capacity")
+    p_serve.add_argument("--result-cache", type=int, default=1024,
+                         help="result cache capacity")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_call = sub.add_parser("call", help="send one request to a running server")
+    p_call.add_argument("op", choices=("graphlog", "datalog", "rpq", "update",
+                                       "stats", "ping"))
+    p_call.add_argument("arg", nargs="?", default=None,
+                        help="query file (graphlog/datalog) or regex (rpq)")
+    p_call.add_argument("--host", default="127.0.0.1")
+    p_call.add_argument("--port", dest="connect_port", type=int, default=7464)
+    p_call.add_argument("--source", default=None, help="rpq start node")
+    p_call.add_argument("--predicate", default=None, help="relation to return")
+    p_call.add_argument("--method", default=None, choices=("seminaive", "naive"))
+    p_call.add_argument("--timeout", type=float, default=None,
+                        help="per-request deadline override in seconds")
+    p_call.add_argument("--edge", nargs=3, action="append", default=None,
+                        metavar=("SOURCE", "LABEL", "TARGET"),
+                        help="update: edge to insert (repeatable)")
+    p_call.add_argument("--json", action="store_true", help="print the raw response")
+    p_call.set_defaults(func=cmd_call)
 
     p_shell = sub.add_parser("shell", help="interactive GraphLog shell")
     p_shell.set_defaults(func=cmd_shell)

@@ -91,3 +91,31 @@ class StoreError(ReproError):
 
 class TransactionError(StoreError):
     """Invalid transaction usage (e.g. commit without begin)."""
+
+
+class ServiceError(ReproError):
+    """Base class for query-service errors.
+
+    Attributes:
+        code: stable machine-readable error code carried on the wire.
+    """
+
+    code = "service_error"
+
+
+class ProtocolError(ServiceError):
+    """A request is not valid JSON or not a well-formed service request."""
+
+    code = "protocol_error"
+
+
+class QueryTimeout(ServiceError):
+    """A request exceeded its evaluation deadline."""
+
+    code = "timeout"
+
+
+class ResultTooLarge(ServiceError):
+    """A result exceeded the configured row or byte budget."""
+
+    code = "result_too_large"

@@ -15,6 +15,8 @@ system".  This module provides the equivalent in-process substrate:
 from __future__ import annotations
 
 import itertools
+import threading
+from collections import defaultdict
 
 from repro.errors import StoreError, TransactionError
 from repro.graphs.multigraph import LabeledMultigraph
@@ -66,14 +68,48 @@ class _Op:
 
 
 class TransactionRecord:
-    """A committed transaction: its id, session, and operations."""
+    """A committed transaction: its id, session, operations, and the store
+    version its commit produced."""
 
-    __slots__ = ("txn_id", "session_id", "operations")
+    __slots__ = ("txn_id", "session_id", "operations", "version")
 
-    def __init__(self, txn_id, session_id, operations):
+    def __init__(self, txn_id, session_id, operations, version=None):
         self.txn_id = txn_id
         self.session_id = session_id
         self.operations = tuple(operations)
+        self.version = version
+
+    def as_insertions(self):
+        """Interpret this record as pure insertions.
+
+        Returns ``(facts, new_nodes)`` — ``facts`` maps predicate names to
+        sets of inserted rows (via the Section 2 edge encoding), and
+        ``new_nodes`` is the set of 1-tuples of newly added unlabeled node
+        values — or ``None`` when the transaction contains anything other
+        than unlabeled node / edge additions (deletions, label updates, and
+        labeled nodes need recomputation-style handling downstream).
+        """
+        from repro.graphs.bridge import EdgeLabel
+
+        facts = defaultdict(set)
+        new_nodes = set()
+        for op in self.operations:
+            if op.kind == _Op.ADD_EDGE:
+                source, target, label = op.args
+                if not isinstance(label, EdgeLabel):
+                    label = EdgeLabel(str(label))
+                source = source if isinstance(source, tuple) else (source,)
+                target = target if isinstance(target, tuple) else (target,)
+                facts[label.predicate].add(source + target + label.extra)
+            elif op.kind == _Op.ADD_NODE:
+                node, label = op.args
+                if label:
+                    return None  # labeled nodes are annotation facts
+                node = node if isinstance(node, tuple) else (node,)
+                new_nodes.update((value,) for value in node)
+            else:
+                return None
+        return dict(facts), new_nodes
 
     def __repr__(self):
         return f"TransactionRecord(#{self.txn_id}, {len(self.operations)} ops)"
@@ -176,12 +212,22 @@ class HAMStore:
         self._log = []  # list of TransactionRecord
         self._txn_counter = itertools.count(1)
         self._subscribers = []
+        self._version = 0
+        self._lock = threading.Lock()
 
     def subscribe(self, callback):
-        """Register a callback invoked with each committed
-        :class:`TransactionRecord` (used by materialized views)."""
+        """Register a commit hook invoked with each committed
+        :class:`TransactionRecord` (carrying its resulting ``version``).
+
+        Hooks run synchronously inside the commit, after the graph and
+        version have been updated; aborted transactions never reach them.
+        Used by materialized views and the query-service result cache.
+        """
         self._subscribers.append(callback)
         return callback
+
+    #: Decorator-friendly alias: ``@store.on_commit``.
+    on_commit = subscribe
 
     def unsubscribe(self, callback):
         self._subscribers.remove(callback)
@@ -201,9 +247,13 @@ class HAMStore:
                 op.apply(staged)
             except (KeyError, StoreError) as exc:
                 raise TransactionError(f"commit conflict: {exc}") from exc
-        self.graph = staged
-        record = TransactionRecord(next(self._txn_counter), session_id, ops)
-        self._log.append(record)
+        with self._lock:
+            self.graph = staged
+            self._version += 1
+            record = TransactionRecord(
+                next(self._txn_counter), session_id, ops, version=self._version
+            )
+            self._log.append(record)
         for callback in self._subscribers:
             callback(record)
         return record
@@ -212,8 +262,23 @@ class HAMStore:
 
     @property
     def version(self):
-        """The committed version number (0 = empty store)."""
-        return len(self._log)
+        """The committed version number (0 = empty store).
+
+        Strictly monotonic: bumped exactly once per committed transaction,
+        never by aborted ones.  Concurrent readers pair it with the graph
+        via :meth:`snapshot_versioned`.
+        """
+        return self._version
+
+    def snapshot_versioned(self):
+        """``(version, graph)`` read atomically with respect to commits.
+
+        The returned graph is the live committed instance — commits replace
+        ``self.graph`` wholesale rather than mutating it, so the reference
+        stays internally consistent; treat it as read-only.
+        """
+        with self._lock:
+            return self._version, self.graph
 
     def history(self):
         return list(self._log)

@@ -183,7 +183,7 @@ class ViewManager:
         return database_from_graph(self.store.graph)
 
     def _on_commit(self, record):
-        parsed = self._insertions_of(record)
+        parsed = record.as_insertions()
         if parsed is None:
             for view in self.views.values():
                 view.refresh_full(self._current_edb())
@@ -207,30 +207,3 @@ class ViewManager:
                 except AggregationError:  # pragma: no cover - guarded above
                     pass
             view.refresh_full(self._current_edb())
-
-    @staticmethod
-    def _insertions_of(record):
-        """Convert a commit record into ``(fact insertions, new node values)``
-        or None when the transaction contains non-insert operations."""
-        from repro.graphs.bridge import EdgeLabel
-        from repro.ham.store import _Op
-
-        insertions = defaultdict(set)
-        new_nodes = set()
-        for op in record.operations:
-            if op.kind == _Op.ADD_EDGE:
-                source, target, label = op.args
-                if not isinstance(label, EdgeLabel):
-                    label = EdgeLabel(str(label))
-                source = source if isinstance(source, tuple) else (source,)
-                target = target if isinstance(target, tuple) else (target,)
-                insertions[label.predicate].add(source + target + label.extra)
-            elif op.kind == _Op.ADD_NODE:
-                node, label = op.args
-                if label:
-                    return None  # labeled nodes are annotation facts: recompute
-                node = node if isinstance(node, tuple) else (node,)
-                new_nodes.update((value,) for value in node)
-            else:
-                return None
-        return dict(insertions), new_nodes

@@ -1,0 +1,97 @@
+"""Store-coherent result caching.
+
+Answers are cached under ``(plan fingerprint, evaluation parameters, store
+version)``.  The store's version counter is strictly monotonic and bumps on
+every committed transaction (see :class:`repro.ham.store.HAMStore`), so a
+cached answer can only ever be served for the exact committed state it was
+computed from — a commit between two identical queries changes the key and
+forces re-evaluation.  Stale answers are therefore impossible by
+construction; no explicit invalidation scan is needed.  A commit hook
+(:meth:`ResultCache.attach`) additionally drops entries for superseded
+versions eagerly, so the LRU's capacity is spent on live entries instead of
+unreachable ones.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+def result_key(fingerprint, params, version):
+    """The cache key for one evaluation of one plan at one store version."""
+    normalized = tuple(sorted((k, str(v)) for k, v in (params or {}).items()))
+    return (fingerprint, normalized, version)
+
+
+class ResultCache:
+    """A thread-safe LRU mapping result keys to computed answers."""
+
+    def __init__(self, capacity=1024):
+        if capacity < 1:
+            raise ValueError("result cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, key):
+        """The cached value, or None; counts a hit or a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def drop_older_than(self, version):
+        """Eagerly drop entries computed at versions below *version*.
+
+        Purely an occupancy optimization: version-keyed lookups already
+        never match superseded entries.
+        """
+        with self._lock:
+            dead = [key for key in self._entries if key[2] < version]
+            for key in dead:
+                del self._entries[key]
+            self.invalidations += len(dead)
+
+    def attach(self, store):
+        """Subscribe to *store* commits; returns the unsubscribe callable."""
+
+        def on_commit(record):
+            self.drop_older_than(record.version)
+
+        store.subscribe(on_commit)
+        return lambda: store.unsubscribe(on_commit)
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self):
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

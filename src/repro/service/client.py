@@ -1,0 +1,112 @@
+"""Blocking TCP client for the query service.
+
+Speaks the JSON-lines protocol of :mod:`repro.service.protocol` over one
+socket.  Server-side failures are re-raised locally with the matching
+exception from the service taxonomy (``QueryTimeout``, ``ResultTooLarge``,
+``ProtocolError``, generic ``ServiceError``).  One client wraps one
+connection and is not thread-safe; concurrent callers should each open
+their own (connections are cheap, the server multiplexes them).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+
+from repro.errors import ServiceError
+from repro.service import protocol
+
+
+class ServiceClient:
+    """One connection to a running :class:`~repro.service.server.ServiceServer`."""
+
+    def __init__(self, host="127.0.0.1", port=7464, timeout=60.0):
+        self.host = host
+        self.port = port
+        self._ids = itertools.count(1)
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServiceError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------ raw
+
+    def call(self, op, **payload):
+        """Send one request, wait for its response, raise on failure.
+
+        Returns the full response dict (``result``, ``version``,
+        ``elapsed_ms``, ``cache``).
+        """
+        request_id = next(self._ids)
+        message = {"id": request_id, "op": op}
+        message.update({k: v for k, v in payload.items() if v is not None})
+        try:
+            self._sock.sendall(protocol.encode(message))
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServiceError(f"connection to {self.host}:{self.port} failed: {exc}") from exc
+        if not line:
+            raise ServiceError("server closed the connection")
+        response = json.loads(line)
+        protocol.raise_for_error(response)
+        if response.get("id") != request_id:
+            raise ServiceError(
+                f"response id {response.get('id')!r} does not match request {request_id}"
+            )
+        return response
+
+    # ---------------------------------------------------------- operations
+
+    def graphlog(self, query, predicate=None, method=None, **limits):
+        """Evaluate a GraphLog DSL query; returns ``{predicate: set of rows}``."""
+        response = self.call(
+            "graphlog", query=query, predicate=predicate, method=method, **limits
+        )
+        return _relations(response)
+
+    def datalog(self, program, predicate=None, method=None, **limits):
+        """Evaluate a Datalog program; returns ``{predicate: set of rows}``."""
+        response = self.call(
+            "datalog", query=program, predicate=predicate, method=method, **limits
+        )
+        return _relations(response)
+
+    def rpq(self, regex, source=None, **limits):
+        """Evaluate a regular path query; returns a set of answer tuples."""
+        response = self.call("rpq", query=regex, source=source, **limits)
+        return _relations(response)["answers"]
+
+    def update(self, nodes=None, edges=None):
+        """Commit node/edge insertions; returns the new store version."""
+        response = self.call("update", nodes=nodes, edges=edges)
+        return response["version"]
+
+    def stats(self):
+        """The server's metrics/cache/store statistics snapshot."""
+        return self.call("stats")["result"]
+
+    def ping(self):
+        return self.call("ping")["result"]["pong"]
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self):
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+
+
+def _relations(response):
+    return {
+        name: {tuple(row) for row in rows}
+        for name, rows in response["result"]["relations"].items()
+    }

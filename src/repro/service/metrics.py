@@ -1,0 +1,84 @@
+"""Service metrics: counters, an in-flight gauge, and latency percentiles.
+
+A deliberately small, dependency-free registry.  Latencies are kept per
+operation in a bounded ring of recent samples (default 2048), from which
+p50/p95 are computed on demand — the sliding-window flavor of percentile
+that serving dashboards actually want.  All methods are thread-safe; the
+asyncio server updates it from worker threads.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import defaultdict, deque
+
+
+def percentile(samples, fraction):
+    """The *fraction*-quantile of *samples* (nearest-rank on a sorted copy)."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = math.ceil(fraction * len(ordered)) - 1
+    return ordered[min(len(ordered) - 1, max(0, rank))]
+
+
+class MetricsRegistry:
+    """Counts, gauges and latency windows for the query service."""
+
+    def __init__(self, window=2048):
+        self._lock = threading.Lock()
+        self._counters = defaultdict(int)
+        self._latencies = defaultdict(lambda: deque(maxlen=window))
+        self._in_flight = 0
+
+    # ------------------------------------------------------------ updates
+
+    def incr(self, name, amount=1):
+        with self._lock:
+            self._counters[name] += amount
+
+    def observe_latency(self, op, seconds):
+        with self._lock:
+            self._latencies[op].append(seconds)
+
+    def request_started(self):
+        with self._lock:
+            self._in_flight += 1
+
+    def request_finished(self):
+        with self._lock:
+            self._in_flight -= 1
+
+    # ------------------------------------------------------------- export
+
+    @property
+    def in_flight(self):
+        with self._lock:
+            return self._in_flight
+
+    def counter(self, name):
+        with self._lock:
+            return self._counters[name]
+
+    def snapshot(self):
+        """A JSON-ready dict of everything the registry knows."""
+        with self._lock:
+            latency = {}
+            for op, window in self._latencies.items():
+                samples = list(window)
+                latency[op] = {
+                    "count": len(samples),
+                    "p50_ms": _ms(percentile(samples, 0.50)),
+                    "p95_ms": _ms(percentile(samples, 0.95)),
+                    "max_ms": _ms(max(samples) if samples else None),
+                }
+            return {
+                "counters": dict(self._counters),
+                "latency": latency,
+                "in_flight": self._in_flight,
+            }
+
+
+def _ms(seconds):
+    return None if seconds is None else round(seconds * 1000.0, 3)

@@ -1,0 +1,227 @@
+"""Prepared queries: compile once, evaluate many times.
+
+A long-lived server sees the same query text over and over; re-running the
+parser, the λ translation, the safety checker, and the stratifier on every
+request wastes the work that never changes between requests.  A
+:class:`PreparedQuery` performs that whole front half exactly once:
+
+- ``graphlog`` — parse the DSL, validate the graphical query, λ-translate
+  to stratified Datalog, safety-check and stratify the program;
+- ``datalog`` — parse the program, safety-check and stratify it;
+- ``rpq`` — parse the label regular expression and compile its DFA.
+
+The compiled plan is cached in a :class:`PreparedQueryCache` keyed by the
+query *fingerprint*: a SHA-256 over the op and the whitespace/comment
+normalized query text, so trivially reformatted queries share one plan.
+Plans are immutable after preparation and safe to evaluate concurrently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import threading
+from collections import OrderedDict
+
+from repro.errors import ProtocolError
+
+_COMMENT = re.compile(r"[%#][^\n]*")
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize(text):
+    """Comment-stripped, whitespace-collapsed query text."""
+    return _WHITESPACE.sub(" ", _COMMENT.sub(" ", text)).strip()
+
+
+def fingerprint(op, text):
+    """The plan key: SHA-256 over the op and the normalized query text."""
+    payload = f"{op}\x00{normalize(text)}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+class PreparedQuery:
+    """One compiled plan: the parsed/translated/checked form of a query."""
+
+    __slots__ = (
+        "op",
+        "text",
+        "fingerprint",
+        "graphical",
+        "program",
+        "strata",
+        "regex",
+        "head_predicate",
+        "idb_predicates",
+        "has_summaries",
+    )
+
+    def __init__(self, op, text):
+        self.op = op
+        self.text = text
+        self.fingerprint = fingerprint(op, text)
+        self.graphical = None
+        self.program = None
+        self.strata = None
+        self.regex = None
+        self.head_predicate = None
+        self.idb_predicates = ()
+        self.has_summaries = False
+        prepare = getattr(self, f"_prepare_{op}", None)
+        if prepare is None:
+            raise ProtocolError(f"cannot prepare op {op!r}")
+        prepare()
+
+    # ------------------------------------------------------------- prepare
+
+    def _prepare_graphlog(self):
+        from repro.core.dsl import parse_graphical_query
+        from repro.core.translate import translate, translate_extended
+        from repro.datalog.safety import check_program_safety
+        from repro.datalog.stratify import stratify
+
+        self.graphical = parse_graphical_query(self.text)
+        self.head_predicate = self.graphical.graphs[-1].head_predicate
+        self.idb_predicates = tuple(sorted(self.graphical.idb_predicates))
+        self.has_summaries = any(g.summaries for g in self.graphical.graphs)
+        if self.has_summaries:
+            # Aggregate evaluation re-checks its own stratification; keep
+            # the extended program for inspection but evaluate through the
+            # AggregateEngine at run time.
+            self.program = translate_extended(self.graphical)
+        else:
+            self.program = translate(self.graphical)
+            check_program_safety(self.program)
+            self.strata = stratify(self.program)
+
+    def _prepare_datalog(self):
+        from repro.datalog.parser import parse_program
+        from repro.datalog.safety import check_program_safety
+        from repro.datalog.stratify import stratify
+
+        self.program = parse_program(self.text)
+        check_program_safety(self.program)
+        self.strata = stratify(self.program)
+        self.idb_predicates = tuple(sorted(self.program.idb_predicates))
+
+    def _prepare_rpq(self):
+        from repro.rpq.automaton import compile_regex
+        from repro.rpq.regex import parse_regex
+
+        self.regex = parse_regex(self.text)
+        compile_regex(self.regex)  # validate eagerly; cheap to recompile
+
+    # ------------------------------------------------------------ evaluate
+
+    def evaluate(self, graph, edb, params):
+        """Run the plan against one committed store state.
+
+        ``graph`` is the store's :class:`LabeledMultigraph`, ``edb`` its
+        relational encoding (shared across requests at the same version),
+        ``params`` the request's evaluation-time parameters.  Returns
+        ``{relation_name: set_of_rows}``.
+        """
+        evaluate = getattr(self, f"_evaluate_{self.op}")
+        return evaluate(graph, edb, params or {})
+
+    def _evaluate_graphlog(self, _graph, edb, params):
+        from repro.core.engine import GraphLogEngine, prepare_database
+        from repro.datalog.engine import Engine
+
+        method = params.get("method", "seminaive")
+        if self.has_summaries:
+            result = GraphLogEngine(method=method).run(self.graphical, edb)
+        else:
+            prepared = prepare_database(edb)
+            result = Engine(method=method, check_safety=False).evaluate(
+                self.program, prepared
+            )
+        predicates = self._requested_predicates(params)
+        return {p: set(result.facts(p)) for p in predicates}
+
+    def _evaluate_datalog(self, _graph, edb, params):
+        from repro.datalog.engine import Engine
+
+        method = params.get("method", "seminaive")
+        result = Engine(method=method, check_safety=False).evaluate(self.program, edb)
+        predicates = self._requested_predicates(params)
+        return {p: set(result.facts(p)) for p in predicates}
+
+    def _evaluate_rpq(self, graph, _edb, params):
+        from repro.rpq.evaluate import RPQEvaluator
+
+        evaluator = RPQEvaluator(graph)
+        source = params.get("source")
+        if source is not None:
+            targets = evaluator.targets(self.regex, source)
+            return {"answers": {(t,) for t in targets}}
+        return {"answers": evaluator.pairs(self.regex)}
+
+    def _requested_predicates(self, params):
+        predicate = params.get("predicate")
+        if predicate is not None:
+            if predicate not in self.idb_predicates:
+                raise ProtocolError(
+                    f"predicate {predicate!r} is not defined by this query; "
+                    f"defined: {', '.join(self.idb_predicates)}"
+                )
+            return (predicate,)
+        if self.op == "graphlog":
+            return (self.head_predicate,)
+        return self.idb_predicates
+
+    def __repr__(self):
+        return f"PreparedQuery({self.op}, {self.fingerprint[:12]}...)"
+
+
+class PreparedQueryCache:
+    """Thread-safe LRU cache of compiled plans, keyed by fingerprint."""
+
+    def __init__(self, capacity=256):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._plans = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self):
+        return len(self._plans)
+
+    def get(self, op, text):
+        """The cached plan for (op, text), preparing it on first sight."""
+        key = fingerprint(op, text)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                return plan
+        # Prepare outside the lock: compilation can be slow and must not
+        # serialize unrelated requests.  A racing duplicate just overwrites
+        # with an identical plan.
+        plan = PreparedQuery(op, text)
+        with self._lock:
+            self.misses += 1
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+        return plan
+
+    def clear(self):
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self):
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

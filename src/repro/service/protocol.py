@@ -1,0 +1,123 @@
+"""JSON-lines wire protocol for the query service.
+
+One request per line, one response per line, both UTF-8 JSON objects.
+
+Request::
+
+    {"id": 7, "op": "graphlog", "query": "define ...", ...}
+
+``op`` is one of :data:`OPS`; every other field is the operation's payload
+(see :mod:`repro.service.server` for per-op fields).  ``id`` is optional and
+echoed back verbatim so pipelined clients can match responses.
+
+Response (success)::
+
+    {"id": 7, "ok": true, "result": {...}, "elapsed_ms": 1.93, "version": 4}
+
+Response (failure)::
+
+    {"id": 7, "ok": false, "error": {"code": "timeout", "message": "..."}}
+
+Error ``code`` values mirror the :mod:`repro.errors` service taxonomy:
+``protocol_error``, ``timeout``, ``result_too_large``, ``service_error``
+(evaluation-layer failures keep their exception class name in ``kind``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ProtocolError, QueryTimeout, ResultTooLarge, ServiceError
+
+#: The operations a server understands.
+OPS = ("graphlog", "datalog", "rpq", "update", "stats", "ping")
+
+#: Maximum accepted request-line length (a protocol-level DoS guard).
+MAX_REQUEST_BYTES = 4 * 1024 * 1024
+
+_CODE_TO_EXCEPTION = {
+    "protocol_error": ProtocolError,
+    "timeout": QueryTimeout,
+    "result_too_large": ResultTooLarge,
+    "service_error": ServiceError,
+}
+
+
+def encode(message):
+    """Serialize one protocol message to a newline-terminated bytes line."""
+    return (json.dumps(message, separators=(",", ":"), sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+
+
+def decode_request(line):
+    """Parse one request line into a dict; raises :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request is not valid UTF-8: {exc}") from exc
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"request must be a JSON object, got {type(message).__name__}")
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {', '.join(OPS)}")
+    return message
+
+
+def ok_response(request_id, result, version=None, elapsed_ms=None, cache=None):
+    response = {"id": request_id, "ok": True, "result": result}
+    if version is not None:
+        response["version"] = version
+    if elapsed_ms is not None:
+        response["elapsed_ms"] = round(elapsed_ms, 3)
+    if cache is not None:
+        response["cache"] = cache
+    return response
+
+
+def error_response(request_id, exc):
+    """Build the failure response for an exception."""
+    code = getattr(exc, "code", None) or "service_error"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "code": code,
+            "kind": type(exc).__name__,
+            "message": str(exc),
+        },
+    }
+
+
+def raise_for_error(response):
+    """Re-raise the service-side error carried by a failure response.
+
+    The client uses this to surface server errors as the same exception
+    types the library raises locally: protocol violations, timeouts and
+    size overruns map to their dedicated classes; evaluation errors
+    (parse/safety/stratification/...) surface as :class:`ServiceError`
+    with the original class name in the message.
+    """
+    if response.get("ok"):
+        return response
+    error = response.get("error") or {}
+    code = error.get("code", "service_error")
+    message = error.get("message", "unknown server error")
+    kind = error.get("kind")
+    if kind and kind != code:
+        message = f"{kind}: {message}"
+    raise _CODE_TO_EXCEPTION.get(code, ServiceError)(message)
+
+
+def rows_to_wire(rows):
+    """Sort a set of answer tuples into JSON-friendly lists (deterministic)."""
+    return [list(row) for row in sorted(rows, key=_row_key)]
+
+
+def _row_key(row):
+    return tuple((type(value).__name__, str(value)) for value in row)

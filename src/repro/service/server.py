@@ -1,0 +1,387 @@
+"""The concurrent query service: sync core + asyncio JSON-lines TCP server.
+
+Two layers, separable on purpose:
+
+- :class:`QueryService` is the synchronous, thread-safe core: it owns the
+  prepared-plan cache, the store-coherent result cache, and the metrics
+  registry, and executes one decoded request against the HAM store.  Tests
+  and benchmarks drive it directly, in-process.
+- :class:`ServiceServer` is the network front: an asyncio TCP server that
+  speaks the JSON-lines protocol (:mod:`repro.service.protocol`),
+  dispatches each request to a worker-thread pool, and enforces the
+  per-request timeout.  Connections are handled concurrently; requests on
+  one connection are answered in order.
+
+Budget semantics: ``timeout`` bounds wall-clock evaluation time (the worker
+thread finishes in the background after a timeout — results land in the
+cache for the next attempt, but the client gets ``QueryTimeout``);
+``max_rows``/``max_bytes`` bound the answer size and are re-checked on
+cache hits so per-request overrides behave identically hot or cold.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import ProtocolError, QueryTimeout, ReproError, ResultTooLarge
+from repro.ham.store import HAMStore
+from repro.service import protocol
+from repro.service.cache import ResultCache, result_key
+from repro.service.metrics import MetricsRegistry
+from repro.service.prepared import PreparedQueryCache
+
+_QUERY_OPS = ("graphlog", "datalog", "rpq")
+#: Request fields that parameterize evaluation (and the result-cache key).
+_PARAM_FIELDS = ("predicate", "method", "source")
+
+
+class ServiceConfig:
+    """Tunables for one service instance."""
+
+    __slots__ = (
+        "host",
+        "port",
+        "workers",
+        "timeout",
+        "max_rows",
+        "max_bytes",
+        "plan_cache_size",
+        "result_cache_size",
+    )
+
+    def __init__(
+        self,
+        host="127.0.0.1",
+        port=0,
+        workers=8,
+        timeout=30.0,
+        max_rows=100_000,
+        max_bytes=8 * 1024 * 1024,
+        plan_cache_size=256,
+        result_cache_size=1024,
+    ):
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.timeout = timeout
+        self.max_rows = max_rows
+        self.max_bytes = max_bytes
+        self.plan_cache_size = plan_cache_size
+        self.result_cache_size = result_cache_size
+
+
+class QueryService:
+    """The synchronous request executor over one :class:`HAMStore`."""
+
+    def __init__(self, store=None, config=None, metrics=None):
+        self.store = store if store is not None else HAMStore()
+        self.config = config or ServiceConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.plans = PreparedQueryCache(self.config.plan_cache_size)
+        self.results = ResultCache(self.config.result_cache_size)
+        self._detach = self.results.attach(self.store)
+        # One relational encoding of the graph per store version, shared by
+        # all plans evaluated at that version (engines copy it, never
+        # mutate it).
+        self._edb_version = None
+        self._edb = None
+        self._edb_lock = threading.Lock()
+
+    # ------------------------------------------------------------- execute
+
+    def execute(self, message):
+        """Execute one decoded request; returns the ``ok`` response body.
+
+        Raises the service error taxonomy on failure; the caller (server
+        or test) turns exceptions into failure responses.
+        """
+        op = message.get("op")
+        started = time.perf_counter()
+        self.metrics.request_started()
+        try:
+            if op == "ping":
+                return {"result": {"pong": True}, "version": self.store.version}
+            if op == "stats":
+                return {"result": self.stats(), "version": self.store.version}
+            if op == "update":
+                return self._execute_update(message)
+            if op in _QUERY_OPS:
+                return self._execute_query(op, message)
+            raise ProtocolError(f"unknown op {op!r}")
+        finally:
+            self.metrics.request_finished()
+            self.metrics.incr(f"requests.{op}")
+            self.metrics.observe_latency(op, time.perf_counter() - started)
+
+    def _execute_query(self, op, message):
+        text = message.get("query")
+        if not isinstance(text, str) or not text.strip():
+            raise ProtocolError(f"op {op!r} needs a non-empty 'query' string")
+        params = {k: message[k] for k in _PARAM_FIELDS if message.get(k) is not None}
+        max_rows = message.get("max_rows", self.config.max_rows)
+        max_bytes = message.get("max_bytes", self.config.max_bytes)
+
+        plan = self.plans.get(op, text)
+        version, graph = self.store.snapshot_versioned()
+        key = result_key(plan.fingerprint, params, version)
+
+        cached = self.results.get(key)
+        if cached is not None:
+            payload, encoded_size = cached
+            self.metrics.incr("result_cache.hits")
+            self._check_budgets(payload["count"], encoded_size, max_rows, max_bytes)
+            return {"result": payload, "version": version, "cache": "hit"}
+
+        self.metrics.incr("result_cache.misses")
+        relations = plan.evaluate(graph, self._edb_for(version, graph), params)
+        total = sum(len(rows) for rows in relations.values())
+        payload = {
+            "relations": {
+                name: protocol.rows_to_wire(rows) for name, rows in sorted(relations.items())
+            },
+            "count": total,
+        }
+        encoded_size = len(protocol.encode(payload))
+        self._check_budgets(total, encoded_size, max_rows, max_bytes)
+        self.results.put(key, (payload, encoded_size))
+        return {"result": payload, "version": version, "cache": "miss"}
+
+    def _execute_update(self, message):
+        nodes = message.get("nodes") or []
+        edges = message.get("edges") or []
+        if not nodes and not edges:
+            raise ProtocolError("op 'update' needs 'nodes' and/or 'edges'")
+        session = self.store.session()
+        with session.transaction() as txn:
+            for entry in nodes:
+                if isinstance(entry, (list, tuple)):
+                    if not 1 <= len(entry) <= 2:
+                        raise ProtocolError(
+                            f"node entries are value or [value, label]; got {entry!r}"
+                        )
+                    node = entry[0]
+                    label = entry[1] if len(entry) == 2 else None
+                else:
+                    node, label = entry, None
+                txn.add_node(node, label)
+            for entry in edges:
+                try:
+                    source, label, target = entry
+                except (TypeError, ValueError):
+                    raise ProtocolError(
+                        f"edge entries are [source, label, target]; got {entry!r}"
+                    ) from None
+                txn.add_edge(source, target, label)
+        self.metrics.incr("updates.committed")
+        return {
+            "result": {"added_nodes": len(nodes), "added_edges": len(edges)},
+            "version": self.store.version,
+        }
+
+    # -------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _check_budgets(rows, encoded_size, max_rows, max_bytes):
+        if max_rows is not None and rows > max_rows:
+            raise ResultTooLarge(f"result has {rows} rows, limit is {max_rows}")
+        if max_bytes is not None and encoded_size > max_bytes:
+            raise ResultTooLarge(
+                f"result encodes to {encoded_size} bytes, limit is {max_bytes}"
+            )
+
+    def _edb_for(self, version, graph):
+        from repro.graphs.bridge import database_from_graph
+
+        with self._edb_lock:
+            if self._edb_version == version:
+                return self._edb
+        edb = database_from_graph(graph)
+        with self._edb_lock:
+            # Keep the newest version on a race; both encodings are valid
+            # for their own version, and we return ours regardless.
+            if self._edb_version is None or version >= self._edb_version:
+                self._edb_version = version
+                self._edb = edb
+        return edb
+
+    def stats(self):
+        return {
+            "metrics": self.metrics.snapshot(),
+            "plan_cache": self.plans.stats(),
+            "result_cache": self.results.stats(),
+            "store": {
+                "version": self.store.version,
+                "nodes": self.store.graph.node_count(),
+                "edges": self.store.graph.edge_count(),
+            },
+        }
+
+    def close(self):
+        self._detach()
+
+
+class ServiceServer:
+    """Asyncio JSON-lines TCP front for a :class:`QueryService`."""
+
+    def __init__(self, service=None, store=None, config=None):
+        self.config = config or (service.config if service else ServiceConfig())
+        self.service = service or QueryService(store=store, config=self.config)
+        self._server = None
+        self._executor = None
+        self._thread = None
+        self._loop = None
+        self.host = self.config.host
+        self.port = self.config.port
+
+    # --------------------------------------------------------------- async
+
+    async def start(self):
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-service"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_REQUEST_BYTES,
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self
+
+    async def serve_forever(self):
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    async def _handle_connection(self, reader, writer):
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    writer.write(
+                        protocol.encode(
+                            protocol.error_response(
+                                None, ProtocolError("request line too long")
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._handle_request(line)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_request(self, line):
+        request_id = None
+        started = time.perf_counter()
+        try:
+            message = protocol.decode_request(line)
+            request_id = message.get("id")
+            timeout = message.get("timeout", self.config.timeout)
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(self._executor, self.service.execute, message)
+            try:
+                body = await asyncio.wait_for(future, timeout)
+            except asyncio.TimeoutError:
+                self.service.metrics.incr("errors.timeout")
+                raise QueryTimeout(
+                    f"request exceeded its {timeout}s deadline"
+                ) from None
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            return protocol.ok_response(
+                request_id,
+                body["result"],
+                version=body.get("version"),
+                elapsed_ms=elapsed_ms,
+                cache=body.get("cache"),
+            )
+        except ReproError as exc:
+            if not isinstance(exc, QueryTimeout):
+                self.service.metrics.incr(f"errors.{getattr(exc, 'code', 'evaluation')}")
+            return protocol.error_response(request_id, exc)
+        except Exception as exc:  # noqa: BLE001 — a serving loop must not die
+            self.service.metrics.incr("errors.internal")
+            return protocol.error_response(request_id, exc)
+
+    # ----------------------------------------------------------- threading
+
+    def start_background(self):
+        """Run the server on a dedicated event-loop thread; returns self.
+
+        ``self.port`` is the bound port once this returns.  Stop with
+        :meth:`stop`.
+        """
+        if self._thread is not None:
+            raise RuntimeError("server already running")
+        ready = threading.Event()
+        failure = []
+
+        def runner():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.start())
+            except Exception as exc:  # pragma: no cover - bind errors
+                failure.append(exc)
+                ready.set()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.aclose())
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-service-server", daemon=True
+        )
+        self._thread.start()
+        ready.wait()
+        if failure:
+            self._thread = None
+            raise failure[0]
+        return self
+
+    def stop(self):
+        """Stop a background server started with :meth:`start_background`."""
+        if self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._thread = None
+        self._loop = None
+        self.service.close()

@@ -128,6 +128,67 @@ class TestVersioning:
         with pytest.raises(StoreError):
             store.graph_at(99)
 
+    def test_version_strictly_increases_across_commits(self, store):
+        session = store.session()
+        seen = [store.version]
+        for i in range(5):
+            with session.transaction() as txn:
+                txn.add_edge(f"n{i}", f"n{i + 1}", "x")
+            seen.append(store.version)
+        assert seen == [0, 1, 2, 3, 4, 5]
+        assert all(b > a for a, b in zip(seen, seen[1:]))
+        assert [r.version for r in store.history()] == [1, 2, 3, 4, 5]
+
+    def test_version_unchanged_by_aborted_transactions(self, store):
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_edge("a", "b", "x")
+        assert store.version == 1
+        txn = session.transaction()
+        txn.add_edge("b", "c", "y")
+        txn.abort()
+        assert store.version == 1
+        with pytest.raises(RuntimeError):
+            with session.transaction() as txn:
+                txn.add_edge("c", "d", "z")
+                raise RuntimeError("boom")
+        assert store.version == 1
+        assert store.history()[-1].version == 1
+
+    def test_commit_hooks_see_record_version(self, store):
+        versions = []
+        store.on_commit(lambda record: versions.append(record.version))
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_edge("a", "b", "x")
+        aborted = session.transaction()
+        aborted.add_edge("x", "y", "z")
+        aborted.abort()
+        with session.transaction() as txn:
+            txn.add_edge("b", "c", "y")
+        assert versions == [1, 2]
+
+    def test_snapshot_versioned_pairs_graph_and_version(self, store):
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_edge("a", "b", "x")
+        version, graph = store.snapshot_versioned()
+        assert version == 1
+        assert graph.has_edge("a", "b", "x")
+
+    def test_as_insertions(self, store):
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_node("lonely")
+            txn.add_edge("a", "b", EdgeLabel("link"))
+        facts, new_nodes = store.history()[-1].as_insertions()
+        assert facts == {"link": {("a", "b")}}
+        assert ("lonely",) in new_nodes
+        with session.transaction() as txn:
+            txn.add_edge("b", "c", "link")
+            txn.remove_edge("b", "c", "link")
+        assert store.history()[-1].as_insertions() is None
+
     def test_node_label_versions(self, store):
         session = store.session()
         with session.transaction() as txn:

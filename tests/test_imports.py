@@ -42,6 +42,7 @@ def test_top_level_all_resolves():
         "repro.gplus",
         "repro.datasets",
         "repro.visual",
+        "repro.service",
     ],
 )
 def test_package_all_resolves(package):

@@ -1,0 +1,332 @@
+"""Tests for the concurrent query service (repro.service)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.datasets.flights import figure1_database
+from repro.errors import (
+    ProtocolError,
+    QueryTimeout,
+    ResultTooLarge,
+    ServiceError,
+)
+from repro.graphs.bridge import graph_from_database
+from repro.ham.store import HAMStore
+from repro.service.cache import ResultCache, result_key
+from repro.service.client import ServiceClient
+from repro.service.metrics import MetricsRegistry, percentile
+from repro.service.prepared import PreparedQueryCache, fingerprint, normalize
+from repro.service.server import QueryService, ServiceConfig, ServiceServer
+from repro.service import protocol
+
+REACH_QUERY = """
+define (C1) -[reach]-> (C2) {
+    (C1) <-[from]- (F); (F) -[to]-> (C2);
+}
+define (C1) -[connected]-> (C2) {
+    (C1) -[reach+]-> (C2);
+}
+"""
+
+CONN_PROGRAM = "conn(X, Y) :- from(F, X), to(F, Y)."
+
+
+def flights_store():
+    store = HAMStore()
+    store.load_graph(graph_from_database(figure1_database()))
+    return store
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One background server over the Figure 1 flights data, module-wide.
+
+    Tests that mutate the store append fresh edges, which only ever grows
+    the reachability relations other tests assert membership in.
+    """
+    srv = ServiceServer(
+        store=flights_store(),
+        config=ServiceConfig(port=0, workers=4, timeout=10.0),
+    ).start_background()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(port=server.port) as c:
+        yield c
+
+
+class TestPrepared:
+    def test_normalize_collapses_whitespace_and_comments(self):
+        a = "conn(X, Y) :- from(F, X), to(F, Y)."
+        b = "conn(X, Y) :-\n    from(F, X),  % the flight's origin\n    to(F, Y)."
+        assert normalize(a) == normalize(b)
+        assert fingerprint("datalog", a) == fingerprint("datalog", b)
+        assert fingerprint("datalog", a) != fingerprint("graphlog", a)
+
+    def test_plan_cache_reuses_compiled_plans(self):
+        cache = PreparedQueryCache(capacity=8)
+        first = cache.get("datalog", CONN_PROGRAM)
+        again = cache.get("datalog", "conn(X, Y) :-   from(F, X), to(F, Y).")
+        assert again is first
+        assert cache.stats() == {
+            "size": 1, "capacity": 8, "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_plan_cache_evicts_lru(self):
+        cache = PreparedQueryCache(capacity=2)
+        cache.get("rpq", "a")
+        cache.get("rpq", "b")
+        cache.get("rpq", "a")  # refresh a
+        cache.get("rpq", "c")  # evicts b
+        assert cache.stats()["evictions"] == 1
+        cache.get("rpq", "a")
+        assert cache.stats()["hits"] == 2
+
+    def test_unsafe_datalog_rejected_at_prepare_time(self):
+        from repro.errors import SafetyError
+
+        with pytest.raises(SafetyError):
+            PreparedQueryCache().get("datalog", "bad(X, Y) :- from(F, X).")
+
+    def test_graphlog_plan_records_head_and_idb(self):
+        plan = PreparedQueryCache().get("graphlog", REACH_QUERY)
+        assert plan.head_predicate == "connected"
+        assert set(plan.idb_predicates) == {"reach", "connected"}
+
+
+class TestResultCache:
+    def test_version_in_key_prevents_stale_hits(self):
+        cache = ResultCache(capacity=4)
+        key_v1 = result_key("fp", {}, 1)
+        cache.put(key_v1, "answer@1")
+        assert cache.get(key_v1) == "answer@1"
+        assert cache.get(result_key("fp", {}, 2)) is None
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_params_are_part_of_the_key(self):
+        cache = ResultCache(capacity=4)
+        cache.put(result_key("fp", {"source": "a"}, 1), "from-a")
+        assert cache.get(result_key("fp", {"source": "b"}, 1)) is None
+        assert cache.get(result_key("fp", {"source": "a"}, 1)) == "from-a"
+
+    def test_attach_drops_superseded_entries_on_commit(self):
+        store = HAMStore()
+        cache = ResultCache(capacity=8)
+        detach = cache.attach(store)
+        cache.put(result_key("fp", {}, store.version), "old")
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_edge("a", "b", "x")
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] == 1
+        detach()
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put(("a",) * 3, 1)
+        cache.put(("b",) * 3, 2)
+        cache.get(("a",) * 3)
+        cache.put(("c",) * 3, 3)
+        assert cache.get(("b",) * 3) is None
+        assert cache.get(("a",) * 3) == 1
+        assert cache.stats()["evictions"] == 1
+
+
+class TestMetrics:
+    def test_percentile(self):
+        assert percentile([], 0.5) is None
+        assert percentile([7.0], 0.95) == 7.0
+        samples = list(range(1, 101))
+        assert percentile(samples, 0.50) == 50
+        assert percentile(samples, 0.95) == 95
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.incr("requests.rpq")
+        registry.observe_latency("rpq", 0.002)
+        registry.request_started()
+        snap = registry.snapshot()
+        assert snap["counters"]["requests.rpq"] == 1
+        assert snap["in_flight"] == 1
+        assert snap["latency"]["rpq"]["count"] == 1
+        assert snap["latency"]["rpq"]["p50_ms"] == pytest.approx(2.0)
+        registry.request_finished()
+        assert registry.in_flight == 0
+
+
+class TestProtocol:
+    def test_decode_rejects_bad_requests(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(b"not json\n")
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(b"[1, 2]\n")
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(b'{"op": "no-such-op"}\n')
+
+    def test_error_roundtrip(self):
+        response = protocol.error_response(3, QueryTimeout("too slow"))
+        with pytest.raises(QueryTimeout):
+            protocol.raise_for_error(response)
+        response = protocol.error_response(4, ResultTooLarge("too big"))
+        with pytest.raises(ResultTooLarge):
+            protocol.raise_for_error(response)
+
+
+class TestQueryServiceCore:
+    """The synchronous core, driven without a network in between."""
+
+    def test_graphlog_result_cache_hit_and_invalidation(self):
+        service = QueryService(store=flights_store())
+        first = service.execute({"op": "graphlog", "query": REACH_QUERY})
+        assert first["cache"] == "miss"
+        again = service.execute({"op": "graphlog", "query": REACH_QUERY})
+        assert again["cache"] == "hit"
+        assert again["result"] == first["result"]
+
+        session = service.store.session()
+        with session.transaction() as txn:
+            txn.add_edge("washington", "paris", "reach-test")
+        after = service.execute({"op": "graphlog", "query": REACH_QUERY})
+        assert after["cache"] == "miss"
+        assert after["version"] == first["version"] + 1
+
+    def test_update_changes_answers_not_stale(self):
+        service = QueryService(store=flights_store())
+        before = service.execute({"op": "rpq", "query": "hop+"})
+        assert before["result"]["relations"]["answers"] == []
+        service.execute({"op": "update", "edges": [["toronto", "hop", "ottawa"]]})
+        after = service.execute({"op": "rpq", "query": "hop+"})
+        assert after["result"]["relations"]["answers"] == [["toronto", "ottawa"]]
+
+    def test_row_budget(self):
+        service = QueryService(store=flights_store())
+        with pytest.raises(ResultTooLarge):
+            service.execute({"op": "graphlog", "query": REACH_QUERY, "max_rows": 2})
+
+    def test_byte_budget_checked_on_cache_hit_too(self):
+        service = QueryService(store=flights_store())
+        service.execute({"op": "datalog", "query": CONN_PROGRAM})
+        with pytest.raises(ResultTooLarge):
+            service.execute({"op": "datalog", "query": CONN_PROGRAM, "max_bytes": 10})
+
+    def test_unknown_predicate_param(self):
+        service = QueryService(store=flights_store())
+        with pytest.raises(ProtocolError):
+            service.execute(
+                {"op": "graphlog", "query": REACH_QUERY, "predicate": "nope"}
+            )
+
+
+class TestServerOverTheWire:
+    def test_ping_and_stats(self, client):
+        assert client.ping() is True
+        stats = client.stats()
+        assert stats["store"]["edges"] >= 32
+        assert "plan_cache" in stats and "result_cache" in stats
+
+    def test_graphlog_roundtrip(self, client):
+        relations = client.graphlog(REACH_QUERY, predicate="reach")
+        assert ("toronto", "ottawa") in relations["reach"]
+
+    def test_datalog_roundtrip(self, client):
+        relations = client.datalog(CONN_PROGRAM)
+        assert ("montreal", "new-york") in relations["conn"]
+
+    def test_rpq_roundtrip(self, client):
+        pairs = client.rpq("-from . to")
+        assert ("toronto", "ottawa") in pairs
+        targets = client.rpq("(-from . to)+", source="toronto")
+        assert ("new-york",) in targets
+
+    def test_parse_error_surfaces_as_service_error(self, client):
+        with pytest.raises(ServiceError, match="ParseError"):
+            client.datalog("this is not datalog ((")
+
+    def test_timeout_error_path(self, client):
+        with pytest.raises(QueryTimeout):
+            client.call("graphlog", query=REACH_QUERY, timeout=0)
+
+    def test_row_limit_error_path(self, client):
+        with pytest.raises(ResultTooLarge):
+            client.graphlog(REACH_QUERY, max_rows=1)
+
+    def test_result_cache_hits_reported_in_stats(self, server, client):
+        query = CONN_PROGRAM + "  % stats-marker"
+        client.datalog(query)
+        response = client.call("datalog", query=query)
+        assert response["cache"] == "hit"
+        stats = client.stats()
+        assert stats["result_cache"]["hits"] > 0
+        assert stats["metrics"]["counters"]["result_cache.hits"] > 0
+
+    def test_commit_between_identical_queries_forces_reevaluation(self, client):
+        label = "fresh-leg"
+        regex = f"{label}+"
+        assert client.rpq(regex) == set()
+        assert client.call("rpq", query=regex)["cache"] == "hit"
+        version = client.update(edges=[["ottawa", label, "montreal"]])
+        response = client.call("rpq", query=regex)
+        assert response["cache"] == "miss"
+        assert response["version"] == version
+        assert ("ottawa", "montreal") in {
+            tuple(r) for r in response["result"]["relations"]["answers"]
+        }
+
+    def test_concurrent_clients(self, server):
+        """Four clients hammer one server concurrently; all answers agree."""
+        errors = []
+        results = []
+
+        def worker(i):
+            try:
+                with ServiceClient(port=server.port) as c:
+                    for _ in range(5):
+                        relations = c.datalog(CONN_PROGRAM)
+                        results.append(relations["conn"])
+                        pairs = c.rpq("-from . to")
+                        assert relations["conn"] == pairs
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append((i, exc))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert len(results) == 20
+        assert all(r == results[0] for r in results)
+        with ServiceClient(port=server.port) as c:
+            stats = c.stats()
+        assert stats["metrics"]["counters"]["requests.datalog"] >= 20
+
+    def test_cli_call_roundtrip(self, server, tmp_path, capsys):
+        from repro.cli import main
+
+        program = tmp_path / "q.dl"
+        program.write_text(CONN_PROGRAM)
+        port = str(server.port)
+        assert main(["call", "datalog", str(program), "--port", port]) == 0
+        out = capsys.readouterr().out
+        assert "conn" in out and "version=" in out
+        assert main(["call", "rpq", "-from . to", "--port", port]) == 0
+        assert "answers" in capsys.readouterr().out
+        assert main(["call", "stats", "--port", port, "--json"]) == 0
+        assert "result_cache" in capsys.readouterr().out
+
+    def test_malformed_line_gets_protocol_error(self, server):
+        import json
+        import socket
+
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+            sock.sendall(b"this is not json\n")
+            response = json.loads(sock.makefile("rb").readline())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "protocol_error"
