@@ -7,12 +7,10 @@ materialization for wider joins.  Shape asserted: identical answers, fewer
 rules, and fewer facts derived after optimization.
 """
 
-import pytest
 
 from repro.core.dsl import parse_graphical_query
 from repro.core.engine import prepare_database
 from repro.core.translate import translate
-from repro.datalog.database import Database
 from repro.datalog.engine import Engine
 from repro.datalog.optimize import optimize
 from repro.datasets.random_graphs import random_labeled_graph

@@ -8,7 +8,7 @@ semantics on every output tuple.
 import pytest
 
 from repro.core.engine import GraphLogEngine
-from repro.datasets.flights import figure1_database, random_flights
+from repro.datasets.flights import random_flights
 from repro.figures.fig04 import query
 
 from conftest import report

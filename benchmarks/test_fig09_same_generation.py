@@ -9,7 +9,6 @@ make visible.
 
 import pytest
 
-from repro.datalog.engine import Engine
 from repro.datasets.family import random_genealogy
 from repro.figures.fig08 import program as sg_program
 from repro.translation.differential import idb_snapshot

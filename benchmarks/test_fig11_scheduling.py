@@ -6,7 +6,6 @@ asserting the max-plus semantics against an independent brute-force
 enumeration on the small instance.
 """
 
-import itertools
 
 import pytest
 

@@ -9,7 +9,6 @@ comparable evaluation cost (the merged closure does the same work inside
 one wider relation).
 """
 
-import pytest
 
 from repro.datalog.database import Database
 from repro.datalog.engine import Engine

@@ -17,7 +17,7 @@ Run:  python examples/hypertext_browser.py
 
 from repro import parse_graphical_query
 from repro.datasets import random_hypertext
-from repro.graphs import EdgeLabel, graph_from_database
+from repro.graphs import EdgeLabel
 from repro.ham import HAMStore
 from repro.rpq import RPQEvaluator
 from repro.visual import render_relation

@@ -13,13 +13,7 @@ The Section 4 workload: a task DAG with durations and scheduled starts.
 Run:  python examples/project_scheduling.py
 """
 
-from repro.aggregation import (
-    AggregateProgram,
-    AggregateRule,
-    AggregateTerm,
-    evaluate_with_aggregates,
-    summarize_paths,
-)
+from repro.aggregation import AggregateProgram, AggregateRule, AggregateTerm, evaluate_with_aggregates
 from repro.datalog import lit
 from repro.datasets import figure11_database, random_project
 from repro.figures.fig11 import delayed_start, earlier_start

@@ -17,7 +17,6 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.datalog.ast import Atom, BodyLiteral, Literal, Program, Rule
-from repro.datalog.database import Database
 from repro.datalog.engine import Engine
 from repro.datalog.safety import check_rule_safety
 from repro.datalog.stratify import stratify

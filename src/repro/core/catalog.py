@@ -10,7 +10,7 @@ builder returns a validated :class:`GraphicalQuery`.
 from __future__ import annotations
 
 from repro.core.pre import Closure, Pred, alt, closure, inverse, rel, star
-from repro.core.query_graph import GraphicalQuery, QueryGraph
+from repro.core.query_graph import GraphicalQuery
 
 
 def reachability(edge="edge", name="reachable"):

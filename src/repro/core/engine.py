@@ -12,10 +12,8 @@ from __future__ import annotations
 
 from repro.core.query_graph import GraphicalQuery, QueryGraph
 from repro.core.translate import DOMAIN_PREDICATE, translate, translate_extended
-from repro.datalog.ast import Atom
 from repro.datalog.database import Database
 from repro.datalog.engine import Engine, match_atom
-from repro.datalog.terms import Variable
 from repro.graphs.bridge import database_from_graph
 from repro.graphs.closure import transitive_closure
 

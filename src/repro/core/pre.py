@@ -17,7 +17,7 @@ query graph.
 
 from __future__ import annotations
 
-from repro.datalog.terms import Constant, Variable, make_term
+from repro.datalog.terms import Variable, make_term
 from repro.errors import RegexError
 
 

@@ -15,23 +15,7 @@ on a node) are supported first-class: they translate to extra body literals.
 
 from __future__ import annotations
 
-from repro.core.pre import (
-    Alternation,
-    Closure,
-    ComparisonPrimitive,
-    Composition,
-    Equality,
-    Inequality,
-    Inversion,
-    Negation,
-    Optional,
-    PathRegex,
-    Pred,
-    Star,
-    exported_variables,
-    strip_outer_negation,
-    validate_pre,
-)
+from repro.core.pre import Alternation, Closure, ComparisonPrimitive, Equality, Inequality, Inversion, Optional, PathRegex, Pred, Star, strip_outer_negation, validate_pre
 from repro.core.pre_parser import parse_pre
 from repro.datalog.stratify import DependenceGraph
 from repro.datalog.terms import Constant, Variable, make_term

@@ -93,6 +93,11 @@ class Relation:
         positions = tuple(positions)
         if not positions:
             return self._tuples
+        if len(positions) == self.arity:
+            # Fully bound: a membership probe, no index needed.  Positions
+            # are sorted and distinct, so they cover 0..arity-1 in order.
+            row = tuple(values)
+            return (row,) if row in self._tuples else _EMPTY_SET
         index = self._indexes.get(positions)
         if index is None:
             index = defaultdict(set)
@@ -100,6 +105,24 @@ class Relation:
                 index[self._key(row, positions)].add(row)
             self._indexes[positions] = index
         return index.get(tuple(values), _EMPTY_SET)
+
+    def ensure_index(self, positions):
+        """Force the index over *positions* to exist now.
+
+        Incremental maintenance uses this to pay index builds at plan time
+        rather than inside the first (supposedly O(delta)) delta join.
+        """
+        positions = tuple(positions)
+        if (
+            not positions
+            or len(positions) == self.arity
+            or positions in self._indexes
+        ):
+            return
+        index = defaultdict(set)
+        for row in self._tuples:
+            index[self._key(row, positions)].add(row)
+        self._indexes[positions] = index
 
     def copy(self):
         clone = Relation(self.name, self.arity)

@@ -33,11 +33,27 @@ _COMPARATORS = {
     ">=": operator.ge,
 }
 
+def _divide(left, right):
+    """Division that stays in ``int`` when it can.
+
+    ``operator.truediv`` over integer facts derives float tuples (``8 / 2``
+    → ``4.0``) that break set-equality against int-derived facts downstream,
+    so exact integer division returns an ``int``.  An *inexact* integer
+    division (``7 / 2``) — and any division involving a float — follows
+    Python and yields the true-division float.
+    """
+    if isinstance(left, int) and isinstance(right, int):
+        quotient, remainder = divmod(left, right)
+        if remainder == 0:
+            return quotient
+    return operator.truediv(left, right)
+
+
 _ARITHMETIC = {
     "+": operator.add,
     "-": operator.sub,
     "*": operator.mul,
-    "/": operator.truediv,
+    "/": _divide,
     "%": operator.mod,
     "min": min,
     "max": max,

@@ -19,7 +19,6 @@ closure goals.
 from __future__ import annotations
 
 from repro.datalog.ast import Atom, Literal, Program, Rule
-from repro.datalog.database import Database
 from repro.datalog.engine import Engine, match_atom
 from repro.datalog.terms import Constant, Variable
 from repro.errors import TranslationError

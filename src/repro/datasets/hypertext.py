@@ -13,7 +13,6 @@ from __future__ import annotations
 import random
 
 from repro.datalog.database import Database
-from repro.graphs.multigraph import LabeledMultigraph
 
 
 def random_hypertext(seed, n_documents=4, sections_per_document=5, cross_refs=12):

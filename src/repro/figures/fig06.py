@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.core.dsl import parse_graphical_query
 from repro.core.engine import GraphLogEngine
 from repro.datasets.software import figure6_database
-from repro.visual.ascii_art import render_graphical_query, render_relation
+from repro.visual.ascii_art import render_graphical_query
 from repro.visual.dot import graphical_query_to_dot
 
 QUERY_TEXT = """

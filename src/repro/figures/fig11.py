@@ -24,7 +24,6 @@ delay of T propagates through the chain, so T1 cannot *finish* before
 from __future__ import annotations
 
 from repro.aggregation.summarize import summarize_paths
-from repro.datalog.ast import Program
 from repro.datalog.engine import evaluate
 from repro.datalog.parser import parse_program
 from repro.datasets.tasks import figure11_database

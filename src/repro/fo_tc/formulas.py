@@ -13,9 +13,8 @@ over the natural Python order of the domain, giving the ordered variants
 
 from __future__ import annotations
 
-import itertools
 
-from repro.datalog.terms import Constant, Variable, make_term
+from repro.datalog.terms import Variable, make_term
 from repro.errors import FormulaError
 
 

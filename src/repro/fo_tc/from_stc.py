@@ -14,21 +14,12 @@ whose four stages the ``thm33`` benchmark evaluates and compares.
 
 from __future__ import annotations
 
-from repro.datalog.ast import ArithmeticAssign, Comparison, Literal, Program
+from repro.datalog.ast import ArithmeticAssign, Comparison, Literal
 from repro.datalog.classify import recursive_predicates, tc_base_predicates
 from repro.datalog.stratify import DependenceGraph, stratify
 from repro.datalog.terms import Constant, Variable
 from repro.errors import TranslationError
-from repro.fo_tc.formulas import (
-    And,
-    Compare,
-    Exists,
-    Formula,
-    Not,
-    Or,
-    PredAtom,
-    TCApp,
-)
+from repro.fo_tc.formulas import And, Compare, Exists, Not, Or, PredAtom, TCApp
 
 
 class TCQuery:

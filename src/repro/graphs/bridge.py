@@ -160,8 +160,9 @@ def database_from_graph(graph, schema=None):
     """Decode a labeled multigraph back into a relational database.
 
     Inverse of :func:`graph_from_database` for graphs it produced: edges with
-    :class:`EdgeLabel` labels become tuples; node labels that are sets of
-    predicate names become unary facts.
+    :class:`EdgeLabel` labels become tuples; node labels become unary facts —
+    one per name for set-valued labels, a single fact for scalar labels (a
+    string label is one annotation name, not a sequence of characters).
     """
     schema = schema or GraphSchema()
     database = Database()
@@ -174,11 +175,12 @@ def database_from_graph(graph, schema=None):
         row = source + target + label.extra
         database.add_fact(label.predicate, *row)
     for node in graph.nodes:
-        names = graph.node_label(node)
-        if not names:
+        label = graph.node_label(node)
+        if not label:
             continue
+        names = label if isinstance(label, (set, frozenset)) else (label,)
         for name in names:
-            database.add_fact(name, *_wrap_node(node))
+            database.add_fact(str(name), *_wrap_node(node))
     return database
 
 

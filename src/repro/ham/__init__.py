@@ -1,6 +1,8 @@
 """HAM-style transactional, versioned graph storage (Section 5 substrate),
-plus materialized GraphLog views with incremental maintenance."""
+plus materialized GraphLog views with incremental (counting/DRed)
+maintenance driven by typed commit deltas."""
 
+from repro.ham.delta import Delta, compute_delta
 from repro.ham.store import HAMStore, Session, Transaction, TransactionRecord
 from repro.ham.views import (
     MaterializedView,
@@ -10,12 +12,14 @@ from repro.ham.views import (
 )
 
 __all__ = [
+    "Delta",
     "HAMStore",
     "MaterializedView",
     "Session",
     "Transaction",
     "TransactionRecord",
     "ViewManager",
+    "compute_delta",
     "incremental_insert",
     "is_monotone_program",
 ]

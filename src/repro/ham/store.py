@@ -68,16 +68,18 @@ class _Op:
 
 
 class TransactionRecord:
-    """A committed transaction: its id, session, operations, and the store
-    version its commit produced."""
+    """A committed transaction: its id, session, operations, the store
+    version its commit produced, and the typed fact-level :class:`Delta`
+    the commit made (see :mod:`repro.ham.delta`)."""
 
-    __slots__ = ("txn_id", "session_id", "operations", "version")
+    __slots__ = ("txn_id", "session_id", "operations", "version", "delta")
 
-    def __init__(self, txn_id, session_id, operations, version=None):
+    def __init__(self, txn_id, session_id, operations, version=None, delta=None):
         self.txn_id = txn_id
         self.session_id = session_id
         self.operations = tuple(operations)
         self.version = version
+        self.delta = delta
 
     def as_insertions(self):
         """Interpret this record as pure insertions.
@@ -241,17 +243,24 @@ class HAMStore:
         # Operations were validated against the transaction workspace; apply
         # them to the authoritative graph (last-committer-wins at the
         # operation level; a conflicting replay error aborts the commit).
+        # Replay goes through compute_delta so the commit record carries the
+        # typed fact-level delta, computed against pre-operation state.
+        from repro.ham.delta import compute_delta
+
         staged = self.graph.copy()
-        for op in ops:
-            try:
-                op.apply(staged)
-            except (KeyError, StoreError) as exc:
-                raise TransactionError(f"commit conflict: {exc}") from exc
+        try:
+            delta = compute_delta(staged, ops)
+        except (KeyError, StoreError) as exc:
+            raise TransactionError(f"commit conflict: {exc}") from exc
         with self._lock:
             self.graph = staged
             self._version += 1
             record = TransactionRecord(
-                next(self._txn_counter), session_id, ops, version=self._version
+                next(self._txn_counter),
+                session_id,
+                ops,
+                version=self._version,
+                delta=delta,
             )
             self._log.append(record)
         for callback in self._subscribers:

@@ -1,15 +1,22 @@
-"""Store-coherent result caching.
+"""Store-coherent, delta-scoped result caching.
 
-Answers are cached under ``(plan fingerprint, evaluation parameters, store
-version)``.  The store's version counter is strictly monotonic and bumps on
-every committed transaction (see :class:`repro.ham.store.HAMStore`), so a
-cached answer can only ever be served for the exact committed state it was
-computed from — a commit between two identical queries changes the key and
-forces re-evaluation.  Stale answers are therefore impossible by
-construction; no explicit invalidation scan is needed.  A commit hook
-(:meth:`ResultCache.attach`) additionally drops entries for superseded
-versions eagerly, so the LRU's capacity is spent on live entries instead of
-unreachable ones.
+Answers are cached under ``(plan fingerprint, evaluation parameters)`` and
+stamped with the store version they were computed at plus the plan's
+*predicate footprint* — every predicate whose extension the answer can
+depend on.  A lookup only serves an entry stamped with the current version.
+
+Commits keep the cache warm instead of cold: the commit hook
+(:meth:`ResultCache.attach`) reads the typed :class:`~repro.ham.delta.Delta`
+off each commit record and compares the delta's touched predicates against
+each entry's footprint.  Disjoint → the answer provably cannot have changed,
+so the entry is *re-stamped* to the new version and stays servable (counted
+as ``delta_reuse_hits``); intersecting (or footprint unknown) → the entry is
+dropped.  A commit touching one edge label no longer cold-starts every
+cached answer — only the ones that could actually observe it.
+
+Parameter normalization is type-tagged: ``{"limit": 1}``, ``{"limit": "1"}``
+and ``{"limit": True}`` produce three distinct keys (plain ``str(v)``
+normalization used to collide them, which could serve the wrong answer).
 """
 
 from __future__ import annotations
@@ -17,15 +24,62 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from repro.core.translate import DOMAIN_PREDICATE
 
-def result_key(fingerprint, params, version):
-    """The cache key for one evaluation of one plan at one store version."""
-    normalized = tuple(sorted((k, str(v)) for k, v in (params or {}).items()))
-    return (fingerprint, normalized, version)
+
+def _canonical(value):
+    """A hashable, type-tagged form of one parameter value.
+
+    The tag comes first so values of different types can never compare
+    equal (``True == 1`` and ``1.0 == 1`` in Python; ``bool`` is checked
+    before ``int`` because it *is* an ``int``).
+    """
+    if value is None:
+        return ("none",)
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, int):
+        return ("int", value)
+    if isinstance(value, float):
+        return ("float", value)
+    if isinstance(value, str):
+        return ("str", value)
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(_canonical(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(_canonical(v) for v in value)))
+    if isinstance(value, dict):
+        return (
+            "map",
+            tuple(sorted((str(k), _canonical(v)) for k, v in value.items())),
+        )
+    return ("repr", type(value).__name__, repr(value))
+
+
+def result_key(fingerprint, params):
+    """The cache key for one evaluation of one plan: fingerprint + params.
+
+    The store version is *not* part of the key — entries carry their version
+    as a stamp so the commit hook can re-stamp still-valid answers instead
+    of orphaning them under a dead key.
+    """
+    normalized = tuple(
+        sorted((str(k), _canonical(v)) for k, v in (params or {}).items())
+    )
+    return (fingerprint, normalized)
+
+
+class _Entry:
+    __slots__ = ("value", "version", "footprint")
+
+    def __init__(self, value, version, footprint):
+        self.value = value
+        self.version = version
+        self.footprint = footprint
 
 
 class ResultCache:
-    """A thread-safe LRU mapping result keys to computed answers."""
+    """A thread-safe LRU of versioned, footprint-stamped answers."""
 
     def __init__(self, capacity=1024):
         if capacity < 1:
@@ -37,46 +91,75 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.delta_reuse_hits = 0
 
     def __len__(self):
         return len(self._entries)
 
-    def get(self, key):
-        """The cached value, or None; counts a hit or a miss."""
+    def get(self, key, version):
+        """The cached value if present *and* current; counts hit or miss."""
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
+            if entry is None or entry.version != version:
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
-            return entry
+            return entry.value
 
-    def put(self, key, value):
+    def put(self, key, value, version, footprint=None):
+        """Cache *value* computed at *version* by a plan reading *footprint*.
+
+        *footprint* is the set of predicates the answer depends on; ``None``
+        means unknown, which every later commit treats as intersecting.
+        """
         with self._lock:
-            self._entries[key] = value
+            self._entries[key] = _Entry(value, version, footprint)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
-    def drop_older_than(self, version):
-        """Eagerly drop entries computed at versions below *version*.
+    def apply_commit(self, version, touched):
+        """Re-stamp or drop entries after a commit.
 
-        Purely an occupancy optimization: version-keyed lookups already
-        never match superseded entries.
+        *touched* is the set of predicates the commit's delta may have
+        changed (``None`` = unknown → drop everything).  Entries whose
+        footprint provably misses *touched* survive with the new version
+        stamp; the rest are invalidated.  Only entries current as of the
+        previous version are re-stamped: versions bump by exactly one per
+        commit, so an entry lagging further behind was computed before some
+        commit this hook never cleared it against (a put racing a commit)
+        and cannot be proven fresh.
         """
         with self._lock:
-            dead = [key for key in self._entries if key[2] < version]
+            dead = []
+            for key, entry in self._entries.items():
+                if (
+                    touched is not None
+                    and entry.footprint is not None
+                    and entry.version == version - 1
+                    and not (entry.footprint & touched)
+                ):
+                    entry.version = version
+                    self.delta_reuse_hits += 1
+                else:
+                    dead.append(key)
             for key in dead:
                 del self._entries[key]
             self.invalidations += len(dead)
 
-    def attach(self, store):
+    def attach(self, store, domain_predicate=DOMAIN_PREDICATE):
         """Subscribe to *store* commits; returns the unsubscribe callable."""
 
         def on_commit(record):
-            self.drop_older_than(record.version)
+            delta = getattr(record, "delta", None)
+            touched = (
+                delta.touched_predicates(domain_predicate)
+                if delta is not None
+                else None
+            )
+            self.apply_commit(record.version, touched)
 
         store.subscribe(on_commit)
         return lambda: store.unsubscribe(on_commit)
@@ -94,4 +177,5 @@ class ResultCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "delta_reuse_hits": self.delta_reuse_hits,
             }

@@ -38,6 +38,12 @@ class MetricsRegistry:
         with self._lock:
             self._counters[name] += amount
 
+    def set_counter(self, name, value):
+        """Pin a counter to an externally-tracked value (e.g. a cache's
+        commit-driven counters, mirrored into snapshots on demand)."""
+        with self._lock:
+            self._counters[name] = value
+
     def observe_latency(self, op, seconds):
         with self._lock:
             self._latencies[op].append(seconds)

@@ -54,6 +54,7 @@ class PreparedQuery:
         "head_predicate",
         "idb_predicates",
         "has_summaries",
+        "footprint",
     )
 
     def __init__(self, op, text):
@@ -67,6 +68,10 @@ class PreparedQuery:
         self.head_predicate = None
         self.idb_predicates = ()
         self.has_summaries = False
+        #: Predicates the plan's answers can depend on — the delta-scoped
+        #: result cache keeps entries alive across commits that miss this
+        #: set.  None = unknown (every commit invalidates).
+        self.footprint = None
         prepare = getattr(self, f"_prepare_{op}", None)
         if prepare is None:
             raise ProtocolError(f"cannot prepare op {op!r}")
@@ -87,12 +92,16 @@ class PreparedQuery:
         if self.has_summaries:
             # Aggregate evaluation re-checks its own stratification; keep
             # the extended program for inspection but evaluate through the
-            # AggregateEngine at run time.
+            # AggregateEngine at run time.  Footprint stays None (unknown):
+            # every commit invalidates cached summary answers.
             self.program = translate_extended(self.graphical)
         else:
             self.program = translate(self.graphical)
             check_program_safety(self.program)
             self.strata = stratify(self.program)
+            # All referenced predicates, IDB names included: edge facts
+            # committed under an IDB name feed the evaluation's EDB copy.
+            self.footprint = frozenset(self.program.predicates)
 
     def _prepare_datalog(self):
         from repro.datalog.parser import parse_program
@@ -103,13 +112,21 @@ class PreparedQuery:
         check_program_safety(self.program)
         self.strata = stratify(self.program)
         self.idb_predicates = tuple(sorted(self.program.idb_predicates))
+        self.footprint = frozenset(self.program.predicates)
 
     def _prepare_rpq(self):
+        from repro.core.translate import DOMAIN_PREDICATE
         from repro.rpq.automaton import compile_regex
         from repro.rpq.regex import parse_regex
 
         self.regex = parse_regex(self.text)
-        compile_regex(self.regex)  # validate eagerly; cheap to recompile
+        dfa = compile_regex(self.regex)  # validates eagerly; cheap to recompile
+        labels = {label for label, _inverted in self.regex.symbols()}
+        if dfa.start in dfa.accept:
+            # Nullable path expression: every node answers (v, v), so the
+            # result also depends on the node set — the active domain.
+            labels.add(DOMAIN_PREDICATE)
+        self.footprint = frozenset(labels)
 
     # ------------------------------------------------------------ evaluate
 

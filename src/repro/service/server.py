@@ -83,6 +83,7 @@ class QueryService:
         self.plans = PreparedQueryCache(self.config.plan_cache_size)
         self.results = ResultCache(self.config.result_cache_size)
         self._detach = self.results.attach(self.store)
+        self._views = None  # lazily-created ViewManager
         # One relational encoding of the graph per store version, shared by
         # all plans evaluated at that version (engines copy it, never
         # mutate it).
@@ -126,9 +127,9 @@ class QueryService:
 
         plan = self.plans.get(op, text)
         version, graph = self.store.snapshot_versioned()
-        key = result_key(plan.fingerprint, params, version)
+        key = result_key(plan.fingerprint, params)
 
-        cached = self.results.get(key)
+        cached = self.results.get(key, version)
         if cached is not None:
             payload, encoded_size = cached
             self.metrics.incr("result_cache.hits")
@@ -146,7 +147,7 @@ class QueryService:
         }
         encoded_size = len(protocol.encode(payload))
         self._check_budgets(total, encoded_size, max_rows, max_bytes)
-        self.results.put(key, (payload, encoded_size))
+        self.results.put(key, (payload, encoded_size), version, plan.footprint)
         return {"result": payload, "version": version, "cache": "miss"}
 
     def _execute_update(self, message):
@@ -207,17 +208,47 @@ class QueryService:
                 self._edb = edb
         return edb
 
+    @property
+    def views(self):
+        """The store's :class:`~repro.ham.views.ViewManager`, created lazily
+        (registering it subscribes to commits, so don't until needed)."""
+        if self._views is None:
+            from repro.ham.views import ViewManager
+
+            self._views = ViewManager(self.store)
+        return self._views
+
+    def register_view(self, name, query):
+        """Register a materialized view kept in sync with commits."""
+        return self.views.register(name, query)
+
     def stats(self):
-        return {
+        result_cache = self.results.stats()
+        # Mirror the commit-driven counters into the metrics registry so one
+        # snapshot carries them alongside request counters.
+        self.metrics.set_counter(
+            "result_cache.delta_reuse_hits", result_cache["delta_reuse_hits"]
+        )
+        if self._views is not None:
+            totals = self._views.stats()["totals"]
+            self.metrics.set_counter(
+                "views.view_maintenance_ms", totals["view_maintenance_ms"]
+            )
+            self.metrics.set_counter("views.overdeleted", totals["overdeleted"])
+            self.metrics.set_counter("views.rederived", totals["rederived"])
+        stats = {
             "metrics": self.metrics.snapshot(),
             "plan_cache": self.plans.stats(),
-            "result_cache": self.results.stats(),
+            "result_cache": result_cache,
             "store": {
                 "version": self.store.version,
                 "nodes": self.store.graph.node_count(),
                 "edges": self.store.graph.edge_count(),
             },
         }
+        if self._views is not None:
+            stats["views"] = self._views.stats()
+        return stats
 
     def close(self):
         self._detach()

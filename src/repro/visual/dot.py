@@ -9,7 +9,7 @@ annotation predicates attached, as in Figure 1.
 
 from __future__ import annotations
 
-from repro.core.pre import Closure, Negation, Star, strip_outer_negation
+from repro.core.pre import Closure, Star, strip_outer_negation
 from repro.core.query_graph import GraphicalQuery, QueryGraph
 
 

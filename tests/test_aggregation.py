@@ -4,21 +4,8 @@ import math
 
 import pytest
 
-from repro.aggregation.aggregates import (
-    AggregateEngine,
-    AggregateProgram,
-    AggregateRule,
-    AggregateTerm,
-    evaluate_with_aggregates,
-)
-from repro.aggregation.semiring import (
-    BOOLEAN,
-    COUNT_PATHS,
-    MAX_MIN,
-    MAX_PLUS,
-    MIN_PLUS,
-    semiring_by_name,
-)
+from repro.aggregation.aggregates import AggregateProgram, AggregateRule, AggregateTerm, evaluate_with_aggregates
+from repro.aggregation.semiring import COUNT_PATHS, MIN_PLUS, semiring_by_name
 from repro.aggregation.summarize import (
     path_summarize,
     summarize_from,

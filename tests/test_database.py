@@ -25,7 +25,20 @@ class TestRelation:
         r.add_many([("a", "b"), ("a", "c"), ("x", "y")])
         assert r.lookup((0,), ("a",)) == {("a", "b"), ("a", "c")}
         assert r.lookup((1,), ("y",)) == {("x", "y")}
-        assert r.lookup((0, 1), ("a", "b")) == {("a", "b")}
+        # Fully bound probes are membership tests: no index, iterable result.
+        assert set(r.lookup((0, 1), ("a", "b"))) == {("a", "b")}
+        assert not r.lookup((0, 1), ("a", "z"))
+
+    def test_ensure_index_prebuilds(self):
+        r = Relation("p", 2)
+        r.add_many([("a", "b"), ("a", "c")])
+        r.ensure_index((1,))
+        assert (1,) in r._indexes
+        r.add(("a", "d"))  # maintained like any lazily-built index
+        assert r.lookup((1,), ("d",)) == {("a", "d")}
+        r.ensure_index(())  # no-ops: empty, full-arity, already built
+        r.ensure_index((0, 1))
+        assert (0, 1) not in r._indexes
 
     def test_lookup_empty_positions_returns_all(self):
         r = Relation("p", 1)

@@ -16,7 +16,7 @@ from repro.datasets.random_graphs import (
     random_edge_relation,
     random_labeled_graph,
 )
-from repro.datasets.software import figure6_database, random_callgraph
+from repro.datasets.software import random_callgraph
 from repro.datasets.tasks import figure11_database, random_project
 from repro.graphs.algorithms import is_acyclic
 

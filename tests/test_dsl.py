@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.dsl import parse_graphical_query, parse_query_graph
-from repro.core.pre import Closure, Negation, Pred, closure, neg, rel, seq, star
+from repro.core.pre import closure, neg
 from repro.datalog.terms import Constant, Variable
 from repro.errors import DependenceCycleError, ParseError, QueryGraphError
 

@@ -142,6 +142,36 @@ class TestBuiltins:
         result = evaluate(program, db)
         assert result.facts("double") == {(2, 4)}
 
+    def test_exact_integer_division_stays_int(self):
+        """Regression: `/` used truediv, so `8 / 2` derived `(8, 4.0)` and
+        the float tuple failed set-equality against int-derived facts."""
+        program = parse_program("half(X, Y) :- num(X), Y = X / 2.")
+        db = Database()
+        db.add_facts("num", [(8,), (7,)])
+        result = evaluate(program, db)
+        assert result.facts("half") == {(8, 4), (7, 3.5)}
+        exact = next(y for x, y in result.facts("half") if x == 8)
+        assert isinstance(exact, int)
+        inexact = next(y for x, y in result.facts("half") if x == 7)
+        assert isinstance(inexact, float)
+
+    def test_int_division_result_joins_with_int_facts(self):
+        program = parse_program(
+            "half(Y) :- num(X), Y = X / 2. hit(Y) :- half(Y), target(Y)."
+        )
+        db = Database()
+        db.add_facts("num", [(8,)])
+        db.add_facts("target", [(4,)])
+        result = evaluate(program, db)
+        assert result.facts("hit") == {(4,)}
+
+    def test_float_division_still_true_division(self):
+        program = parse_program("q(Y) :- v(X), Y = X / 2.")
+        db = Database()
+        db.add_facts("v", [(5.0,)])
+        result = evaluate(program, db)
+        assert result.facts("q") == {(2.5,)}
+
     def test_equality_binds(self):
         program = parse_program("alias(X, Y) :- num(X), Y = X.")
         db = Database()

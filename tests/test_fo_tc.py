@@ -9,21 +9,7 @@ from repro.datalog.parser import parse_program
 from repro.datalog.terms import Variable
 from repro.errors import FormulaError, TranslationError
 from repro.fo_tc.evaluate import Structure, answers, holds
-from repro.fo_tc.formulas import (
-    And,
-    Compare,
-    Exists,
-    Forall,
-    Not,
-    Or,
-    PredAtom,
-    TCApp,
-    count_tc_operators,
-    is_existential,
-    is_positive_tc,
-    pred,
-    tc,
-)
+from repro.fo_tc.formulas import And, Compare, Exists, Forall, Not, Or, TCApp, count_tc_operators, is_existential, is_positive_tc, pred, tc
 from repro.fo_tc.from_stc import stc_to_tc
 from repro.fo_tc.reachability import (
     peak_frontier_size,

@@ -6,7 +6,6 @@ from repro.core.dsl import parse_graphical_query
 from repro.datasets.airlines import figure12_graph
 from repro.errors import StoreError, TransactionError
 from repro.graphs.bridge import EdgeLabel
-from repro.graphs.multigraph import LabeledMultigraph
 from repro.ham.store import HAMStore
 
 

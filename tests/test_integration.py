@@ -6,7 +6,6 @@ from repro.core.dsl import parse_graphical_query
 from repro.core.engine import GraphLogEngine, prepare_database
 from repro.core.translate import translate
 from repro.datalog.classify import is_stratified_linear, is_stratified_tc_program
-from repro.datalog.database import Database
 from repro.datalog.engine import evaluate
 from repro.datasets.family import figure2_family, random_genealogy
 from repro.datasets.flights import figure1_database, random_flights

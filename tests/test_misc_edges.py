@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.dsl import parse_graphical_query
 from repro.core.engine import GraphLogEngine, prepare_database
-from repro.core.query_graph import GraphicalQuery, QueryGraph
+from repro.core.query_graph import GraphicalQuery
 from repro.datalog.database import Database
 from repro.datalog.engine import Engine, EvaluationStats
 from repro.datalog.lexer import TokenStream, tokenize

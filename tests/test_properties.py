@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
-import math
 
 from hypothesis import given, settings, strategies as st
 
@@ -10,7 +9,7 @@ from repro.datalog.engine import evaluate
 from repro.datalog.parser import parse_program
 from repro.graphs.closure import closure_methods, transitive_closure
 from repro.rpq.automaton import compile_regex, determinize, minimize, thompson
-from repro.rpq.regex import Concat, Epsilon, Opt, Plus, Regex, Star, Sym, Union
+from repro.rpq.regex import Concat, Epsilon, Opt, Plus, Star, Sym, Union
 from repro.translation.differential import (
     check_equivalence,
     random_database,

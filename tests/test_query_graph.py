@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.pre import closure, neg, rel, seq, star
+from repro.core.pre import closure, rel, seq, star
 from repro.core.query_graph import GraphicalQuery, QueryGraph
 from repro.datalog.terms import Constant, Variable
 from repro.errors import (

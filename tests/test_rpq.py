@@ -6,19 +6,7 @@ from repro.errors import ParseError, RegexError
 from repro.graphs.multigraph import LabeledMultigraph
 from repro.rpq.automaton import compile_regex, determinize, minimize, thompson
 from repro.rpq.evaluate import RPQEvaluator, rpq_pairs
-from repro.rpq.regex import (
-    Concat,
-    Epsilon,
-    Opt,
-    Plus,
-    Star,
-    Sym,
-    Union,
-    concat,
-    parse_regex,
-    sym,
-    union,
-)
+from repro.rpq.regex import Concat, Epsilon, Opt, Plus, Sym, Union, concat, parse_regex, sym, union
 from repro.rpq.simple_paths import has_regular_simple_path, regular_simple_paths
 
 

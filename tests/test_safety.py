@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datalog.ast import ArithmeticAssign, Comparison, atom, lit, neglit, rule
+from repro.datalog.ast import ArithmeticAssign, Comparison, atom, lit, rule
 from repro.datalog.parser import parse_rule
 from repro.datalog.safety import (
     check_rule_safety,

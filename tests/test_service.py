@@ -101,26 +101,38 @@ class TestPrepared:
 
 
 class TestResultCache:
-    def test_version_in_key_prevents_stale_hits(self):
+    def test_version_stamp_prevents_stale_hits(self):
         cache = ResultCache(capacity=4)
-        key_v1 = result_key("fp", {}, 1)
-        cache.put(key_v1, "answer@1")
-        assert cache.get(key_v1) == "answer@1"
-        assert cache.get(result_key("fp", {}, 2)) is None
+        key = result_key("fp", {})
+        cache.put(key, "answer@1", version=1)
+        assert cache.get(key, 1) == "answer@1"
+        assert cache.get(key, 2) is None
         assert cache.stats()["hits"] == 1
         assert cache.stats()["misses"] == 1
 
     def test_params_are_part_of_the_key(self):
         cache = ResultCache(capacity=4)
-        cache.put(result_key("fp", {"source": "a"}, 1), "from-a")
-        assert cache.get(result_key("fp", {"source": "b"}, 1)) is None
-        assert cache.get(result_key("fp", {"source": "a"}, 1)) == "from-a"
+        cache.put(result_key("fp", {"source": "a"}), "from-a", version=1)
+        assert cache.get(result_key("fp", {"source": "b"}), 1) is None
+        assert cache.get(result_key("fp", {"source": "a"}), 1) == "from-a"
 
-    def test_attach_drops_superseded_entries_on_commit(self):
+    def test_param_normalization_is_type_tagged(self):
+        # str(v) normalization used to collide all three, so a query with
+        # limit="1" could be served the answer computed for limit=1.
+        keys = {
+            result_key("fp", {"limit": 1}),
+            result_key("fp", {"limit": "1"}),
+            result_key("fp", {"limit": True}),
+        }
+        assert len(keys) == 3
+        assert result_key("fp", {"limit": 1}) == result_key("fp", {"limit": 1})
+        assert result_key("fp", {"xs": [1, "1"]}) != result_key("fp", {"xs": ["1", 1]})
+
+    def test_attach_drops_footprintless_entries_on_commit(self):
         store = HAMStore()
         cache = ResultCache(capacity=8)
         detach = cache.attach(store)
-        cache.put(result_key("fp", {}, store.version), "old")
+        cache.put(result_key("fp", {}), "old", version=store.version)
         session = store.session()
         with session.transaction() as txn:
             txn.add_edge("a", "b", "x")
@@ -128,14 +140,41 @@ class TestResultCache:
         assert cache.stats()["invalidations"] == 1
         detach()
 
+    def test_commit_missing_the_footprint_restamps_the_entry(self):
+        store = HAMStore()
+        cache = ResultCache(capacity=8)
+        detach = cache.attach(store)
+        key = result_key("fp", {})
+        cache.put(key, "answer", store.version, footprint=frozenset({"from", "to"}))
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_edge("a", "b", "unrelated")
+        assert cache.get(key, store.version) == "answer"
+        assert cache.stats()["delta_reuse_hits"] == 1
+        with session.transaction() as txn:
+            txn.add_edge("a", "c", "from")
+        assert cache.get(key, store.version) is None
+        assert len(cache) == 0
+        detach()
+
+    def test_lagging_entry_is_not_restamped(self):
+        cache = ResultCache(capacity=8)
+        key = result_key("fp", {})
+        cache.put(key, "stale", version=1, footprint=frozenset({"from"}))
+        # The entry was stamped at version 1 but the commit lands version 3:
+        # some intervening commit was never checked against it, so even a
+        # disjoint delta cannot prove it fresh.
+        cache.apply_commit(3, frozenset({"other"}))
+        assert cache.get(key, 3) is None
+
     def test_lru_eviction(self):
         cache = ResultCache(capacity=2)
-        cache.put(("a",) * 3, 1)
-        cache.put(("b",) * 3, 2)
-        cache.get(("a",) * 3)
-        cache.put(("c",) * 3, 3)
-        assert cache.get(("b",) * 3) is None
-        assert cache.get(("a",) * 3) == 1
+        cache.put(("a", ()), 1, version=1)
+        cache.put(("b", ()), 2, version=1)
+        cache.get(("a", ()), 1)
+        cache.put(("c", ()), 3, version=1)
+        assert cache.get(("b", ()), 1) is None
+        assert cache.get(("a", ()), 1) == 1
         assert cache.stats()["evictions"] == 1
 
 
@@ -190,12 +229,23 @@ class TestQueryServiceCore:
         assert again["cache"] == "hit"
         assert again["result"] == first["result"]
 
+        # A commit whose delta only touches "reach-test" (and the node
+        # domain) misses the REACH plan's footprint entirely: the cached
+        # answer is re-stamped to the new version and stays servable.
         session = service.store.session()
         with session.transaction() as txn:
             txn.add_edge("washington", "paris", "reach-test")
         after = service.execute({"op": "graphlog", "query": REACH_QUERY})
-        assert after["cache"] == "miss"
+        assert after["cache"] == "hit"
         assert after["version"] == first["version"] + 1
+        assert after["result"] == first["result"]
+        assert service.results.stats()["delta_reuse_hits"] >= 1
+
+        # A commit on an edge label the plan actually reads drops the entry.
+        with session.transaction() as txn:
+            txn.add_edge("f99", "washington", "from")
+        final = service.execute({"op": "graphlog", "query": REACH_QUERY})
+        assert final["cache"] == "miss"
 
     def test_update_changes_answers_not_stale(self):
         service = QueryService(store=flights_store())

@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.datalog.classify import is_stratified_tc_program, recursive_predicates
+from repro.datalog.classify import is_stratified_tc_program
 from repro.datalog.database import Database
 from repro.datalog.parser import parse_program
 from repro.datalog.terms import Constant, Sentinel
-from repro.errors import NotLinearError, StratificationError, TranslationError
+from repro.errors import NotLinearError, StratificationError
 from repro.translation.differential import check_equivalence
 from repro.translation.sl_to_stc import prepare_adom, sl_to_stc, translate_and_check
 

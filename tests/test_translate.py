@@ -1,11 +1,10 @@
 """Tests for the logical translation function λ (Definition 2.4)."""
 
-import pytest
 
 from repro.core.pre import closure, inverse, neg, optional, rel, seq, star
 from repro.core.query_graph import GraphicalQuery, QueryGraph
 from repro.core.translate import PredicateNamer, translate, translate_query_graph
-from repro.datalog.ast import Comparison, Literal
+from repro.datalog.ast import Literal
 from repro.datalog.classify import is_stratified_linear
 from repro.datalog.database import Database
 from repro.datalog.engine import evaluate

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.dsl import parse_graphical_query
-from repro.core.engine import prepare_database
 from repro.core.translate import translate
 from repro.datalog.database import Database
 from repro.datalog.engine import evaluate
@@ -11,12 +10,7 @@ from repro.datalog.parser import parse_program
 from repro.errors import AggregationError
 from repro.graphs.bridge import EdgeLabel
 from repro.ham.store import HAMStore
-from repro.ham.views import (
-    MaterializedView,
-    ViewManager,
-    incremental_insert,
-    is_monotone_program,
-)
+from repro.ham.views import ViewManager, incremental_insert, is_monotone_program
 
 REACH = parse_graphical_query(
     """
@@ -162,16 +156,19 @@ class TestViewManager:
         assert view.incremental_updates == 1
         assert view.full_refreshes == 1  # the initial one
 
-    def test_full_refresh_on_delete(self):
+    def test_delete_maintained_incrementally(self):
         store = self._store()
         manager = ViewManager(store)
         view = manager.register("reach", REACH)
         with store.session().transaction() as txn:
             txn.remove_edge("b", "c", EdgeLabel("link"))
         assert ("a", "c") not in manager.answers("reach")
-        assert view.full_refreshes == 2
+        assert ("a", "b") in manager.answers("reach")
+        assert view.full_refreshes == 1  # only the initial one
+        assert view.incremental_updates == 1
+        assert view.overdeleted > 0
 
-    def test_nonmonotone_view_always_refreshes(self):
+    def test_nonmonotone_view_maintained_incrementally(self):
         store = self._store()
         db = Database.from_facts({"fast": [("a", "b")]})
         store.load_database(db)
@@ -181,8 +178,64 @@ class TestViewManager:
         with store.session().transaction() as txn:
             txn.add_edge("c", "d", EdgeLabel("link"))
         assert ("c", "d") in manager.answers("blocked")
+        # A new fast edge must *retract* the blocked answer, through the
+        # negated literal, without a full refresh.
+        with store.session().transaction() as txn:
+            txn.add_edge("c", "d", EdgeLabel("fast"))
+        assert ("c", "d") not in manager.answers("blocked")
+        assert view.full_refreshes == 1
+        assert view.incremental_updates == 2
+
+    def test_relabel_maintained_incrementally(self):
+        store = self._store()
+        manager = ViewManager(store)
+        manager.register(
+            "marked",
+            parse_graphical_query(
+                "define (X) -[marked]-> (Y) { (X) -[link]-> (Y); stop(Y); }"
+            ),
+        )
+        assert manager.answers("marked") == set()
+        with store.session().transaction() as txn:
+            txn.set_node_label("c", "stop")
+        assert manager.answers("marked") == {("b", "c")}
+        with store.session().transaction() as txn:
+            txn.set_node_label("c", None)
+        assert manager.answers("marked") == set()
+
+    def test_summary_view_falls_back_to_full_refresh(self):
+        # Aggregation/summarization is non-monotone in a way support counts
+        # cannot track; such views must refuse maintenance and recompute.
+        from repro.core.query_graph import GraphicalQuery
+
+        query = GraphicalQuery()
+        graph = query.define("X", "Y", "best", extra=["V"])
+        graph.summarize("X", "Y", "hop", "longest", "V")
+
+        store = HAMStore()
+        store.load_database(Database.from_facts({"hop": [("a", "b", 3)]}))
+        manager = ViewManager(store)
+        view = manager.register("best", query)
+        assert view.maintainable is False
+        assert "not maintainable" in view.fallback_reason
+        assert manager.answers("best") == {("a", "b", 3)}
+        with store.session().transaction() as txn:
+            txn.add_edge("b", "c", EdgeLabel("hop", (2,)))
+        assert ("a", "c", 5) in manager.answers("best")
+        assert view.full_refreshes == 2
         assert view.incremental_updates == 0
-        assert view.full_refreshes >= 2
+
+    def test_view_manager_stats_shape(self):
+        store = self._store()
+        manager = ViewManager(store)
+        manager.register("reach", REACH)
+        with store.session().transaction() as txn:
+            txn.add_edge("c", "d", EdgeLabel("link"))
+        stats = manager.stats()
+        assert stats["count"] == 1
+        assert stats["totals"]["incremental_updates"] == 1
+        assert stats["totals"]["view_maintenance_ms"] >= 0
+        assert stats["views"]["reach"]["maintainable"] is True
 
     def test_star_view_sees_new_nodes(self):
         store = self._store()
