@@ -15,6 +15,9 @@ Commands:
 - ``export DATA.dl OUT.json``  convert a fact file to a JSON graph
 - ``serve``                    run the concurrent query service (TCP server)
 - ``call OP [ARG]``            send one request to a running server
+- ``explain QUERY.gl``         trace a query end to end (parse, translate,
+                               stratify, per-stratum fixpoint iterations)
+                               locally over ``--data`` or against a server
 - ``shell``                    interactive session
 
 Fact files are Datalog programs whose rules are all facts
@@ -184,6 +187,12 @@ def cmd_call(args):
         if not args.arg:
             raise SystemExit(f"call {args.op} needs a query file argument")
         payload["query"] = _load_text(args.arg)
+    elif args.op in ("explain", "profile"):
+        if not args.arg:
+            raise SystemExit(f"call {args.op} needs a query file argument")
+        target = args.target or "graphlog"
+        payload["target"] = target
+        payload["query"] = args.arg if target == "rpq" else _load_text(args.arg)
     elif args.op == "rpq":
         if not args.arg:
             raise SystemExit("call rpq needs a regex argument")
@@ -199,8 +208,11 @@ def cmd_call(args):
 
     with ServiceClient(host=args.host, port=args.connect_port) as client:
         response = client.call(args.op, **payload)
-    if args.json or args.op in ("stats", "ping", "update"):
+    if args.json or args.op in ("stats", "ping", "update", "profile"):
         print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    if args.op == "explain":
+        print(response["result"]["text"])
         return 0
     relations = response["result"]["relations"]
     for name in sorted(relations):
@@ -209,6 +221,37 @@ def cmd_call(args):
     cache = response.get("cache")
     print(f"version={response.get('version')} cache={cache} "
           f"elapsed_ms={response.get('elapsed_ms')}")
+    return 0
+
+
+def cmd_explain(args):
+    import json
+
+    if args.connect_host is not None:
+        from repro.service.client import ServiceClient
+
+        query = args.query if args.op == "rpq" else _load_text(args.query)
+        with ServiceClient(host=args.connect_host, port=args.connect_port) as client:
+            result = client.explain(query, target=args.op, method=args.method)
+    else:
+        from repro.ham.store import HAMStore
+        from repro.service.server import QueryService
+
+        store = HAMStore()
+        if args.data:
+            store.load_graph(graph_from_database(_load_facts(args.data)))
+        service = QueryService(store=store)
+        query = args.query if args.op == "rpq" else _load_text(args.query)
+        message = {"op": "explain", "target": args.op, "query": query}
+        if args.method:
+            message["method"] = args.method
+        result = service.execute(message)["result"]
+    if args.json:
+        print(json.dumps(result["trace"], indent=2, sort_keys=True))
+    else:
+        print(result["text"])
+        phases = ", ".join(f"{k}={v:.3f}ms" for k, v in result["phases"].items())
+        print(f"rows: {result['count']}  phases: {phases}")
     return 0
 
 
@@ -292,12 +335,15 @@ def build_parser():
 
     p_call = sub.add_parser("call", help="send one request to a running server")
     p_call.add_argument("op", choices=("graphlog", "datalog", "rpq", "update",
-                                       "stats", "ping"))
+                                       "stats", "ping", "explain", "profile"))
     p_call.add_argument("arg", nargs="?", default=None,
                         help="query file (graphlog/datalog) or regex (rpq)")
     p_call.add_argument("--host", default="127.0.0.1")
     p_call.add_argument("--port", dest="connect_port", type=int, default=7464)
     p_call.add_argument("--source", default=None, help="rpq start node")
+    p_call.add_argument("--target", default=None,
+                        choices=("graphlog", "datalog", "rpq"),
+                        help="explain/profile: query language of the input")
     p_call.add_argument("--predicate", default=None, help="relation to return")
     p_call.add_argument("--method", default=None, choices=("seminaive", "naive"))
     p_call.add_argument("--timeout", type=float, default=None,
@@ -307,6 +353,23 @@ def build_parser():
                         help="update: edge to insert (repeatable)")
     p_call.add_argument("--json", action="store_true", help="print the raw response")
     p_call.set_defaults(func=cmd_call)
+
+    p_explain = sub.add_parser(
+        "explain", help="trace a query end to end (spans, iterations, deltas)"
+    )
+    p_explain.add_argument("query", help="query file (graphlog/datalog) or regex (rpq)")
+    p_explain.add_argument("--op", default="graphlog",
+                           choices=("graphlog", "datalog", "rpq"),
+                           help="query language of the input")
+    p_explain.add_argument("--data", default=None,
+                           help="Datalog fact file (local mode)")
+    p_explain.add_argument("--host", dest="connect_host", default=None,
+                           help="explain against a running server instead")
+    p_explain.add_argument("--port", dest="connect_port", type=int, default=7464)
+    p_explain.add_argument("--method", default=None, choices=("seminaive", "naive"))
+    p_explain.add_argument("--json", action="store_true",
+                           help="print the span tree as JSON instead of ASCII")
+    p_explain.set_defaults(func=cmd_explain)
 
     p_shell = sub.add_parser("shell", help="interactive GraphLog shell")
     p_shell.set_defaults(func=cmd_shell)

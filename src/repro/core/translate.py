@@ -22,6 +22,7 @@ is exactly the SL-DATALOG ⊇ GRAPHLOG direction of Lemma 3.4.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.pre import (
     Alternation,
     Closure,
@@ -309,22 +310,29 @@ def translate(graphical_query, domain_predicate=DOMAIN_PREDICATE):
     Queries with path-summarization edges (Section 4) are outside plain
     Datalog; use :func:`translate_extended` for those.
     """
-    if isinstance(graphical_query, QueryGraph):
-        graphical_query = GraphicalQuery([graphical_query])
-    graphical_query.validate()
-    if any(graph.summaries for graph in graphical_query.graphs):
-        raise TranslationError(
-            "query uses path-summarization edges; use translate_extended "
-            "(evaluated by the aggregate engine)"
-        )
-    reserved = set(graphical_query.idb_predicates)
-    reserved |= graphical_query.edb_predicates
-    reserved.add(domain_predicate)
-    namer = PredicateNamer(reserved)
-    rules = []
-    for graph in graphical_query.graphs:
-        rules.extend(translate_query_graph(graph, namer, domain_predicate))
-    return Program(rules)
+    with obs.span("translate.lambda") as span:
+        if isinstance(graphical_query, QueryGraph):
+            graphical_query = GraphicalQuery([graphical_query])
+        graphical_query.validate()
+        if any(graph.summaries for graph in graphical_query.graphs):
+            raise TranslationError(
+                "query uses path-summarization edges; use translate_extended "
+                "(evaluated by the aggregate engine)"
+            )
+        reserved = set(graphical_query.idb_predicates)
+        reserved |= graphical_query.edb_predicates
+        reserved.add(domain_predicate)
+        namer = PredicateNamer(reserved)
+        rules = []
+        for graph in graphical_query.graphs:
+            rules.extend(translate_query_graph(graph, namer, domain_predicate))
+        if span:
+            span.annotate(
+                graphs=len(graphical_query.graphs),
+                rules=len(rules),
+                defined=sorted(graphical_query.idb_predicates),
+            )
+        return Program(rules)
 
 
 def translate_extended(graphical_query, domain_predicate=DOMAIN_PREDICATE):

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro import obs
 from repro.datalog.ast import ArithmeticAssign, Atom, Comparison, Literal
 from repro.datalog.database import Relation
 from repro.datalog.engine import Engine, _match_against
@@ -353,70 +354,95 @@ class MaintenancePlan:
         treated as assertions/retractions of base facts under that name.
         """
         stats = MaintenanceStats()
+        tracer = obs.tracer()
         delta_plus = {
             p: {tuple(r) for r in rows} for p, rows in (delta_plus or {}).items()
         }
         delta_minus = {
             p: {tuple(r) for r in rows} for p, rows in (delta_minus or {}).items()
         }
-        added = {}
-        removed = {}
+        with tracer.span(
+            "dred.maintain",
+            delta_plus={p: len(rows) for p, rows in sorted(delta_plus.items())},
+            delta_minus={p: len(rows) for p, rows in sorted(delta_minus.items())},
+        ) as root:
+            added = {}
+            removed = {}
 
-        def note_add(predicate, row):
-            out = removed.get(predicate)
-            if out is not None and out.discard(row):
-                return
-            into = added.get(predicate)
-            if into is None:
-                into = added[predicate] = Relation(predicate, len(row))
-            into.add(row)
+            def note_add(predicate, row):
+                out = removed.get(predicate)
+                if out is not None and out.discard(row):
+                    return
+                into = added.get(predicate)
+                if into is None:
+                    into = added[predicate] = Relation(predicate, len(row))
+                into.add(row)
 
-        def note_remove(predicate, row):
-            out = added.get(predicate)
-            if out is not None and out.discard(row):
-                return
-            into = removed.get(predicate)
-            if into is None:
-                into = removed[predicate] = Relation(predicate, len(row))
-            into.add(row)
+            def note_remove(predicate, row):
+                out = added.get(predicate)
+                if out is not None and out.discard(row):
+                    return
+                into = removed.get(predicate)
+                if into is None:
+                    into = removed[predicate] = Relation(predicate, len(row))
+                into.add(row)
 
-        # Pure-EDB deltas apply immediately; IDB-named deltas are handled by
-        # their own group below (they interact with derived support).
-        for predicate in set(delta_plus) | set(delta_minus):
-            if predicate in self.idb:
-                continue
-            for row in delta_minus.get(predicate, ()):
-                if predicate in database and database.relation(predicate).discard(row):
-                    note_remove(predicate, row)
-            for row in delta_plus.get(predicate, ()):
-                if database.relation(predicate, len(row)).add(row):
-                    note_add(predicate, row)
+            # Pure-EDB deltas apply immediately; IDB-named deltas are handled
+            # by their own group below (they interact with derived support).
+            for predicate in set(delta_plus) | set(delta_minus):
+                if predicate in self.idb:
+                    continue
+                for row in delta_minus.get(predicate, ()):
+                    if predicate in database and database.relation(predicate).discard(row):
+                        note_remove(predicate, row)
+                for row in delta_plus.get(predicate, ()):
+                    if database.relation(predicate, len(row)).add(row):
+                        note_add(predicate, row)
 
-        for group, rules, body_preds, eligible in self._group_plans:
-            group_plus = {p: delta_plus[p] for p in group if p in delta_plus}
-            group_minus = {p: delta_minus[p] for p in group if p in delta_minus}
-            touched = group_plus or group_minus or any(
-                added.get(p) or removed.get(p) for p in body_preds
-            )
-            if not touched:
-                continue
-            for rule, _schedule in rules:
-                self.engine._declare_relations([rule], database)
-            if eligible and counts is not None:
-                stats.counting_groups += 1
-                self._maintain_counting(
-                    group, rules, database, added, removed,
-                    group_plus, group_minus, counts, note_add, note_remove, stats,
+            for group, rules, body_preds, eligible in self._group_plans:
+                group_plus = {p: delta_plus[p] for p in group if p in delta_plus}
+                group_minus = {p: delta_minus[p] for p in group if p in delta_minus}
+                touched = group_plus or group_minus or any(
+                    added.get(p) or removed.get(p) for p in body_preds
                 )
-            else:
-                stats.dred_groups += 1
-                self._maintain_dred(
-                    group, rules, database, added, removed,
-                    group_plus, group_minus, note_add, note_remove, stats,
-                )
+                if not touched:
+                    continue
+                for rule, _schedule in rules:
+                    self.engine._declare_relations([rule], database)
+                if eligible and counts is not None:
+                    stats.counting_groups += 1
+                    with tracer.span(
+                        "dred.group", technique="counting", predicates=sorted(group)
+                    ) as span:
+                        self._maintain_counting(
+                            group, rules, database, added, removed,
+                            group_plus, group_minus, counts, note_add, note_remove,
+                            stats,
+                        )
+                        if span:
+                            span.annotate(count_updates=stats.count_updates)
+                else:
+                    stats.dred_groups += 1
+                    with tracer.span(
+                        "dred.group", technique="dred", predicates=sorted(group)
+                    ) as span:
+                        self._maintain_dred(
+                            group, rules, database, added, removed,
+                            group_plus, group_minus, note_add, note_remove, stats,
+                            span=span,
+                        )
 
-        stats.facts_inserted = sum(len(r) for r in added.values())
-        stats.facts_deleted = sum(len(r) for r in removed.values())
+            stats.facts_inserted = sum(len(r) for r in added.values())
+            stats.facts_deleted = sum(len(r) for r in removed.values())
+            if root:
+                root.annotate(
+                    inserted=stats.facts_inserted,
+                    deleted=stats.facts_deleted,
+                    overdeleted=stats.overdeleted,
+                    rederived=stats.rederived,
+                    counting_groups=stats.counting_groups,
+                    dred_groups=stats.dred_groups,
+                )
         return stats
 
     # ------------------------------------------------------------- internals
@@ -456,6 +482,7 @@ class MaintenancePlan:
     def _maintain_dred(
         self, group, rules, database, added, removed,
         group_plus, group_minus, note_add, note_remove, stats,
+        span=obs.NULL_SPAN,
     ):
         engine = self.engine
 
@@ -529,8 +556,16 @@ class MaintenancePlan:
             return produced
 
         frontier = overdelete_round(minus_triggers, plus_triggers)
+        if span:
+            span.append(
+                "overdelete_rounds", sum(len(rows) for rows in frontier.values())
+            )
         while frontier:
             frontier = overdelete_round(frontier, {})
+            if span:
+                span.append(
+                    "overdelete_rounds", sum(len(rows) for rows in frontier.values())
+                )
 
         # Phase 2: rederive.  An overdeleted fact still derivable from the
         # remaining state goes back (net: it never changed); iterate, since
@@ -541,6 +576,7 @@ class MaintenancePlan:
         progressed = True
         while progressed and any(candidates.values()):
             progressed = False
+            round_rederived = 0
             for predicate, rows in candidates.items():
                 relation = database.relation(predicate)
                 for row in list(rows):
@@ -549,7 +585,10 @@ class MaintenancePlan:
                         note_add(predicate, row)  # cancels the removal
                         rows.discard(row)
                         stats.rederived += 1
+                        round_rederived += 1
                         progressed = True
+            if span and round_rederived:
+                span.append("rederive_rounds", round_rederived)
 
         # Phase 3: insert propagation against the new state.  Triggers:
         # net-added rows under positive literals, net-removed rows under
@@ -600,8 +639,14 @@ class MaintenancePlan:
             return produced
 
         frontier = insert_round(plus_triggers, minus_triggers)
+        if span:
+            span.append("insert_rounds", sum(len(rows) for rows in frontier.values()))
         while frontier:
             frontier = insert_round(frontier, {})
+            if span:
+                span.append(
+                    "insert_rounds", sum(len(rows) for rows in frontier.values())
+                )
 
     def _derivable(self, rules, database, predicate, row):
         for rule, schedule in rules:

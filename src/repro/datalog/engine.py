@@ -15,10 +15,11 @@ relations (stratified semantics, Definition 2.7 of the paper).
 from __future__ import annotations
 
 import operator
-from collections import defaultdict
+from collections import Counter, defaultdict
 
+from repro import obs
 from repro.datalog.ast import ArithmeticAssign, Comparison, Literal
-from repro.datalog.database import Database, Relation
+from repro.datalog.database import Relation
 from repro.datalog.safety import check_program_safety, schedule_body
 from repro.datalog.stratify import DependenceGraph, stratify
 from repro.datalog.terms import Constant, Variable
@@ -101,33 +102,52 @@ class Engine:
             check_program_safety(program)
         self.stats = EvaluationStats()
         self.provenance = {}
-        database = edb.copy()
+        tracer = obs.tracer()
+        with tracer.span("engine.evaluate", method=self.method) as root:
+            database = edb.copy()
 
-        # Facts in the program are loaded directly.
-        derived_rules = []
-        for rule in program:
-            if rule.is_fact:
-                database.add_fact(rule.head.predicate, *(t.value for t in rule.head.args))
-            else:
-                derived_rules.append(rule)
+            # Facts in the program are loaded directly.
+            derived_rules = []
+            for rule in program:
+                if rule.is_fact:
+                    database.add_fact(rule.head.predicate, *(t.value for t in rule.head.args))
+                else:
+                    derived_rules.append(rule)
 
-        # Ensure every predicate mentioned anywhere exists with a known arity,
-        # so negation over an empty relation works.
-        self._declare_relations(program, database)
+            # Ensure every predicate mentioned anywhere exists with a known arity,
+            # so negation over an empty relation works.
+            self._declare_relations(program, database)
 
-        strata = stratify(program)
-        idb = program.idb_predicates
-        groups = self._evaluation_groups(program, strata, idb)
-        self.stats.strata = len({strata[p] for p in idb}) if idb else 0
+            strata = stratify(program)
+            idb = program.idb_predicates
+            groups = self._evaluation_groups(program, strata, idb)
+            self.stats.strata = len({strata[p] for p in idb}) if idb else 0
 
-        for group in groups:
-            rules = [r for r in derived_rules if r.head.predicate in group]
-            if not rules:
-                continue
-            if self.method == "naive":
-                self._fixpoint_naive(rules, database)
-            else:
-                self._fixpoint_seminaive(rules, group, database)
+            for group in groups:
+                rules = [r for r in derived_rules if r.head.predicate in group]
+                if not rules:
+                    continue
+                with tracer.span(
+                    "engine.stratum",
+                    stratum=max(strata[p] for p in group),
+                    predicates=sorted(group),
+                    rules=len(rules),
+                ) as span:
+                    if self.method == "naive":
+                        self._fixpoint_naive(rules, database, span)
+                    else:
+                        self._fixpoint_seminaive(rules, group, database, span)
+                    if span:
+                        span.annotate(
+                            facts={p: len(database.facts(p)) for p in sorted(group)}
+                        )
+            if root:
+                root.annotate(
+                    iterations=self.stats.iterations,
+                    rule_firings=self.stats.rule_firings,
+                    facts_derived=self.stats.facts_derived,
+                    strata=self.stats.strata,
+                )
         return database
 
     def query(self, program, edb, goal):
@@ -167,20 +187,33 @@ class Engine:
         groups.sort(key=lambda g: max(strata[p] for p in g))
         return groups
 
-    def _fixpoint_naive(self, rules, database):
+    def _fixpoint_naive(self, rules, database, span=obs.NULL_SPAN):
         schedules = [(rule, schedule_body(rule)) for rule in rules]
+        firings = Counter() if span else None
         changed = True
+        iteration = 0
         while changed:
             changed = False
+            iteration += 1
             self.stats.iterations += 1
+            derived_this_round = 0
             for rule, schedule in schedules:
+                if firings is not None:
+                    firings[str(rule)] += 1
                 for row, support in self._fire(rule, schedule, database):
                     if database.relation(rule.head.predicate).add(row):
                         self.stats.facts_derived += 1
                         self._record(rule, rule.head.predicate, row, support)
+                        derived_this_round += 1
                         changed = True
+            if span:
+                span.append(
+                    "iterations", {"iteration": iteration, "derived": derived_this_round}
+                )
+        if span:
+            span.annotate(rule_firings=dict(firings))
 
-    def _fixpoint_seminaive(self, rules, group, database):
+    def _fixpoint_seminaive(self, rules, group, database, span=obs.NULL_SPAN):
         schedules = []
         init_only = []
         for rule in rules:
@@ -205,16 +238,25 @@ class Engine:
             existing = database.facts(predicate)
             if existing:
                 delta[predicate] = set(existing)
+        firings = Counter() if span else None
         for rule, schedule in init_only:
             head_pred = rule.head.predicate
             relation = database.relation(head_pred)
+            if firings is not None:
+                firings[str(rule)] += 1
             for row, support in self._fire(rule, schedule, database):
                 if relation.add(row):
                     self.stats.facts_derived += 1
                     self._record(rule, head_pred, row, support)
                     delta[head_pred].add(row)
+        if span:
+            span.annotate(
+                seed_delta={p: len(rows) for p, rows in sorted(delta.items()) if rows}
+            )
 
+        iteration = 0
         while True:
+            iteration += 1
             self.stats.iterations += 1
             delta_relations = {
                 predicate: _as_relation(predicate, rows, database)
@@ -230,6 +272,8 @@ class Engine:
                     delta_relation = delta_relations.get(pred)
                     if delta_relation is None:
                         continue
+                    if firings is not None:
+                        firings[str(rule)] += 1
                     produced = self._fire(
                         rule,
                         schedule,
@@ -242,9 +286,22 @@ class Engine:
                             self.stats.facts_derived += 1
                             self._record(rule, head_pred, row, support)
                             new_delta[head_pred].add(row)
+            if span:
+                span.append(
+                    "iterations",
+                    {
+                        "iteration": iteration,
+                        "delta_in": {
+                            p: len(r) for p, r in sorted(delta_relations.items())
+                        },
+                        "derived": sum(len(rows) for rows in new_delta.values()),
+                    },
+                )
             if not new_delta:
                 break
             delta = new_delta
+        if span:
+            span.annotate(rule_firings=dict(firings))
 
     def _fire(self, rule, schedule, database, delta_position=None, delta_relation=None):
         """Yield ``(head_row, support)`` pairs from one rule body evaluation.

@@ -18,6 +18,7 @@ closure goals.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.datalog.ast import Atom, Literal, Program, Rule
 from repro.datalog.engine import Engine, match_atom
 from repro.datalog.terms import Constant, Variable
@@ -89,33 +90,41 @@ def magic_rewrite(program, goal):
     manually: evaluate ``result.program`` over ``result.seed_database(edb)``
     and match ``goal`` against ``result.answer_predicate``.
     """
-    _check_fragment(program)
-    if goal.predicate not in program.idb_predicates:
-        raise TranslationError(f"goal predicate {goal.predicate!r} is not an IDB")
+    with obs.span("magic.rewrite", goal=str(goal)) as span:
+        _check_fragment(program)
+        if goal.predicate not in program.idb_predicates:
+            raise TranslationError(f"goal predicate {goal.predicate!r} is not an IDB")
 
-    idb = program.idb_predicates
-    root_adornment = adornment_of(goal)
-    rewritten = []
-    pending = [(goal.predicate, root_adornment)]
-    done = set()
+        idb = program.idb_predicates
+        root_adornment = adornment_of(goal)
+        rewritten = []
+        pending = [(goal.predicate, root_adornment)]
+        done = set()
 
-    while pending:
-        predicate, adornment = pending.pop()
-        if (predicate, adornment) in done:
-            continue
-        done.add((predicate, adornment))
-        for rule in program.rules_for(predicate):
-            rewritten.extend(
-                _rewrite_rule(rule, adornment, idb, pending)
+        while pending:
+            predicate, adornment = pending.pop()
+            if (predicate, adornment) in done:
+                continue
+            done.add((predicate, adornment))
+            for rule in program.rules_for(predicate):
+                rewritten.extend(
+                    _rewrite_rule(rule, adornment, idb, pending)
+                )
+
+        seed_predicate = _magic_name(goal.predicate, root_adornment)
+        seed_values = tuple(t.value for t in goal.args if isinstance(t, Constant))
+        answer_predicate = _adorned_name(goal.predicate, root_adornment)
+        answer_goal = Atom(answer_predicate, goal.args)
+        if span:
+            span.annotate(
+                adornment=root_adornment,
+                rules_in=len(program),
+                rules_out=len(rewritten),
+                adorned_predicates=len(done),
             )
-
-    seed_predicate = _magic_name(goal.predicate, root_adornment)
-    seed_values = tuple(t.value for t in goal.args if isinstance(t, Constant))
-    answer_predicate = _adorned_name(goal.predicate, root_adornment)
-    answer_goal = Atom(answer_predicate, goal.args)
-    return MagicProgram(
-        Program(rewritten), seed_predicate, seed_values, answer_predicate, answer_goal
-    )
+        return MagicProgram(
+            Program(rewritten), seed_predicate, seed_values, answer_predicate, answer_goal
+        )
 
 
 def _rewrite_rule(rule, head_adornment, idb, pending):

@@ -18,6 +18,7 @@ effect on translated GraphLog programs.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.datalog.ast import ArithmeticAssign, Comparison, Literal, Program, Rule
 from repro.datalog.classify import recursive_predicates
 from repro.datalog.stratify import DependenceGraph
@@ -181,8 +182,17 @@ def optimize(program, roots=None):
     but inlining still simplifies rule bodies.  The roots are kept
     un-inlined so their relations stay queryable.
     """
-    if roots is None:
-        roots = sorted(program.idb_predicates)
-    deduped = eliminate_duplicate_rules(program)
-    inlined = inline_views(deduped, keep=roots)
-    return remove_unused(inlined, roots)
+    with obs.span("optimize") as span:
+        if roots is None:
+            roots = sorted(program.idb_predicates)
+        deduped = eliminate_duplicate_rules(program)
+        inlined = inline_views(deduped, keep=roots)
+        pruned = remove_unused(inlined, roots)
+        if span:
+            span.annotate(
+                rules_in=len(program),
+                after_dedupe=len(deduped),
+                after_inline=len(inlined),
+                rules_out=len(pruned),
+            )
+        return pruned

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro import obs
 from repro.datalog.ast import Literal
 from repro.errors import StratificationError
 
@@ -162,38 +163,45 @@ def stratify(program, negative_extra=None):
     Raises :class:`StratificationError` when negation occurs through
     recursion (an SCC containing a negative edge).
     """
-    graph = DependenceGraph.of_program(program, negative_extra=negative_extra)
-    components = graph.strongly_connected_components()
-    component_of = {}
-    for component in components:
-        for node in component:
-            component_of[node] = component
+    with obs.span("stratify") as span:
+        graph = DependenceGraph.of_program(program, negative_extra=negative_extra)
+        components = graph.strongly_connected_components()
+        component_of = {}
+        for component in components:
+            for node in component:
+                component_of[node] = component
 
-    # Reject negative edges inside a strongly connected component.
-    for source, target, negative in graph.edges():
-        if negative and component_of[source] == component_of[target]:
-            raise StratificationError(
-                f"negation through recursion: {target!r} depends negatively on "
-                f"{source!r} within the same recursive component"
+        # Reject negative edges inside a strongly connected component.
+        for source, target, negative in graph.edges():
+            if negative and component_of[source] == component_of[target]:
+                raise StratificationError(
+                    f"negation through recursion: {target!r} depends negatively on "
+                    f"{source!r} within the same recursive component"
+                )
+
+        strata = {}
+        # Tarjan emits dependents before their dependencies; reverse so each
+        # component's dependencies have their strata assigned first.
+        for component in reversed(components):
+            level = 0
+            for node in component:
+                for dep in graph.dependencies(node):
+                    if component_of[dep] == component:
+                        continue
+                    dep_level = strata.get(dep, 0)
+                    bump = 1 if dep in graph.negative_dependencies(node) else 0
+                    level = max(level, dep_level + bump)
+            for node in component:
+                strata[node] = level
+        for predicate in graph.nodes:
+            strata.setdefault(predicate, 0)
+        if span:
+            span.annotate(
+                predicates=len(strata),
+                sccs=len(components),
+                strata=len(set(strata.values())),
             )
-
-    strata = {}
-    # Tarjan emits dependents before their dependencies; reverse so each
-    # component's dependencies have their strata assigned first.
-    for component in reversed(components):
-        level = 0
-        for node in component:
-            for dep in graph.dependencies(node):
-                if component_of[dep] == component:
-                    continue
-                dep_level = strata.get(dep, 0)
-                bump = 1 if dep in graph.negative_dependencies(node) else 0
-                level = max(level, dep_level + bump)
-        for node in component:
-            strata[node] = level
-    for predicate in graph.nodes:
-        strata.setdefault(predicate, 0)
-    return strata
+        return strata
 
 
 def stratum_order(program, negative_extra=None):

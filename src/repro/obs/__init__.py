@@ -1,0 +1,31 @@
+"""``repro.obs`` — observability: span tracing and the explain subsystem.
+
+The pipeline (parse → λ-translation → stratify → magic/optimize → engine →
+DRed maintenance → service request handling) is instrumented with ambient
+spans; :func:`tracing` turns collection on for a ``with`` body and the
+disabled path is a module-level no-op (see :mod:`repro.obs.trace`).
+"""
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    TraceRing,
+    TraceSpan,
+    Tracer,
+    span,
+    tracer,
+    tracing,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceRing",
+    "TraceSpan",
+    "Tracer",
+    "span",
+    "tracer",
+    "tracing",
+]

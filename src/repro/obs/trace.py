@@ -1,0 +1,302 @@
+"""Span-based tracing for the evaluation pipeline.
+
+One :class:`Tracer` records one tree of :class:`TraceSpan` nodes — parse,
+λ-translation, stratification, per-stratum fixpoint rounds, maintenance,
+cache lookups, encoding — each with wall-clock duration and arbitrary
+attributes.  The tree renders as JSON (``to_dict``) or as an ASCII tree
+(``render``), and powers the service's ``explain``/``profile`` ops.
+
+Cost model: tracing is *ambient* (a :mod:`contextvars` variable) so deep
+pipeline code never threads a tracer parameter around, and it is **off by
+default**.  The disabled path is a module-level no-op fast path: the active
+"tracer" is a shared :data:`NULL_TRACER` whose ``span()`` returns the one
+shared :data:`NULL_SPAN`, whose enter/exit/annotate do nothing and which is
+*falsy* — hot loops guard per-iteration recording with ``if span:`` so the
+disabled cost is one attribute truth-test.  The ``abl7`` benchmark bounds
+the end-to-end overhead of the disabled path.
+
+Usage::
+
+    from repro import obs
+
+    with obs.tracing("request", op="graphlog") as tracer:
+        run_pipeline()                  # instrumented code calls obs.span()
+    print(tracer.root.render())
+
+Instrumented code::
+
+    with obs.span("engine.stratum", stratum=1) as span:
+        while not fixpoint:
+            ...
+            if span:                    # falsy when tracing is disabled
+                span.append("iterations", {"delta": sizes})
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+
+class TraceSpan:
+    """One timed node in a trace tree.
+
+    Spans are context managers: entering starts the clock and attaches the
+    span to the active tracer's current span; exiting records
+    ``elapsed_ms``.  Attributes are free-form JSON-serializable values.
+    """
+
+    __slots__ = ("name", "attrs", "children", "elapsed_ms", "_tracer", "_started")
+
+    def __init__(self, name, attrs, tracer):
+        self.name = name
+        self.attrs = attrs
+        self.children = []
+        self.elapsed_ms = None
+        self._tracer = tracer
+        self._started = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def __enter__(self):
+        self._tracer._push(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, _tb):
+        self.elapsed_ms = (time.perf_counter() - self._started) * 1000.0
+        if exc_type is not None:
+            self.attrs["error"] = f"{exc_type.__name__}: {exc}"
+        self._tracer._pop(self)
+        return False
+
+    def __bool__(self):
+        return True
+
+    # ----------------------------------------------------------- annotation
+
+    def annotate(self, **attrs):
+        """Merge *attrs* into the span's attributes."""
+        self.attrs.update(attrs)
+
+    def append(self, key, item):
+        """Append *item* to the list-valued attribute *key*."""
+        self.attrs.setdefault(key, []).append(item)
+
+    def count(self, key, amount=1):
+        """Increment the numeric attribute *key* by *amount*."""
+        self.attrs[key] = self.attrs.get(key, 0) + amount
+
+    # ------------------------------------------------------------ rendering
+
+    def to_dict(self):
+        """The span subtree as a JSON-ready dict."""
+        return {
+            "name": self.name,
+            "elapsed_ms": None if self.elapsed_ms is None else round(self.elapsed_ms, 3),
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def render(self, max_attr_len=120):
+        """The span subtree as an ASCII tree, one span per line."""
+        lines = []
+        self._render_into(lines, prefix="", branch="", max_attr_len=max_attr_len)
+        return "\n".join(lines)
+
+    def _render_into(self, lines, prefix, branch, max_attr_len):
+        elapsed = "?" if self.elapsed_ms is None else f"{self.elapsed_ms:.3f}ms"
+        attrs = _format_attrs(self.attrs, max_attr_len)
+        lines.append(f"{prefix}{branch}{self.name} ({elapsed}){attrs}")
+        if branch == "":
+            child_prefix = prefix
+        else:
+            child_prefix = prefix + ("    " if branch.startswith("└") else "│   ")
+        for i, child in enumerate(self.children):
+            last = i == len(self.children) - 1
+            child._render_into(
+                lines, child_prefix, "└── " if last else "├── ", max_attr_len
+            )
+
+    def find(self, name):
+        """Depth-first search for the first descendant span named *name*."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def find_all(self, name):
+        """Every descendant span named *name*, depth-first."""
+        out = []
+        for child in self.children:
+            if child.name == name:
+                out.append(child)
+            out.extend(child.find_all(name))
+        return out
+
+    def __repr__(self):
+        return f"TraceSpan({self.name!r}, {len(self.children)} children)"
+
+
+def _format_attrs(attrs, max_attr_len):
+    if not attrs:
+        return ""
+    parts = []
+    for key, value in attrs.items():
+        text = f"{key}={value!r}" if isinstance(value, str) else f"{key}={value}"
+        if len(text) > max_attr_len:
+            text = text[: max_attr_len - 1] + "…"
+        parts.append(text)
+    return " " + " ".join(parts)
+
+
+class _NullSpan:
+    """The shared no-op span: falsy, zero-cost enter/exit/annotate."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        return False
+
+    def __bool__(self):
+        return False
+
+    def annotate(self, **_attrs):
+        pass
+
+    def append(self, _key, _item):
+        pass
+
+    def count(self, _key, _amount=1):
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: ``span()`` always returns :data:`NULL_SPAN`."""
+
+    __slots__ = ()
+    enabled = False
+    root = None
+
+    def span(self, _name, **_attrs):
+        return NULL_SPAN
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """An enabled tracer: collects one span tree for one traced operation.
+
+    Not thread-safe: one tracer traces one logical operation on one thread
+    (the service activates a fresh tracer inside each traced request's
+    worker thread).
+    """
+
+    __slots__ = ("root", "_stack")
+    enabled = True
+
+    def __init__(self):
+        self.root = None
+        self._stack = []
+
+    def span(self, name, **attrs):
+        return TraceSpan(name, attrs, self)
+
+    def _push(self, span):
+        if self._stack:
+            self._stack[-1].children.append(span)
+        elif self.root is None:
+            self.root = span
+        else:
+            # A second top-level span joins the existing root's children so
+            # no timing is ever silently dropped.
+            self.root.children.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span):
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+
+_ACTIVE = contextvars.ContextVar("repro.obs.tracer", default=NULL_TRACER)
+
+
+def tracer():
+    """The ambient tracer: a :class:`Tracer` inside :func:`tracing`, else
+    the shared no-op :data:`NULL_TRACER`."""
+    return _ACTIVE.get()
+
+
+def span(name, **attrs):
+    """Open a span on the ambient tracer (no-op when tracing is disabled)."""
+    return _ACTIVE.get().span(name, **attrs)
+
+
+@contextmanager
+def tracing(name="trace", **attrs):
+    """Enable tracing for the ``with`` body; yields the :class:`Tracer`.
+
+    The body's pipeline calls (engine, translator, maintenance, caches)
+    record spans under a root span *name*; afterwards ``tracer.root`` holds
+    the finished tree.
+    """
+    active = Tracer()
+    token = _ACTIVE.set(active)
+    try:
+        with active.span(name, **attrs):
+            yield active
+    finally:
+        _ACTIVE.reset(token)
+
+
+class TraceRing:
+    """A bounded, thread-safe ring of recent trace records.
+
+    The service records one entry per traced request (``explain`` /
+    ``profile`` ops); ``stats`` exposes the ring's counters and clients can
+    page through :meth:`snapshot` for post-hoc debugging.
+    """
+
+    def __init__(self, capacity=64):
+        if capacity < 1:
+            raise ValueError("trace ring capacity must be >= 1")
+        self.capacity = capacity
+        self._entries = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.recorded = 0
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def record(self, entry):
+        with self._lock:
+            self._entries.append(entry)
+            self.recorded += 1
+
+    def snapshot(self, limit=None):
+        """The most recent entries, newest last (all when *limit* is None)."""
+        with self._lock:
+            entries = list(self._entries)
+        return entries if limit is None else entries[-limit:]
+
+    def stats(self):
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "recorded": self.recorded,
+            }

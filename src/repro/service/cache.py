@@ -24,6 +24,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from repro import obs
 from repro.core.translate import DOMAIN_PREDICATE
 
 
@@ -132,22 +133,30 @@ class ResultCache:
         commit this hook never cleared it against (a put racing a commit)
         and cannot be proven fresh.
         """
-        with self._lock:
-            dead = []
-            for key, entry in self._entries.items():
-                if (
-                    touched is not None
-                    and entry.footprint is not None
-                    and entry.version == version - 1
-                    and not (entry.footprint & touched)
-                ):
-                    entry.version = version
-                    self.delta_reuse_hits += 1
-                else:
-                    dead.append(key)
-            for key in dead:
-                del self._entries[key]
-            self.invalidations += len(dead)
+        with obs.span(
+            "cache.apply_commit",
+            version=version,
+            touched=sorted(touched) if touched is not None else None,
+        ) as span:
+            with self._lock:
+                dead = []
+                restamped = 0
+                for key, entry in self._entries.items():
+                    if (
+                        touched is not None
+                        and entry.footprint is not None
+                        and entry.version == version - 1
+                        and not (entry.footprint & touched)
+                    ):
+                        entry.version = version
+                        self.delta_reuse_hits += 1
+                        restamped += 1
+                    else:
+                        dead.append(key)
+                for key in dead:
+                    del self._entries[key]
+                self.invalidations += len(dead)
+                span.annotate(restamped=restamped, dropped=len(dead))
 
     def attach(self, store, domain_predicate=DOMAIN_PREDICATE):
         """Subscribe to *store* commits; returns the unsubscribe callable."""

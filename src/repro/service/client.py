@@ -25,6 +25,7 @@ class ServiceClient:
         self.host = host
         self.port = port
         self._ids = itertools.count(1)
+        self._poisoned = False
         try:
             self._sock = socket.create_connection((host, port), timeout=timeout)
         except OSError as exc:
@@ -38,24 +39,65 @@ class ServiceClient:
 
         Returns the full response dict (``result``, ``version``,
         ``elapsed_ms``, ``cache``).
+
+        The connection is *poisoned* (closed, all later calls fail fast)
+        whenever the request/response pairing can no longer be trusted: a
+        client-side socket timeout leaves the server's eventual response
+        buffered on the wire, where a later call would read it and
+        misattribute it — the id check alone can't save a pipelined
+        sequence once the stream has slipped by one message.
         """
+        if self._poisoned:
+            raise ServiceError(
+                "connection is poisoned by an earlier timeout or protocol "
+                "desync; open a new ServiceClient"
+            )
         request_id = next(self._ids)
         message = {"id": request_id, "op": op}
         message.update({k: v for k, v in payload.items() if v is not None})
         try:
             self._sock.sendall(protocol.encode(message))
             line = self._reader.readline()
-        except OSError as exc:
-            raise ServiceError(f"connection to {self.host}:{self.port} failed: {exc}") from exc
-        if not line:
-            raise ServiceError("server closed the connection")
-        response = json.loads(line)
-        protocol.raise_for_error(response)
-        if response.get("id") != request_id:
+        except TimeoutError as exc:
+            # socket.timeout is TimeoutError on 3.10+; catch before OSError.
+            self._poison()
             raise ServiceError(
-                f"response id {response.get('id')!r} does not match request {request_id}"
+                f"timed out waiting for {self.host}:{self.port}; connection "
+                f"closed to avoid reading the stale response later: {exc}"
+            ) from exc
+        except OSError as exc:
+            self._poison()
+            raise ServiceError(
+                f"connection to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        if not line:
+            self._poison()
+            raise ServiceError("server closed the connection")
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            self._poison()
+            raise ServiceError(f"server sent invalid JSON: {exc}") from exc
+        # Match ids BEFORE interpreting the body: a buffered stale response
+        # must not surface its error (or worse, its result) as this call's.
+        # ``id: null`` is allowed through — the server answers undecodable
+        # requests without an id.
+        response_id = response.get("id")
+        if response_id is not None and response_id != request_id:
+            self._poison()
+            raise ServiceError(
+                f"response id {response_id!r} does not match request "
+                f"{request_id}; connection closed (protocol desync)"
             )
+        protocol.raise_for_error(response)
         return response
+
+    def _poison(self):
+        self._poisoned = True
+        try:
+            self.close()
+        except OSError:  # pragma: no cover - close errors are best-effort
+            pass
 
     # ---------------------------------------------------------- operations
 
@@ -82,6 +124,22 @@ class ServiceClient:
         """Commit node/edge insertions; returns the new store version."""
         response = self.call("update", nodes=nodes, edges=edges)
         return response["version"]
+
+    def explain(self, query, target="graphlog", **params):
+        """Trace one query end to end; returns the explain result dict.
+
+        The result carries ``trace`` (the span tree), ``text`` (rendered
+        ASCII), ``phases`` (top-level phase → ms) and per-relation counts.
+        Caches are bypassed on the server so the trace always covers
+        compilation and evaluation.
+        """
+        response = self.call("explain", query=query, target=target, **params)
+        return response["result"]
+
+    def profile(self, query, target="graphlog", **params):
+        """Like :meth:`explain` without the rendered ASCII tree."""
+        response = self.call("profile", query=query, target=target, **params)
+        return response["result"]
 
     def stats(self):
         """The server's metrics/cache/store statistics snapshot."""

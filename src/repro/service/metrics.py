@@ -30,6 +30,9 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters = defaultdict(int)
         self._latencies = defaultdict(lambda: deque(maxlen=window))
+        self._phases = defaultdict(lambda: deque(maxlen=window))
+        self._phase_totals = defaultdict(float)
+        self._phase_counts = defaultdict(int)
         self._in_flight = 0
 
     # ------------------------------------------------------------ updates
@@ -48,13 +51,51 @@ class MetricsRegistry:
         with self._lock:
             self._latencies[op].append(seconds)
 
+    def observe_phase(self, phase, seconds):
+        """Record one pipeline-phase duration (plan, cache_lookup, evaluate,
+        encode, queue_wait, ...) for the per-phase latency breakdown."""
+        self.observe_phases(((phase, seconds),))
+
+    def observe_phases(self, pairs):
+        """Record several ``(phase, seconds)`` samples under one lock grab —
+        the request hot path batches its phases to keep the fixed per-request
+        cost at a single extra acquisition."""
+        with self._lock:
+            for phase, seconds in pairs:
+                self._phases[phase].append(seconds)
+                self._phase_totals[phase] += seconds
+                self._phase_counts[phase] += 1
+
     def request_started(self):
         with self._lock:
             self._in_flight += 1
 
     def request_finished(self):
         with self._lock:
-            self._in_flight -= 1
+            # Clamp: the gauge must never read negative, even if shutdown
+            # races ever unbalance a started/finished pair (the clamp events
+            # are counted so the imbalance stays visible).
+            if self._in_flight > 0:
+                self._in_flight -= 1
+            else:
+                self._counters["gauge.in_flight_clamped"] += 1
+
+    def request_completed(self, op, seconds, phases=()):
+        """End-of-request bookkeeping — the ``requests.<op>`` counter, the
+        latency sample, the in-flight decrement, and the request's phase
+        samples — under one lock grab (separate acquisitions are measurable
+        on the ~12µs cache-hit path)."""
+        with self._lock:
+            self._counters[f"requests.{op}"] += 1
+            self._latencies[op].append(seconds)
+            if self._in_flight > 0:
+                self._in_flight -= 1
+            else:
+                self._counters["gauge.in_flight_clamped"] += 1
+            for phase, elapsed in phases:
+                self._phases[phase].append(elapsed)
+                self._phase_totals[phase] += elapsed
+                self._phase_counts[phase] += 1
 
     # ------------------------------------------------------------- export
 
@@ -79,9 +120,19 @@ class MetricsRegistry:
                     "p95_ms": _ms(percentile(samples, 0.95)),
                     "max_ms": _ms(max(samples) if samples else None),
                 }
+            phases = {}
+            for phase, window in self._phases.items():
+                samples = list(window)
+                phases[phase] = {
+                    "count": self._phase_counts[phase],
+                    "p50_ms": _ms(percentile(samples, 0.50)),
+                    "p95_ms": _ms(percentile(samples, 0.95)),
+                    "total_ms": _ms(self._phase_totals[phase]),
+                }
             return {
                 "counters": dict(self._counters),
                 "latency": latency,
+                "phases": phases,
                 "in_flight": self._in_flight,
             }
 

@@ -23,6 +23,7 @@ import re
 import threading
 from collections import OrderedDict
 
+from repro import obs
 from repro.errors import ProtocolError
 
 _COMMENT = re.compile(r"[%#][^\n]*")
@@ -75,7 +76,8 @@ class PreparedQuery:
         prepare = getattr(self, f"_prepare_{op}", None)
         if prepare is None:
             raise ProtocolError(f"cannot prepare op {op!r}")
-        prepare()
+        with obs.span("prepare", op=op, fingerprint=self.fingerprint[:12]):
+            prepare()
 
     # ------------------------------------------------------------- prepare
 
@@ -85,7 +87,8 @@ class PreparedQuery:
         from repro.datalog.safety import check_program_safety
         from repro.datalog.stratify import stratify
 
-        self.graphical = parse_graphical_query(self.text)
+        with obs.span("parse"):
+            self.graphical = parse_graphical_query(self.text)
         self.head_predicate = self.graphical.graphs[-1].head_predicate
         self.idb_predicates = tuple(sorted(self.graphical.idb_predicates))
         self.has_summaries = any(g.summaries for g in self.graphical.graphs)
@@ -97,7 +100,8 @@ class PreparedQuery:
             self.program = translate_extended(self.graphical)
         else:
             self.program = translate(self.graphical)
-            check_program_safety(self.program)
+            with obs.span("safety"):
+                check_program_safety(self.program)
             self.strata = stratify(self.program)
             # All referenced predicates, IDB names included: edge facts
             # committed under an IDB name feed the evaluation's EDB copy.
@@ -108,8 +112,10 @@ class PreparedQuery:
         from repro.datalog.safety import check_program_safety
         from repro.datalog.stratify import stratify
 
-        self.program = parse_program(self.text)
-        check_program_safety(self.program)
+        with obs.span("parse"):
+            self.program = parse_program(self.text)
+        with obs.span("safety"):
+            check_program_safety(self.program)
         self.strata = stratify(self.program)
         self.idb_predicates = tuple(sorted(self.program.idb_predicates))
         self.footprint = frozenset(self.program.predicates)
@@ -119,8 +125,10 @@ class PreparedQuery:
         from repro.rpq.automaton import compile_regex
         from repro.rpq.regex import parse_regex
 
-        self.regex = parse_regex(self.text)
-        dfa = compile_regex(self.regex)  # validates eagerly; cheap to recompile
+        with obs.span("parse"):
+            self.regex = parse_regex(self.text)
+        with obs.span("compile_dfa"):
+            dfa = compile_regex(self.regex)  # validates eagerly; cheap to recompile
         labels = {label for label, _inverted in self.regex.symbols()}
         if dfa.start in dfa.accept:
             # Nullable path expression: every node answers (v, v), so the

@@ -26,11 +26,12 @@ Error ``code`` values mirror the :mod:`repro.errors` service taxonomy:
 from __future__ import annotations
 
 import json
+import math
 
 from repro.errors import ProtocolError, QueryTimeout, ResultTooLarge, ServiceError
 
 #: The operations a server understands.
-OPS = ("graphlog", "datalog", "rpq", "update", "stats", "ping")
+OPS = ("graphlog", "datalog", "rpq", "update", "stats", "ping", "explain", "profile")
 
 #: Maximum accepted request-line length (a protocol-level DoS guard).
 MAX_REQUEST_BYTES = 4 * 1024 * 1024
@@ -66,7 +67,37 @@ def decode_request(line):
     op = message.get("op")
     if op not in OPS:
         raise ProtocolError(f"unknown op {op!r}; expected one of {', '.join(OPS)}")
+    validate_budgets(message)
     return message
+
+
+def validate_budgets(message):
+    """Type/range-check the per-request budget fields at decode time.
+
+    A string or negative ``timeout`` used to reach ``asyncio.wait_for`` and
+    surface as ``errors.internal``; budgets are protocol-level inputs, so a
+    bad one is the *client's* error and must be a ``protocol_error``.
+    Booleans are rejected explicitly (``True`` is an ``int`` in Python, and
+    a request saying ``"max_rows": true`` is a bug, not a budget).
+    """
+    timeout = message.get("timeout")
+    if timeout is not None:
+        if (
+            isinstance(timeout, bool)
+            or not isinstance(timeout, (int, float))
+            or not math.isfinite(timeout)
+            or timeout < 0
+        ):
+            raise ProtocolError(
+                f"'timeout' must be a non-negative finite number, got {timeout!r}"
+            )
+    for field in ("max_rows", "max_bytes"):
+        value = message.get(field)
+        if value is not None:
+            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                raise ProtocolError(
+                    f"{field!r} must be a non-negative integer, got {value!r}"
+                )
 
 
 def ok_response(request_id, result, version=None, elapsed_ms=None, cache=None):

@@ -26,12 +26,13 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro import obs
 from repro.errors import ProtocolError, QueryTimeout, ReproError, ResultTooLarge
 from repro.ham.store import HAMStore
 from repro.service import protocol
 from repro.service.cache import ResultCache, result_key
 from repro.service.metrics import MetricsRegistry
-from repro.service.prepared import PreparedQueryCache
+from repro.service.prepared import PreparedQuery, PreparedQueryCache
 
 _QUERY_OPS = ("graphlog", "datalog", "rpq")
 #: Request fields that parameterize evaluation (and the result-cache key).
@@ -50,6 +51,7 @@ class ServiceConfig:
         "max_bytes",
         "plan_cache_size",
         "result_cache_size",
+        "trace_ring_size",
     )
 
     def __init__(
@@ -62,6 +64,7 @@ class ServiceConfig:
         max_bytes=8 * 1024 * 1024,
         plan_cache_size=256,
         result_cache_size=1024,
+        trace_ring_size=64,
     ):
         self.host = host
         self.port = port
@@ -71,6 +74,7 @@ class ServiceConfig:
         self.max_bytes = max_bytes
         self.plan_cache_size = plan_cache_size
         self.result_cache_size = result_cache_size
+        self.trace_ring_size = trace_ring_size
 
 
 class QueryService:
@@ -82,6 +86,7 @@ class QueryService:
         self.metrics = metrics or MetricsRegistry()
         self.plans = PreparedQueryCache(self.config.plan_cache_size)
         self.results = ResultCache(self.config.result_cache_size)
+        self.traces = obs.TraceRing(self.config.trace_ring_size)
         self._detach = self.results.attach(self.store)
         self._views = None  # lazily-created ViewManager
         # One relational encoding of the graph per store version, shared by
@@ -102,6 +107,7 @@ class QueryService:
         op = message.get("op")
         started = time.perf_counter()
         self.metrics.request_started()
+        phases = []
         try:
             if op == "ping":
                 return {"result": {"pong": True}, "version": self.store.version}
@@ -110,14 +116,16 @@ class QueryService:
             if op == "update":
                 return self._execute_update(message)
             if op in _QUERY_OPS:
-                return self._execute_query(op, message)
+                return self._execute_query(op, message, phases)
+            if op in ("explain", "profile"):
+                return self._execute_explain(message)
             raise ProtocolError(f"unknown op {op!r}")
         finally:
-            self.metrics.request_finished()
-            self.metrics.incr(f"requests.{op}")
-            self.metrics.observe_latency(op, time.perf_counter() - started)
+            self.metrics.request_completed(
+                op, time.perf_counter() - started, phases
+            )
 
-    def _execute_query(self, op, message):
+    def _execute_query(self, op, message, phases):
         text = message.get("query")
         if not isinstance(text, str) or not text.strip():
             raise ProtocolError(f"op {op!r} needs a non-empty 'query' string")
@@ -125,11 +133,19 @@ class QueryService:
         max_rows = message.get("max_rows", self.config.max_rows)
         max_bytes = message.get("max_bytes", self.config.max_bytes)
 
+        # Phase samples collect into *phases* and land in the registry in
+        # one batch with the request's closing bookkeeping — the hot path
+        # pays perf_counter reads here, never extra lock acquisitions.
+        t0 = time.perf_counter()
         plan = self.plans.get(op, text)
+        t1 = time.perf_counter()
         version, graph = self.store.snapshot_versioned()
         key = result_key(plan.fingerprint, params)
 
         cached = self.results.get(key, version)
+        t2 = time.perf_counter()
+        phases.append(("plan", t1 - t0))
+        phases.append(("cache_lookup", t2 - t1))
         if cached is not None:
             payload, encoded_size = cached
             self.metrics.incr("result_cache.hits")
@@ -138,6 +154,7 @@ class QueryService:
 
         self.metrics.incr("result_cache.misses")
         relations = plan.evaluate(graph, self._edb_for(version, graph), params)
+        t3 = time.perf_counter()
         total = sum(len(rows) for rows in relations.values())
         payload = {
             "relations": {
@@ -146,9 +163,65 @@ class QueryService:
             "count": total,
         }
         encoded_size = len(protocol.encode(payload))
+        phases.append(("evaluate", t3 - t2))
+        phases.append(("encode", time.perf_counter() - t3))
         self._check_budgets(total, encoded_size, max_rows, max_bytes)
         self.results.put(key, (payload, encoded_size), version, plan.footprint)
         return {"result": payload, "version": version, "cache": "miss"}
+
+    def _execute_explain(self, message):
+        """Run a query under full tracing; returns the span tree, not rows.
+
+        Both caches are bypassed: a fresh plan is prepared so the trace
+        covers parse/translate/safety/stratify, and evaluation always runs
+        so the trace covers the engine's per-stratum iterations.  The trace
+        is recorded in the bounded ring (``stats`` reports ring occupancy)
+        and returned inline; ``explain`` adds the rendered ASCII tree,
+        ``profile`` returns just the structured form.
+        """
+        target = message.get("target", "graphlog")
+        if target not in _QUERY_OPS:
+            raise ProtocolError(
+                f"'target' must be one of {', '.join(_QUERY_OPS)}, got {target!r}"
+            )
+        text = message.get("query")
+        if not isinstance(text, str) or not text.strip():
+            raise ProtocolError("op 'explain' needs a non-empty 'query' string")
+        params = {k: message[k] for k in _PARAM_FIELDS if message.get(k) is not None}
+        version, graph = self.store.snapshot_versioned()
+        with obs.tracing("explain", target=target, version=version) as tr:
+            plan = PreparedQuery(target, text)
+            with tr.span("evaluate"):
+                relations = plan.evaluate(graph, self._edb_for(version, graph), params)
+            with tr.span("encode") as enc:
+                payload = {
+                    name: protocol.rows_to_wire(rows)
+                    for name, rows in sorted(relations.items())
+                }
+                enc.annotate(bytes=len(protocol.encode(payload)))
+        root = tr.root
+        phases = {child.name: child.elapsed_ms for child in root.children}
+        for name, elapsed_ms in phases.items():
+            self.metrics.observe_phase(f"explain.{name}", elapsed_ms / 1000.0)
+        trace = root.to_dict()
+        self.traces.record(
+            {
+                "target": target,
+                "fingerprint": plan.fingerprint,
+                "version": version,
+                "elapsed_ms": root.elapsed_ms,
+                "trace": trace,
+            }
+        )
+        result = {
+            "count": sum(len(rows) for rows in relations.values()),
+            "relations": {name: len(rows) for name, rows in sorted(relations.items())},
+            "phases": phases,
+            "trace": trace,
+        }
+        if message.get("op", "explain") == "explain":
+            result["text"] = root.render().rstrip()
+        return {"result": result, "version": version, "cache": "bypass"}
 
     def _execute_update(self, message):
         nodes = message.get("nodes") or []
@@ -240,6 +313,7 @@ class QueryService:
             "metrics": self.metrics.snapshot(),
             "plan_cache": self.plans.stats(),
             "result_cache": result_cache,
+            "traces": self.traces.stats(),
             "store": {
                 "version": self.store.version,
                 "nodes": self.store.graph.node_count(),
@@ -294,7 +368,11 @@ class ServiceServer:
             await self._server.wait_closed()
             self._server = None
         if self._executor is not None:
-            self._executor.shutdown(wait=False)
+            # cancel_futures: requests still queued behind the workers must
+            # not start executing after shutdown — a late-running execute()
+            # would decrement in_flight on a registry the service considers
+            # quiesced, dragging the gauge below zero.
+            self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
 
     async def _handle_connection(self, reader, writer):
@@ -336,7 +414,17 @@ class ServiceServer:
             request_id = message.get("id")
             timeout = message.get("timeout", self.config.timeout)
             loop = asyncio.get_running_loop()
-            future = loop.run_in_executor(self._executor, self.service.execute, message)
+            submitted = time.perf_counter()
+
+            def run():
+                # Time spent queued behind busy workers, measured from the
+                # worker thread the moment it picks the request up.
+                self.service.metrics.observe_phase(
+                    "queue_wait", time.perf_counter() - submitted
+                )
+                return self.service.execute(message)
+
+            future = loop.run_in_executor(self._executor, run)
             try:
                 body = await asyncio.wait_for(future, timeout)
             except asyncio.TimeoutError:

@@ -10,6 +10,8 @@ answers.  Commands:
     run [predicate]                    evaluate; show one or all relations
     program                            show the λ translation
     explain anc(ann, bob)              derivation tree of one answer
+    trace                              evaluate under tracing; show spans,
+                                       per-stratum iterations, delta sizes
     load FILE                          load a Datalog fact file
     rpq REGEX [SOURCE]                 regular path query over the graph
     facts [predicate]                  list stored facts
@@ -111,6 +113,8 @@ class ShellSession:
             return self._program()
         if command == "explain":
             return self._explain(rest)
+        if command == "trace":
+            return self._trace()
         if command == "load":
             return self._load(rest)
         if command == "rpq":
@@ -196,6 +200,16 @@ class ShellSession:
         if (atom.predicate, row) not in provenance:
             return f"{atom} is not a derived answer"
         return explain_derivation(provenance, atom.predicate, row).render()
+
+    def _trace(self):
+        query = self.query
+        if query is None:
+            return "no queries defined"
+        from repro import obs
+
+        with obs.tracing("trace") as tr:
+            self._engine().run(query, self.database)
+        return tr.root.render().rstrip()
 
     def _load(self, path):
         if not path:

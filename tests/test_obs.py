@@ -1,0 +1,272 @@
+"""Tests for the span-based tracing subsystem (repro.obs)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.core.dsl import parse_graphical_query
+from repro.datalog.database import Database
+from repro.datalog.engine import Engine
+from repro.datalog.parser import parse_program
+from repro.errors import ProtocolError
+from repro.ham.store import HAMStore
+from repro.ham.views import ViewManager
+from repro.service.server import QueryService
+
+TC_PROGRAM = """
+edge(a, b). edge(b, c). edge(c, d). edge(d, a).
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).
+"""
+
+REACH_QUERY = """
+define (X) -[reach]-> (Y) {
+    (X) -[link+]-> (Y);
+}
+"""
+
+
+class TestSpanTree:
+    def test_disabled_by_default(self):
+        assert obs.tracer() is obs.NULL_TRACER
+        span = obs.span("anything", key=1)
+        assert span is obs.NULL_SPAN
+        assert not span
+        with span as inner:
+            inner.annotate(x=1)
+            inner.count("n")
+            inner.append("items", "v")
+        # All of the above were no-ops on the shared null singleton.
+        assert obs.tracer().root is None
+
+    def test_tracing_builds_a_tree(self):
+        with obs.tracing("root", a=1) as tr:
+            assert obs.tracer() is tr
+            with obs.span("child1") as c1:
+                c1.annotate(n=3)
+                with obs.span("grand"):
+                    pass
+            with obs.span("child2"):
+                pass
+        assert obs.tracer() is obs.NULL_TRACER  # reset on exit
+        root = tr.root
+        assert root.name == "root"
+        assert root.attrs["a"] == 1
+        assert [c.name for c in root.children] == ["child1", "child2"]
+        assert root.children[0].attrs["n"] == 3
+        assert root.children[0].children[0].name == "grand"
+        assert root.elapsed_ms is not None and root.elapsed_ms >= 0
+
+    def test_count_and_append(self):
+        with obs.tracing("t") as tr:
+            with obs.span("work") as span:
+                span.count("hits")
+                span.count("hits", 2)
+                span.append("rounds", {"n": 1})
+                span.append("rounds", {"n": 2})
+        work = tr.root.find("work")
+        assert work.attrs["hits"] == 3
+        assert work.attrs["rounds"] == [{"n": 1}, {"n": 2}]
+
+    def test_exception_annotates_error_and_unwinds(self):
+        with pytest.raises(ValueError):
+            with obs.tracing("t") as tr:
+                with obs.span("boom"):
+                    raise ValueError("nope")
+        boom = tr.root.find("boom")
+        assert "ValueError" in boom.attrs["error"]
+        assert boom.elapsed_ms is not None
+        # The stack unwound: tracing() reset the ambient tracer.
+        assert obs.tracer() is obs.NULL_TRACER
+
+    def test_to_dict_is_json_ready(self):
+        with obs.tracing("t") as tr:
+            with obs.span("child", n=2):
+                pass
+        tree = tr.root.to_dict()
+        encoded = json.loads(json.dumps(tree))
+        assert encoded["name"] == "t"
+        assert encoded["children"][0]["name"] == "child"
+        assert encoded["children"][0]["attrs"]["n"] == 2
+
+    def test_render_draws_branches(self):
+        with obs.tracing("t") as tr:
+            with obs.span("first"):
+                with obs.span("inner"):
+                    pass
+            with obs.span("last"):
+                pass
+        text = tr.root.render()
+        assert "├── first" in text
+        assert "└── last" in text
+        assert "inner" in text
+
+    def test_find_all(self):
+        with obs.tracing("t") as tr:
+            for _ in range(3):
+                with obs.span("leaf"):
+                    pass
+        assert len(tr.root.find_all("leaf")) == 3
+        assert tr.root.find("missing") is None
+
+    def test_tracer_is_context_local(self):
+        """A tracer activated in one thread is invisible to another."""
+        seen = []
+
+        def other():
+            seen.append(obs.tracer())
+
+        with obs.tracing("t"):
+            worker = threading.Thread(target=other)
+            worker.start()
+            worker.join()
+        assert seen == [obs.NULL_TRACER]
+
+
+class TestTraceRing:
+    def test_bounded_and_ordered(self):
+        ring = obs.TraceRing(capacity=2)
+        for i in range(4):
+            ring.record({"i": i})
+        assert [e["i"] for e in ring.snapshot()] == [2, 3]
+        assert ring.stats() == {"capacity": 2, "size": 2, "recorded": 4}
+
+    def test_snapshot_limit(self):
+        ring = obs.TraceRing(capacity=8)
+        for i in range(5):
+            ring.record(i)
+        assert ring.snapshot(limit=2) == [3, 4]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            obs.TraceRing(capacity=0)
+
+
+class TestEngineTracing:
+    def test_per_stratum_iterations_and_deltas(self):
+        program = parse_program(TC_PROGRAM)
+        with obs.tracing("t") as tr:
+            Engine().evaluate(program, Database())
+        evaluate = tr.root.find("engine.evaluate")
+        assert evaluate.attrs["iterations"] >= 2
+        strata = evaluate.find_all("engine.stratum")
+        assert strata
+        tc_span = next(s for s in strata if "tc" in s.attrs["predicates"])
+        iterations = tc_span.attrs["iterations"]
+        assert len(iterations) >= 2
+        for entry in iterations:
+            assert set(entry) == {"iteration", "delta_in", "derived"}
+            assert entry["delta_in"]  # per-predicate delta sizes
+        assert tc_span.attrs["seed_delta"] == {"tc": 4}
+        assert sum(tc_span.attrs["rule_firings"].values()) >= 2
+
+    def test_naive_method_traces_too(self):
+        program = parse_program(TC_PROGRAM)
+        with obs.tracing("t") as tr:
+            Engine(method="naive").evaluate(program, Database())
+        stratum = next(
+            s
+            for s in tr.root.find_all("engine.stratum")
+            if "tc" in s.attrs["predicates"]
+        )
+        assert stratum.attrs["iterations"]
+        assert stratum.attrs["rule_firings"]
+
+    def test_disabled_tracing_same_answers(self):
+        program = parse_program(TC_PROGRAM)
+        result = Engine().evaluate(program, Database())
+        # 4-cycle: the closure is every ordered pair.
+        assert len(result.facts("tc")) == 16
+
+
+class TestDRedTracing:
+    def test_view_maintenance_records_rounds(self):
+        store = HAMStore()
+        session = store.session()
+        with session.transaction() as txn:
+            for a, b in [("a", "b"), ("b", "c"), ("c", "d")]:
+                txn.add_edge(a, b, "link")
+        manager = ViewManager(store)
+        manager.register("reach", parse_graphical_query(REACH_QUERY))
+        with obs.tracing("commit") as tr:
+            with session.transaction() as txn:
+                txn.remove_edge("b", "c", "link")
+        maintain = tr.root.find("dred.maintain")
+        assert maintain is not None
+        assert maintain.attrs["delta_minus"] == {"link": 1}
+        group = maintain.find("dred.group")
+        assert group is not None
+        if group.attrs["technique"] == "dred":
+            assert "overdelete_rounds" in group.attrs
+
+
+class TestExplainOp:
+    def _service(self):
+        store = HAMStore()
+        session = store.session()
+        with session.transaction() as txn:
+            for a, b in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "b")]:
+                txn.add_edge(a, b, "link")
+        return QueryService(store=store)
+
+    def test_explain_returns_span_tree_with_iterations(self):
+        service = self._service()
+        out = service.execute({"op": "explain", "query": REACH_QUERY})
+        assert out["cache"] == "bypass"
+        result = out["result"]
+        assert result["relations"] == {"reach": result["count"]}
+        assert set(result["phases"]) == {"prepare", "evaluate", "encode"}
+        tree = json.dumps(result["trace"])
+        for needle in (
+            "translate.lambda",
+            "stratify",
+            "engine.stratum",
+            "delta_in",
+            "seed_delta",
+        ):
+            assert needle in tree, needle
+        assert "engine.stratum" in result["text"]
+
+    def test_profile_omits_rendered_text(self):
+        service = self._service()
+        out = service.execute({"op": "profile", "query": REACH_QUERY})
+        assert "text" not in out["result"]
+        assert "trace" in out["result"]
+
+    def test_explain_bypasses_result_cache(self):
+        service = self._service()
+        service.execute({"op": "graphlog", "query": REACH_QUERY})
+        out = service.execute({"op": "explain", "query": REACH_QUERY})
+        assert out["cache"] == "bypass"
+        # The warm result cache still answers the plain query.
+        assert service.execute({"op": "graphlog", "query": REACH_QUERY})["cache"] == "hit"
+
+    def test_explain_records_into_the_trace_ring(self):
+        service = self._service()
+        service.execute({"op": "explain", "query": REACH_QUERY})
+        service.execute({"op": "profile", "query": REACH_QUERY})
+        assert service.traces.stats()["size"] == 2
+        entry = service.traces.snapshot()[-1]
+        assert entry["target"] == "graphlog"
+        assert entry["trace"]["name"] == "explain"
+        stats = service.execute({"op": "stats"})["result"]
+        assert stats["traces"]["recorded"] == 2
+
+    def test_explain_validates_target(self):
+        service = self._service()
+        with pytest.raises(ProtocolError):
+            service.execute({"op": "explain", "query": "x", "target": "update"})
+        with pytest.raises(ProtocolError):
+            service.execute({"op": "explain", "query": "   "})
+
+    def test_phase_latencies_reported_in_stats(self):
+        service = self._service()
+        service.execute({"op": "graphlog", "query": REACH_QUERY})
+        phases = service.execute({"op": "stats"})["result"]["metrics"]["phases"]
+        for name in ("plan", "cache_lookup", "evaluate", "encode"):
+            assert phases[name]["count"] >= 1
+            assert phases[name]["total_ms"] >= 0

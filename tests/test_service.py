@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -178,6 +179,26 @@ class TestResultCache:
         assert cache.stats()["evictions"] == 1
 
 
+class SlowQueryService(QueryService):
+    """A service whose requests can be stalled via a ``slow`` field."""
+
+    def execute(self, message):
+        delay = message.get("slow")
+        if delay:
+            time.sleep(delay)
+        return super().execute(message)
+
+
+@pytest.fixture
+def slow_server():
+    srv = ServiceServer(
+        service=SlowQueryService(store=flights_store()),
+        config=ServiceConfig(port=0, workers=1, timeout=10.0),
+    ).start_background()
+    yield srv
+    srv.stop()
+
+
 class TestMetrics:
     def test_percentile(self):
         assert percentile([], 0.5) is None
@@ -199,6 +220,21 @@ class TestMetrics:
         registry.request_finished()
         assert registry.in_flight == 0
 
+    def test_in_flight_gauge_clamps_at_zero(self):
+        registry = MetricsRegistry()
+        registry.request_finished()
+        assert registry.in_flight == 0
+        assert registry.counter("gauge.in_flight_clamped") == 1
+
+    def test_phase_breakdown_in_snapshot(self):
+        registry = MetricsRegistry()
+        registry.observe_phase("evaluate", 0.004)
+        registry.observe_phase("evaluate", 0.006)
+        phases = registry.snapshot()["phases"]
+        assert phases["evaluate"]["count"] == 2
+        assert phases["evaluate"]["total_ms"] == pytest.approx(10.0)
+        assert phases["evaluate"]["p95_ms"] == pytest.approx(6.0)
+
 
 class TestProtocol:
     def test_decode_rejects_bad_requests(self):
@@ -216,6 +252,35 @@ class TestProtocol:
         response = protocol.error_response(4, ResultTooLarge("too big"))
         with pytest.raises(ResultTooLarge):
             protocol.raise_for_error(response)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("timeout", "5"),
+            ("timeout", -1),
+            ("timeout", -0.5),
+            ("timeout", True),
+            ("timeout", float("inf")),
+            ("max_rows", "100"),
+            ("max_rows", -1),
+            ("max_rows", True),
+            ("max_rows", 2.5),
+            ("max_bytes", "big"),
+            ("max_bytes", -10),
+            ("max_bytes", False),
+        ],
+    )
+    def test_decode_rejects_bad_budgets(self, field, value):
+        """Bad budget fields must fail at decode time as protocol errors —
+        they used to flow into asyncio.wait_for and crash as internal."""
+        message = {"op": "ping", field: value}
+        with pytest.raises(ProtocolError, match=field):
+            protocol.decode_request(protocol.encode(message))
+
+    def test_decode_accepts_valid_budgets(self):
+        message = {"op": "ping", "timeout": 0, "max_rows": 10, "max_bytes": 1024}
+        decoded = protocol.decode_request(protocol.encode(message))
+        assert decoded["timeout"] == 0  # timeout=0 means "expire immediately"
 
 
 class TestQueryServiceCore:
@@ -380,3 +445,140 @@ class TestServerOverTheWire:
             response = json.loads(sock.makefile("rb").readline())
         assert response["ok"] is False
         assert response["error"]["code"] == "protocol_error"
+
+    def test_bad_budget_rejected_over_the_wire(self, client):
+        with pytest.raises(ProtocolError, match="timeout"):
+            client.call("ping", timeout="soon")
+        with pytest.raises(ProtocolError, match="max_rows"):
+            client.call("datalog", query=CONN_PROGRAM, max_rows=-5)
+        # The connection survives a protocol_error (no desync: the error
+        # response was read and matched normally).
+        assert client.ping() is True
+
+    def test_explain_over_the_wire(self, client):
+        result = client.explain(REACH_QUERY)
+        assert result["count"] > 0
+        assert "engine.stratum" in result["text"]
+        assert "prepare" in result["phases"]
+        trace = result["trace"]
+        assert trace["name"] == "explain"
+        names = [child["name"] for child in trace["children"]]
+        assert names == ["prepare", "evaluate", "encode"]
+        stats = client.stats()
+        assert stats["traces"]["recorded"] >= 1
+        assert "explain.evaluate" in stats["metrics"]["phases"]
+
+    def test_profile_over_the_wire(self, client):
+        result = client.profile(CONN_PROGRAM, target="datalog")
+        assert "text" not in result
+        assert result["relations"] == {"conn": result["count"]}
+
+    def test_queue_wait_phase_measured(self, client):
+        client.ping()
+        stats = client.stats()
+        assert stats["metrics"]["phases"]["queue_wait"]["count"] >= 1
+
+    def test_cli_explain_against_server(self, server, tmp_path, capsys):
+        from repro.cli import main
+
+        query = tmp_path / "reach.gl"
+        query.write_text(REACH_QUERY)
+        code = main(
+            ["explain", str(query), "--host", "127.0.0.1", "--port", str(server.port)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine.stratum" in out and "phases:" in out
+        code = main(
+            ["call", "explain", str(query), "--port", str(server.port)]
+        )
+        assert code == 0
+        assert "engine.stratum" in capsys.readouterr().out
+
+
+class TestClientDesync:
+    """A client-side socket timeout must poison the connection: the stale
+    response it leaves buffered would otherwise be read by (and attributed
+    to) the *next* call."""
+
+    def test_timeout_poisons_the_connection(self, slow_server):
+        client = ServiceClient(port=slow_server.port, timeout=0.3)
+        try:
+            with pytest.raises(ServiceError, match="timed out"):
+                client.call("ping", slow=1.5)
+            # The follow-up call fails fast instead of reading the stale
+            # ping response that the server is still going to send.
+            with pytest.raises(ServiceError, match="poisoned"):
+                client.ping()
+        finally:
+            client.close()
+        # The server itself is fine; a fresh connection works.
+        time.sleep(1.5)
+        with ServiceClient(port=slow_server.port, timeout=5.0) as fresh:
+            assert fresh.ping() is True
+
+    def test_id_mismatch_detected_before_error_decoding(self):
+        """A stale *error* response must not be raised as the current
+        call's failure: the id check runs before raise_for_error."""
+        import socket as socket_module
+
+        listener = socket_module.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        responses = [
+            protocol.encode(protocol.error_response(99, QueryTimeout("stale"))),
+        ]
+
+        def serve_one():
+            conn, _ = listener.accept()
+            conn.recv(65536)
+            conn.sendall(responses[0])
+            conn.close()
+
+        worker = threading.Thread(target=serve_one)
+        worker.start()
+        try:
+            client = ServiceClient(port=port, timeout=5.0)
+            # Without the ordering fix this would raise QueryTimeout — the
+            # stale response's error — misattributed to this request.
+            with pytest.raises(ServiceError, match="does not match"):
+                client.ping()
+            with pytest.raises(ServiceError, match="poisoned"):
+                client.ping()
+        finally:
+            worker.join()
+            listener.close()
+
+
+class TestShutdown:
+    def test_stop_with_queued_requests_keeps_gauge_consistent(self):
+        """Queued work is cancelled at shutdown; the in-flight gauge never
+        goes negative and the running request still drains cleanly."""
+        import socket as socket_module
+
+        srv = ServiceServer(
+            service=SlowQueryService(store=flights_store()),
+            config=ServiceConfig(port=0, workers=1, timeout=10.0),
+        ).start_background()
+        socks = []
+        try:
+            # First request occupies the single worker; the rest queue.
+            for i in range(3):
+                sock = socket_module.create_connection(
+                    ("127.0.0.1", srv.port), timeout=5
+                )
+                sock.sendall(protocol.encode({"id": i, "op": "ping", "slow": 0.8}))
+                socks.append(sock)
+            time.sleep(0.2)  # let the first request start executing
+        finally:
+            srv.stop()
+            for sock in socks:
+                sock.close()
+        # The stalled request finishes on the daemon worker thread after
+        # stop(); wait for it so its request_finished() has landed.
+        time.sleep(1.2)
+        metrics = srv.service.metrics
+        assert metrics.in_flight >= 0
+        snapshot = metrics.snapshot()
+        assert snapshot["in_flight"] >= 0
