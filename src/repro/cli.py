@@ -146,12 +146,8 @@ def cmd_serve(args):
     import asyncio
 
     from repro.graphs.bridge import graph_from_database
-    from repro.ham.store import HAMStore
     from repro.service.server import ServiceConfig, ServiceServer
 
-    store = HAMStore()
-    if args.data:
-        store.load_graph(graph_from_database(_load_facts(args.data)))
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -161,19 +157,31 @@ def cmd_serve(args):
         max_bytes=args.max_bytes,
         plan_cache_size=args.plan_cache,
         result_cache_size=args.result_cache,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        fsync_interval=args.fsync_interval,
+        checkpoint_every=args.checkpoint_every,
     )
-    server = ServiceServer(store=store, config=config)
+    # With --data-dir the service recovers the store from disk; --data then
+    # only seeds a store that recovered empty (a fresh data directory).
+    server = ServiceServer(config=config)
+    store = server.service.store
+    if args.data and store.version == 0:
+        store.load_graph(graph_from_database(_load_facts(args.data)))
 
     async def _run():
         await server.start()
+        durable = f", data dir {args.data_dir} (fsync={args.fsync})" if args.data_dir else ""
         print(f"repro service listening on {server.host}:{server.port} "
-              f"(store version {store.version})", flush=True)
+              f"(store version {store.version}{durable})", flush=True)
         await server.serve_forever()
 
     try:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("shutting down")
+    finally:
+        server.service.close()
     return 0
 
 
@@ -208,7 +216,7 @@ def cmd_call(args):
 
     with ServiceClient(host=args.host, port=args.connect_port) as client:
         response = client.call(args.op, **payload)
-    if args.json or args.op in ("stats", "ping", "update", "profile"):
+    if args.json or args.op in ("stats", "ping", "update", "profile", "checkpoint"):
         print(json.dumps(response, indent=2, sort_keys=True))
         return 0
     if args.op == "explain":
@@ -331,11 +339,22 @@ def build_parser():
                          help="prepared-plan cache capacity")
     p_serve.add_argument("--result-cache", type=int, default=1024,
                          help="result cache capacity")
+    p_serve.add_argument("--data-dir", default=None,
+                         help="durable data directory (WAL + checkpoints); "
+                              "the store is recovered from it at startup")
+    p_serve.add_argument("--fsync", default="interval",
+                         choices=("always", "interval", "off"),
+                         help="WAL fsync policy (durability vs throughput)")
+    p_serve.add_argument("--fsync-interval", type=float, default=0.05,
+                         help="seconds between fsyncs under --fsync interval")
+    p_serve.add_argument("--checkpoint-every", type=int, default=0,
+                         help="auto-checkpoint after N commits (0 = manual only)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_call = sub.add_parser("call", help="send one request to a running server")
     p_call.add_argument("op", choices=("graphlog", "datalog", "rpq", "update",
-                                       "stats", "ping", "explain", "profile"))
+                                       "stats", "ping", "explain", "profile",
+                                       "checkpoint"))
     p_call.add_argument("arg", nargs="?", default=None,
                         help="query file (graphlog/datalog) or regex (rpq)")
     p_call.add_argument("--host", default="127.0.0.1")

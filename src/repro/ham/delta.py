@@ -98,6 +98,20 @@ class Delta:
             touched.add(domain_predicate)
         return touched
 
+    def __eq__(self, other):
+        """Structural equality — used to verify WAL serialization round
+        trips (:mod:`repro.persist.serde`)."""
+        if not isinstance(other, Delta):
+            return NotImplemented
+        return (
+            dict(self.insertions) == dict(other.insertions)
+            and dict(self.deletions) == dict(other.deletions)
+            and self.nodes_added == other.nodes_added
+            and self.nodes_removed == other.nodes_removed
+        )
+
+    __hash__ = None
+
     def __repr__(self):
         ins = sum(len(r) for r in self.insertions.values())
         dels = sum(len(r) for r in self.deletions.values())

@@ -15,11 +15,14 @@ system".  This module provides the equivalent in-process substrate:
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 from collections import defaultdict
 
 from repro.errors import StoreError, TransactionError
 from repro.graphs.multigraph import LabeledMultigraph
+
+logger = logging.getLogger("repro.ham.store")
 
 
 class _Op:
@@ -211,11 +214,22 @@ class HAMStore:
 
     def __init__(self):
         self.graph = LabeledMultigraph()
-        self._log = []  # list of TransactionRecord
-        self._txn_counter = itertools.count(1)
+        self._log = []  # list of TransactionRecord (the retained tail)
+        self._next_txn_id = 1
+        self._last_txn_id = 0
         self._subscribers = []
+        self._subscriber_failures = 0
         self._version = 0
         self._lock = threading.Lock()
+        # History truncation point: self._log holds only records with
+        # version > _base_version; _base_graph is the graph at exactly
+        # _base_version, the replay base for graph_at().
+        self._base_version = 0
+        self._base_graph = LabeledMultigraph()
+        # Optional repro.persist.DurabilityManager; when attached, commits
+        # are WAL-logged inside the commit critical section (see
+        # attach_durability).
+        self._durability = None
 
     def subscribe(self, callback):
         """Register a commit hook invoked with each committed
@@ -223,16 +237,62 @@ class HAMStore:
 
         Hooks run synchronously inside the commit, after the graph and
         version have been updated; aborted transactions never reach them.
+        A hook that raises is logged and counted (``stats()["subscriber_
+        failures"]``) without aborting the notification of later hooks.
         Used by materialized views and the query-service result cache.
         """
-        self._subscribers.append(callback)
+        with self._lock:
+            self._subscribers.append(callback)
         return callback
 
     #: Decorator-friendly alias: ``@store.on_commit``.
     on_commit = subscribe
 
     def unsubscribe(self, callback):
-        self._subscribers.remove(callback)
+        with self._lock:
+            self._subscribers.remove(callback)
+
+    # ---------------------------------------------------------- durability
+
+    def attach_durability(self, manager):
+        """Bind a :class:`~repro.persist.DurabilityManager` to this store.
+
+        From here on every commit calls ``manager.log_commit(record)``
+        inside the commit critical section, *before* the in-memory graph
+        and version are updated — so the WAL is version-ordered, a failed
+        append aborts the commit with store state untouched, and with
+        ``fsync="always"`` a returned ``commit()`` is durable.  Use
+        :meth:`DurabilityManager.recover` rather than calling this
+        directly; it restores state first, then attaches.
+        """
+        if self._durability is not None:
+            raise StoreError("store already has a durability manager attached")
+        self._durability = manager
+
+    def detach_durability(self):
+        self._durability = None
+
+    def restore_state(
+        self, graph, version, last_txn_id, records=(), base_graph=None, base_version=None
+    ):
+        """Install recovered state into a fresh store (used by
+        :mod:`repro.persist` after checkpoint load + WAL replay).
+
+        *records* is the replayed WAL tail (everything after the
+        checkpoint); *base_graph*/*base_version* describe the checkpoint
+        itself, so :meth:`graph_at` replays from the checkpoint rather
+        than from the empty graph.
+        """
+        with self._lock:
+            if self._version != 0 or self._log:
+                raise StoreError("can only restore state into a fresh store")
+            self.graph = graph
+            self._version = version
+            self._next_txn_id = last_txn_id + 1
+            self._last_txn_id = last_txn_id
+            self._log = list(records)
+            self._base_graph = base_graph if base_graph is not None else LabeledMultigraph()
+            self._base_version = base_version if base_version is not None else 0
 
     # ------------------------------------------------------------ sessions
 
@@ -253,18 +313,44 @@ class HAMStore:
         except (KeyError, StoreError) as exc:
             raise TransactionError(f"commit conflict: {exc}") from exc
         with self._lock:
-            self.graph = staged
-            self._version += 1
             record = TransactionRecord(
-                next(self._txn_counter),
+                self._next_txn_id,
                 session_id,
                 ops,
-                version=self._version,
+                version=self._version + 1,
                 delta=delta,
             )
+            if self._durability is not None:
+                # WAL-append (and, under fsync=always, fsync) before any
+                # in-memory state changes: a failed append aborts the commit
+                # with the store untouched, and the log stays version-ordered
+                # because appends happen under the commit lock.
+                try:
+                    self._durability.log_commit(record)
+                except Exception as exc:
+                    raise TransactionError(
+                        f"commit aborted: WAL append failed: {exc}"
+                    ) from exc
+            self.graph = staged
+            self._version = record.version
+            self._next_txn_id = record.txn_id + 1
+            self._last_txn_id = record.txn_id
             self._log.append(record)
-        for callback in self._subscribers:
-            callback(record)
+            # Snapshot under the lock: subscribe() may run concurrently, and
+            # iterating the live list while it mutates skips or doubles
+            # callbacks.
+            subscribers = tuple(self._subscribers)
+        for callback in subscribers:
+            try:
+                callback(record)
+            except Exception:  # noqa: BLE001 — one failing view must not starve the rest
+                with self._lock:
+                    self._subscriber_failures += 1
+                logger.exception(
+                    "commit subscriber %r failed for version %d", callback, record.version
+                )
+        if self._durability is not None:
+            self._durability.maybe_checkpoint()
         return record
 
     # ------------------------------------------------------------ history
@@ -289,18 +375,91 @@ class HAMStore:
         with self._lock:
             return self._version, self.graph
 
+    def _durable_snapshot(self):
+        """``(version, graph, last_txn_id)`` read atomically — the state a
+        checkpoint captures (see :mod:`repro.persist`)."""
+        with self._lock:
+            return self._version, self.graph, self._last_txn_id
+
     def history(self):
+        """The retained tail of committed records (oldest first).
+
+        After :meth:`truncate_history` (or recovery from a checkpoint) this
+        no longer starts at version 1; the WAL holds the full history.
+        """
         return list(self._log)
 
     def graph_at(self, version):
-        """Reconstruct the graph as of *version* by log replay."""
+        """Reconstruct the graph as of *version*.
+
+        Records are selected by ``record.version`` — never by list position,
+        which silently breaks once the log has been truncated or compacted.
+        Replay starts from the nearest retained base: the in-memory
+        truncation snapshot when *version* is at or after it, else the
+        nearest durable checkpoint (when persistence is attached).
+        """
         if version < 0 or version > self.version:
             raise StoreError(f"no such version {version}; current is {self.version}")
-        graph = LabeledMultigraph()
-        for record in self._log[:version]:
+        with self._lock:
+            base_version = self._base_version
+            if version >= base_version:
+                graph = self._base_graph.copy()
+                records = [r for r in self._log if base_version < r.version <= version]
+            else:
+                graph = records = None
+            durability = self._durability
+        if records is None:
+            if durability is not None:
+                return durability.graph_at(version)
+            raise StoreError(
+                f"version {version} predates the retained history "
+                f"(truncated at {base_version}; no durability attached)"
+            )
+        for record in records:
             for op in record.operations:
                 op.apply(graph)
         return graph
+
+    def truncate_history(self, keep_last=0):
+        """Drop all but the last *keep_last* in-memory transaction records.
+
+        Once a WAL holds the authoritative history the in-memory log only
+        needs to cover what live consumers (views, caches) might still
+        replay; this folds older records into the ``graph_at`` base
+        snapshot so the log stops growing without bound.  Returns the
+        number of records dropped.
+        """
+        if keep_last < 0:
+            raise StoreError("keep_last must be >= 0")
+        with self._lock:
+            drop = len(self._log) - keep_last
+            if drop <= 0:
+                return 0
+            dropped, kept = self._log[:drop], self._log[drop:]
+            base = self._base_graph.copy()
+            for record in dropped:
+                for op in record.operations:
+                    op.apply(base)
+            self._base_graph = base
+            self._base_version = dropped[-1].version
+            self._log = kept
+            return drop
+
+    def stats(self):
+        """A JSON-ready summary of the store (and durable state, if any)."""
+        with self._lock:
+            stats = {
+                "version": self._version,
+                "nodes": self.graph.node_count(),
+                "edges": self.graph.edge_count(),
+                "retained_records": len(self._log),
+                "base_version": self._base_version,
+                "subscriber_failures": self._subscriber_failures,
+            }
+            durability = self._durability
+        if durability is not None:
+            stats["durability"] = durability.stats()
+        return stats
 
     # ------------------------------------------------------------- loading
 

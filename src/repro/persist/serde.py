@@ -1,0 +1,155 @@
+"""WAL payload serialization: operations, deltas, transaction records.
+
+One committed :class:`~repro.ham.store.TransactionRecord` becomes one JSON
+object carrying both representations of the commit:
+
+- the **raw operations** — the replayable edit script recovery applies to
+  rebuild the graph (the same ``_Op`` objects the store validates and
+  replays in-process);
+- the **typed fact-level delta** (:class:`~repro.ham.delta.Delta`) — so a
+  recovered record is indistinguishable from a live one to downstream
+  consumers (view maintenance, the delta-scoped result cache) without
+  recomputing multiplicity-exact deltas at replay time.
+
+Value encoding reuses the :mod:`repro.io` node/label encoders, so exactly
+the values that survive a graph JSON round trip survive the WAL: strings,
+ints, floats, bools, ``None``, and tuples thereof.  Exotic values are
+rejected at commit time (:class:`~repro.io.SerializationError`) rather than
+silently stringified into a log that would replay a different graph.
+"""
+
+from __future__ import annotations
+
+from repro.ham.delta import Delta
+from repro.ham.store import TransactionRecord, _Op
+from repro.io import (
+    SerializationError,
+    _check_scalar,
+    _decode_label,
+    _decode_node,
+    _encode_label,
+    _encode_node,
+)
+
+# --------------------------------------------------------------- node labels
+
+
+def _encode_node_label(label):
+    """Node labels are ``None``, a scalar annotation, or a frozenset of
+    annotation names (mirrors :func:`repro.io.graph_to_json`)."""
+    if label is None:
+        return None
+    if isinstance(label, (set, frozenset)):
+        return {"annotations": sorted(str(name) for name in label)}
+    _check_scalar(label, "node label")
+    return {"value": label}
+
+
+def _decode_node_label(obj):
+    if obj is None:
+        return None
+    if "annotations" in obj:
+        return frozenset(obj["annotations"])
+    return obj["value"]
+
+
+# ---------------------------------------------------------------- operations
+
+
+def op_to_json(op):
+    """Encode one store operation as a JSON-compatible dict."""
+    if op.kind in (_Op.ADD_NODE, _Op.SET_NODE_LABEL):
+        node, label = op.args
+        return {
+            "kind": op.kind,
+            "node": _encode_node(node),
+            "label": _encode_node_label(label),
+        }
+    if op.kind == _Op.REMOVE_NODE:
+        (node,) = op.args
+        return {"kind": op.kind, "node": _encode_node(node)}
+    if op.kind in (_Op.ADD_EDGE, _Op.REMOVE_EDGE):
+        source, target, label = op.args
+        return {
+            "kind": op.kind,
+            "source": _encode_node(source),
+            "target": _encode_node(target),
+            "label": _encode_label(label),
+        }
+    raise SerializationError(f"cannot serialize operation {op!r}")
+
+
+def op_from_json(obj):
+    """Decode :func:`op_to_json` output back into an ``_Op``."""
+    kind = obj["kind"]
+    if kind in (_Op.ADD_NODE, _Op.SET_NODE_LABEL):
+        return _Op(kind, _decode_node(obj["node"]), _decode_node_label(obj["label"]))
+    if kind == _Op.REMOVE_NODE:
+        return _Op(kind, _decode_node(obj["node"]))
+    if kind in (_Op.ADD_EDGE, _Op.REMOVE_EDGE):
+        return _Op(
+            kind,
+            _decode_node(obj["source"]),
+            _decode_node(obj["target"]),
+            _decode_label(obj["label"]),
+        )
+    raise SerializationError(f"unknown operation kind {kind!r} in WAL record")
+
+
+# -------------------------------------------------------------------- deltas
+
+
+def _encode_rows(rows):
+    return [[_encode_node(value) for value in row] for row in sorted(rows, key=repr)]
+
+
+def _decode_rows(rows):
+    return {tuple(_decode_node(value) for value in row) for row in rows}
+
+
+def delta_to_json(delta):
+    """Encode a typed :class:`~repro.ham.delta.Delta` as a JSON dict."""
+    return {
+        "insertions": {p: _encode_rows(rows) for p, rows in sorted(delta.insertions.items())},
+        "deletions": {p: _encode_rows(rows) for p, rows in sorted(delta.deletions.items())},
+        "nodes_added": [_encode_node(n) for n in sorted(delta.nodes_added, key=repr)],
+        "nodes_removed": [_encode_node(n) for n in sorted(delta.nodes_removed, key=repr)],
+    }
+
+
+def delta_from_json(obj):
+    """Decode :func:`delta_to_json` output back into a :class:`Delta`."""
+    delta = Delta()
+    for predicate, rows in obj["insertions"].items():
+        delta.insertions[predicate] = _decode_rows(rows)
+    for predicate, rows in obj["deletions"].items():
+        delta.deletions[predicate] = _decode_rows(rows)
+    delta.nodes_added = {_decode_node(n) for n in obj["nodes_added"]}
+    delta.nodes_removed = {_decode_node(n) for n in obj["nodes_removed"]}
+    return delta
+
+
+# ------------------------------------------------------------------- records
+
+
+def record_to_json(record):
+    """Encode one committed transaction as the WAL payload dict."""
+    return {
+        "txn": record.txn_id,
+        "session": record.session_id,
+        "version": record.version,
+        "ops": [op_to_json(op) for op in record.operations],
+        "delta": None if record.delta is None else delta_to_json(record.delta),
+    }
+
+
+def record_from_json(obj):
+    """Decode a WAL payload dict back into a :class:`TransactionRecord`."""
+    delta = obj.get("delta")
+    return TransactionRecord(
+        obj["txn"],
+        obj["session"],
+        [op_from_json(op) for op in obj["ops"]],
+        version=obj["version"],
+        delta=None if delta is None else delta_from_json(delta),
+    )

@@ -141,6 +141,13 @@ class ServiceClient:
         response = self.call("profile", query=query, target=target, **params)
         return response["result"]
 
+    def checkpoint(self):
+        """Force a durability checkpoint on the server; returns its info
+        dict (``version``, ``path``, segments pruned, elapsed ms).  Fails
+        with :class:`~repro.errors.ProtocolError` when the server runs
+        without ``--data-dir``."""
+        return self.call("checkpoint")["result"]
+
     def stats(self):
         """The server's metrics/cache/store statistics snapshot."""
         return self.call("stats")["result"]

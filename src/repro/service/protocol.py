@@ -31,7 +31,17 @@ import math
 from repro.errors import ProtocolError, QueryTimeout, ResultTooLarge, ServiceError
 
 #: The operations a server understands.
-OPS = ("graphlog", "datalog", "rpq", "update", "stats", "ping", "explain", "profile")
+OPS = (
+    "graphlog",
+    "datalog",
+    "rpq",
+    "update",
+    "stats",
+    "ping",
+    "explain",
+    "profile",
+    "checkpoint",
+)
 
 #: Maximum accepted request-line length (a protocol-level DoS guard).
 MAX_REQUEST_BYTES = 4 * 1024 * 1024

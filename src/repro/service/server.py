@@ -52,6 +52,12 @@ class ServiceConfig:
         "plan_cache_size",
         "result_cache_size",
         "trace_ring_size",
+        "data_dir",
+        "fsync",
+        "fsync_interval",
+        "segment_bytes",
+        "checkpoint_every",
+        "keep_checkpoints",
     )
 
     def __init__(
@@ -65,6 +71,12 @@ class ServiceConfig:
         plan_cache_size=256,
         result_cache_size=1024,
         trace_ring_size=64,
+        data_dir=None,
+        fsync="interval",
+        fsync_interval=0.05,
+        segment_bytes=16 * 1024 * 1024,
+        checkpoint_every=0,
+        keep_checkpoints=2,
     ):
         self.host = host
         self.port = port
@@ -75,15 +87,42 @@ class ServiceConfig:
         self.plan_cache_size = plan_cache_size
         self.result_cache_size = result_cache_size
         self.trace_ring_size = trace_ring_size
+        #: When set, the HAM store is durable: commits are WAL-logged under
+        #: this directory and the service recovers from it at startup.
+        self.data_dir = data_dir
+        self.fsync = fsync
+        self.fsync_interval = fsync_interval
+        self.segment_bytes = segment_bytes
+        self.checkpoint_every = checkpoint_every
+        self.keep_checkpoints = keep_checkpoints
 
 
 class QueryService:
     """The synchronous request executor over one :class:`HAMStore`."""
 
     def __init__(self, store=None, config=None, metrics=None):
-        self.store = store if store is not None else HAMStore()
         self.config = config or ServiceConfig()
         self.metrics = metrics or MetricsRegistry()
+        self.durability = None
+        if self.config.data_dir:
+            from repro.persist import DurabilityManager, PersistenceConfig
+
+            self.durability = DurabilityManager(
+                PersistenceConfig(
+                    self.config.data_dir,
+                    fsync=self.config.fsync,
+                    fsync_interval=self.config.fsync_interval,
+                    segment_bytes=self.config.segment_bytes,
+                    checkpoint_every=self.config.checkpoint_every,
+                    keep_checkpoints=self.config.keep_checkpoints,
+                ),
+                metrics=self.metrics,
+            )
+            # Recovery happens before the caches/views attach below, so
+            # every commit subscriber starts against the recovered graph.
+            self.store = self.durability.recover(store=store)
+        else:
+            self.store = store if store is not None else HAMStore()
         self.plans = PreparedQueryCache(self.config.plan_cache_size)
         self.results = ResultCache(self.config.result_cache_size)
         self.traces = obs.TraceRing(self.config.trace_ring_size)
@@ -119,6 +158,8 @@ class QueryService:
                 return self._execute_query(op, message, phases)
             if op in ("explain", "profile"):
                 return self._execute_explain(message)
+            if op == "checkpoint":
+                return self._execute_checkpoint()
             raise ProtocolError(f"unknown op {op!r}")
         finally:
             self.metrics.request_completed(
@@ -223,6 +264,16 @@ class QueryService:
             result["text"] = root.render().rstrip()
         return {"result": result, "version": version, "cache": "bypass"}
 
+    def _execute_checkpoint(self):
+        """Force a durability checkpoint (snapshot + WAL pruning)."""
+        if self.durability is None:
+            raise ProtocolError(
+                "service has no durability; start the server with --data-dir"
+            )
+        info = self.durability.checkpoint()
+        self.metrics.incr("checkpoints.requested")
+        return {"result": info, "version": self.store.version}
+
     def _execute_update(self, message):
         nodes = message.get("nodes") or []
         edges = message.get("edges") or []
@@ -309,23 +360,28 @@ class QueryService:
             )
             self.metrics.set_counter("views.overdeleted", totals["overdeleted"])
             self.metrics.set_counter("views.rederived", totals["rederived"])
+        store_stats = self.store.stats()
+        self.metrics.set_counter(
+            "store.subscriber_failures", store_stats["subscriber_failures"]
+        )
         stats = {
             "metrics": self.metrics.snapshot(),
             "plan_cache": self.plans.stats(),
             "result_cache": result_cache,
             "traces": self.traces.stats(),
-            "store": {
-                "version": self.store.version,
-                "nodes": self.store.graph.node_count(),
-                "edges": self.store.graph.edge_count(),
-            },
+            "store": store_stats,
         }
         if self._views is not None:
             stats["views"] = self._views.stats()
         return stats
 
     def close(self):
-        self._detach()
+        """Detach the commit hook and flush/close durability (idempotent)."""
+        if self._detach is not None:
+            self._detach()
+            self._detach = None
+        if self.durability is not None:
+            self.durability.close()
 
 
 class ServiceServer:

@@ -1,0 +1,54 @@
+"""Child process for crash-recovery tests: commit edges until killed.
+
+Usage::
+
+    python crash_child.py DATA_DIR N_COMMITS FSYNC_POLICY [CHECKPOINT_EVERY]
+
+Recovers the store under ``DATA_DIR``, then commits deterministic edges
+(``ci -> c(i+1)`` labeled ``crash``, numbered from the recovered version)
+one transaction at a time, printing ``committed <version>`` (flushed) after
+each.  The parent reads those lines, SIGKILLs the process at an arbitrary
+point, and asserts the recovered store matches a prefix of what was
+acknowledged.  Exits 0 if all commits complete before the kill arrives.
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.persist import DurabilityManager, PersistenceConfig  # noqa: E402
+
+
+def expected_graph_at(version):
+    """The graph any run of this script produces after *version* commits."""
+    from repro.graphs.multigraph import LabeledMultigraph
+
+    graph = LabeledMultigraph()
+    for i in range(version):
+        graph.add_edge(f"c{i}", f"c{i + 1}", "crash")
+    return graph
+
+
+def main(argv):
+    data_dir, n_commits, fsync = argv[0], int(argv[1]), argv[2]
+    checkpoint_every = int(argv[3]) if len(argv) > 3 else 0
+    manager = DurabilityManager(
+        PersistenceConfig(
+            data_dir,
+            fsync=fsync,
+            fsync_interval=0.001,
+            checkpoint_every=checkpoint_every,
+        )
+    )
+    store = manager.recover()
+    session = store.session()
+    for i in range(store.version, n_commits):
+        with session.transaction() as txn:
+            txn.add_edge(f"c{i}", f"c{i + 1}", "crash")
+        print(f"committed {store.version}", flush=True)
+    manager.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

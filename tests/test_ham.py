@@ -230,3 +230,104 @@ class TestLoadingAndQueries:
             """
         )
         assert ("a", "c") in store.answers(query, "reach")
+
+
+class TestSubscribers:
+    def test_failing_subscriber_does_not_break_commit(self, store):
+        seen = []
+
+        def bad(record):
+            raise RuntimeError("subscriber boom")
+
+        store.subscribe(bad)
+        store.subscribe(seen.append)
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_edge("a", "b", "x")
+        # The commit landed, the healthy subscriber ran, the failure counted.
+        assert store.version == 1
+        assert [r.version for r in seen] == [1]
+        assert store.stats()["subscriber_failures"] == 1
+
+    def test_unsubscribe_during_dispatch_is_safe(self, store):
+        calls = []
+
+        def self_removing(record):
+            calls.append(record.version)
+            store.unsubscribe(self_removing)
+
+        store.subscribe(self_removing)
+        store.subscribe(lambda record: calls.append(-record.version))
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_edge("a", "b", "x")
+        with session.transaction() as txn:
+            txn.add_edge("b", "c", "x")
+        # First commit notifies both (the snapshot taken before dispatch);
+        # the second only the surviving lambda.
+        assert calls == [1, -1, -2]
+
+    def test_failure_in_one_does_not_skip_later_subscribers(self, store):
+        order = []
+        store.subscribe(lambda r: order.append("first"))
+
+        def bad(record):
+            order.append("bad")
+            raise ValueError("boom")
+
+        store.subscribe(bad)
+        store.subscribe(lambda r: order.append("last"))
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_edge("a", "b", "x")
+        assert order == ["first", "bad", "last"]
+
+
+class TestHistoryTruncation:
+    def fill(self, store, n):
+        session = store.session()
+        for i in range(n):
+            with session.transaction() as txn:
+                txn.add_edge(f"n{i}", f"n{i + 1}", "x")
+
+    def test_truncate_keeps_recent_records(self, store):
+        self.fill(store, 6)
+        dropped = store.truncate_history(keep_last=2)
+        assert dropped == 4
+        assert [r.version for r in store.history()] == [5, 6]
+        assert store.stats()["retained_records"] == 2
+        assert store.stats()["base_version"] == 4
+
+    def test_graph_at_selects_by_record_version_after_truncation(self, store):
+        self.fill(store, 6)
+        store.truncate_history(keep_last=3)
+        # Retained records carry versions 4..6; position-based indexing
+        # would hand back the wrong snapshots here.
+        for version in (4, 5, 6):
+            assert store.graph_at(version).edge_count() == version
+        assert store.graph_at(6).has_edge("n5", "n6", "x")
+        assert not store.graph_at(4).has_node("n5")
+
+    def test_graph_at_below_base_fails_without_durability(self, store):
+        self.fill(store, 5)
+        store.truncate_history(keep_last=1)
+        with pytest.raises(StoreError, match="predates the retained history"):
+            store.graph_at(2)
+
+    def test_truncate_all_history(self, store):
+        self.fill(store, 3)
+        assert store.truncate_history() == 3
+        assert store.history() == []
+        assert store.graph_at(3).edge_count() == 3
+        # New commits build on the folded base.
+        self.fill(store, 1)
+        assert store.version == 4
+
+    def test_truncate_noop_when_short(self, store):
+        self.fill(store, 2)
+        assert store.truncate_history(keep_last=5) == 0
+        assert len(store.history()) == 2
+
+    def test_truncate_rejects_negative(self, store):
+        with pytest.raises(StoreError):
+            store.truncate_history(keep_last=-1)

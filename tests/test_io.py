@@ -110,3 +110,85 @@ class TestJsonGraphs:
         g.add_node("solo", frozenset({"vip"}))
         back = graph_from_json(graph_to_json(g))
         assert back.node_label("solo") == frozenset({"vip"})
+
+
+class TestScalarRoundTrips:
+    """Non-string scalars must survive JSON round trips with type intact."""
+
+    def test_scalar_node_values(self):
+        g = LabeledMultigraph()
+        for node in (7, 2.5, True, False, None, "plain"):
+            g.add_node(node, None)
+        back = graph_from_json(graph_to_json(g))
+        assert back == g
+        for node in (7, 2.5, True, False, None, "plain"):
+            assert back.has_node(node)
+
+    def test_scalar_edge_label_values(self):
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", 42)
+        g.add_edge("a", "b", 2.5)
+        g.add_edge("a", "b", True)
+        g.add_edge("a", "b", None)
+        back = graph_from_json(graph_to_json(g))
+        assert back == g
+        for label in (42, 2.5, True, None):
+            assert back.has_edge("a", "b", label)
+
+    def test_scalar_types_preserved(self):
+        # Round-tripped values must come back with the same Python type,
+        # not a JSON look-alike (2.0 for 2, "true" for True, ...).
+        g = LabeledMultigraph()
+        g.add_node(7, 2.5)
+        back = graph_from_json(json.loads(json.dumps(graph_to_json(g))))
+        (node,) = back.nodes
+        assert type(node) is int
+        assert type(back.node_label(7)) is float
+
+    def test_edge_label_extras_with_mixed_scalars(self):
+        g = LabeledMultigraph()
+        g.add_edge("x", "y", EdgeLabel("flight", ("21:45", 930, 2.5, True, None)))
+        back = graph_from_json(graph_to_json(g))
+        assert back == g
+
+    def test_empty_graph_round_trip(self):
+        g = LabeledMultigraph()
+        back = graph_from_json(json.loads(json.dumps(graph_to_json(g))))
+        assert back == g
+        assert back.node_count() == 0 and back.edge_count() == 0
+
+
+class TestDeltaSerde:
+    """Delta objects survive the WAL serde with structural equality."""
+
+    def build_delta(self):
+        from repro.ham.delta import compute_delta
+        from repro.ham.store import _Op
+
+        g = LabeledMultigraph()
+        g.add_edge("a", "b", EdgeLabel("link"))
+        g.add_node("old", frozenset({"stale"}))
+        ops = [
+            _Op(_Op.REMOVE_EDGE, "a", "b", EdgeLabel("link")),
+            _Op(_Op.REMOVE_NODE, "old"),
+            _Op(_Op.ADD_EDGE, ("t", 1), ("t", 2), EdgeLabel("flight", (930, True))),
+            _Op(_Op.ADD_NODE, "fresh", frozenset({"new"})),
+        ]
+        return compute_delta(g, ops)
+
+    def test_round_trip_equality(self):
+        from repro.persist import delta_from_json, delta_to_json
+
+        delta = self.build_delta()
+        back = delta_from_json(json.loads(json.dumps(delta_to_json(delta))))
+        assert back == delta
+        assert back.insertions == delta.insertions
+        assert back.deletions == delta.deletions
+
+    def test_equality_is_structural(self):
+        assert self.build_delta() == self.build_delta()
+        from repro.persist import delta_from_json, delta_to_json
+
+        other = delta_from_json(delta_to_json(self.build_delta()))
+        assert other is not self.build_delta()
+        assert other == self.build_delta()

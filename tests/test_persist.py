@@ -1,0 +1,443 @@
+"""Tests for the durability subsystem: WAL, checkpoints, recovery."""
+
+import glob
+import json
+import logging
+import os
+
+import pytest
+
+from repro.errors import StoreError, TransactionError
+from repro.graphs.bridge import EdgeLabel
+from repro.graphs.multigraph import LabeledMultigraph
+from repro.ham.delta import compute_delta
+from repro.ham.store import HAMStore, TransactionRecord, _Op
+from repro.persist import (
+    DurabilityManager,
+    PersistenceConfig,
+    delta_from_json,
+    delta_to_json,
+    latest_valid_checkpoint,
+    list_checkpoints,
+    op_from_json,
+    op_to_json,
+    record_from_json,
+    record_to_json,
+    scan_segment,
+    write_checkpoint,
+)
+from repro.persist import wal as wal_mod
+
+
+def durable_store(data_dir, **kwargs):
+    manager = DurabilityManager(PersistenceConfig(str(data_dir), **kwargs))
+    return manager, manager.recover()
+
+
+def commit_chain(store, n, start=0, label="x"):
+    session = store.session()
+    for i in range(start, start + n):
+        with session.transaction() as txn:
+            txn.add_edge(f"n{i}", f"n{i + 1}", label)
+
+
+def wal_segments(data_dir):
+    return sorted(glob.glob(os.path.join(str(data_dir), "wal", "*.seg")))
+
+
+# ------------------------------------------------------------------ serde
+
+
+class TestSerde:
+    def ops_of_all_kinds(self):
+        return [
+            _Op(_Op.ADD_NODE, "plain", None),
+            _Op(_Op.ADD_NODE, ("rome", 7), frozenset({"capital", "large"})),
+            _Op(_Op.SET_NODE_LABEL, "plain", 42),
+            _Op(_Op.ADD_EDGE, "a", "b", "cheap"),
+            _Op(_Op.ADD_EDGE, ("x", 1), ("y", 2.5), EdgeLabel("flight", ("21:45", True))),
+            _Op(_Op.REMOVE_EDGE, "a", "b", "cheap"),
+            _Op(_Op.REMOVE_NODE, "plain"),
+        ]
+
+    def test_op_round_trip(self):
+        for op in self.ops_of_all_kinds():
+            back = op_from_json(json.loads(json.dumps(op_to_json(op))))
+            assert back.kind == op.kind
+            assert back.args == op.args
+
+    def test_record_round_trip_with_delta(self):
+        graph = LabeledMultigraph()
+        ops = [
+            _Op(_Op.ADD_NODE, "a", None),
+            _Op(_Op.ADD_EDGE, "a", "b", EdgeLabel("link")),
+            _Op(_Op.ADD_NODE, "c", frozenset({"mark"})),
+        ]
+        delta = compute_delta(graph, ops)
+        record = TransactionRecord(3, 9, ops, version=7, delta=delta)
+        back = record_from_json(json.loads(json.dumps(record_to_json(record))))
+        assert (back.txn_id, back.session_id, back.version) == (3, 9, 7)
+        assert [op.kind for op in back.operations] == [op.kind for op in ops]
+        assert back.delta == delta
+
+    def test_delta_round_trip_equality(self):
+        graph = LabeledMultigraph()
+        graph.add_edge("a", "b", "link")
+        graph.add_node("gone", "old")
+        ops = [
+            _Op(_Op.REMOVE_EDGE, "a", "b", "link"),
+            _Op(_Op.REMOVE_NODE, "gone"),
+            _Op(_Op.ADD_EDGE, ("t", 1), ("t", 2), EdgeLabel("flight", (930,))),
+        ]
+        delta = compute_delta(graph, ops)
+        assert delta_from_json(json.loads(json.dumps(delta_to_json(delta)))) == delta
+
+    def test_record_without_delta(self):
+        record = TransactionRecord(1, 1, [_Op(_Op.ADD_NODE, "a", None)], version=1)
+        assert record_from_json(record_to_json(record)).delta is None
+
+
+# -------------------------------------------------------------------- WAL
+
+
+class TestWalFraming:
+    def test_append_scan_round_trip(self, tmp_path):
+        writer = wal_mod.WalWriter(str(tmp_path), fsync="always")
+        writer.open(next_version=1)
+        payloads = [{"version": i, "data": "x" * i} for i in range(1, 6)]
+        for payload in payloads:
+            writer.append(payload)
+        writer.close()
+        records, good, corruption = scan_segment(writer.segment_path)
+        assert corruption is None
+        assert [p for _off, p in records] == payloads
+        assert good == os.path.getsize(writer.segment_path)
+
+    def test_torn_header_detected(self, tmp_path):
+        writer = wal_mod.WalWriter(str(tmp_path), fsync="off")
+        writer.open(next_version=1)
+        writer.append({"version": 1})
+        writer.close()
+        with open(writer.segment_path, "ab") as handle:
+            handle.write(b"\x01\x02\x03")  # 3 stray bytes: not even a header
+        records, good, corruption = scan_segment(writer.segment_path)
+        assert len(records) == 1
+        assert corruption is not None and "header" in corruption.reason
+
+    def test_torn_payload_detected(self, tmp_path):
+        writer = wal_mod.WalWriter(str(tmp_path), fsync="off")
+        writer.open(next_version=1)
+        writer.append({"version": 1})
+        writer.append({"version": 2, "pad": "y" * 100})
+        writer.close()
+        size = os.path.getsize(writer.segment_path)
+        with open(writer.segment_path, "r+b") as handle:
+            handle.truncate(size - 30)
+        records, _good, corruption = scan_segment(writer.segment_path)
+        assert [p["version"] for _off, p in records] == [1]
+        assert "payload" in corruption.reason
+
+    def test_bit_flip_detected_by_crc(self, tmp_path):
+        writer = wal_mod.WalWriter(str(tmp_path), fsync="off")
+        writer.open(next_version=1)
+        writer.append({"version": 1, "pad": "z" * 50})
+        writer.close()
+        data = bytearray(open(writer.segment_path, "rb").read())
+        data[20] ^= 0x40
+        open(writer.segment_path, "wb").write(bytes(data))
+        records, good, corruption = scan_segment(writer.segment_path)
+        assert records == [] and good == 0
+        assert "CRC" in corruption.reason
+
+    def test_rotation_by_size(self, tmp_path):
+        writer = wal_mod.WalWriter(str(tmp_path), fsync="off", segment_bytes=64)
+        writer.open(next_version=1)
+        for version in range(1, 6):
+            writer.append({"version": version, "pad": "p" * 40}, next_version=version + 1)
+        writer.close()
+        segments = wal_mod.list_segments(str(tmp_path))
+        assert len(segments) >= 3
+        # Segment names carry the version of their first record.
+        for first, path in segments:
+            records, _good, corruption = scan_segment(path)
+            assert corruption is None
+            if records:
+                assert records[0][1]["version"] == first
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            wal_mod.WalWriter(str(tmp_path), fsync="sometimes")
+        with pytest.raises(StoreError):
+            PersistenceConfig(str(tmp_path), fsync="sometimes")
+
+
+# ------------------------------------------------------------- checkpoints
+
+
+class TestCheckpoints:
+    def test_write_and_load_latest(self, tmp_path):
+        graph = LabeledMultigraph()
+        graph.add_edge("a", "b", EdgeLabel("link"))
+        write_checkpoint(str(tmp_path), 3, 4, graph)
+        version, last_txn, loaded, _path = latest_valid_checkpoint(str(tmp_path))
+        assert (version, last_txn) == (3, 4)
+        assert loaded == graph
+
+    def test_newest_invalid_falls_back(self, tmp_path, caplog):
+        graph = LabeledMultigraph()
+        graph.add_node("only")
+        write_checkpoint(str(tmp_path), 1, 1, graph)
+        bad = tmp_path / "checkpoint-00000000000000000009.json"
+        bad.write_text("{ not json")
+        with caplog.at_level(logging.WARNING, logger="repro.persist"):
+            version, _txn, loaded, _path = latest_valid_checkpoint(str(tmp_path))
+        assert version == 1 and loaded.has_node("only")
+        assert any("skipping unreadable checkpoint" in r.message for r in caplog.records)
+
+    def test_interrupted_tmp_removed_on_recovery(self, tmp_path, caplog):
+        manager, store = durable_store(tmp_path, fsync="always")
+        commit_chain(store, 3)
+        manager.checkpoint()
+        manager.close()
+        # Simulate a crash between the temp write and the rename.
+        leftover = tmp_path / "checkpoint-00000000000000000099.json.tmp"
+        leftover.write_text('{"format": "repro-checkpoint", "half": true')
+        with caplog.at_level(logging.WARNING, logger="repro.persist"):
+            manager2, store2 = durable_store(tmp_path)
+        assert not leftover.exists()
+        assert store2.version == 3
+        assert any("interrupted checkpoint" in r.message for r in caplog.records)
+        manager2.close()
+
+    def test_old_checkpoints_pruned(self, tmp_path):
+        manager, store = durable_store(tmp_path, fsync="off", keep_checkpoints=2)
+        for round_no in range(4):
+            commit_chain(store, 2, start=round_no * 2)
+            manager.checkpoint()
+        assert len(list_checkpoints(str(tmp_path))) == 2
+        manager.close()
+
+    def test_checkpoint_prunes_covered_segments(self, tmp_path):
+        manager, store = durable_store(
+            tmp_path, fsync="off", segment_bytes=1, keep_checkpoints=1
+        )
+        commit_chain(store, 5)  # segment_bytes=1: one segment per record
+        assert len(wal_segments(tmp_path)) >= 5
+        info = manager.checkpoint()
+        assert info["segments_removed"] >= 4
+        # Everything still recovers from checkpoint + surviving tail.
+        manager.close()
+        manager2, store2 = durable_store(tmp_path)
+        assert store2.version == 5 and store2.graph == store.graph
+        manager2.close()
+
+    def test_checkpoint_skipped_when_no_new_commits(self, tmp_path):
+        manager, store = durable_store(tmp_path, fsync="off")
+        commit_chain(store, 1)
+        first = manager.checkpoint()
+        second = manager.checkpoint()
+        assert not first.get("skipped")
+        assert second.get("skipped")
+        manager.close()
+
+    def test_auto_checkpoint_every_n_commits(self, tmp_path):
+        manager, store = durable_store(tmp_path, fsync="off", checkpoint_every=3)
+        commit_chain(store, 7)
+        assert manager.stats()["checkpoint"]["count"] == 2
+        assert manager.stats()["checkpoint"]["last_version"] == 6
+        manager.close()
+
+
+# ---------------------------------------------------------------- recovery
+
+
+class TestRecovery:
+    def test_empty_directory_recovers_empty_store(self, tmp_path):
+        manager, store = durable_store(tmp_path)
+        assert store.version == 0
+        assert store.graph.node_count() == 0
+        manager.close()
+
+    def test_full_cycle_graph_and_history(self, tmp_path):
+        manager, store = durable_store(tmp_path, fsync="always")
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_node("city", frozenset({"capital"}))
+            txn.add_edge("city", "other", EdgeLabel("flight", ("21:45",)))
+        with session.transaction() as txn:
+            txn.remove_edge("city", "other", EdgeLabel("flight", ("21:45",)))
+        manager.close()
+
+        manager2, store2 = durable_store(tmp_path)
+        assert store2.version == 2
+        assert store2.graph == store.graph
+        history = store2.history()
+        assert [r.version for r in history] == [1, 2]
+        assert history[0].delta is not None
+        assert history[0].delta.insertions["flight"] == {("city", "other", "21:45")}
+        manager2.close()
+
+    def test_txn_ids_continue_after_recovery(self, tmp_path):
+        manager, store = durable_store(tmp_path, fsync="always")
+        commit_chain(store, 3)
+        manager.close()
+        manager2, store2 = durable_store(tmp_path)
+        commit_chain(store2, 1, start=10)
+        assert store2.history()[-1].txn_id == 4
+        manager2.close()
+
+    def test_recovery_across_rotated_segments(self, tmp_path):
+        manager, store = durable_store(tmp_path, fsync="off", segment_bytes=128)
+        commit_chain(store, 20)
+        assert len(wal_segments(tmp_path)) > 1
+        manager.close()
+        manager2, store2 = durable_store(tmp_path)
+        assert store2.version == 20
+        assert store2.graph == store.graph
+        manager2.close()
+
+    def test_torn_tail_truncated_with_warning(self, tmp_path, caplog):
+        manager, store = durable_store(tmp_path, fsync="always")
+        commit_chain(store, 4)
+        manager.close()
+        (segment,) = wal_segments(tmp_path)
+        with open(segment, "r+b") as handle:
+            handle.truncate(os.path.getsize(segment) - 5)
+        with caplog.at_level(logging.WARNING, logger="repro.persist"):
+            manager2, store2 = durable_store(tmp_path)
+        assert store2.version == 3
+        assert store2.graph.edge_count() == 3
+        assert any("truncating torn WAL tail" in r.message for r in caplog.records)
+        assert manager2.stats()["recovery"]["truncated"] is True
+        manager2.close()
+        # After truncation the log is clean: a third recovery sees no tear.
+        manager3, store3 = durable_store(tmp_path)
+        assert store3.version == 3
+        assert manager3.stats()["recovery"]["truncated"] is False
+        manager3.close()
+
+    def test_bit_flipped_record_truncated(self, tmp_path, caplog):
+        manager, store = durable_store(tmp_path, fsync="always")
+        commit_chain(store, 5)
+        manager.close()
+        (segment,) = wal_segments(tmp_path)
+        data = bytearray(open(segment, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(segment, "wb").write(bytes(data))
+        with caplog.at_level(logging.WARNING, logger="repro.persist"):
+            manager2, store2 = durable_store(tmp_path)
+        # A prefix survives; the flipped record and everything after is gone.
+        assert 0 <= store2.version < 5
+        assert store2.graph.edge_count() == store2.version
+        manager2.close()
+
+    def test_commits_resume_after_torn_tail_recovery(self, tmp_path):
+        manager, store = durable_store(tmp_path, fsync="always")
+        commit_chain(store, 4)
+        manager.close()
+        (segment,) = wal_segments(tmp_path)
+        with open(segment, "r+b") as handle:
+            handle.truncate(os.path.getsize(segment) - 1)
+        manager2, store2 = durable_store(tmp_path, fsync="always")
+        assert store2.version == 3
+        commit_chain(store2, 2, start=100)
+        manager2.close()
+        manager3, store3 = durable_store(tmp_path)
+        assert store3.version == 5
+        assert store3.graph.has_edge("n100", "n101", "x")
+        manager3.close()
+
+    def test_recover_into_nonempty_store_rejected(self, tmp_path):
+        manager, store = durable_store(tmp_path, fsync="off")
+        commit_chain(store, 1)
+        manager.close()
+        populated = HAMStore()
+        commit_chain(populated, 2)
+        with pytest.raises(StoreError):
+            DurabilityManager(PersistenceConfig(str(tmp_path))).recover(store=populated)
+
+    def test_adopting_populated_store_into_empty_dir(self, tmp_path):
+        populated = HAMStore()
+        commit_chain(populated, 3)
+        manager = DurabilityManager(PersistenceConfig(str(tmp_path), fsync="always"))
+        adopted = manager.recover(store=populated)
+        assert adopted is populated
+        commit_chain(populated, 1, start=50)
+        manager.close()
+        manager2, store2 = durable_store(tmp_path)
+        assert store2.version == 4
+        assert store2.graph == populated.graph
+        manager2.close()
+
+    def test_double_recover_rejected(self, tmp_path):
+        manager, _store = durable_store(tmp_path)
+        with pytest.raises(StoreError):
+            manager.recover()
+        manager.close()
+
+
+# ------------------------------------------------------ store integration
+
+
+class TestStoreIntegration:
+    def test_wal_append_failure_aborts_commit(self, tmp_path):
+        manager, store = durable_store(tmp_path, fsync="always")
+        commit_chain(store, 2)
+        manager._writer.close()  # simulate a dead disk: appends now fail
+        manager._writer._handle = None
+        session = store.session()
+        txn = session.transaction()
+        txn.add_edge("bad", "commit", "x")
+        with pytest.raises(TransactionError):
+            txn.commit()
+        assert store.version == 2
+        assert not store.graph.has_node("bad")
+        assert len(store.history()) == 2
+
+    def test_closed_manager_rejects_commits(self, tmp_path):
+        manager, store = durable_store(tmp_path)
+        manager.close()
+        session = store.session()
+        # close() detaches, so plain in-memory commits keep working.
+        with session.transaction() as txn:
+            txn.add_edge("a", "b", "x")
+        assert store.version == 1
+
+    def test_graph_at_uses_checkpoint_base(self, tmp_path):
+        manager, store = durable_store(tmp_path, fsync="off", keep_checkpoints=4)
+        commit_chain(store, 4)
+        manager.checkpoint()
+        commit_chain(store, 4, start=4)
+        store.truncate_history(keep_last=2)
+        # Versions 7..8 replay in memory; 4..6 come from checkpoint + WAL.
+        for version in (4, 5, 6, 7, 8):
+            assert store.graph_at(version).edge_count() == version
+        # Checkpointing pruned the segments below version 4: that history
+        # is gone on purpose, and the error says so.
+        with pytest.raises(StoreError, match="pruned by checkpointing"):
+            store.graph_at(2)
+        manager.close()
+
+    def test_stats_surface_durability(self, tmp_path):
+        manager, store = durable_store(tmp_path, fsync="always")
+        commit_chain(store, 3)
+        manager.checkpoint()
+        stats = store.stats()
+        assert stats["retained_records"] == 3
+        durable = stats["durability"]
+        assert durable["wal"]["appends"] == 3
+        assert durable["wal"]["bytes"] > 0
+        assert durable["wal"]["fsyncs"] >= 3
+        assert durable["checkpoint"]["last_version"] == 3
+        assert durable["recovery"]["recovered_version"] == 0
+        manager.close()
+
+    def test_fsync_policies_all_commit(self, tmp_path):
+        for policy in ("always", "interval", "off"):
+            directory = tmp_path / policy
+            manager, store = durable_store(directory, fsync=policy)
+            commit_chain(store, 3)
+            manager.close()
+            manager2, store2 = durable_store(directory)
+            assert store2.version == 3
+            manager2.close()

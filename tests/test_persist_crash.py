@@ -1,0 +1,149 @@
+"""Crash-recovery fault injection: SIGKILL a committing process, recover.
+
+The quick smoke test runs in the default lane; the heavier randomized
+loops are marked ``faultinject`` and run in their own CI job
+(``pytest -m faultinject``).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from tests.crash_child import expected_graph_at
+from repro.persist import DurabilityManager, PersistenceConfig
+
+CHILD = os.path.join(os.path.dirname(__file__), "crash_child.py")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def spawn_child(data_dir, n_commits, fsync, checkpoint_every=0):
+    return subprocess.Popen(
+        [
+            sys.executable,
+            CHILD,
+            str(data_dir),
+            str(n_commits),
+            fsync,
+            str(checkpoint_every),
+        ],
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def kill_after_acks(child, acks):
+    """Read *acks* ``committed N`` lines, then SIGKILL; returns the last N."""
+    last = 0
+    for _ in range(acks):
+        line = child.stdout.readline()
+        if not line:
+            break
+        assert line.startswith("committed "), line
+        last = int(line.split()[1])
+    child.kill()
+    child.wait(timeout=30)
+    child.stdout.close()
+    child.stderr.close()
+    return last
+
+
+def recover(data_dir):
+    manager = DurabilityManager(PersistenceConfig(str(data_dir)))
+    store = manager.recover()
+    return manager, store
+
+
+def assert_prefix_state(store, acked, n_commits, durable_floor):
+    """Recovered state is a clean prefix: floor ≤ version ≤ total, graph exact."""
+    assert durable_floor <= store.version <= n_commits, (
+        f"recovered {store.version}, acked {acked}, expected "
+        f">= {durable_floor} and <= {n_commits}"
+    )
+    assert store.graph == expected_graph_at(store.version)
+
+
+class TestCrashRecoverySmoke:
+    """One quick kill per policy — runs in the default fast lane."""
+
+    def test_sigkill_mid_stream_fsync_always(self, tmp_path):
+        child = spawn_child(tmp_path, n_commits=200, fsync="always")
+        acked = kill_after_acks(child, 20)
+        assert acked >= 20
+        manager, store = recover(tmp_path)
+        # fsync=always: every acknowledged commit survives the kill.
+        assert_prefix_state(store, acked, 200, durable_floor=acked)
+        manager.close()
+
+    def test_sigkill_mid_stream_fsync_interval(self, tmp_path):
+        child = spawn_child(tmp_path, n_commits=200, fsync="interval")
+        acked = kill_after_acks(child, 30)
+        manager, store = recover(tmp_path)
+        # interval: a bounded suffix may be lost, but never a torn state.
+        assert_prefix_state(store, acked, 200, durable_floor=0)
+        manager.close()
+
+    def test_restart_continues_after_kill(self, tmp_path):
+        child = spawn_child(tmp_path, n_commits=500, fsync="always")
+        kill_after_acks(child, 10)
+        # Second run recovers and finishes the remaining commits cleanly.
+        child2 = spawn_child(tmp_path, n_commits=40, fsync="always")
+        out, err = child2.communicate(timeout=60)
+        assert child2.returncode == 0, err
+        manager, store = recover(tmp_path)
+        assert store.version == 40
+        assert store.graph == expected_graph_at(40)
+        manager.close()
+
+
+@pytest.mark.faultinject
+class TestCrashRecoveryLoops:
+    """Repeated randomized kills — excluded from the default lane."""
+
+    @pytest.mark.parametrize("fsync", ["always", "interval"])
+    def test_repeated_kills_converge(self, tmp_path, fsync):
+        import random
+
+        rng = random.Random(1234)
+        n_commits = 300
+        data_dir = tmp_path / fsync
+        for round_no in range(8):
+            child = spawn_child(data_dir, n_commits, fsync)
+            acked = kill_after_acks(child, rng.randint(1, 40))
+            manager, store = recover(data_dir)
+            floor = acked if fsync == "always" else 0
+            assert_prefix_state(store, acked, n_commits, durable_floor=floor)
+            manager.close()
+        # Let one run finish; the final state is exact.
+        child = spawn_child(data_dir, n_commits, fsync)
+        _out, err = child.communicate(timeout=120)
+        assert child.returncode == 0, err
+        manager, store = recover(data_dir)
+        assert store.version == n_commits
+        assert store.graph == expected_graph_at(n_commits)
+        manager.close()
+
+    def test_kills_with_checkpointing_active(self, tmp_path):
+        import random
+
+        rng = random.Random(99)
+        n_commits = 250
+        for _round in range(6):
+            child = spawn_child(tmp_path, n_commits, "always", checkpoint_every=25)
+            acked = kill_after_acks(child, rng.randint(5, 60))
+            manager, store = recover(tmp_path)
+            assert_prefix_state(store, acked, n_commits, durable_floor=acked)
+            manager.close()
+
+    def test_instant_kill_no_acks(self, tmp_path):
+        child = spawn_child(tmp_path, n_commits=100, fsync="always")
+        child.kill()
+        child.wait(timeout=30)
+        child.stdout.close()
+        child.stderr.close()
+        manager, store = recover(tmp_path)
+        assert_prefix_state(store, 0, 100, durable_floor=0)
+        manager.close()
