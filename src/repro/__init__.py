@@ -46,6 +46,14 @@ Quickstart::
     answers = GraphLogEngine().answers(query, db, "not-desc-of")
 """
 
+import logging as _logging
+
+# Library modules log through getLogger(__name__) and never install
+# handlers; the NullHandler keeps "No handlers could be found" noise out of
+# embedding applications.  CLI entry points call
+# repro.obs.logs.configure_logging to attach a real handler.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 from repro.core import (
     GraphLogEngine,
     GraphicalQuery,

@@ -15,6 +15,7 @@ Commands:
 - ``export DATA.dl OUT.json``  convert a fact file to a JSON graph
 - ``serve``                    run the concurrent query service (TCP server)
 - ``call OP [ARG]``            send one request to a running server
+- ``top``                      live terminal dashboard over a running server
 - ``explain QUERY.gl``         trace a query end to end (parse, translate,
                                stratify, per-stratum fixpoint iterations)
                                locally over ``--data`` or against a server
@@ -22,6 +23,10 @@ Commands:
 
 Fact files are Datalog programs whose rules are all facts
 (``parent(ann, bob).``).
+
+Logging: the library itself never installs handlers; this entry point is
+the one place handlers are configured (``--log-level``, ``--log-json``).
+``serve`` defaults to ``info``, everything else to ``warning``.
 """
 
 from __future__ import annotations
@@ -161,6 +166,11 @@ def cmd_serve(args):
         fsync=args.fsync,
         fsync_interval=args.fsync_interval,
         checkpoint_every=args.checkpoint_every,
+        metrics_host=args.metrics_host,
+        metrics_port=args.metrics_port,
+        slow_ms=args.slow_ms,
+        slowlog_capacity=args.slowlog_capacity,
+        slowlog_path=args.slowlog_file,
     )
     # With --data-dir the service recovers the store from disk; --data then
     # only seeds a store that recovered empty (a fresh data directory).
@@ -174,6 +184,9 @@ def cmd_serve(args):
         durable = f", data dir {args.data_dir} (fsync={args.fsync})" if args.data_dir else ""
         print(f"repro service listening on {server.host}:{server.port} "
               f"(store version {store.version}{durable})", flush=True)
+        if server.metrics_port is not None:
+            print(f"telemetry on http://{args.metrics_host}:{server.metrics_port}"
+                  f"/metrics (and /healthz)", flush=True)
         await server.serve_forever()
 
     try:
@@ -209,6 +222,9 @@ def cmd_call(args):
         if not args.edge:
             raise SystemExit("call update needs at least one --edge SOURCE LABEL TARGET")
         payload["edges"] = [[s, l, t] for s, l, t in args.edge]
+    elif args.op == "slowlog":
+        if args.limit is not None:
+            payload["limit"] = args.limit
     for field in ("source", "predicate", "method", "timeout"):
         value = getattr(args, field, None)
         if value is not None:
@@ -216,7 +232,7 @@ def cmd_call(args):
 
     with ServiceClient(host=args.host, port=args.connect_port) as client:
         response = client.call(args.op, **payload)
-    if args.json or args.op in ("stats", "ping", "update", "profile", "checkpoint"):
+    if args.json or args.op in ("stats", "ping", "update", "profile", "checkpoint", "slowlog"):
         print(json.dumps(response, indent=2, sort_keys=True))
         return 0
     if args.op == "explain":
@@ -263,6 +279,16 @@ def cmd_explain(args):
     return 0
 
 
+def cmd_top(args):
+    from repro.service.client import ServiceClient
+    from repro.service.top import TopDashboard
+
+    with ServiceClient(host=args.host, port=args.connect_port) as client:
+        dashboard = TopDashboard(client, interval=args.interval)
+        dashboard.run(iterations=args.iterations)
+    return 0
+
+
 def cmd_shell(_args):
     from repro.shell import repl
 
@@ -280,6 +306,13 @@ def build_parser():
         prog="repro",
         description="GraphLog (PODS 1990) reproduction toolkit",
     )
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error", "critical"),
+                        help="handler level (default: info for serve, "
+                             "warning otherwise)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit logs as JSON lines (one object per record, "
+                             "with request_id)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_figure = sub.add_parser("figure", help="print a reproduced paper figure")
@@ -349,12 +382,24 @@ def build_parser():
                          help="seconds between fsyncs under --fsync interval")
     p_serve.add_argument("--checkpoint-every", type=int, default=0,
                          help="auto-checkpoint after N commits (0 = manual only)")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="serve Prometheus /metrics + /healthz on this "
+                              "port (0 = ephemeral; omit to disable)")
+    p_serve.add_argument("--metrics-host", default="127.0.0.1",
+                         help="bind address for the telemetry endpoint")
+    p_serve.add_argument("--slow-ms", type=float, default=None,
+                         help="record requests slower than this many ms into "
+                              "the slow-query log (omit to disable)")
+    p_serve.add_argument("--slowlog-capacity", type=int, default=128,
+                         help="slow-query ring capacity")
+    p_serve.add_argument("--slowlog-file", default=None,
+                         help="also append slow-query records to this JSONL file")
     p_serve.set_defaults(func=cmd_serve)
 
     p_call = sub.add_parser("call", help="send one request to a running server")
     p_call.add_argument("op", choices=("graphlog", "datalog", "rpq", "update",
                                        "stats", "ping", "explain", "profile",
-                                       "checkpoint"))
+                                       "checkpoint", "slowlog"))
     p_call.add_argument("arg", nargs="?", default=None,
                         help="query file (graphlog/datalog) or regex (rpq)")
     p_call.add_argument("--host", default="127.0.0.1")
@@ -370,8 +415,19 @@ def build_parser():
     p_call.add_argument("--edge", nargs=3, action="append", default=None,
                         metavar=("SOURCE", "LABEL", "TARGET"),
                         help="update: edge to insert (repeatable)")
+    p_call.add_argument("--limit", type=int, default=None,
+                        help="slowlog: return at most this many entries")
     p_call.add_argument("--json", action="store_true", help="print the raw response")
     p_call.set_defaults(func=cmd_call)
+
+    p_top = sub.add_parser("top", help="live dashboard over a running server")
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", dest="connect_port", type=int, default=7464)
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between polls")
+    p_top.add_argument("--iterations", type=int, default=None,
+                       help="stop after N redraws (default: run until ^C)")
+    p_top.set_defaults(func=cmd_top)
 
     p_explain = sub.add_parser(
         "explain", help="trace a query end to end (spans, iterations, deltas)"
@@ -401,8 +457,14 @@ def build_parser():
 
 
 def main(argv=None):
+    from repro.obs.logs import configure_logging
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The CLI is the only place a handler is installed; library modules log
+    # through module loggers under a NullHandler-ed "repro" root.
+    level = args.log_level or ("info" if args.command == "serve" else "warning")
+    configure_logging(level=level, json_output=args.log_json)
     return args.func(args)
 
 

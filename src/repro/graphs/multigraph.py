@@ -144,6 +144,11 @@ class LabeledMultigraph:
         """Edge labels actually in use."""
         return {label for label, edges in self._by_label.items() if edges}
 
+    def label_counts(self):
+        """``{label: edge count}`` for labels actually in use — the store's
+        per-predicate fact cardinalities, read off the label index."""
+        return {label: len(edges) for label, edges in self._by_label.items() if edges}
+
     def has_edge(self, source, target, label=None):
         for edge in self._out.get(source, ()):
             if edge.target == target and (label is None or edge.label == label):

@@ -22,7 +22,7 @@ from collections import defaultdict
 from repro.errors import StoreError, TransactionError
 from repro.graphs.multigraph import LabeledMultigraph
 
-logger = logging.getLogger("repro.ham.store")
+logger = logging.getLogger(__name__)
 
 
 class _Op:
@@ -219,6 +219,11 @@ class HAMStore:
         self._last_txn_id = 0
         self._subscribers = []
         self._subscriber_failures = 0
+        # Per-predicate delta churn: total inserted+deleted rows and the
+        # number of commits touching each predicate, accumulated at commit
+        # time from the typed Delta (see predicate_stats()).
+        self._churn_rows = defaultdict(int)
+        self._churn_commits = defaultdict(int)
         self._version = 0
         self._lock = threading.Lock()
         # History truncation point: self._log holds only records with
@@ -336,6 +341,13 @@ class HAMStore:
             self._next_txn_id = record.txn_id + 1
             self._last_txn_id = record.txn_id
             self._log.append(record)
+            if delta is not None:
+                for predicate in delta.touched_predicates():
+                    self._churn_commits[predicate] += 1
+                for predicate, rows in delta.insertions.items():
+                    self._churn_rows[predicate] += len(rows)
+                for predicate, rows in delta.deletions.items():
+                    self._churn_rows[predicate] += len(rows)
             # Snapshot under the lock: subscribe() may run concurrently, and
             # iterating the live list while it mutates skips or doubles
             # callbacks.
@@ -445,7 +457,42 @@ class HAMStore:
             self._log = kept
             return drop
 
-    def stats(self):
+    def predicate_stats(self, top=None):
+        """Per-predicate statistics: committed fact counts (off the label
+        index) and delta churn (rows inserted+deleted, commits touching).
+
+        Returns ``{predicate: {"facts", "churn_rows", "churn_commits"}}``,
+        restricted to the *top* highest-churn predicates when given.  The
+        graph reference is read under the lock but iterated outside it —
+        commits replace the graph wholesale rather than mutating it, so the
+        snapshot stays internally consistent.
+        """
+        with self._lock:
+            graph = self.graph
+            churn_rows = dict(self._churn_rows)
+            churn_commits = dict(self._churn_commits)
+        facts = {}
+        for label, count in graph.label_counts().items():
+            predicate = getattr(label, "predicate", None) or str(label)
+            facts[predicate] = facts.get(predicate, 0) + count
+        predicates = set(facts) | set(churn_rows)
+        if top is not None:
+            ranked = sorted(
+                predicates,
+                key=lambda p: (churn_rows.get(p, 0), facts.get(p, 0)),
+                reverse=True,
+            )
+            predicates = ranked[: max(0, int(top))]
+        return {
+            predicate: {
+                "facts": facts.get(predicate, 0),
+                "churn_rows": churn_rows.get(predicate, 0),
+                "churn_commits": churn_commits.get(predicate, 0),
+            }
+            for predicate in predicates
+        }
+
+    def stats(self, top_predicates=10):
         """A JSON-ready summary of the store (and durable state, if any)."""
         with self._lock:
             stats = {
@@ -457,6 +504,9 @@ class HAMStore:
                 "subscriber_failures": self._subscriber_failures,
             }
             durability = self._durability
+        # Computed after releasing the lock: predicate_stats() re-acquires
+        # it, and the store lock is not reentrant.
+        stats["predicates"] = self.predicate_stats(top=top_predicates)
         if durability is not None:
             stats["durability"] = durability.stats()
         return stats

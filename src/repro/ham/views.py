@@ -39,7 +39,7 @@ from repro.datalog.stratify import stratify
 from repro.errors import AggregationError, TranslationError
 from repro.graphs.bridge import database_from_graph
 
-logger = logging.getLogger("repro.ham.views")
+logger = logging.getLogger(__name__)
 
 
 def is_monotone_program(program):

@@ -1,11 +1,39 @@
-"""``repro.obs`` — observability: span tracing and the explain subsystem.
+"""``repro.obs`` — observability: tracing, metrics, logs, slow-query log.
 
 The pipeline (parse → λ-translation → stratify → magic/optimize → engine →
 DRed maintenance → service request handling) is instrumented with ambient
 spans; :func:`tracing` turns collection on for a ``with`` body and the
 disabled path is a module-level no-op (see :mod:`repro.obs.trace`).
+
+Beyond spans, the package provides:
+
+- :mod:`repro.obs.metrics` — typed counter/gauge/histogram registry with
+  mergeable fixed-bucket histograms and Prometheus text exposition;
+- :mod:`repro.obs.export` — the ``/metrics`` + ``/healthz`` HTTP endpoint;
+- :mod:`repro.obs.logs` — structured JSON logging and the per-request
+  correlation-ID contextvar;
+- :mod:`repro.obs.slowlog` — the bounded slow-query log.
 """
 
+from repro.obs.logs import (
+    JsonLogFormatter,
+    RequestIdFilter,
+    configure_logging,
+    get_request_id,
+    new_request_id,
+    request_context,
+    reset_request_id,
+    set_request_id,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramData,
+    MetricFamily,
+    Registry,
+)
+from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import (
     NULL_SPAN,
     NULL_TRACER,
@@ -21,10 +49,25 @@ from repro.obs.trace import (
 __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramData",
+    "JsonLogFormatter",
+    "MetricFamily",
     "NullTracer",
+    "Registry",
+    "RequestIdFilter",
+    "SlowQueryLog",
     "TraceRing",
     "TraceSpan",
     "Tracer",
+    "configure_logging",
+    "get_request_id",
+    "new_request_id",
+    "request_context",
+    "reset_request_id",
+    "set_request_id",
     "span",
     "tracer",
     "tracing",

@@ -1,0 +1,486 @@
+"""Typed telemetry instruments and Prometheus text exposition.
+
+The serving stack used to keep latency in bounded sample windows and compute
+sliding-window percentiles on demand (:mod:`repro.service.metrics`).  That
+representation has two problems a production scraper cares about:
+
+- **window bias** — a 2048-sample deque forgets everything older than the
+  last 2048 requests, so a burst of fast cache hits silently evicts the slow
+  tail a dashboard most wants to see, and two windows from two processes
+  cannot be combined into a fleet-wide percentile;
+- **non-mergeability** — percentiles of percentiles are meaningless, so the
+  window representation cannot be aggregated across shards or scrapes.
+
+This module replaces it with *mergeable fixed-bucket histograms* (the
+Prometheus model): each observation increments one of a fixed set of bucket
+counters, plus an exact running ``sum``/``count``/``min``/``max``.  Two
+histograms with the same bounds merge by adding counters, quantiles are
+estimated by linear interpolation inside the owning bucket (clamped to the
+observed ``[min, max]``, so single-sample histograms report the exact
+sample), and the whole thing renders as standard Prometheus text exposition
+format (version 0.0.4) for any scraper to pull.
+
+Three instrument types with label support:
+
+- :class:`Counter` — monotonically increasing totals (``_total`` suffix);
+- :class:`Gauge` — point-in-time values that go both ways;
+- :class:`Histogram` — distributions, rendered as ``_bucket``/``_sum``/
+  ``_count`` series.
+
+Instruments register with a :class:`Registry`; ad-hoc producers can instead
+register a *collector* callback returning :class:`MetricFamily` rows built
+on demand (used by the query service to publish per-predicate store
+statistics at scrape time).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Default latency buckets in seconds (the Prometheus client defaults with a
+#: couple of extra sub-millisecond bounds — this service answers cache hits
+#: in ~10µs, and a histogram whose first bound is 5ms would flatten the
+#: entire hot path into one bucket).
+DEFAULT_BUCKETS = (
+    0.00005,
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def sanitize_metric_name(name):
+    """A dotted internal name as a legal Prometheus metric name component."""
+    return _SANITIZE_RE.sub("_", str(name))
+
+
+def escape_label_value(value):
+    """Escape a label value per the text exposition format."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def escape_help(text):
+    """Escape a HELP string per the text exposition format."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
+
+
+def format_value(value):
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "NaN"
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def format_labels(labels):
+    """``{name="value",...}`` (empty string for no labels), keys sorted."""
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+class HistogramData:
+    """One mergeable fixed-bucket histogram (no lock; owners synchronize).
+
+    ``bounds`` are inclusive upper bucket bounds; an implicit ``+Inf``
+    bucket catches the rest.  ``counts[i]`` is the number of observations
+    ``<= bounds[i]`` but greater than the previous bound (i.e. *per-bucket*
+    counts, not cumulative — exposition cumulates on render).
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds=DEFAULT_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in bounds))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # + the +Inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        value = float(value)
+        self.counts[self._bucket_index(value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def _bucket_index(self, value):
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def merge(self, other):
+        """Fold *other* into this histogram (bounds must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    def copy(self):
+        clone = HistogramData(self.bounds)
+        clone.counts = list(self.counts)
+        clone.count = self.count
+        clone.sum = self.sum
+        clone.min = self.min
+        clone.max = self.max
+        return clone
+
+    def quantile(self, q):
+        """Estimate the *q*-quantile by interpolating inside the owning
+        bucket, clamped to the observed ``[min, max]`` (so a single-sample
+        histogram reports the sample exactly, and no estimate ever exceeds
+        the true extremes the way raw bucket bounds would)."""
+        if self.count == 0:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                if i < len(self.bounds):
+                    upper = self.bounds[i]
+                    lower = self.bounds[i - 1] if i > 0 else 0.0
+                else:
+                    # +Inf bucket: interpolate toward the observed max.
+                    upper = self.max
+                    lower = self.bounds[-1]
+                position = (target - cumulative) / bucket_count
+                estimate = lower + position * (upper - lower)
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - q=1.0 exits in the loop
+
+    def cumulative_buckets(self):
+        """``[(le_bound, cumulative_count), ...]`` ending with ``+Inf``."""
+        out = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+    def __repr__(self):
+        return f"HistogramData(count={self.count}, sum={self.sum:.6f})"
+
+
+class MetricFamily:
+    """One exposition family: a name, a type, help text, and samples.
+
+    ``samples`` is a list of ``(suffix, labels, value)`` — suffix is ``""``
+    for plain counters/gauges, ``"_bucket"``/``"_sum"``/``"_count"`` for
+    histogram series.
+    """
+
+    __slots__ = ("name", "kind", "help", "samples")
+
+    KINDS = ("counter", "gauge", "histogram", "untyped")
+
+    def __init__(self, name, kind, help="", samples=()):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        if kind not in self.KINDS:
+            raise ValueError(f"invalid metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.samples = list(samples)
+
+    def add_sample(self, value, labels=None, suffix=""):
+        self.samples.append((suffix, dict(labels or {}), value))
+        return self
+
+    def add_histogram(self, data, labels=None):
+        """Append the ``_bucket``/``_sum``/``_count`` series for one
+        :class:`HistogramData` under *labels*."""
+        labels = dict(labels or {})
+        for bound, cumulative in data.cumulative_buckets():
+            le = "+Inf" if math.isinf(bound) else format_value(bound)
+            self.samples.append(("_bucket", {**labels, "le": le}, cumulative))
+        self.samples.append(("_sum", labels, data.sum))
+        self.samples.append(("_count", labels, data.count))
+        return self
+
+    def render(self):
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {escape_help(self.help)}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for suffix, labels, value in self.samples:
+            lines.append(
+                f"{self.name}{suffix}{format_labels(labels)} {format_value(value)}"
+            )
+        return "\n".join(lines)
+
+
+class _Instrument:
+    """Base class: a named, optionally labeled instrument in a registry."""
+
+    kind = "untyped"
+
+    def __init__(self, name, help="", labelnames=(), registry=None, buckets=None):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._buckets = buckets
+        self._lock = threading.Lock()
+        self._children = {}
+        if not self.labelnames:
+            self._children[()] = self._new_child()
+        if registry is not None:
+            registry.register(self)
+
+    def _new_child(self):
+        raise NotImplementedError
+
+    def labels(self, *values, **kv):
+        """The child instrument bound to one label-value combination."""
+        if kv:
+            if values:
+                raise ValueError("pass label values positionally or by name, not both")
+            try:
+                values = tuple(kv[name] for name in self.labelnames)
+            except KeyError as exc:
+                raise ValueError(f"unknown label {exc.args[0]!r}") from None
+            if len(kv) != len(self.labelnames):
+                unknown = set(kv) - set(self.labelnames)
+                raise ValueError(f"unknown labels {sorted(unknown)!r}")
+        else:
+            values = tuple(values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes {len(self.labelnames)} label values, "
+                f"got {len(values)}"
+            )
+        key = tuple(str(v) for v in values)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._new_child()
+            return child
+
+    def _default(self):
+        if self.labelnames:
+            raise ValueError(f"{self.name} is labeled; use .labels(...) first")
+        return self._children[()]
+
+    def collect(self):
+        family = MetricFamily(self.name, self.kind, self.help)
+        with self._lock:
+            children = sorted(self._children.items())
+        for key, child in children:
+            labels = dict(zip(self.labelnames, key))
+            self._fill(family, labels, child)
+        return family
+
+    def _fill(self, family, labels, child):
+        raise NotImplementedError
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        self.value += amount
+
+    def set_total(self, value):
+        """Pin the total to an externally-accumulated monotonic value."""
+        self.value = value
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def _new_child(self):
+        return _CounterChild()
+
+    def inc(self, amount=1):
+        self._default().inc(amount)
+
+    def set_total(self, value):
+        self._default().set_total(value)
+
+    @property
+    def value(self):
+        return self._default().value
+
+    def _fill(self, family, labels, child):
+        family.add_sample(child.value, labels)
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def dec(self, amount=1):
+        self.value -= amount
+
+
+class Gauge(_Instrument):
+    """A point-in-time value."""
+
+    kind = "gauge"
+
+    def _new_child(self):
+        return _GaugeChild()
+
+    def set(self, value):
+        self._default().set(value)
+
+    def inc(self, amount=1):
+        self._default().inc(amount)
+
+    def dec(self, amount=1):
+        self._default().dec(amount)
+
+    @property
+    def value(self):
+        return self._default().value
+
+    def _fill(self, family, labels, child):
+        family.add_sample(child.value, labels)
+
+
+class Histogram(_Instrument):
+    """A labeled family of fixed-bucket histograms."""
+
+    kind = "histogram"
+
+    def _new_child(self):
+        return HistogramData(self._buckets or DEFAULT_BUCKETS)
+
+    def observe(self, value):
+        self._default().observe(value)
+
+    def quantile(self, q):
+        return self._default().quantile(q)
+
+    @property
+    def data(self):
+        return self._default()
+
+    def _fill(self, family, labels, child):
+        family.add_histogram(child, labels)
+
+
+class Registry:
+    """A set of instruments and collector callbacks, rendered on scrape.
+
+    Instruments register themselves when constructed with ``registry=``;
+    producers whose values only exist at scrape time (per-predicate store
+    cardinalities, WAL segment counts) register a *collector* — a zero-arg
+    callable returning an iterable of :class:`MetricFamily`.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments = []
+        self._collectors = []
+
+    def register(self, instrument):
+        with self._lock:
+            if any(existing.name == instrument.name for existing in self._instruments):
+                raise ValueError(f"duplicate metric name {instrument.name!r}")
+            self._instruments.append(instrument)
+        return instrument
+
+    def collector(self, callback):
+        """Register (and return) a callback yielding MetricFamily rows."""
+        with self._lock:
+            self._collectors.append(callback)
+        return callback
+
+    def unregister_collector(self, callback):
+        with self._lock:
+            self._collectors.remove(callback)
+
+    def collect(self):
+        """Every family currently known, sorted by name."""
+        with self._lock:
+            instruments = list(self._instruments)
+            collectors = list(self._collectors)
+        families = [instrument.collect() for instrument in instruments]
+        for callback in collectors:
+            families.extend(callback())
+        return sorted(families, key=lambda family: family.name)
+
+    def render(self):
+        """The full registry as Prometheus text exposition format 0.0.4."""
+        chunks = [family.render() for family in self.collect() if family.samples]
+        return "\n".join(chunks) + "\n" if chunks else ""
+
+
+#: Content type of the text exposition format (for HTTP responses).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"

@@ -1,0 +1,90 @@
+"""Bounded slow-query log with optional JSONL persistence.
+
+Requests whose wall-clock time exceeds a configurable threshold have their
+full span tree (when tracing captured one) recorded into a thread-safe
+bounded ring, and optionally appended as one JSON object per line to a
+file for offline analysis.  The service surfaces the ring through the
+``slowlog`` wire op; the shell has a local ``slowlog`` command.
+
+A threshold of ``None`` (or a negative value) disables recording entirely;
+``0.0`` records every request, which is what the tests use.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import logging
+import threading
+import time
+
+logger = logging.getLogger(__name__)
+
+
+class SlowQueryLog:
+    """Thread-safe bounded ring of slow-request records.
+
+    Each record is a plain dict; the service supplies ``request_id``, op,
+    elapsed/threshold milliseconds, store version, cache disposition, and
+    the captured span tree (``trace`` key, :meth:`TraceSpan.to_dict` shape).
+    """
+
+    def __init__(self, threshold_ms=None, capacity=128, path=None):
+        if capacity < 1:
+            raise ValueError("slowlog capacity must be >= 1")
+        self.threshold_ms = threshold_ms
+        self.capacity = capacity
+        self.path = path
+        self._lock = threading.Lock()
+        self._ring = collections.deque(maxlen=capacity)
+        self._recorded = 0
+        self._dropped_writes = 0
+
+    @property
+    def enabled(self):
+        return self.threshold_ms is not None and self.threshold_ms >= 0
+
+    def should_record(self, elapsed_ms):
+        return self.enabled and elapsed_ms >= self.threshold_ms
+
+    def record(self, entry):
+        """Append *entry* (a dict) to the ring and the JSONL file, if any."""
+        entry = dict(entry)
+        entry.setdefault("ts", time.time())
+        with self._lock:
+            self._ring.append(entry)
+            self._recorded += 1
+        if self.path is not None:
+            try:
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write(json.dumps(entry, default=str) + "\n")
+            except OSError:
+                with self._lock:
+                    self._dropped_writes += 1
+                logger.warning("slowlog: failed to append to %s", self.path)
+        return entry
+
+    def snapshot(self, limit=None):
+        """Most-recent-first list of records (up to *limit*)."""
+        with self._lock:
+            entries = list(self._ring)
+        entries.reverse()
+        if limit is not None:
+            entries = entries[: max(0, int(limit))]
+        return entries
+
+    def clear(self):
+        with self._lock:
+            self._ring.clear()
+
+    def stats(self):
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "threshold_ms": self.threshold_ms,
+                "capacity": self.capacity,
+                "size": len(self._ring),
+                "recorded": self._recorded,
+                "dropped_writes": self._dropped_writes,
+                "path": self.path,
+            }

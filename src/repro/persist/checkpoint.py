@@ -29,7 +29,7 @@ import os
 from repro.io import SerializationError, graph_from_json, graph_to_json
 from repro.persist.wal import fsync_directory
 
-logger = logging.getLogger("repro.persist")
+logger = logging.getLogger(__name__)
 
 _PREFIX = "checkpoint-"
 _SUFFIX = ".json"

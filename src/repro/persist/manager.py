@@ -31,7 +31,7 @@ from repro.persist import checkpoint as ckpt
 from repro.persist import wal
 from repro.persist.serde import record_from_json, record_to_json
 
-logger = logging.getLogger("repro.persist")
+logger = logging.getLogger(__name__)
 
 
 class PersistenceConfig:
@@ -485,6 +485,24 @@ class DurabilityManager:
                 "persist.last_checkpoint_version", self._last_checkpoint_version
             )
         return snapshot
+
+    def health_info(self):
+        """A cheap health document for ``/healthz`` — no disk I/O.
+
+        ``ok`` is ``False`` when the manager is closed (writes would fail)
+        or recovery had to truncate a torn/corrupt WAL tail (acknowledged
+        commits may have been lost; an operator should know).
+        """
+        recovery = self._recovery_info or {}
+        truncated = bool(recovery.get("truncated"))
+        return {
+            "attached": self._store is not None,
+            "closed": self._closed,
+            "ok": not self._closed and not truncated,
+            "fsync": self.config.fsync,
+            "last_checkpoint_version": self._last_checkpoint_version,
+            "recovery": recovery,
+        }
 
     def close(self):
         """Fsync and close the WAL; detach from the store."""

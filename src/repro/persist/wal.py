@@ -42,7 +42,7 @@ import zlib
 
 from repro.errors import StoreError
 
-logger = logging.getLogger("repro.persist")
+logger = logging.getLogger(__name__)
 
 FSYNC_POLICIES = ("always", "interval", "off")
 

@@ -152,6 +152,15 @@ class ServiceClient:
         """The server's metrics/cache/store statistics snapshot."""
         return self.call("stats")["result"]
 
+    def slowlog(self, limit=None):
+        """The server's slow-query log, newest first.
+
+        Returns ``{"entries": [...], "stats": {...}}``; each entry carries
+        the originating ``request_id``, op, elapsed/threshold milliseconds
+        and (for traced requests) the full span tree under ``trace``.
+        """
+        return self.call("slowlog", limit=limit)["result"]
+
     def ping(self):
         return self.call("ping")["result"]["pong"]
 

@@ -1,21 +1,48 @@
-"""Service metrics: counters, an in-flight gauge, and latency percentiles.
+"""Service metrics: counters, an in-flight gauge, and latency histograms.
 
-A deliberately small, dependency-free registry.  Latencies are kept per
-operation in a bounded ring of recent samples (default 2048), from which
-p50/p95 are computed on demand — the sliding-window flavor of percentile
-that serving dashboards actually want.  All methods are thread-safe; the
-asyncio server updates it from worker threads.
+Latencies used to live in bounded per-op rings of recent samples from which
+p50/p95 were computed on demand.  That window had a bias worth naming: a
+2048-sample deque forgets everything older than the last 2048 requests, so
+a burst of fast cache hits evicts exactly the slow tail a dashboard wants,
+and two windows cannot be merged (percentiles of percentiles are
+meaningless).  Latencies and phase durations are now held in mergeable
+fixed-bucket histograms (:class:`repro.obs.metrics.HistogramData`): every
+observation since process start contributes, quantiles are interpolated
+inside the owning bucket and clamped to the observed extremes, and the same
+data renders as Prometheus text exposition through :attr:`exposition`.
+
+The dict-shaped :meth:`snapshot` keeps its exact keys (``counters``,
+``latency`` with ``count/p50_ms/p95_ms/max_ms``, ``phases`` with
+``count/p50_ms/p95_ms/total_ms``, ``in_flight``) so existing clients and
+tests are unaffected; ``p99_ms`` is added alongside.  All methods are
+thread-safe; the asyncio server updates the registry from worker threads.
 """
 
 from __future__ import annotations
 
 import math
 import threading
-from collections import defaultdict, deque
+from collections import defaultdict
+
+from repro.obs.metrics import (
+    Gauge,
+    HistogramData,
+    MetricFamily,
+    Registry,
+    sanitize_metric_name,
+)
 
 
 def percentile(samples, fraction):
-    """The *fraction*-quantile of *samples* (nearest-rank on a sorted copy)."""
+    """The *fraction*-quantile of *samples* (nearest-rank on a sorted copy).
+
+    Edge cases are defined, not exceptional: an empty window returns
+    ``None`` (callers render it as absent, never crash), and a single
+    sample is every percentile of itself.  Retained for ad-hoc use and
+    backward compatibility — the registry itself now uses bucketed
+    histograms, which don't suffer the sliding-window bias this function
+    inherits from whatever window it is handed.
+    """
     if not samples:
         return None
     ordered = sorted(samples)
@@ -24,16 +51,27 @@ def percentile(samples, fraction):
 
 
 class MetricsRegistry:
-    """Counts, gauges and latency windows for the query service."""
+    """Counts, gauges and latency histograms for the query service."""
 
-    def __init__(self, window=2048):
+    def __init__(self, window=None):
+        # ``window`` is accepted for backward compatibility with the old
+        # sample-window implementation and ignored: histograms are not
+        # windowed.
         self._lock = threading.Lock()
         self._counters = defaultdict(int)
-        self._latencies = defaultdict(lambda: deque(maxlen=window))
-        self._phases = defaultdict(lambda: deque(maxlen=window))
-        self._phase_totals = defaultdict(float)
-        self._phase_counts = defaultdict(int)
+        self._pinned = set()  # names set via set_counter (gauge semantics)
+        self._latency = {}
+        self._phases = {}
         self._in_flight = 0
+        #: Prometheus exposition registry; the service adds its own
+        #: collectors (store statistics) and renders this on scrape.
+        self.exposition = Registry()
+        self.exposition.collector(self._families)
+        self._in_flight_gauge = Gauge(
+            "repro_in_flight_requests",
+            "Requests currently executing or queued in the service",
+            registry=self.exposition,
+        )
 
     # ------------------------------------------------------------ updates
 
@@ -46,10 +84,14 @@ class MetricsRegistry:
         commit-driven counters, mirrored into snapshots on demand)."""
         with self._lock:
             self._counters[name] = value
+            self._pinned.add(name)
 
     def observe_latency(self, op, seconds):
         with self._lock:
-            self._latencies[op].append(seconds)
+            hist = self._latency.get(op)
+            if hist is None:
+                hist = self._latency[op] = HistogramData()
+            hist.observe(seconds)
 
     def observe_phase(self, phase, seconds):
         """Record one pipeline-phase duration (plan, cache_lookup, evaluate,
@@ -62,9 +104,10 @@ class MetricsRegistry:
         cost at a single extra acquisition."""
         with self._lock:
             for phase, seconds in pairs:
-                self._phases[phase].append(seconds)
-                self._phase_totals[phase] += seconds
-                self._phase_counts[phase] += 1
+                hist = self._phases.get(phase)
+                if hist is None:
+                    hist = self._phases[phase] = HistogramData()
+                hist.observe(seconds)
 
     def request_started(self):
         with self._lock:
@@ -87,15 +130,19 @@ class MetricsRegistry:
         on the ~12µs cache-hit path)."""
         with self._lock:
             self._counters[f"requests.{op}"] += 1
-            self._latencies[op].append(seconds)
+            hist = self._latency.get(op)
+            if hist is None:
+                hist = self._latency[op] = HistogramData()
+            hist.observe(seconds)
             if self._in_flight > 0:
                 self._in_flight -= 1
             else:
                 self._counters["gauge.in_flight_clamped"] += 1
             for phase, elapsed in phases:
-                self._phases[phase].append(elapsed)
-                self._phase_totals[phase] += elapsed
-                self._phase_counts[phase] += 1
+                hist = self._phases.get(phase)
+                if hist is None:
+                    hist = self._phases[phase] = HistogramData()
+                hist.observe(elapsed)
 
     # ------------------------------------------------------------- export
 
@@ -112,22 +159,22 @@ class MetricsRegistry:
         """A JSON-ready dict of everything the registry knows."""
         with self._lock:
             latency = {}
-            for op, window in self._latencies.items():
-                samples = list(window)
+            for op, hist in self._latency.items():
                 latency[op] = {
-                    "count": len(samples),
-                    "p50_ms": _ms(percentile(samples, 0.50)),
-                    "p95_ms": _ms(percentile(samples, 0.95)),
-                    "max_ms": _ms(max(samples) if samples else None),
+                    "count": hist.count,
+                    "p50_ms": _ms(hist.quantile(0.50)),
+                    "p95_ms": _ms(hist.quantile(0.95)),
+                    "p99_ms": _ms(hist.quantile(0.99)),
+                    "max_ms": _ms(hist.max),
                 }
             phases = {}
-            for phase, window in self._phases.items():
-                samples = list(window)
+            for phase, hist in self._phases.items():
                 phases[phase] = {
-                    "count": self._phase_counts[phase],
-                    "p50_ms": _ms(percentile(samples, 0.50)),
-                    "p95_ms": _ms(percentile(samples, 0.95)),
-                    "total_ms": _ms(self._phase_totals[phase]),
+                    "count": hist.count,
+                    "p50_ms": _ms(hist.quantile(0.50)),
+                    "p95_ms": _ms(hist.quantile(0.95)),
+                    "p99_ms": _ms(hist.quantile(0.99)),
+                    "total_ms": _ms(hist.sum),
                 }
             return {
                 "counters": dict(self._counters),
@@ -135,6 +182,91 @@ class MetricsRegistry:
                 "phases": phases,
                 "in_flight": self._in_flight,
             }
+
+    def render_prometheus(self):
+        """The exposition registry as Prometheus text format 0.0.4."""
+        return self.exposition.render()
+
+    # ----------------------------------------------------- exposition map
+
+    def _families(self):
+        """Map internal dotted names onto Prometheus families.
+
+        ``requests.<op>`` and ``errors.<code>`` become labeled counter
+        families; counters pinned via :meth:`set_counter` are mirrors of
+        external point-in-time values and export as gauges; everything
+        else incremented via :meth:`incr` is a monotonic ``_total``
+        counter.  Latency and phase histograms export with ``op``/``phase``
+        labels, and the ``wal.fsync`` phase additionally exports under its
+        own name so fsync latency is scrapable without a phase join.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            pinned = set(self._pinned)
+            latency = {op: h.copy() for op, h in self._latency.items()}
+            phases = {ph: h.copy() for ph, h in self._phases.items()}
+            self._in_flight_gauge.set(self._in_flight)
+
+        families = []
+
+        requests = MetricFamily(
+            "repro_requests_total", "counter", "Requests handled, by wire op"
+        )
+        errors = MetricFamily(
+            "repro_errors_total", "counter", "Failed requests, by error code"
+        )
+        plain = {}
+        for name, value in sorted(counters.items()):
+            if name.startswith("requests."):
+                requests.add_sample(value, {"op": name[len("requests."):]})
+            elif name.startswith("errors."):
+                errors.add_sample(value, {"code": name[len("errors."):]})
+            elif name in pinned:
+                metric = "repro_" + sanitize_metric_name(name)
+                plain.setdefault(
+                    metric,
+                    MetricFamily(metric, "gauge", f"Mirror of service stat {name}"),
+                ).add_sample(value)
+            else:
+                metric = "repro_" + sanitize_metric_name(name) + "_total"
+                plain.setdefault(
+                    metric,
+                    MetricFamily(metric, "counter", f"Total of service counter {name}"),
+                ).add_sample(value)
+        if requests.samples:
+            families.append(requests)
+        if errors.samples:
+            families.append(errors)
+        families.extend(plain.values())
+
+        if latency:
+            fam = MetricFamily(
+                "repro_request_seconds",
+                "histogram",
+                "Request wall-clock latency, by wire op",
+            )
+            for op, hist in sorted(latency.items()):
+                fam.add_histogram(hist, {"op": op})
+            families.append(fam)
+        if phases:
+            fam = MetricFamily(
+                "repro_phase_seconds",
+                "histogram",
+                "Pipeline phase duration (queue_wait, plan, evaluate, ...)",
+            )
+            for phase, hist in sorted(phases.items()):
+                fam.add_histogram(hist, {"phase": phase})
+            families.append(fam)
+            fsync = phases.get("wal.fsync")
+            if fsync is not None:
+                families.append(
+                    MetricFamily(
+                        "repro_wal_fsync_seconds",
+                        "histogram",
+                        "WAL fsync latency (alias of phase wal.fsync)",
+                    ).add_histogram(fsync)
+                )
+        return families
 
 
 def _ms(seconds):

@@ -41,6 +41,7 @@ OPS = (
     "explain",
     "profile",
     "checkpoint",
+    "slowlog",
 )
 
 #: Maximum accepted request-line length (a protocol-level DoS guard).

@@ -22,6 +22,7 @@ cache hits so per-request overrides behave identically hot or cold.
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -29,10 +30,15 @@ from concurrent.futures import ThreadPoolExecutor
 from repro import obs
 from repro.errors import ProtocolError, QueryTimeout, ReproError, ResultTooLarge
 from repro.ham.store import HAMStore
+from repro.obs import logs
+from repro.obs.metrics import MetricFamily
+from repro.obs.slowlog import SlowQueryLog
 from repro.service import protocol
 from repro.service.cache import ResultCache, result_key
 from repro.service.metrics import MetricsRegistry
 from repro.service.prepared import PreparedQuery, PreparedQueryCache
+
+logger = logging.getLogger(__name__)
 
 _QUERY_OPS = ("graphlog", "datalog", "rpq")
 #: Request fields that parameterize evaluation (and the result-cache key).
@@ -58,6 +64,11 @@ class ServiceConfig:
         "segment_bytes",
         "checkpoint_every",
         "keep_checkpoints",
+        "metrics_host",
+        "metrics_port",
+        "slow_ms",
+        "slowlog_capacity",
+        "slowlog_path",
     )
 
     def __init__(
@@ -77,6 +88,11 @@ class ServiceConfig:
         segment_bytes=16 * 1024 * 1024,
         checkpoint_every=0,
         keep_checkpoints=2,
+        metrics_host="127.0.0.1",
+        metrics_port=None,
+        slow_ms=None,
+        slowlog_capacity=128,
+        slowlog_path=None,
     ):
         self.host = host
         self.port = port
@@ -95,6 +111,15 @@ class ServiceConfig:
         self.segment_bytes = segment_bytes
         self.checkpoint_every = checkpoint_every
         self.keep_checkpoints = keep_checkpoints
+        #: When set, a telemetry HTTP endpoint (/metrics + /healthz) is
+        #: served on this port from a side thread (0 = ephemeral).
+        self.metrics_host = metrics_host
+        self.metrics_port = metrics_port
+        #: Requests slower than this many milliseconds are captured (with
+        #: their span tree) into the slow-query log; None disables it.
+        self.slow_ms = slow_ms
+        self.slowlog_capacity = slowlog_capacity
+        self.slowlog_path = slowlog_path
 
 
 class QueryService:
@@ -126,6 +151,15 @@ class QueryService:
         self.plans = PreparedQueryCache(self.config.plan_cache_size)
         self.results = ResultCache(self.config.result_cache_size)
         self.traces = obs.TraceRing(self.config.trace_ring_size)
+        self.slowlog = SlowQueryLog(
+            threshold_ms=self.config.slow_ms,
+            capacity=self.config.slowlog_capacity,
+            path=self.config.slowlog_path,
+        )
+        # Per-predicate store statistics (fact counts, churn, view
+        # maintenance cost) are published into the exposition registry as
+        # scrape-time collectors — no bookkeeping on the request path.
+        self.metrics.exposition.collector(self._store_families)
         self._detach = self.results.attach(self.store)
         self._views = None  # lazily-created ViewManager
         # One relational encoding of the graph per store version, shared by
@@ -147,26 +181,41 @@ class QueryService:
         started = time.perf_counter()
         self.metrics.request_started()
         phases = []
+        # Slow-request context: the op handlers drop the version, cache
+        # disposition, fingerprint and (when tracing ran) the span tree in
+        # here so the finally block can build a slowlog entry.
+        ctx = {}
+        # Every request runs under a correlation ID; the network server
+        # sets one in the worker thread, so this only assigns for direct
+        # in-process callers (tests, benchmarks, the shell).
+        rid_token = None
+        if logs.get_request_id() is None:
+            rid_token = logs.set_request_id(logs.new_request_id())
         try:
             if op == "ping":
                 return {"result": {"pong": True}, "version": self.store.version}
             if op == "stats":
                 return {"result": self.stats(), "version": self.store.version}
             if op == "update":
-                return self._execute_update(message)
+                return self._execute_update(message, ctx)
             if op in _QUERY_OPS:
-                return self._execute_query(op, message, phases)
+                return self._execute_query(op, message, phases, ctx)
             if op in ("explain", "profile"):
                 return self._execute_explain(message)
             if op == "checkpoint":
                 return self._execute_checkpoint()
+            if op == "slowlog":
+                return self._execute_slowlog(message)
             raise ProtocolError(f"unknown op {op!r}")
         finally:
-            self.metrics.request_completed(
-                op, time.perf_counter() - started, phases
-            )
+            elapsed = time.perf_counter() - started
+            self.metrics.request_completed(op, elapsed, phases)
+            if self.slowlog.should_record(elapsed * 1000.0):
+                self._record_slow(op, elapsed * 1000.0, ctx)
+            if rid_token is not None:
+                logs.reset_request_id(rid_token)
 
-    def _execute_query(self, op, message, phases):
+    def _execute_query(self, op, message, phases, ctx):
         text = message.get("query")
         if not isinstance(text, str) or not text.strip():
             raise ProtocolError(f"op {op!r} needs a non-empty 'query' string")
@@ -182,6 +231,8 @@ class QueryService:
         t1 = time.perf_counter()
         version, graph = self.store.snapshot_versioned()
         key = result_key(plan.fingerprint, params)
+        ctx["version"] = version
+        ctx["fingerprint"] = plan.fingerprint
 
         cached = self.results.get(key, version)
         t2 = time.perf_counter()
@@ -190,11 +241,23 @@ class QueryService:
         if cached is not None:
             payload, encoded_size = cached
             self.metrics.incr("result_cache.hits")
+            ctx["cache"] = "hit"
             self._check_budgets(payload["count"], encoded_size, max_rows, max_bytes)
             return {"result": payload, "version": version, "cache": "hit"}
 
         self.metrics.incr("result_cache.misses")
-        relations = plan.evaluate(graph, self._edb_for(version, graph), params)
+        ctx["cache"] = "miss"
+        edb = self._edb_for(version, graph)
+        if self.slowlog.enabled:
+            # Only the miss path is traced: a cache hit does no evaluation
+            # work, so it cannot be meaningfully slow, and tracing it would
+            # tax the ~12µs hot path the result cache exists to protect.
+            with obs.tracing(op, version=version, fingerprint=plan.fingerprint) as tr:
+                with tr.span("evaluate"):
+                    relations = plan.evaluate(graph, edb, params)
+            ctx["trace"] = tr.root
+        else:
+            relations = plan.evaluate(graph, edb, params)
         t3 = time.perf_counter()
         total = sum(len(rows) for rows in relations.values())
         payload = {
@@ -274,11 +337,65 @@ class QueryService:
         self.metrics.incr("checkpoints.requested")
         return {"result": info, "version": self.store.version}
 
-    def _execute_update(self, message):
+    def _execute_slowlog(self, message):
+        """Return the most recent slow-query records (newest first)."""
+        limit = message.get("limit")
+        if limit is not None and (
+            isinstance(limit, bool) or not isinstance(limit, int) or limit < 0
+        ):
+            raise ProtocolError(f"'limit' must be a non-negative integer, got {limit!r}")
+        return {
+            "result": {
+                "entries": self.slowlog.snapshot(limit),
+                "stats": self.slowlog.stats(),
+            },
+            "version": self.store.version,
+        }
+
+    def _record_slow(self, op, elapsed_ms, ctx):
+        """Capture one over-threshold request into the slow-query log."""
+        entry = {
+            "request_id": logs.get_request_id(),
+            "op": op,
+            "elapsed_ms": round(elapsed_ms, 3),
+            "threshold_ms": self.slowlog.threshold_ms,
+            "version": ctx.get("version"),
+            "cache": ctx.get("cache"),
+            "fingerprint": ctx.get("fingerprint"),
+        }
+        root = ctx.get("trace")
+        if root is not None:
+            entry["trace"] = root.to_dict()
+        self.slowlog.record(entry)
+        self.metrics.incr("slowlog.recorded")
+        logger.warning(
+            "slow %s request took %.1fms (threshold %.1fms)",
+            op,
+            elapsed_ms,
+            self.slowlog.threshold_ms,
+            extra={"op": op, "elapsed_ms": round(elapsed_ms, 3)},
+        )
+
+    def _execute_update(self, message, ctx):
         nodes = message.get("nodes") or []
         edges = message.get("edges") or []
         if not nodes and not edges:
             raise ProtocolError("op 'update' needs 'nodes' and/or 'edges'")
+        if self.slowlog.enabled:
+            with obs.tracing("update", nodes=len(nodes), edges=len(edges)) as tr:
+                with tr.span("commit"):
+                    self._apply_update(nodes, edges)
+            ctx["trace"] = tr.root
+        else:
+            self._apply_update(nodes, edges)
+        ctx["version"] = self.store.version
+        self.metrics.incr("updates.committed")
+        return {
+            "result": {"added_nodes": len(nodes), "added_edges": len(edges)},
+            "version": self.store.version,
+        }
+
+    def _apply_update(self, nodes, edges):
         session = self.store.session()
         with session.transaction() as txn:
             for entry in nodes:
@@ -300,11 +417,6 @@ class QueryService:
                         f"edge entries are [source, label, target]; got {entry!r}"
                     ) from None
                 txn.add_edge(source, target, label)
-        self.metrics.incr("updates.committed")
-        return {
-            "result": {"added_nodes": len(nodes), "added_edges": len(edges)},
-            "version": self.store.version,
-        }
 
     # -------------------------------------------------------------- helpers
 
@@ -369,11 +481,90 @@ class QueryService:
             "plan_cache": self.plans.stats(),
             "result_cache": result_cache,
             "traces": self.traces.stats(),
+            "slowlog": self.slowlog.stats(),
             "store": store_stats,
         }
         if self._views is not None:
             stats["views"] = self._views.stats()
         return stats
+
+    def health(self):
+        """The ``/healthz`` document: ``status`` is ``"ok"`` or ``"degraded"``.
+
+        Degraded means the durability layer reports trouble — it is closed
+        (writes would fail) or recovery truncated a torn WAL tail.  A
+        purely in-memory service is always ok.
+        """
+        doc = {
+            "status": "ok",
+            "version": self.store.version,
+            "in_flight": self.metrics.in_flight,
+        }
+        if self.durability is not None:
+            info = self.durability.health_info()
+            doc["durability"] = info
+            if not info["ok"]:
+                doc["status"] = "degraded"
+        return doc
+
+    def prometheus_text(self):
+        """The full exposition document served at ``/metrics``."""
+        return self.metrics.render_prometheus()
+
+    def _store_families(self):
+        """Scrape-time collector: per-predicate store statistics, store
+        size gauges, and per-view maintenance cost."""
+        predicates = self.store.predicate_stats()
+        facts = MetricFamily(
+            "repro_store_facts", "gauge", "Committed facts per predicate"
+        )
+        churn_rows = MetricFamily(
+            "repro_store_churn_rows_total",
+            "counter",
+            "Delta rows inserted+deleted per predicate since start",
+        )
+        churn_commits = MetricFamily(
+            "repro_store_churn_commits_total",
+            "counter",
+            "Commits whose delta touched each predicate",
+        )
+        for name, info in sorted(predicates.items()):
+            label = {"predicate": name}
+            facts.add_sample(info["facts"], label)
+            churn_rows.add_sample(info["churn_rows"], label)
+            churn_commits.add_sample(info["churn_commits"], label)
+        version, graph = self.store.snapshot_versioned()
+        families = [
+            facts,
+            churn_rows,
+            churn_commits,
+            MetricFamily(
+                "repro_store_version", "gauge", "Committed store version"
+            ).add_sample(version),
+            MetricFamily(
+                "repro_store_nodes", "gauge", "Nodes in the committed graph"
+            ).add_sample(graph.node_count()),
+            MetricFamily(
+                "repro_store_edges", "gauge", "Edges in the committed graph"
+            ).add_sample(graph.edge_count()),
+        ]
+        if self._views is not None:
+            cost = MetricFamily(
+                "repro_view_maintenance_seconds_total",
+                "counter",
+                "Cumulative maintenance time per materialized view",
+            )
+            updates = MetricFamily(
+                "repro_view_updates_total",
+                "counter",
+                "Incremental maintenance runs per materialized view",
+            )
+            for name, view_stats in self._views.stats()["views"].items():
+                label = {"view": name}
+                cost.add_sample(view_stats["maintenance_ms"] / 1000.0, label)
+                updates.add_sample(view_stats["incremental_updates"], label)
+            families.extend([cost, updates])
+        return families
 
     def close(self):
         """Detach the commit hook and flush/close durability (idempotent)."""
@@ -394,8 +585,11 @@ class ServiceServer:
         self._executor = None
         self._thread = None
         self._loop = None
+        self._telemetry = None
         self.host = self.config.host
         self.port = self.config.port
+        #: Bound telemetry port once started (None when not configured).
+        self.metrics_port = None
 
     # --------------------------------------------------------------- async
 
@@ -410,6 +604,16 @@ class ServiceServer:
             limit=protocol.MAX_REQUEST_BYTES,
         )
         self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        if self.config.metrics_port is not None and self._telemetry is None:
+            from repro.obs.export import TelemetryHTTPServer
+
+            self._telemetry = TelemetryHTTPServer(
+                self.service.prometheus_text,
+                self.service.health,
+                host=self.config.metrics_host,
+                port=self.config.metrics_port,
+            ).start()
+            self.metrics_port = self._telemetry.port
         return self
 
     async def serve_forever(self):
@@ -419,6 +623,9 @@ class ServiceServer:
             await self._server.serve_forever()
 
     async def aclose(self):
+        if self._telemetry is not None:
+            self._telemetry.stop()
+            self._telemetry = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -471,14 +678,22 @@ class ServiceServer:
             timeout = message.get("timeout", self.config.timeout)
             loop = asyncio.get_running_loop()
             submitted = time.perf_counter()
+            # The correlation ID is minted on the event loop but must be
+            # bound inside the worker closure: contextvars do not propagate
+            # into run_in_executor threads on their own.
+            rid = logs.new_request_id()
 
             def run():
-                # Time spent queued behind busy workers, measured from the
-                # worker thread the moment it picks the request up.
-                self.service.metrics.observe_phase(
-                    "queue_wait", time.perf_counter() - submitted
-                )
-                return self.service.execute(message)
+                token = logs.set_request_id(rid)
+                try:
+                    # Time spent queued behind busy workers, measured from
+                    # the worker thread the moment it picks the request up.
+                    self.service.metrics.observe_phase(
+                        "queue_wait", time.perf_counter() - submitted
+                    )
+                    return self.service.execute(message)
+                finally:
+                    logs.reset_request_id(token)
 
             future = loop.run_in_executor(self._executor, run)
             try:

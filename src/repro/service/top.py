@@ -1,0 +1,164 @@
+"""``repro top`` — a live terminal dashboard over the service ``stats`` op.
+
+Polls a running service and renders QPS (from request-counter deltas
+between polls), per-op and per-phase latency quantiles, cache hit rates,
+the in-flight gauge, WAL fsync latency, durable-state counters, the
+highest-churn predicates, and slow-query log occupancy.  Pure text — the
+screen is cleared with ANSI codes only when stdout is a TTY, so piping a
+single iteration into a file or a test stays clean.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_ms(value):
+    return "-" if value is None else f"{value:9.3f}"
+
+
+def _rate(hits, misses):
+    total = hits + misses
+    return f"{hits / total:6.1%}" if total else "     -"
+
+
+class TopDashboard:
+    """Render loop over a :class:`~repro.service.client.ServiceClient`."""
+
+    def __init__(self, client, interval=2.0, out=None):
+        self.client = client
+        self.interval = interval
+        self.out = out if out is not None else sys.stdout
+        self._last_requests = None
+        self._last_time = None
+
+    # ------------------------------------------------------------- polling
+
+    def run(self, iterations=None):
+        """Poll and redraw until *iterations* (None = until interrupted)."""
+        remaining = iterations
+        try:
+            while remaining is None or remaining > 0:
+                self.tick()
+                if remaining is not None:
+                    remaining -= 1
+                    if remaining == 0:
+                        break
+                time.sleep(self.interval)
+        except KeyboardInterrupt:
+            pass
+
+    def tick(self):
+        """One poll + redraw; returns the rendered text."""
+        stats = self.client.stats()
+        now = time.monotonic()
+        qps = self._qps(stats, now)
+        text = self.render(stats, qps)
+        if self.out.isatty():
+            self.out.write(_CLEAR)
+        self.out.write(text)
+        self.out.flush()
+        return text
+
+    def _qps(self, stats, now):
+        counters = stats.get("metrics", {}).get("counters", {})
+        total = sum(
+            value for name, value in counters.items() if name.startswith("requests.")
+        )
+        qps = None
+        if self._last_requests is not None and now > self._last_time:
+            qps = (total - self._last_requests) / (now - self._last_time)
+        self._last_requests = total
+        self._last_time = now
+        return qps
+
+    # ----------------------------------------------------------- rendering
+
+    def render(self, stats, qps=None):
+        metrics = stats.get("metrics", {})
+        lines = []
+
+        store = stats.get("store", {})
+        qps_text = "-" if qps is None else f"{qps:.1f}"
+        lines.append(
+            f"repro top — version {store.get('version', '?')}  "
+            f"qps {qps_text}  in-flight {metrics.get('in_flight', 0)}  "
+            f"nodes {store.get('nodes', '?')}  edges {store.get('edges', '?')}"
+        )
+        lines.append("")
+
+        lines.append("requests            count       p50ms     p95ms     p99ms     maxms")
+        for op, entry in sorted(metrics.get("latency", {}).items()):
+            lines.append(
+                f"  {op:<16} {entry['count']:>8}   "
+                f"{_fmt_ms(entry.get('p50_ms'))} {_fmt_ms(entry.get('p95_ms'))} "
+                f"{_fmt_ms(entry.get('p99_ms'))} {_fmt_ms(entry.get('max_ms'))}"
+            )
+        lines.append("")
+
+        lines.append("phases              count       p50ms     p99ms   totalms")
+        for phase, entry in sorted(metrics.get("phases", {}).items()):
+            lines.append(
+                f"  {phase:<16} {entry['count']:>8}   "
+                f"{_fmt_ms(entry.get('p50_ms'))} {_fmt_ms(entry.get('p99_ms'))} "
+                f"{_fmt_ms(entry.get('total_ms'))}"
+            )
+        lines.append("")
+
+        plan = stats.get("plan_cache", {})
+        result = stats.get("result_cache", {})
+        lines.append(
+            f"caches    plan {plan.get('size', 0)}/{plan.get('capacity', 0)} "
+            f"hit {_rate(plan.get('hits', 0), plan.get('misses', 0)).strip()}    "
+            f"result {result.get('size', 0)}/{result.get('capacity', 0)} "
+            f"hit {_rate(result.get('hits', 0), result.get('misses', 0)).strip()} "
+            f"(delta-reuse {result.get('delta_reuse_hits', 0)})"
+        )
+
+        durability = store.get("durability")
+        if durability:
+            wal = durability.get("wal", {})
+            checkpoint = durability.get("checkpoint", {})
+            fsync = metrics.get("phases", {}).get("wal.fsync", {})
+            fsync_text = (
+                f"fsync p50 {_fmt_ms(fsync.get('p50_ms')).strip()}ms "
+                f"p99 {_fmt_ms(fsync.get('p99_ms')).strip()}ms"
+                if fsync
+                else "fsync -"
+            )
+            lines.append(
+                f"wal       appends {wal.get('appends', 0)}  "
+                f"bytes {wal.get('bytes', 0)}  segments {wal.get('segments', 0)}  "
+                f"ckpt v{checkpoint.get('last_version', 0)}  {fsync_text}"
+            )
+
+        predicates = store.get("predicates") or {}
+        if predicates:
+            lines.append("")
+            lines.append("top predicates       facts    churn rows  commits")
+            ranked = sorted(
+                predicates.items(),
+                key=lambda kv: (kv[1]["churn_rows"], kv[1]["facts"]),
+                reverse=True,
+            )
+            for name, info in ranked[:10]:
+                lines.append(
+                    f"  {name:<16} {info['facts']:>9}   {info['churn_rows']:>9}  "
+                    f"{info['churn_commits']:>7}"
+                )
+
+        slowlog = stats.get("slowlog") or {}
+        if slowlog:
+            threshold = slowlog.get("threshold_ms")
+            threshold_text = "off" if threshold is None else f"{threshold}ms"
+            lines.append("")
+            lines.append(
+                f"slowlog   threshold {threshold_text}  "
+                f"held {slowlog.get('size', 0)}/{slowlog.get('capacity', 0)}  "
+                f"recorded {slowlog.get('recorded', 0)}"
+            )
+
+        return "\n".join(lines) + "\n"

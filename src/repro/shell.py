@@ -12,6 +12,8 @@ answers.  Commands:
     explain anc(ann, bob)              derivation tree of one answer
     trace                              evaluate under tracing; show spans,
                                        per-stratum iterations, delta sizes
+    slowlog [THRESHOLD_MS|off]         show slow evaluations, or set the
+                                       threshold (e.g. 'slowlog 5')
     load FILE                          load a Datalog fact file
     rpq REGEX [SOURCE]                 regular path query over the graph
     facts [predicate]                  list stored facts
@@ -29,6 +31,7 @@ testable.
 from __future__ import annotations
 
 import sys
+import time
 
 from repro.core.dsl import parse_graphical_query
 from repro.core.engine import GraphLogEngine
@@ -46,9 +49,13 @@ class ShellSession:
     """State + command interpreter for the interactive shell."""
 
     def __init__(self):
+        from repro.obs.slowlog import SlowQueryLog
+
         self.database = Database()
         self.graphs = []
         self._buffer = []  # pending multi-line define
+        # Local slow-query log: off until 'slowlog THRESHOLD_MS' arms it.
+        self.slowlog = SlowQueryLog(threshold_ms=None, capacity=32)
 
     # ---------------------------------------------------------------- state
 
@@ -61,9 +68,33 @@ class ShellSession:
 
     def _evaluate(self):
         query = self.query
-        if query is None:
-            return self.database.copy()
-        return self._engine().run(query, self.database)
+        if not self.slowlog.enabled:
+            if query is None:
+                return self.database.copy()
+            return self._engine().run(query, self.database)
+        from repro import obs
+        from repro.obs import logs
+
+        started = time.perf_counter()
+        with logs.request_context() as rid:
+            with obs.tracing("shell.run") as tr:
+                if query is None:
+                    result = self.database.copy()
+                else:
+                    result = self._engine().run(query, self.database)
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            if self.slowlog.should_record(elapsed_ms):
+                self.slowlog.record(
+                    {
+                        "request_id": rid,
+                        "op": "run",
+                        "elapsed_ms": round(elapsed_ms, 3),
+                        "threshold_ms": self.slowlog.threshold_ms,
+                        "trace": tr.root.to_dict(),
+                        "text": tr.root.render().rstrip(),
+                    }
+                )
+        return result
 
     # -------------------------------------------------------------- execute
 
@@ -115,6 +146,8 @@ class ShellSession:
             return self._explain(rest)
         if command == "trace":
             return self._trace()
+        if command == "slowlog":
+            return self._slowlog(rest)
         if command == "load":
             return self._load(rest)
         if command == "rpq":
@@ -210,6 +243,32 @@ class ShellSession:
         with obs.tracing("trace") as tr:
             self._engine().run(query, self.database)
         return tr.root.render().rstrip()
+
+    def _slowlog(self, rest):
+        if rest:
+            if rest in ("off", "none"):
+                self.slowlog.threshold_ms = None
+                return "slowlog disabled"
+            try:
+                threshold = float(rest)
+            except ValueError:
+                return "usage: slowlog [THRESHOLD_MS|off]"
+            if threshold < 0:
+                return "usage: slowlog [THRESHOLD_MS|off]"
+            self.slowlog.threshold_ms = threshold
+            return f"slowlog armed: evaluations over {threshold:g}ms are recorded"
+        if not self.slowlog.enabled:
+            return "slowlog is off; 'slowlog 5' records evaluations slower than 5ms"
+        entries = self.slowlog.snapshot(10)
+        if not entries:
+            return f"slowlog empty (threshold {self.slowlog.threshold_ms:g}ms)"
+        blocks = []
+        for entry in entries:
+            blocks.append(
+                f"{entry['elapsed_ms']:.1f}ms (threshold {entry['threshold_ms']:g}ms)"
+                f"  request {entry['request_id']}\n{entry['text']}"
+            )
+        return "\n\n".join(blocks)
 
     def _load(self, path):
         if not path:

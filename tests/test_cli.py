@@ -133,3 +133,93 @@ class TestNewCommands:
 
         graph = load_graph(out_path)
         assert graph.edge_count() == 2  # two descendant edges
+
+
+class TestTelemetryCommands:
+    @pytest.fixture()
+    def live_server(self):
+        from repro.service.server import ServiceConfig, ServiceServer
+
+        srv = ServiceServer(
+            config=ServiceConfig(port=0, workers=2, timeout=10.0, slow_ms=0.0)
+        ).start_background()
+        yield srv
+        srv.stop()
+
+    def test_top_single_iteration(self, capsys, live_server):
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(port=live_server.port) as c:
+            c.update(edges=[["a", "link", "b"]])
+            c.datalog("hop(X, Y) :- link(X, Y).", predicate="hop")
+        assert main(
+            ["top", "--port", str(live_server.port), "--iterations", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro top — version 1" in out
+        assert "requests" in out and "caches" in out
+        assert "link" in out  # churned predicate made the ranking
+        assert "slowlog" in out
+        assert "\x1b[" not in out  # no ANSI clears when stdout is captured
+
+    def test_call_slowlog(self, capsys, live_server):
+        import json
+
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(port=live_server.port) as c:
+            c.datalog("hop(X, Y) :- link(X, Y).", predicate="hop")
+        assert main(
+            [
+                "call",
+                "slowlog",
+                "--port",
+                str(live_server.port),
+                "--limit",
+                "5",
+            ]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["result"]["stats"]["enabled"] is True
+        assert doc["result"]["entries"]
+        assert doc["result"]["entries"][0]["request_id"]
+
+    def test_metrics_port_serves_exposition(self):
+        import urllib.request
+
+        from repro.service.server import ServiceConfig, ServiceServer
+
+        srv = ServiceServer(
+            config=ServiceConfig(port=0, workers=2, metrics_port=0)
+        ).start_background()
+        try:
+            assert srv.metrics_port
+            body = (
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{srv.metrics_port}/metrics", timeout=5
+                )
+                .read()
+                .decode()
+            )
+            assert "repro_store_version 0" in body
+        finally:
+            srv.stop()
+
+    def test_log_flags_configure_handler(self, tmp_path, facts_file):
+        import logging
+
+        package_logger = logging.getLogger("repro")
+        before = list(package_logger.handlers)
+        try:
+            out_path = tmp_path / "g.json"
+            args = ["--log-json", "--log-level", "debug", "export", facts_file, str(out_path)]
+            assert main(args) == 0
+            added = [
+                h for h in package_logger.handlers
+                if getattr(h, "_repro_cli_handler", False)
+            ]
+            assert len(added) == 1
+            assert package_logger.level == logging.DEBUG
+        finally:
+            package_logger.handlers = before
+            package_logger.setLevel(logging.NOTSET)

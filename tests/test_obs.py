@@ -270,3 +270,403 @@ class TestExplainOp:
         for name in ("plan", "cache_lookup", "evaluate", "encode"):
             assert phases[name]["count"] >= 1
             assert phases[name]["total_ms"] >= 0
+
+
+# --------------------------------------------------------------------------
+# Telemetry: histograms, typed registry, exposition, logs, slowlog, export
+# --------------------------------------------------------------------------
+
+import io
+import logging
+import math
+import re
+import urllib.error
+import urllib.request
+
+from repro.obs.export import TelemetryHTTPServer
+from repro.obs.logs import (
+    JsonLogFormatter,
+    RequestIdFilter,
+    get_request_id,
+    new_request_id,
+    request_context,
+)
+from repro.obs.metrics import (
+    CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramData,
+    MetricFamily,
+    Registry,
+    escape_label_value,
+)
+from repro.obs.slowlog import SlowQueryLog
+
+#: One exposition line: comment, or `name{labels} value`.
+_HELP_OR_TYPE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\")*\})?"
+    r" (?:-?[0-9.eE+-]+|NaN|\+Inf|-Inf)$"
+)
+
+
+def lint_exposition(text):
+    """Assert every line of *text* is valid text exposition format 0.0.4."""
+    assert text.endswith("\n")
+    for line in text.rstrip("\n").splitlines():
+        assert _HELP_OR_TYPE.match(line) or _SAMPLE.match(line), f"bad line: {line!r}"
+
+
+class TestHistogramData:
+    def test_empty(self):
+        hist = HistogramData()
+        assert hist.count == 0
+        assert hist.quantile(0.5) is None
+
+    def test_single_sample_is_every_quantile(self):
+        hist = HistogramData()
+        hist.observe(0.002)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(0.002)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        hist = HistogramData()
+        hist.observe(0.004)
+        hist.observe(0.006)
+        # Raw interpolation inside the (0.005, 0.01] bucket would say
+        # 0.0095; the clamp pins the estimate to the true max.
+        assert hist.quantile(0.95) == pytest.approx(0.006)
+        assert hist.quantile(0.05) == pytest.approx(0.004)
+
+    def test_quantile_accuracy_on_uniform_samples(self):
+        hist = HistogramData()
+        for i in range(1, 1001):
+            hist.observe(i / 1000.0)  # 1ms .. 1s
+        # Bucketed estimates land within the owning bucket of the truth.
+        assert hist.quantile(0.5) == pytest.approx(0.5, rel=0.3)
+        assert hist.quantile(0.99) == pytest.approx(0.99, rel=0.3)
+
+    def test_merge(self):
+        a, b = HistogramData(), HistogramData()
+        for v in (0.001, 0.002):
+            a.observe(v)
+        for v in (0.1, 0.2):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.sum == pytest.approx(0.303)
+        assert a.min == pytest.approx(0.001)
+        assert a.max == pytest.approx(0.2)
+
+    def test_merge_bounds_mismatch(self):
+        with pytest.raises(ValueError):
+            HistogramData().merge(HistogramData(bounds=(1.0, 2.0)))
+
+    def test_infinity_bucket(self):
+        hist = HistogramData(bounds=(1.0,))
+        hist.observe(50.0)
+        assert hist.counts[-1] == 1
+        assert hist.quantile(0.99) == pytest.approx(50.0)
+
+    def test_cumulative_buckets_end_with_inf(self):
+        hist = HistogramData(bounds=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        buckets = hist.cumulative_buckets()
+        assert buckets[0] == (1.0, 1)
+        assert buckets[-1][0] == math.inf
+        assert buckets[-1][1] == 2
+
+
+class TestTypedRegistry:
+    def test_counter_monotonic(self):
+        registry = Registry()
+        counter = Counter("t_requests_total", "help", registry=registry)
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge(self):
+        gauge = Gauge("t_depth")
+        gauge.set(7)
+        gauge.dec(2)
+        assert gauge.value == 5
+
+    def test_labeled_children(self):
+        counter = Counter("t_ops_total", labelnames=("op",))
+        counter.labels("read").inc()
+        counter.labels("read").inc()
+        counter.labels(op="write").inc()
+        family = counter.collect()
+        values = {tuple(sorted(s[1].items())): s[2] for s in family.samples}
+        assert values[(("op", "read"),)] == 2
+        assert values[(("op", "write"),)] == 1
+
+    def test_label_arity_checked(self):
+        counter = Counter("t_ops_total", labelnames=("op",))
+        with pytest.raises(ValueError):
+            counter.labels()
+        with pytest.raises(ValueError):
+            counter.labels("a", "b")
+        with pytest.raises(ValueError):
+            counter.inc()  # labeled instrument needs .labels()
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad-name")
+        with pytest.raises(ValueError):
+            Counter("ok_name", labelnames=("bad-label",))
+        with pytest.raises(ValueError):
+            MetricFamily("x", "nonsense")
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry()
+        Counter("t_dup", registry=registry)
+        with pytest.raises(ValueError):
+            Counter("t_dup", registry=registry)
+
+    def test_collector_callback(self):
+        registry = Registry()
+        registry.collector(
+            lambda: [MetricFamily("t_facts", "gauge").add_sample(3, {"p": "edge"})]
+        )
+        text = registry.render()
+        assert 't_facts{p="edge"} 3' in text
+        lint_exposition(text)
+
+
+class TestExposition:
+    def test_label_escaping(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        family = MetricFamily("t_esc", "gauge")
+        family.add_sample(1, {"k": 'quo"te\nnl\\slash'})
+        rendered = family.render()
+        assert '"quo\\"te\\nnl\\\\slash"' in rendered
+        lint_exposition(rendered + "\n")
+
+    def test_histogram_rendering(self):
+        registry = Registry()
+        hist = Histogram(
+            "t_seconds", "help text", labelnames=("op",), registry=registry,
+            buckets=(0.1, 1.0),
+        )
+        hist.labels("q").observe(0.05)
+        hist.labels("q").observe(5.0)
+        text = registry.render()
+        assert 't_seconds_bucket{le="0.1",op="q"} 1' in text
+        assert 't_seconds_bucket{le="+Inf",op="q"} 2' in text
+        assert 't_seconds_count{op="q"} 2' in text
+        assert "# TYPE t_seconds histogram" in text
+        lint_exposition(text)
+
+    def test_full_registry_lints(self):
+        registry = Registry()
+        Counter("t_total", "with help", registry=registry).inc()
+        Gauge("t_gauge", registry=registry).set(-2.5)
+        Histogram("t_hist", registry=registry, buckets=(0.5,)).observe(0.1)
+        lint_exposition(registry.render())
+
+    def test_empty_registry_renders_empty(self):
+        assert Registry().render() == ""
+
+
+class TestStructuredLogs:
+    def test_request_context(self):
+        assert get_request_id() is None
+        with request_context() as rid:
+            assert get_request_id() == rid
+            with request_context("override") as inner:
+                assert inner == "override"
+                assert get_request_id() == "override"
+            assert get_request_id() == rid
+        assert get_request_id() is None
+
+    def test_request_ids_unique(self):
+        ids = {new_request_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_json_formatter_fields(self):
+        logger = logging.getLogger("repro.test.json")
+        record = logger.makeRecord(
+            logger.name, logging.WARNING, __file__, 1,
+            "something %s", ("happened",), None,
+            extra={"predicate": "edge"},
+        )
+        RequestIdFilter().filter(record)
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert payload["message"] == "something happened"
+        assert payload["level"] == "WARNING"
+        assert payload["logger"] == "repro.test.json"
+        assert payload["request_id"] == "-"
+        assert payload["predicate"] == "edge"
+
+    def test_json_formatter_carries_ambient_request_id(self):
+        logger = logging.getLogger("repro.test.json")
+        with request_context("rid-42"):
+            record = logger.makeRecord(
+                logger.name, logging.INFO, __file__, 1, "hi", (), None
+            )
+            RequestIdFilter().filter(record)
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert payload["request_id"] == "rid-42"
+
+    def test_json_formatter_exception(self):
+        logger = logging.getLogger("repro.test.json")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            import sys as _sys
+
+            record = logger.makeRecord(
+                logger.name, logging.ERROR, __file__, 1, "failed", (), _sys.exc_info()
+            )
+        RequestIdFilter().filter(record)
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert "ValueError: boom" in payload["exc"]
+
+    def test_request_id_not_inherited_by_executor_threads(self):
+        # contextvars do NOT flow into plain threads — this pins the fact
+        # the service works around by binding the ID inside the worker.
+        seen = {}
+
+        def worker():
+            seen["ambient"] = get_request_id()
+
+        with request_context("outer"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["ambient"] is None
+
+    def test_configure_logging_idempotent(self):
+        from repro.obs.logs import configure_logging
+
+        package_logger = logging.getLogger("repro")
+        before = list(package_logger.handlers)
+        try:
+            stream = io.StringIO()
+            configure_logging(level="info", json_output=True, stream=stream)
+            configure_logging(level="info", json_output=True, stream=stream)
+            added = [
+                h for h in package_logger.handlers
+                if getattr(h, "_repro_cli_handler", False)
+            ]
+            assert len(added) == 1
+            assert package_logger.propagate  # caplog & embedders still see records
+            logging.getLogger("repro.test.configured").info("ping")
+            payload = json.loads(stream.getvalue().strip().splitlines()[-1])
+            assert payload["message"] == "ping"
+        finally:
+            package_logger.handlers = before
+            package_logger.setLevel(logging.NOTSET)
+
+    def test_configure_logging_rejects_unknown_level(self):
+        from repro.obs.logs import configure_logging
+
+        with pytest.raises(ValueError):
+            configure_logging(level="loud")
+
+
+class TestSlowQueryLog:
+    def test_disabled_by_default(self):
+        log = SlowQueryLog()
+        assert not log.enabled
+        assert not log.should_record(10_000.0)
+
+    def test_threshold_zero_records_everything(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        assert log.enabled
+        assert log.should_record(0.0)
+
+    def test_ring_bounded(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=3)
+        for i in range(5):
+            log.record({"op": "q", "i": i})
+        entries = log.snapshot()
+        assert [e["i"] for e in entries] == [4, 3, 2]  # newest first
+        assert log.stats()["recorded"] == 5
+        assert log.stats()["size"] == 3
+
+    def test_snapshot_limit(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        for i in range(4):
+            log.record({"i": i})
+        assert [e["i"] for e in log.snapshot(2)] == [3, 2]
+
+    def test_jsonl_file(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(threshold_ms=0.0, path=str(path))
+        log.record({"op": "q", "elapsed_ms": 12.5})
+        log.record({"op": "r", "elapsed_ms": 7.5})
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["op"] for e in lines] == ["q", "r"]
+        assert all("ts" in e for e in lines)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+
+class TestTelemetryEndpoint:
+    def _get(self, port, path):
+        return urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=5)
+
+    def test_metrics_and_healthz(self):
+        registry = Registry()
+        Counter("t_live_total", "alive", registry=registry).inc()
+        endpoint = TelemetryHTTPServer(
+            registry.render, lambda: {"status": "ok"}, port=0
+        ).start()
+        try:
+            resp = self._get(endpoint.port, "/metrics")
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == CONTENT_TYPE
+            body = resp.read().decode()
+            assert "t_live_total 1" in body
+            lint_exposition(body)
+            health = self._get(endpoint.port, "/healthz")
+            assert health.status == 200
+            assert json.loads(health.read())["status"] == "ok"
+        finally:
+            endpoint.stop()
+
+    def test_healthz_degraded_is_503(self):
+        endpoint = TelemetryHTTPServer(
+            lambda: "", lambda: {"status": "degraded", "reason": "wal closed"}, port=0
+        ).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._get(endpoint.port, "/healthz")
+            assert excinfo.value.code == 503
+            assert json.loads(excinfo.value.read())["status"] == "degraded"
+        finally:
+            endpoint.stop()
+
+    def test_health_callback_error_is_503(self):
+        def boom():
+            raise RuntimeError("sensor failure")
+
+        endpoint = TelemetryHTTPServer(lambda: "", boom, port=0).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._get(endpoint.port, "/healthz")
+            assert excinfo.value.code == 503
+            assert "sensor failure" in json.loads(excinfo.value.read())["error"]
+        finally:
+            endpoint.stop()
+
+    def test_unknown_path_404(self):
+        endpoint = TelemetryHTTPServer(lambda: "", lambda: {"status": "ok"}, port=0).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._get(endpoint.port, "/nope")
+            assert excinfo.value.code == 404
+        finally:
+            endpoint.stop()

@@ -665,3 +665,209 @@ class TestDurableService:
         service = QueryService(config=self.durable_config(tmp_path))
         service.close()
         service.close()
+
+
+class TestTelemetry:
+    """Prometheus endpoint, request IDs, slow-query log over the wire."""
+
+    _SAMPLE_LINE = __import__("re").compile(
+        r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?"
+        r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.eE+-]+|NaN|\+Inf|-Inf))$"
+    )
+
+    def _traced_server(self, **overrides):
+        params = dict(
+            port=0, workers=2, timeout=10.0, metrics_port=0, slow_ms=0.0
+        )
+        params.update(overrides)
+        return ServiceServer(
+            store=flights_store(), config=ServiceConfig(**params)
+        ).start_background()
+
+    def test_scrape_is_valid_exposition(self):
+        import urllib.request
+
+        srv = self._traced_server()
+        try:
+            assert srv.metrics_port  # ephemeral port was bound and published
+            with ServiceClient(port=srv.port) as c:
+                c.update(edges=[["zrh", "hop", "muc"]])
+                c.datalog(CONN_PROGRAM, predicate="conn")
+                c.datalog(CONN_PROGRAM, predicate="conn")  # cache hit
+            body = (
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{srv.metrics_port}/metrics", timeout=5
+                )
+                .read()
+                .decode()
+            )
+            for line in body.rstrip("\n").splitlines():
+                assert self._SAMPLE_LINE.match(line), f"bad line: {line!r}"
+            # The acceptance quartet: latency histogram, cache counters,
+            # WAL-less fsync series absent, per-predicate fact gauges.
+            assert 'repro_request_seconds_bucket{le="+Inf",op="datalog"}' in body
+            assert "repro_result_cache_hits_total" in body
+            assert 'repro_store_facts{predicate="from"}' in body
+            assert 'repro_requests_total{op="update"} 1' in body
+            assert 'repro_store_churn_rows_total{predicate="hop"} 1' in body
+        finally:
+            srv.stop()
+
+    def test_healthz_ok_over_http(self):
+        import json as _json
+        import urllib.request
+
+        srv = self._traced_server()
+        try:
+            resp = urllib.request.urlopen(
+                f"http://127.0.0.1:{srv.metrics_port}/healthz", timeout=5
+            )
+            assert resp.status == 200
+            doc = _json.loads(resp.read())
+            assert doc["status"] == "ok"
+            assert "in_flight" in doc
+        finally:
+            srv.stop()
+
+    def test_wal_fsync_histogram_exported(self, tmp_path):
+        srv = ServiceServer(
+            config=ServiceConfig(
+                port=0,
+                workers=2,
+                timeout=10.0,
+                data_dir=str(tmp_path),
+                fsync="always",
+                metrics_port=0,
+            )
+        ).start_background()
+        try:
+            with ServiceClient(port=srv.port) as c:
+                c.update(edges=[["a", "link", "b"]])
+            body = srv.service.prometheus_text()
+            assert "repro_wal_fsync_seconds_count 1" in body
+            assert 'repro_phase_seconds_bucket{le="+Inf",phase="wal.fsync"} 1' in body
+        finally:
+            srv.stop()
+
+    def test_health_degraded_after_durability_close(self, tmp_path):
+        service = QueryService(
+            config=ServiceConfig(port=0, data_dir=str(tmp_path), fsync="always")
+        )
+        try:
+            service.execute({"op": "update", "edges": [["a", "link", "b"]]})
+            assert service.health()["status"] == "ok"
+            service.durability.close()
+            doc = service.health()
+            assert doc["status"] == "degraded"
+            assert doc["durability"]["closed"] is True
+        finally:
+            service.close()
+
+    def test_slowlog_wire_op_carries_trace_and_request_id(self):
+        import io
+        import json as _json
+        import logging
+
+        from repro.obs.logs import JsonLogFormatter, RequestIdFilter
+
+        # Capture the server's slow-request WARNINGs as JSON, the way the
+        # CLI handler would, so the request_id stamped in the worker
+        # thread is observable.
+        stream = io.StringIO()
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(JsonLogFormatter())
+        handler.addFilter(RequestIdFilter())
+        server_logger = logging.getLogger("repro.service.server")
+        server_logger.addHandler(handler)
+        srv = self._traced_server()
+        try:
+            with ServiceClient(port=srv.port) as c:
+                c.datalog(CONN_PROGRAM, predicate="conn")
+                doc = c.slowlog()
+            entries = doc["entries"]
+            assert doc["stats"]["enabled"] is True
+            assert entries, "slow_ms=0.0 must record every request"
+            entry = entries[0]
+            assert entry["op"] == "datalog"
+            assert entry["threshold_ms"] == 0.0
+            assert entry["elapsed_ms"] >= 0.0
+            # The cache-miss evaluation captured its span tree.
+            traced = [e for e in entries if e.get("trace")]
+            assert traced
+            assert traced[0]["trace"]["name"] == "datalog"
+            names = [child["name"] for child in traced[0]["trace"]["children"]]
+            assert "evaluate" in names
+            # Every recorded entry has a request id, and the JSON log line
+            # for the same request carries the identical id.
+            logged = [
+                _json.loads(line) for line in stream.getvalue().splitlines()
+            ]
+            logged_ids = {rec["request_id"] for rec in logged}
+            assert "-" not in logged_ids
+            for e in entries:
+                assert e["request_id"] in logged_ids
+        finally:
+            server_logger.removeHandler(handler)
+            srv.stop()
+
+    def test_request_ids_distinct_across_executor_threads(self):
+        srv = self._traced_server(workers=4)
+        try:
+            errors = []
+
+            def hammer():
+                try:
+                    with ServiceClient(port=srv.port) as c:
+                        for _ in range(3):
+                            c.ping()
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            entries = srv.service.slowlog.snapshot()
+            ids = [e["request_id"] for e in entries]
+            assert len(ids) >= 12
+            assert len(set(ids)) == len(ids), "request ids must be unique"
+        finally:
+            srv.stop()
+
+    def test_slowlog_op_validates_limit(self, client):
+        with pytest.raises(ProtocolError):
+            client.call("slowlog", limit=-1)
+        with pytest.raises(ProtocolError):
+            client.call("slowlog", limit="ten")
+        # Disabled by default on the shared server: empty but well-formed.
+        doc = client.slowlog()
+        assert doc["entries"] == []
+        assert doc["stats"]["enabled"] is False
+
+    def test_snapshot_has_p99(self):
+        registry = MetricsRegistry()
+        registry.observe_latency("rpq", 0.002)
+        registry.observe_phase("evaluate", 0.004)
+        snapshot = registry.snapshot()
+        assert snapshot["latency"]["rpq"]["p99_ms"] == pytest.approx(2.0)
+        assert snapshot["phases"]["evaluate"]["p99_ms"] == pytest.approx(4.0)
+
+    def test_store_predicate_stats_track_churn(self):
+        store = HAMStore()
+        session = store.session()
+        with session.transaction() as txn:
+            txn.add_edge("a", "b", "link")
+            txn.add_edge("b", "c", "link")
+        with session.transaction() as txn:
+            txn.add_edge("c", "d", "rel")
+        stats = store.predicate_stats()
+        assert stats["link"]["facts"] == 2
+        assert stats["link"]["churn_rows"] == 2
+        assert stats["link"]["churn_commits"] == 1
+        assert stats["rel"]["churn_commits"] == 1
+        top = store.predicate_stats(top=1)
+        assert list(top) == ["link"]
+        # And stats() carries the ranked summary for `repro top`.
+        assert store.stats()["predicates"]["link"]["facts"] == 2

@@ -181,3 +181,32 @@ class TestReplLoop:
         out = capsys.readouterr().out
         assert "defined anc" in out
         assert "bob" in out
+
+
+class TestSlowlogCommand:
+    def test_off_by_default(self, session):
+        assert "off" in session.execute("slowlog")
+
+    def test_arm_record_show(self, session):
+        session.execute("parent(ann, bob).")
+        session.execute("define (X) -[anc]-> (Y) { (X) -[parent+]-> (Y); }")
+        assert "armed" in session.execute("slowlog 0")
+        session.execute("run anc")
+        out = session.execute("slowlog")
+        assert "request" in out  # entry header carries the request id
+        assert "shell.run" in out  # rendered span tree
+        assert "threshold 0ms" in out
+
+    def test_disarm(self, session):
+        session.execute("slowlog 5")
+        assert "disabled" in session.execute("slowlog off")
+        assert "off" in session.execute("slowlog")
+
+    def test_bad_threshold_is_usage(self, session):
+        assert session.execute("slowlog fast").startswith("usage:")
+        assert session.execute("slowlog -1").startswith("usage:")
+
+    def test_armed_but_empty(self, session):
+        assert "armed" in session.execute("slowlog 5000")
+        # Nothing crossed the threshold yet, so the log reports emptiness.
+        assert "empty" in session.execute("slowlog")
