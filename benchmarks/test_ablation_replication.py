@@ -1,0 +1,190 @@
+"""abl10: aggregate read throughput vs replica count (0 / 1 / 2).
+
+The replication design claim: read capacity scales with replicas because
+each replica is its own process with its own event loop — the primary's
+single asyncio loop is the single-node read ceiling, and WAL shipping
+moves read work off it entirely.  This benchmark boots real server
+subprocesses (one primary, then one and two replicas of it), preloads a
+chain graph, and measures aggregate hot-read QPS from a fixed pool of
+client threads spread across the read backends.  Hot read = the same
+datalog transitive-closure request repeatedly, so after the first request
+each backend serves result-cache hits and the per-request cost is the
+wire/serialization work every deployment pays.
+
+Clients send pre-serialized request bytes and count response lines
+without decoding them: the point is to saturate the servers, not the
+client's JSON parser.  Headline bound (the acceptance criterion): with
+two replicas, aggregate read QPS is at least **1.8x** the single-node
+(replica-less, primary-only) figure, best of repeated rounds.
+
+The bound is a claim about parallel hardware — three busy processes
+(client, two replicas) cannot outrun one on a single core, they just
+time-slice it.  On boxes with fewer than four usable cores the benchmark
+still runs every scenario and reports the table (so the cluster is
+exercised end to end), but the scaling assertion is skipped.
+"""
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from conftest import report
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LISTEN = re.compile(r"listening on [\d.]+:(\d+)")
+
+CHAIN = 60
+CLIENT_THREADS = 4
+#: Cores this process may use: client + primary + 2 replicas need real
+#: parallelism before aggregate QPS can scale, hence the 4-core floor.
+CORES = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+ROUND_SECONDS = 1.2
+ROUNDS = 3
+PROGRAM = "tc(X,Y) :- e(X,Y).\ntc(X,Y) :- tc(X,Z), e(Z,Y)."
+REQUEST = (
+    json.dumps({"id": 1, "op": "datalog", "program": PROGRAM, "predicate": "tc"})
+    + "\n"
+).encode()
+
+
+def spawn_serve(*args):
+    env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise AssertionError(f"server exited before listening (rc={process.poll()})")
+        match = LISTEN.search(line)
+        if match:
+            return process, int(match.group(1))
+    process.kill()
+    raise AssertionError("server never reported its port")
+
+
+def preload(port):
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(port=port, timeout=30) as client:
+        client.update(edges=[[f"n{i}", "e", f"n{i + 1}"] for i in range(CHAIN)])
+        return client.stats()["store"]["version"]
+
+
+def wait_converged(port, version, timeout=30):
+    from repro.service.client import ServiceClient
+
+    deadline = time.monotonic() + timeout
+    with ServiceClient(port=port, timeout=10) as client:
+        while time.monotonic() < deadline:
+            if client.stats()["replication"]["applied_version"] == version:
+                return
+            time.sleep(0.05)
+    raise AssertionError(f"replica :{port} never reached version {version}")
+
+
+def read_loop(port, stop, counts, index):
+    """Hot-read ping-pong on one raw connection; counts responses only."""
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        reader = sock.makefile("rb")
+        done = 0
+        while not stop.is_set():
+            sock.sendall(REQUEST)
+            if not reader.readline():
+                raise AssertionError("server closed the connection mid-benchmark")
+            done += 1
+        counts[index] = done
+
+
+def measure_qps(backend_ports):
+    """Best-of-rounds aggregate QPS from CLIENT_THREADS across backends."""
+    best = 0.0
+    for _ in range(ROUNDS):
+        stop = threading.Event()
+        counts = [0] * CLIENT_THREADS
+        threads = [
+            threading.Thread(
+                target=read_loop,
+                args=(backend_ports[i % len(backend_ports)], stop, counts, i),
+                daemon=True,
+            )
+            for i in range(CLIENT_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        started = time.perf_counter()
+        time.sleep(ROUND_SECONDS)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        elapsed = time.perf_counter() - started
+        best = max(best, sum(counts) / elapsed)
+    return best
+
+
+def test_abl10_read_qps_scales_with_replicas():
+    processes = []
+    try:
+        primary, primary_port = spawn_serve()
+        processes.append(primary)
+        version = preload(primary_port)
+
+        replica_ports = []
+        for _ in range(2):
+            process, port = spawn_serve(
+                "--replica-of", f"127.0.0.1:{primary_port}", "--repl-wait-ms", "500"
+            )
+            processes.append(process)
+            wait_converged(port, version)
+            replica_ports.append(port)
+
+        scenarios = [
+            ("0 (primary only)", [primary_port]),
+            ("1", replica_ports[:1]),
+            ("2", replica_ports),
+        ]
+        results = []
+        for label, ports in scenarios:
+            results.append((label, measure_qps(ports)))
+
+        baseline = results[0][1]
+        report(
+            f"abl10: aggregate hot-read QPS vs replica count ({CORES} cores)",
+            [
+                (label, f"{qps:9.0f}", f"{qps / baseline:5.2f}x")
+                for label, qps in results
+            ],
+            header=("replicas", "qps", "vs single-node"),
+        )
+        # Every scenario must actually have served traffic, cores or not.
+        for label, qps in results:
+            assert qps > 0, f"no reads completed with replicas={label}"
+        if CORES < 4:
+            pytest.skip(
+                f"read-scaling bound needs >= 4 usable cores, have {CORES}; "
+                "cluster exercised and QPS table reported above"
+            )
+        two_replica = results[2][1]
+        assert two_replica >= 1.8 * baseline, (
+            f"2-replica read QPS {two_replica:.0f} is below 1.8x the "
+            f"single-node {baseline:.0f}"
+        )
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.kill()
+            process.wait(timeout=30)
+            process.stdout.close()

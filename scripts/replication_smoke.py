@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""CI smoke test for the replication subsystem.
+
+Boots one primary, two replicas, and one router — all as real
+subprocesses, exactly as an operator would — then asserts the two
+properties the subsystem promises:
+
+- **read-your-writes through the router**: a write followed immediately
+  by a read on the same router connection sees the written data, even
+  though the read is served by a replica that may not have applied the
+  commit yet when the read arrives (the router attaches a min-version
+  token; the replica waits).
+- **bounded convergence**: shortly after the write burst stops, every
+  replica reports ``lag_versions == 0`` and the exact primary version.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/replication_smoke.py
+
+Exits non-zero (with a diagnostic on stderr) on any failure.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+LISTEN = re.compile(r"listening on [\d.]+:(\d+)")
+
+WRITES = 30
+CONVERGE_SECONDS = 30
+
+PROCS = []
+
+
+def fail(message):
+    sys.stderr.write(f"replication_smoke: FAIL: {message}\n")
+    for proc in PROCS:
+        if proc.poll() is None:
+            proc.kill()
+    sys.exit(1)
+
+
+def spawn(*args):
+    """Start a ``repro`` subcommand; returns (process, announced port)."""
+    env = dict(os.environ, PYTHONPATH=os.path.join(ROOT, "src"), PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        cwd=ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    PROCS.append(proc)
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            fail(f"{args[0]} exited before listening (rc={proc.poll()})")
+        sys.stdout.write(line)
+        match = LISTEN.search(line)
+        if match:
+            return proc, int(match.group(1))
+    fail(f"{args[0]} never announced its port")
+
+
+def main():
+    from repro.errors import ReadOnlyError
+    from repro.service.client import ServiceClient
+
+    _primary, primary_port = spawn("serve", "--port", "0")
+    address = f"127.0.0.1:{primary_port}"
+    replica_ports = []
+    for _ in range(2):
+        _proc, port = spawn(
+            "serve", "--port", "0", "--replica-of", address,
+            "--repl-wait-ms", "500", "--version-wait-ms", "5000",
+        )
+        replica_ports.append(port)
+    _router, router_port = spawn(
+        "route", "--port", "0", "--primary", address,
+        *(arg for port in replica_ports for arg in ("--replica", f"127.0.0.1:{port}")),
+    )
+
+    program = "tc(X,Y) :- e(X,Y).\ntc(X,Y) :- tc(X,Z), e(Z,Y)."
+    with ServiceClient(port=router_port, timeout=30) as client:
+        # Write burst through the router; after every single write, a read
+        # on the same connection must already see it (read-your-writes).
+        for i in range(WRITES):
+            version = client.update(edges=[[f"n{i}", "e", f"n{i + 1}"]])
+            if version != i + 1:
+                fail(f"write {i} acknowledged version {version}, expected {i + 1}")
+            rows = client.datalog(program)["tc"]
+            if (f"n{i}", f"n{i + 1}") not in rows:
+                fail(f"read after write {i} is missing edge n{i}->n{i + 1}")
+        if ("n0", f"n{WRITES}") not in client.datalog(program)["tc"]:
+            fail("transitive closure over the full chain is missing")
+
+    # Writes sent straight to a replica must be rejected with the typed error.
+    with ServiceClient(port=replica_ports[0], timeout=10) as reader:
+        try:
+            reader.update(edges=[["x", "e", "y"]])
+        except ReadOnlyError as exc:
+            if address not in str(exc):
+                fail(f"read_only error does not name the primary: {exc}")
+        else:
+            fail("replica accepted a write")
+
+    # Both replicas converge to the primary's exact version with zero lag.
+    deadline = time.time() + CONVERGE_SECONDS
+    for port in replica_ports:
+        with ServiceClient(port=port, timeout=10) as reader:
+            while True:
+                status = reader.stats()["replication"]
+                if (
+                    status["applied_version"] == WRITES
+                    and status["lag_versions"] == 0
+                ):
+                    break
+                if time.time() > deadline:
+                    fail(f"replica :{port} stuck at {status}")
+                time.sleep(0.1)
+
+    for proc in PROCS:
+        proc.terminate()
+    for proc in PROCS:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    print(
+        f"replication_smoke: OK ({WRITES} read-your-writes round trips, "
+        f"2 replicas converged, replica rejected the write)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,11 @@ Commands:
 - ``optimize PROGRAM.dl``      dedupe/inline/prune a Datalog program
 - ``magic PROGRAM.dl GOAL``    goal-directed (magic sets) evaluation
 - ``export DATA.dl OUT.json``  convert a fact file to a JSON graph
-- ``serve``                    run the concurrent query service (TCP server)
+- ``serve``                    run the concurrent query service (TCP server);
+                               ``--replica-of HOST:PORT`` makes it a read-only
+                               replica of a running primary
+- ``route``                    read/write router: writes to the primary, reads
+                               fanned across replicas (read-your-writes kept)
 - ``call OP [ARG]``            send one request to a running server
 - ``top``                      live terminal dashboard over a running server
 - ``explain QUERY.gl``         trace a query end to end (parse, translate,
@@ -171,6 +175,10 @@ def cmd_serve(args):
         slow_ms=args.slow_ms,
         slowlog_capacity=args.slowlog_capacity,
         slowlog_path=args.slowlog_file,
+        replica_of=args.replica_of,
+        repl_wait_ms=args.repl_wait_ms,
+        repl_max_lag=args.max_lag,
+        version_wait_ms=args.version_wait_ms,
     )
     # With --data-dir the service recovers the store from disk; --data then
     # only seeds a store that recovered empty (a fresh data directory).
@@ -182,8 +190,9 @@ def cmd_serve(args):
     async def _run():
         await server.start()
         durable = f", data dir {args.data_dir} (fsync={args.fsync})" if args.data_dir else ""
+        role = f", replica of {args.replica_of}" if args.replica_of else ""
         print(f"repro service listening on {server.host}:{server.port} "
-              f"(store version {store.version}{durable})", flush=True)
+              f"(store version {store.version}{durable}{role})", flush=True)
         if server.metrics_port is not None:
             print(f"telemetry on http://{args.metrics_host}:{server.metrics_port}"
                   f"/metrics (and /healthz)", flush=True)
@@ -195,6 +204,33 @@ def cmd_serve(args):
         print("shutting down")
     finally:
         server.service.close()
+    return 0
+
+
+def cmd_route(args):
+    import time as _time
+
+    from repro.replication.router import RouterServer
+
+    router = RouterServer(
+        args.primary,
+        args.replica,
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+        retries=args.retries,
+        eject_seconds=args.eject_seconds,
+    ).start()
+    replicas = ", ".join(args.replica) if args.replica else "(none)"
+    print(f"repro router listening on {router.host}:{router.port} "
+          f"(primary {args.primary}, replicas {replicas})", flush=True)
+    try:
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        router.stop()
     return 0
 
 
@@ -394,7 +430,39 @@ def build_parser():
                          help="slow-query ring capacity")
     p_serve.add_argument("--slowlog-file", default=None,
                          help="also append slow-query records to this JSONL file")
+    p_serve.add_argument("--replica-of", default=None, metavar="HOST:PORT",
+                         help="run as a read-only replica of this primary: "
+                              "bootstrap from its newest checkpoint, tail its "
+                              "WAL, reject writes (incompatible with --data-dir)")
+    p_serve.add_argument("--repl-wait-ms", type=int, default=2000,
+                         help="replica: tail long-poll bound asked of the "
+                              "primary when caught up")
+    p_serve.add_argument("--max-lag", type=int, default=None,
+                         help="replica: /healthz turns 503 when more than this "
+                              "many versions behind the primary")
+    p_serve.add_argument("--version-wait-ms", type=int, default=2000,
+                         help="bound on waiting for a read's min_version "
+                              "before failing replica_stale")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_route = sub.add_parser(
+        "route", help="read/write router over a primary and its replicas"
+    )
+    p_route.add_argument("--primary", required=True, metavar="HOST:PORT",
+                         help="the write target (and read fallback)")
+    p_route.add_argument("--replica", action="append", default=[],
+                         metavar="HOST:PORT",
+                         help="read target (repeatable); reads round-robin "
+                              "across healthy replicas")
+    p_route.add_argument("--host", default="127.0.0.1")
+    p_route.add_argument("--port", type=int, default=7470)
+    p_route.add_argument("--timeout", type=float, default=30.0,
+                         help="per-backend call timeout in seconds")
+    p_route.add_argument("--retries", type=int, default=1,
+                         help="backend connect/send retries per request")
+    p_route.add_argument("--eject-seconds", type=float, default=2.0,
+                         help="how long a failed backend sits out of rotation")
+    p_route.set_defaults(func=cmd_route)
 
     p_call = sub.add_parser("call", help="send one request to a running server")
     p_call.add_argument("op", choices=("graphlog", "datalog", "rpq", "update",

@@ -119,3 +119,25 @@ class ResultTooLarge(ServiceError):
     """A result exceeded the configured row or byte budget."""
 
     code = "result_too_large"
+
+
+class ReadOnlyError(ServiceError):
+    """A write was sent to a read-only (replica) service.
+
+    Carries the primary's address in :attr:`primary` when the replica knows
+    it, so routers can redirect instead of failing.
+    """
+
+    code = "read_only"
+
+    def __init__(self, message, primary=None):
+        super().__init__(message)
+        self.primary = primary
+
+
+class ReplicaStale(ServiceError):
+    """A read carried ``min_version`` and the replica could not catch up to
+    it within its bounded wait; the caller should retry against the primary
+    (or another replica)."""
+
+    code = "replica_stale"

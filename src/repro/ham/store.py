@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 import logging
 import threading
+import time
 from collections import defaultdict
 
 from repro.errors import StoreError, TransactionError
@@ -226,6 +227,12 @@ class HAMStore:
         self._churn_commits = defaultdict(int)
         self._version = 0
         self._lock = threading.Lock()
+        # Signaled (under self._lock) whenever the committed version moves:
+        # min-version reads and replication long-polls wait on it.
+        self._version_cond = threading.Condition(self._lock)
+        # Replicas reject client writes; replication applies through
+        # apply_replicated(), which bypasses this guard.
+        self._read_only = False
         # History truncation point: self._log holds only records with
         # version > _base_version; _base_graph is the graph at exactly
         # _base_version, the replay base for graph_at().
@@ -298,6 +305,7 @@ class HAMStore:
             self._log = list(records)
             self._base_graph = base_graph if base_graph is not None else LabeledMultigraph()
             self._base_version = base_version if base_version is not None else 0
+            self._version_cond.notify_all()
 
     # ------------------------------------------------------------ sessions
 
@@ -312,6 +320,10 @@ class HAMStore:
         # typed fact-level delta, computed against pre-operation state.
         from repro.ham.delta import compute_delta
 
+        if self._read_only:
+            raise StoreError(
+                "store is read-only (replica); writes must go to the primary"
+            )
         staged = self.graph.copy()
         try:
             delta = compute_delta(staged, ops)
@@ -336,22 +348,42 @@ class HAMStore:
                     raise TransactionError(
                         f"commit aborted: WAL append failed: {exc}"
                     ) from exc
-            self.graph = staged
-            self._version = record.version
-            self._next_txn_id = record.txn_id + 1
-            self._last_txn_id = record.txn_id
-            self._log.append(record)
-            if delta is not None:
-                for predicate in delta.touched_predicates():
-                    self._churn_commits[predicate] += 1
-                for predicate, rows in delta.insertions.items():
-                    self._churn_rows[predicate] += len(rows)
-                for predicate, rows in delta.deletions.items():
-                    self._churn_rows[predicate] += len(rows)
-            # Snapshot under the lock: subscribe() may run concurrently, and
-            # iterating the live list while it mutates skips or doubles
-            # callbacks.
-            subscribers = tuple(self._subscribers)
+            subscribers = self._install_locked(record, staged)
+        self._dispatch_subscribers(subscribers, record)
+        if self._durability is not None:
+            self._durability.maybe_checkpoint()
+        return record
+
+    def _install_locked(self, record, staged):
+        """Make one committed record current (caller holds ``self._lock``).
+
+        Swaps the graph in wholesale, advances version/txn counters, appends
+        to the retained log, folds the delta into churn accounting, wakes
+        version waiters, and returns the subscriber snapshot to dispatch
+        after the lock is released.  Shared by the local commit path and the
+        replication apply path so a replicated commit is indistinguishable
+        from a local one to every downstream consumer.
+        """
+        self.graph = staged
+        self._version = record.version
+        self._next_txn_id = max(self._next_txn_id, record.txn_id + 1)
+        self._last_txn_id = record.txn_id
+        self._log.append(record)
+        delta = record.delta
+        if delta is not None:
+            for predicate in delta.touched_predicates():
+                self._churn_commits[predicate] += 1
+            for predicate, rows in delta.insertions.items():
+                self._churn_rows[predicate] += len(rows)
+            for predicate, rows in delta.deletions.items():
+                self._churn_rows[predicate] += len(rows)
+        self._version_cond.notify_all()
+        # Snapshot under the lock: subscribe() may run concurrently, and
+        # iterating the live list while it mutates skips or doubles
+        # callbacks.
+        return tuple(self._subscribers)
+
+    def _dispatch_subscribers(self, subscribers, record):
         for callback in subscribers:
             try:
                 callback(record)
@@ -361,9 +393,99 @@ class HAMStore:
                 logger.exception(
                     "commit subscriber %r failed for version %d", callback, record.version
                 )
-        if self._durability is not None:
-            self._durability.maybe_checkpoint()
+
+    # ----------------------------------------------------------- replication
+
+    def set_read_only(self, read_only=True):
+        """Reject client commits (replicas set this; see
+        :mod:`repro.replication`).  :meth:`apply_replicated` still works —
+        it *is* the replication write path."""
+        self._read_only = bool(read_only)
+
+    @property
+    def read_only(self):
+        return self._read_only
+
+    def apply_replicated(self, record):
+        """Apply one replicated :class:`TransactionRecord` (as decoded from
+        the primary's WAL stream) to this store.
+
+        Mirrors :meth:`_apply_commit` — ops replay onto a staged copy that
+        is swapped in wholesale, subscribers (views, result caches) are
+        notified per record — so replica state evolves exactly the way crash
+        recovery rebuilds it.  Records must arrive in version order;
+        anything else raises :class:`StoreError` (the applier re-bootstraps
+        on divergence rather than guessing).
+        """
+        staged = self.graph.copy()
+        try:
+            for op in record.operations:
+                op.apply(staged)
+        except (KeyError, StoreError) as exc:
+            raise StoreError(
+                f"cannot apply replicated version {record.version}: {exc}"
+            ) from exc
+        with self._lock:
+            if record.version != self._version + 1:
+                raise StoreError(
+                    f"replicated record out of order: store at version "
+                    f"{self._version}, record carries {record.version}"
+                )
+            subscribers = self._install_locked(record, staged)
+        self._dispatch_subscribers(subscribers, record)
         return record
+
+    def replace_state(self, graph, version, last_txn_id):
+        """Discard the current state and install *graph* at *version*.
+
+        The replica re-bootstrap path: after a primary divergence (the
+        primary lost acknowledged commits in a crash, or a different primary
+        now answers at the address) the applied history is worthless and is
+        replaced wholesale.  Subscribers are *not* notified — callers must
+        reset version-scoped caches themselves (a version can regress here,
+        which would otherwise let stale cache entries stamped with a future
+        version serve wrong answers once the version climbs back).
+        """
+        with self._lock:
+            if self._durability is not None:
+                raise StoreError("cannot replace state on a durable store")
+            self.graph = graph
+            self._version = version
+            self._next_txn_id = max(self._next_txn_id, last_txn_id + 1)
+            self._last_txn_id = last_txn_id
+            self._log = []
+            self._base_graph = graph
+            self._base_version = version
+            self._version_cond.notify_all()
+
+    def wait_for_version(self, version, timeout=None):
+        """Block until the committed version reaches *version*.
+
+        Returns ``True`` once ``self.version >= version``; ``False`` when
+        *timeout* (seconds) elapses first.  Used by min-version reads
+        (read-your-writes through the router) and the primary's replication
+        long-poll.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._version_cond:
+            while self._version < version:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._version_cond.wait(remaining)
+            return True
+
+    def records_since(self, from_version):
+        """The retained commit records with ``version > from_version``.
+
+        Returns ``None`` when *from_version* predates the in-memory base
+        (the caller must fall back to the durable WAL segments); the
+        replication source uses this as its no-disk fast path.
+        """
+        with self._lock:
+            if from_version < self._base_version:
+                return None
+            return [r for r in self._log if r.version > from_version]
 
     # ------------------------------------------------------------ history
 

@@ -155,6 +155,43 @@ def latest_valid_checkpoint(data_dir):
     return None
 
 
+def latest_checkpoint_document(data_dir):
+    """Newest readable checkpoint as its raw JSON document:
+    ``(store_version, last_txn_id, graph_json, path)``.
+
+    Unlike :func:`latest_valid_checkpoint` the graph stays in its
+    serialized :func:`~repro.io.graph_to_json` form — replication bootstrap
+    ships it over the wire verbatim, so decoding it into a graph here only
+    to re-encode it would double the cost.  The document is still
+    format-checked and the name/body version mismatch rule applies.
+    Returns ``None`` when no checkpoint is readable.
+    """
+    for version, path in reversed(list_checkpoints(data_dir)):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as exc:
+            logger.warning("skipping unreadable checkpoint %s: %s", path, exc)
+            continue
+        if not isinstance(document, dict) or document.get("format") != FORMAT:
+            logger.warning("skipping checkpoint %s: not a %s document", path, FORMAT)
+            continue
+        store_version = document.get("store_version")
+        if store_version != version:
+            logger.warning(
+                "skipping checkpoint %s: name says version %d, body says %r",
+                path,
+                version,
+                store_version,
+            )
+            continue
+        if "last_txn_id" not in document or "graph" not in document:
+            logger.warning("skipping incomplete checkpoint %s", path)
+            continue
+        return store_version, document["last_txn_id"], document["graph"], path
+    return None
+
+
 def remove_old_checkpoints(data_dir, keep):
     """Delete all but the newest *keep* checkpoints; returns removed paths."""
     checkpoints = list_checkpoints(data_dir)

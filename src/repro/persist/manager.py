@@ -428,23 +428,19 @@ class DurabilityManager:
             raise StoreError(f"no checkpoint at or before version {version}")
         if current == version:
             return graph
-        for _first, path in wal.list_segments(self.wal_dir):
-            entries, _good, _corruption = wal.scan_segment(path)
-            for _offset, payload in entries:
-                if payload["version"] <= current:
-                    continue
-                if payload["version"] != current + 1:
-                    raise StoreError(
-                        f"cannot reconstruct version {version}: durable history "
-                        f"resumes at {payload['version']} after {current} (older "
-                        "segments were pruned by checkpointing)"
-                    )
+        try:
+            for record_version, payload in wal.iter_records(self.wal_dir, current):
                 record = record_from_json(payload)
                 for op in record.operations:
                     op.apply(graph)
-                current = record.version
+                current = record_version
                 if current == version:
                     return graph
+        except StoreError as exc:
+            raise StoreError(
+                f"cannot reconstruct version {version}: {exc} (older segments "
+                "were pruned by checkpointing)"
+            ) from exc
         raise StoreError(
             f"cannot reconstruct version {version}: durable history ends at {current}"
         )

@@ -81,6 +81,58 @@ def list_segments(wal_dir):
     return sorted(found)
 
 
+def select_segments(segments, start_version):
+    """The suffix of *segments* that can hold records >= *start_version*.
+
+    *segments* is ``list_segments`` output (``[(first_version, path)]``,
+    sorted).  A segment named ``first`` holds versions ``first ..
+    next_first - 1``, so it is skippable exactly when the *next* segment
+    starts at or before *start_version* — comparing ``first`` against
+    ``start_version`` directly is wrong on the boundary: when
+    ``start_version`` equals a segment's ``first_version`` the previous
+    segment holds nothing we need, and when ``start_version`` is one past a
+    segment's last record (``next_first == start_version``) that segment
+    must be skipped even though its ``first`` is smaller.
+    """
+    keep_from = 0
+    for index in range(len(segments) - 1):
+        next_first = segments[index + 1][0]
+        if next_first <= start_version:
+            keep_from = index + 1
+        else:
+            break
+    return segments[keep_from:]
+
+
+def iter_records(wal_dir, from_version=0):
+    """Yield ``(version, payload_dict)`` for every durable record with
+    ``version > from_version``, in version order.
+
+    This is the public read path over the segment files: recovery, history
+    reconstruction, and replication tailing all consume it.  Only segments
+    that can contain requested versions are scanned (see
+    :func:`select_segments`).  A torn or corrupt tail simply ends the
+    iteration — readers always see a clean prefix, mirroring recovery.
+    Raises :class:`~repro.errors.StoreError` on a version gap: the caller
+    asked for history that checkpointing has already pruned (or the log is
+    damaged), and silently skipping would yield a graph that never existed.
+    """
+    expected = from_version + 1
+    for _first, path in select_segments(list_segments(wal_dir), expected):
+        entries, _good_bytes, _corruption = scan_segment(path)
+        for _offset, payload in entries:
+            version = payload.get("version")
+            if not isinstance(version, int) or version <= from_version:
+                continue
+            if version != expected:
+                raise StoreError(
+                    f"WAL history gap: expected version {expected}, found "
+                    f"{version} in {path} (older records were pruned or lost)"
+                )
+            yield version, payload
+            expected = version + 1
+
+
 def frame(payload_bytes):
     """Wrap one encoded payload in the length + CRC32 header."""
     return _HEADER.pack(len(payload_bytes), zlib.crc32(payload_bytes)) + payload_bytes

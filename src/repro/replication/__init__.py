@@ -1,0 +1,35 @@
+"""Read-scale replication: WAL-shipping replicas behind a read/write router.
+
+Three cooperating pieces (see ``docs/REPLICATION.md`` for the full story):
+
+- :class:`~repro.replication.primary.ReplicationSource` — the primary side.
+  Serves the ``repl_bootstrap`` wire op (the newest checkpoint, or a live
+  snapshot when none exists) and the ``repl_tail`` op (commit records after
+  a given store version, long-polling when caught up).  Records come from
+  the store's retained in-memory log when possible and from the durable WAL
+  segment files otherwise — the commit path is never blocked.
+- :class:`~repro.replication.replica.ReplicaApplier` — the replica side.
+  Bootstraps, tails, and applies each record through
+  :meth:`~repro.ham.store.HAMStore.apply_replicated`, the same replay the
+  crash-recovery path uses, so replica state is bit-identical to a
+  recovered primary.  Detects primary divergence (a version regression)
+  and re-bootstraps cleanly.
+- :class:`~repro.replication.router.RoutingClient` /
+  :class:`~repro.replication.router.RouterServer` — the client side.  Fans
+  reads across replicas round-robin with health ejection, sends writes to
+  the primary, and threads a read-your-writes *min-version token*: after a
+  write, reads carry the committed version, and a replica that cannot catch
+  up within its bounded wait answers ``replica_stale`` so the router
+  retries elsewhere (ultimately the primary, which is never stale).
+"""
+
+from repro.replication.primary import ReplicationSource
+from repro.replication.replica import ReplicaApplier
+from repro.replication.router import RouterServer, RoutingClient
+
+__all__ = [
+    "ReplicationSource",
+    "ReplicaApplier",
+    "RouterServer",
+    "RoutingClient",
+]

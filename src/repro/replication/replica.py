@@ -1,0 +1,271 @@
+"""The replica side of replication: bootstrap, tail, apply, repeat.
+
+A :class:`ReplicaApplier` owns one background thread that keeps a local
+:class:`~repro.ham.store.HAMStore` converged with a primary:
+
+1. **bootstrap** — fetch the primary's ``repl_bootstrap`` document and
+   install it (:meth:`~repro.ham.store.HAMStore.restore_state` on a fresh
+   store, :meth:`~repro.ham.store.HAMStore.replace_state` on a
+   re-bootstrap).
+2. **tail** — long-poll ``repl_tail`` from the applied version and apply
+   each record through :meth:`~repro.ham.store.HAMStore.apply_replicated`,
+   which replays the same operations crash recovery replays and notifies
+   the same commit subscribers — replica caches and views stay coherent
+   exactly the way the primary's do.
+3. **diverge → re-bootstrap** — when the primary answers ``reset`` (the
+   replica is ahead because the primary lost acknowledged commits in a
+   crash, or history was pruned past the replica's position, or a
+   different primary now answers at the address) the applied state is
+   discarded wholesale and re-bootstrapped.  Version can *regress* across
+   a re-bootstrap, so registered ``on_rebootstrap`` callbacks must clear
+   version-stamped caches.
+
+Connection failures back off exponentially with jitter and never kill the
+thread; the replica keeps serving (increasingly stale) reads meanwhile,
+and ``/healthz`` turns 503 once the lag bound is exceeded.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import threading
+import time
+
+from repro.errors import ReproError, StoreError
+from repro.io import graph_from_json
+from repro.persist.serde import record_from_json
+
+logger = logging.getLogger(__name__)
+
+
+class ReplicaApplier:
+    """Tails one primary and applies its commit stream to a local store."""
+
+    def __init__(
+        self,
+        store,
+        primary_host,
+        primary_port,
+        wait_ms=2000,
+        batch=512,
+        reconnect_min=0.1,
+        reconnect_max=5.0,
+        client_timeout=30.0,
+    ):
+        self.store = store
+        self.primary_host = primary_host
+        self.primary_port = int(primary_port)
+        self.wait_ms = wait_ms
+        self.batch = batch
+        self.reconnect_min = reconnect_min
+        self.reconnect_max = reconnect_max
+        self.client_timeout = client_timeout
+        store.set_read_only(True)
+        self._client = None
+        self._thread = None
+        self._stop = threading.Event()
+        self._ready = threading.Event()
+        self._lock = threading.Lock()
+        self._connected = False
+        self._primary_version = None
+        self._records_applied = 0
+        self._bootstraps = 0
+        self._tail_errors = 0
+        self._last_error = None
+        self._last_poll_monotonic = None
+        self._on_rebootstrap = []
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def primary_address(self):
+        return f"{self.primary_host}:{self.primary_port}"
+
+    @property
+    def running(self):
+        return self._thread is not None
+
+    def on_rebootstrap(self, callback):
+        """Register a callback fired after every bootstrap that *replaced*
+        existing state (version may have regressed; clear version-stamped
+        caches here).  Returns *callback* for decorator use."""
+        self._on_rebootstrap.append(callback)
+        return callback
+
+    def start(self):
+        if self._thread is not None:
+            raise StoreError("replica applier already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-replica-applier", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        client, self._client = self._client, None
+        if client is not None:
+            # Closing the socket from here unblocks a long-poll in flight.
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - best-effort unblock
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def wait_ready(self, timeout=None):
+        """Block until the first bootstrap has been applied (or timeout);
+        returns ``True`` when the replica is serving real data."""
+        return self._ready.wait(timeout)
+
+    # ------------------------------------------------------------ main loop
+
+    def _run(self):
+        failures = 0
+        while not self._stop.is_set():
+            try:
+                client = self._ensure_client()
+                if not self._ready.is_set():
+                    self._bootstrap(client)
+                self._poll(client)
+                failures = 0
+            except (ReproError, OSError) as exc:
+                if self._stop.is_set():
+                    break
+                failures += 1
+                with self._lock:
+                    self._connected = False
+                    self._tail_errors += 1
+                    self._last_error = str(exc)
+                self._drop_client()
+                delay = min(
+                    self.reconnect_max, self.reconnect_min * (2 ** min(failures, 10))
+                )
+                delay *= 0.5 + random.random()  # full jitter: 0.5x .. 1.5x
+                logger.warning(
+                    "replica lost primary %s (%s); retrying in %.2fs",
+                    self.primary_address,
+                    exc,
+                    delay,
+                )
+                self._stop.wait(delay)
+
+    def _ensure_client(self):
+        if self._client is None:
+            from repro.service.client import ServiceClient
+
+            self._client = ServiceClient(
+                host=self.primary_host,
+                port=self.primary_port,
+                timeout=self.client_timeout,
+            )
+            with self._lock:
+                self._connected = True
+        return self._client
+
+    def _drop_client(self):
+        client, self._client = self._client, None
+        if client is not None:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - best-effort close
+                pass
+
+    # ----------------------------------------------------------- bootstrap
+
+    def _bootstrap(self, client):
+        document = client.call("repl_bootstrap")["result"]
+        graph = graph_from_json(document["graph"])
+        version = document["version"]
+        last_txn_id = document["last_txn_id"]
+        replaced = self.store.version != 0 or len(self.store.history()) > 0
+        if replaced:
+            self.store.replace_state(graph, version, last_txn_id)
+        else:
+            self.store.restore_state(
+                graph,
+                version,
+                last_txn_id,
+                base_graph=graph,
+                base_version=version,
+            )
+        with self._lock:
+            self._bootstraps += 1
+            self._primary_version = max(self._primary_version or 0, version)
+        logger.info(
+            "replica bootstrapped at version %d from %s (%s)",
+            version,
+            self.primary_address,
+            document.get("source", "?"),
+        )
+        if replaced:
+            for callback in list(self._on_rebootstrap):
+                try:
+                    callback()
+                except Exception:  # noqa: BLE001 — one bad hook must not stop the applier
+                    logger.exception("re-bootstrap callback %r failed", callback)
+        self._ready.set()
+
+    def _rebootstrap(self, reason):
+        logger.warning(
+            "replica diverged from primary %s (%s); re-bootstrapping",
+            self.primary_address,
+            reason,
+        )
+        self._ready.clear()
+        self._bootstrap(self._ensure_client())
+
+    # ---------------------------------------------------------------- tail
+
+    def _poll(self, client):
+        response = client.call(
+            "repl_tail",
+            from_version=self.store.version,
+            max_records=self.batch,
+            wait_ms=self.wait_ms,
+        )
+        body = response["result"]
+        with self._lock:
+            self._connected = True
+            self._primary_version = body["version"]
+            self._last_poll_monotonic = time.monotonic()
+        if body.get("reset"):
+            self._rebootstrap(body.get("reason", "primary signaled reset"))
+            return
+        applied = 0
+        for payload in body["records"]:
+            record = record_from_json(payload)
+            self.store.apply_replicated(record)
+            applied += 1
+        if applied:
+            with self._lock:
+                self._records_applied += applied
+
+    # ---------------------------------------------------------------- stats
+
+    def status(self):
+        """A JSON-ready snapshot for ``stats``/``/healthz``/metrics."""
+        applied = self.store.version
+        with self._lock:
+            primary_version = self._primary_version
+            lag = None if primary_version is None else max(0, primary_version - applied)
+            last_poll = self._last_poll_monotonic
+            return {
+                "role": "replica",
+                "primary": self.primary_address,
+                "connected": self._connected,
+                "bootstrapped": self._ready.is_set(),
+                "applied_version": applied,
+                "primary_version": primary_version,
+                "lag_versions": lag,
+                "records_applied": self._records_applied,
+                "bootstraps": self._bootstraps,
+                "tail_errors": self._tail_errors,
+                "last_error": self._last_error,
+                "seconds_since_poll": (
+                    None if last_poll is None else round(time.monotonic() - last_poll, 3)
+                ),
+            }

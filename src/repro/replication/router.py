@@ -1,0 +1,419 @@
+"""The read/write router: reads fan across replicas, writes hit the primary.
+
+Two entry points over the same routing core:
+
+- :class:`RoutingClient` — a drop-in :class:`~repro.service.client.
+  ServiceClient` replacement for applications.  Reads round-robin across
+  healthy replicas (with the primary as the fallback of last resort);
+  writes go to the primary and their committed version becomes the
+  client's *min-version token*: every later read carries it, so a replica
+  serving the read either proves it has caught up (waiting, bounded,
+  server-side) or answers ``replica_stale`` and the router moves on —
+  read-your-writes without pinning every read to the primary.
+- :class:`RouterServer` — ``repro route``: a JSON-lines TCP front speaking
+  the same wire protocol as the service, so any existing client gets
+  routed reads by pointing at the router instead of a server.  Each
+  connection gets its own :class:`RoutingClient`, which makes the
+  min-version token per-connection — exactly the session consistency the
+  token models.
+
+Health ejection: a backend whose connection fails (or whose client
+poisons itself mid-call) is ejected for ``eject_seconds`` and quietly
+retried after.  Server-*reported* errors (parse errors, timeouts, budget
+overruns) are the query's problem, not the backend's, and propagate
+without ejection.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import socketserver
+import threading
+import time
+
+from repro.errors import ProtocolError, ReadOnlyError, ReplicaStale, ServiceError
+from repro.service import protocol
+from repro.service.client import ServiceClient
+
+logger = logging.getLogger(__name__)
+
+#: Ops that mutate state: always primary, and their version updates the token.
+WRITE_OPS = frozenset({"update", "checkpoint"})
+
+#: Reads that fan out across replicas.
+READ_OPS = frozenset({"graphlog", "datalog", "rpq", "explain", "profile"})
+
+
+def parse_address(value, default_port=7464):
+    """``"host:port"`` (or ``(host, port)``) → ``(host, port)``."""
+    if isinstance(value, (tuple, list)):
+        host, port = value
+        return str(host), int(port)
+    text = str(value)
+    if ":" in text:
+        host, _, port = text.rpartition(":")
+        return host or "127.0.0.1", int(port)
+    return text, default_port
+
+
+class _Backend:
+    """One routable server: lazy connection + health-ejection state."""
+
+    def __init__(self, address, timeout, retries):
+        self.host, self.port = parse_address(address)
+        self.timeout = timeout
+        self.retries = retries
+        self.client = None
+        self.failures = 0
+        self.ejected_until = 0.0
+
+    @property
+    def address(self):
+        return f"{self.host}:{self.port}"
+
+    def healthy(self, now):
+        return now >= self.ejected_until
+
+    def acquire(self):
+        if self.client is None or self.client.poisoned:
+            self.drop()
+            self.client = ServiceClient(
+                host=self.host,
+                port=self.port,
+                timeout=self.timeout,
+                retries=self.retries,
+            )
+        return self.client
+
+    def drop(self):
+        client, self.client = self.client, None
+        if client is not None:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - best-effort close
+                pass
+
+    def eject(self, eject_seconds, now):
+        self.failures += 1
+        self.ejected_until = now + eject_seconds
+        self.drop()
+
+    def mark_ok(self):
+        self.failures = 0
+        self.ejected_until = 0.0
+
+
+class RoutingClient:
+    """Routes one logical client's requests across a replicated cluster.
+
+    Not thread-safe (same contract as :class:`ServiceClient`): one routing
+    client per thread/connection, which also scopes the read-your-writes
+    token correctly.
+    """
+
+    def __init__(
+        self,
+        primary,
+        replicas=(),
+        timeout=30.0,
+        retries=1,
+        eject_seconds=2.0,
+    ):
+        self.primary = _Backend(primary, timeout, retries)
+        self.replicas = [_Backend(address, timeout, retries) for address in replicas]
+        self.eject_seconds = eject_seconds
+        self._rr = itertools.count()
+        self._min_version = None
+        self.reads_routed = 0
+        self.writes_routed = 0
+        self.stale_redirects = 0
+        self.ejections = 0
+        self.primary_fallbacks = 0
+
+    # ------------------------------------------------------------- routing
+
+    @property
+    def min_version(self):
+        """The current read-your-writes token (None before the first write)."""
+        return self._min_version
+
+    def call(self, op, **payload):
+        """Route one request; returns the backend's full response dict."""
+        payload = {k: v for k, v in payload.items() if v is not None}
+        if op in WRITE_OPS:
+            return self._call_write(op, payload)
+        if op in READ_OPS:
+            return self._call_read(op, payload)
+        # Everything else (stats, ping, slowlog, repl_*) is served by the
+        # primary: those ops describe one concrete server, and the primary
+        # is the authoritative one.
+        return self._call_backend(self.primary, op, payload)
+
+    def _call_write(self, op, payload):
+        response = self._call_backend(self.primary, op, payload)
+        self.writes_routed += 1
+        version = response.get("version")
+        if version is not None:
+            self._min_version = max(self._min_version or 0, version)
+        return response
+
+    def _call_read(self, op, payload):
+        if self._min_version is not None:
+            payload.setdefault("min_version", self._min_version)
+            payload["min_version"] = max(payload["min_version"], self._min_version)
+        self.reads_routed += 1
+        now = time.monotonic()
+        candidates = self._read_candidates(now)
+        last_error = None
+        for backend in candidates:
+            try:
+                response = self._call_backend(backend, op, payload, eject_on_failure=True)
+                backend.mark_ok()
+                return response
+            except ReplicaStale as exc:
+                # The replica waited its bounded wait and is still behind:
+                # healthy, just lagging — redirect, don't eject.
+                self.stale_redirects += 1
+                last_error = exc
+            except _BackendDown as exc:
+                last_error = exc.cause
+        # Fall back to the primary, which can never be stale for a token it
+        # minted and is the last word on connectivity.
+        self.primary_fallbacks += 1
+        try:
+            return self._call_backend(self.primary, op, payload)
+        except ServiceError:
+            raise
+        except _BackendDown as exc:  # pragma: no cover - re-raise shape guard
+            raise exc.cause
+        finally:
+            if last_error is not None:
+                logger.debug("read fell back to primary after: %s", last_error)
+
+    def _read_candidates(self, now):
+        healthy = [b for b in self.replicas if b.healthy(now)]
+        if not healthy:
+            return []
+        start = next(self._rr) % len(healthy)
+        return healthy[start:] + healthy[:start]
+
+    def _call_backend(self, backend, op, payload, eject_on_failure=False):
+        try:
+            client = backend.acquire()
+            response = client.call(op, **payload)
+        except (ReplicaStale, ReadOnlyError):
+            raise
+        except ServiceError as exc:
+            if backend.client is None or backend.client.poisoned:
+                # Connection-level failure (connect refused, timeout,
+                # desync): the backend is the problem.
+                if eject_on_failure:
+                    backend.eject(self.eject_seconds, time.monotonic())
+                    self.ejections += 1
+                    raise _BackendDown(backend, exc) from exc
+                backend.drop()
+                raise
+            # The server answered with an error: the request is the
+            # problem, not the backend.
+            raise
+        return response
+
+    # ------------------------------------------------- ServiceClient facade
+
+    def graphlog(self, query, predicate=None, method=None, **limits):
+        response = self.call(
+            "graphlog", query=query, predicate=predicate, method=method, **limits
+        )
+        return _relations(response)
+
+    def datalog(self, program, predicate=None, method=None, **limits):
+        response = self.call(
+            "datalog", query=program, predicate=predicate, method=method, **limits
+        )
+        return _relations(response)
+
+    def rpq(self, regex, source=None, **limits):
+        response = self.call("rpq", query=regex, source=source, **limits)
+        return _relations(response)["answers"]
+
+    def update(self, nodes=None, edges=None):
+        return self.call("update", nodes=nodes, edges=edges)["version"]
+
+    def checkpoint(self):
+        return self.call("checkpoint")["result"]
+
+    def stats(self):
+        return self.call("stats")["result"]
+
+    def ping(self):
+        return self.call("ping")["result"]["pong"]
+
+    def router_stats(self):
+        """Routing-layer statistics (not a wire op)."""
+        now = time.monotonic()
+        return {
+            "primary": self.primary.address,
+            "replicas": [
+                {
+                    "address": b.address,
+                    "healthy": b.healthy(now),
+                    "failures": b.failures,
+                }
+                for b in self.replicas
+            ],
+            "reads_routed": self.reads_routed,
+            "writes_routed": self.writes_routed,
+            "stale_redirects": self.stale_redirects,
+            "ejections": self.ejections,
+            "primary_fallbacks": self.primary_fallbacks,
+            "min_version": self._min_version,
+        }
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self):
+        self.primary.drop()
+        for backend in self.replicas:
+            backend.drop()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+
+
+class _BackendDown(Exception):
+    """Internal: a backend failed at the connection level and was ejected."""
+
+    def __init__(self, backend, cause):
+        super().__init__(f"{backend.address}: {cause}")
+        self.backend = backend
+        self.cause = cause
+
+
+def _relations(response):
+    return {
+        name: {tuple(row) for row in rows}
+        for name, rows in response["result"]["relations"].items()
+    }
+
+
+class RouterServer:
+    """A standalone JSON-lines TCP router (``repro route``).
+
+    Accepts ordinary service-protocol connections and forwards each request
+    through a per-connection :class:`RoutingClient`.  Response ``id``s are
+    rewritten to the requesting client's ids (backends see the router's own
+    sequence numbers).
+    """
+
+    def __init__(
+        self,
+        primary,
+        replicas=(),
+        host="127.0.0.1",
+        port=0,
+        timeout=30.0,
+        retries=1,
+        eject_seconds=2.0,
+    ):
+        self.primary = primary
+        self.replicas = list(replicas)
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.eject_seconds = eject_seconds
+        self._server = None
+        self._thread = None
+        self.connections = 0
+
+    def routing_client(self):
+        return RoutingClient(
+            self.primary,
+            self.replicas,
+            timeout=self.timeout,
+            retries=self.retries,
+            eject_seconds=self.eject_seconds,
+        )
+
+    # -------------------------------------------------------------- serving
+
+    def start(self):
+        outer = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self):
+                outer.connections += 1
+                with outer.routing_client() as routing:
+                    while True:
+                        try:
+                            line = self.rfile.readline(protocol.MAX_REQUEST_BYTES)
+                        except OSError:
+                            return
+                        if not line:
+                            return
+                        if not line.strip():
+                            continue
+                        response = outer._route_line(routing, line)
+                        try:
+                            self.wfile.write(protocol.encode(response))
+                        except OSError:
+                            return
+
+        class Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = Server((self.host, self.port), Handler)
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-router", daemon=True
+        )
+        self._thread.start()
+        logger.info(
+            "router listening on %s:%d (primary %s, %d replica(s))",
+            self.host,
+            self.port,
+            parse_address(self.primary),
+            len(self.replicas),
+        )
+        return self
+
+    def _route_line(self, routing, line):
+        request_id = None
+        try:
+            try:
+                message = json.loads(line)
+            except ValueError as exc:
+                raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+            if not isinstance(message, dict):
+                raise ProtocolError("request must be a JSON object")
+            request_id = message.get("id")
+            op = message.get("op")
+            if op not in protocol.OPS:
+                raise ProtocolError(
+                    f"unknown op {op!r}; expected one of {', '.join(protocol.OPS)}"
+                )
+            payload = {k: v for k, v in message.items() if k not in ("id", "op")}
+            response = routing.call(op, **payload)
+        except ServiceError as exc:
+            return protocol.error_response(request_id, exc)
+        except Exception as exc:  # noqa: BLE001 — the router must not die mid-connection
+            logger.exception("router failed to route a request")
+            return protocol.error_response(request_id, ServiceError(str(exc)))
+        routed = dict(response)
+        routed["id"] = request_id
+        return routed
+
+    def stop(self):
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

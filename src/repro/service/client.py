@@ -6,31 +6,90 @@ exception from the service taxonomy (``QueryTimeout``, ``ResultTooLarge``,
 ``ProtocolError``, generic ``ServiceError``).  One client wraps one
 connection and is not thread-safe; concurrent callers should each open
 their own (connections are cheap, the server multiplexes them).
+
+Retries are opt-in (``retries=N``) and deliberately narrow: a failed
+*connect* and a failed *send* are retried on a fresh connection with
+exponential backoff and jitter, because in both cases the server cannot
+have executed the request (an incomplete line is never dispatched).  A
+failure after the request was fully sent — a receive timeout, a closed
+connection, a desync — is **never** retried: the server may have applied
+the request, and replaying an ``update`` would double-commit it.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import random
 import socket
+import time
 
 from repro.errors import ServiceError
 from repro.service import protocol
 
 
+class _Retryable(Exception):
+    """Internal: wraps a ServiceError that is safe to retry (the request
+    was provably not executed by the server)."""
+
+    def __init__(self, error):
+        super().__init__(str(error))
+        self.error = error
+
+
 class ServiceClient:
     """One connection to a running :class:`~repro.service.server.ServiceServer`."""
 
-    def __init__(self, host="127.0.0.1", port=7464, timeout=60.0):
+    def __init__(
+        self,
+        host="127.0.0.1",
+        port=7464,
+        timeout=60.0,
+        retries=0,
+        backoff_base=0.05,
+        backoff_max=2.0,
+    ):
         self.host = host
         self.port = port
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
         self._ids = itertools.count(1)
         self._poisoned = False
+        self._sock = None
+        self._reader = None
+        attempt = 0
+        while True:
+            try:
+                self._connect()
+                break
+            except ServiceError:
+                if attempt >= self.retries:
+                    raise
+                time.sleep(self._backoff(attempt))
+                attempt += 1
+
+    @property
+    def poisoned(self):
+        """True once the request/response stream can no longer be trusted."""
+        return self._poisoned
+
+    def _connect(self):
         try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
         except OSError as exc:
-            raise ServiceError(f"cannot connect to {host}:{port}: {exc}") from exc
+            raise ServiceError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
         self._reader = self._sock.makefile("rb")
+        self._poisoned = False
+
+    def _backoff(self, attempt):
+        delay = min(self.backoff_max, self.backoff_base * (2**attempt))
+        return delay * (0.5 + random.random())  # full jitter: 0.5x .. 1.5x
 
     # ------------------------------------------------------------------ raw
 
@@ -46,24 +105,65 @@ class ServiceClient:
         buffered on the wire, where a later call would read it and
         misattribute it — the id check alone can't save a pipelined
         sequence once the stream has slipped by one message.
+
+        With ``retries=N``, a poisoned (or never-established) connection is
+        transparently re-opened — the old stream stays dead, so no stale
+        bytes can leak — and connect/send failures are re-attempted up to N
+        times with backoff.  Failures after a complete send still surface
+        immediately (see the module docstring).
         """
-        if self._poisoned:
-            raise ServiceError(
-                "connection is poisoned by an earlier timeout or protocol "
-                "desync; open a new ServiceClient"
-            )
+        payload = {k: v for k, v in payload.items() if v is not None}
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(op, payload)
+            except _Retryable as exc:
+                if attempt >= self.retries:
+                    raise exc.error from exc.error.__cause__
+                time.sleep(self._backoff(attempt))
+                attempt += 1
+
+    def _call_once(self, op, payload):
+        if self._sock is None or self._poisoned:
+            if self.retries == 0:
+                raise ServiceError(
+                    "connection is poisoned by an earlier timeout or protocol "
+                    "desync; open a new ServiceClient"
+                )
+            try:
+                self._connect()
+            except ServiceError as exc:
+                raise _Retryable(exc) from exc
+        # Local refs: close() from another thread (to abort a long-poll)
+        # nulls the attributes; the socket errors below cover that race.
+        sock, reader = self._sock, self._reader
         request_id = next(self._ids)
         message = {"id": request_id, "op": op}
-        message.update({k: v for k, v in payload.items() if v is not None})
+        message.update(payload)
         try:
-            self._sock.sendall(protocol.encode(message))
-            line = self._reader.readline()
+            sock.sendall(protocol.encode(message))
+        except OSError as exc:
+            # Covers TimeoutError too: sendall raised, so the trailing
+            # newline never reached the wire and the server will not
+            # dispatch the partial line — safe to retry on a new socket.
+            self._poison()
+            error = ServiceError(f"connection to {self.host}:{self.port} failed: {exc}")
+            error.__cause__ = exc
+            raise _Retryable(error)
+        try:
+            line = reader.readline()
         except TimeoutError as exc:
             # socket.timeout is TimeoutError on 3.10+; catch before OSError.
             self._poison()
             raise ServiceError(
                 f"timed out waiting for {self.host}:{self.port}; connection "
                 f"closed to avoid reading the stale response later: {exc}"
+            ) from exc
+        except ValueError as exc:
+            # reader.readline() on a file object close()d mid-call.
+            self._poison()
+            raise ServiceError(
+                f"connection to {self.host}:{self.port} was closed: {exc}"
             ) from exc
         except OSError as exc:
             self._poison()
@@ -161,16 +261,43 @@ class ServiceClient:
         """
         return self.call("slowlog", limit=limit)["result"]
 
+    def repl_bootstrap(self):
+        """The server's replication bootstrap document (see
+        :meth:`repro.replication.ReplicationSource.bootstrap`)."""
+        return self.call("repl_bootstrap")["result"]
+
+    def repl_tail(self, from_version, max_records=None, wait_ms=None):
+        """Commit records after *from_version* (see
+        :meth:`repro.replication.ReplicationSource.tail`)."""
+        return self.call(
+            "repl_tail",
+            from_version=from_version,
+            max_records=max_records,
+            wait_ms=wait_ms,
+        )["result"]
+
     def ping(self):
         return self.call("ping")["result"]["pong"]
 
     # ------------------------------------------------------------ lifecycle
 
     def close(self):
+        reader, self._reader = self._reader, None
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            # shutdown() (unlike close()) reliably unblocks another thread
+            # parked in recv() on this socket — the replica applier closes
+            # its client from the stopping thread to abort a long-poll.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
         try:
-            self._reader.close()
+            if reader is not None:
+                reader.close()
         finally:
-            self._sock.close()
+            if sock is not None:
+                sock.close()
 
     def __enter__(self):
         return self

@@ -28,7 +28,14 @@ from __future__ import annotations
 import json
 import math
 
-from repro.errors import ProtocolError, QueryTimeout, ResultTooLarge, ServiceError
+from repro.errors import (
+    ProtocolError,
+    QueryTimeout,
+    ReadOnlyError,
+    ReplicaStale,
+    ResultTooLarge,
+    ServiceError,
+)
 
 #: The operations a server understands.
 OPS = (
@@ -42,6 +49,8 @@ OPS = (
     "profile",
     "checkpoint",
     "slowlog",
+    "repl_bootstrap",
+    "repl_tail",
 )
 
 #: Maximum accepted request-line length (a protocol-level DoS guard).
@@ -51,6 +60,8 @@ _CODE_TO_EXCEPTION = {
     "protocol_error": ProtocolError,
     "timeout": QueryTimeout,
     "result_too_large": ResultTooLarge,
+    "read_only": ReadOnlyError,
+    "replica_stale": ReplicaStale,
     "service_error": ServiceError,
 }
 
@@ -102,7 +113,7 @@ def validate_budgets(message):
             raise ProtocolError(
                 f"'timeout' must be a non-negative finite number, got {timeout!r}"
             )
-    for field in ("max_rows", "max_bytes"):
+    for field in ("max_rows", "max_bytes", "min_version", "from_version", "max_records", "wait_ms"):
         value = message.get(field)
         if value is not None:
             if isinstance(value, bool) or not isinstance(value, int) or value < 0:

@@ -28,7 +28,15 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro import obs
-from repro.errors import ProtocolError, QueryTimeout, ReproError, ResultTooLarge
+from repro.errors import (
+    ProtocolError,
+    QueryTimeout,
+    ReadOnlyError,
+    ReplicaStale,
+    ReproError,
+    ResultTooLarge,
+    StoreError,
+)
 from repro.ham.store import HAMStore
 from repro.obs import logs
 from repro.obs.metrics import MetricFamily
@@ -69,6 +77,10 @@ class ServiceConfig:
         "slow_ms",
         "slowlog_capacity",
         "slowlog_path",
+        "replica_of",
+        "repl_wait_ms",
+        "repl_max_lag",
+        "version_wait_ms",
     )
 
     def __init__(
@@ -93,6 +105,10 @@ class ServiceConfig:
         slow_ms=None,
         slowlog_capacity=128,
         slowlog_path=None,
+        replica_of=None,
+        repl_wait_ms=2000,
+        repl_max_lag=None,
+        version_wait_ms=2000,
     ):
         self.host = host
         self.port = port
@@ -120,6 +136,19 @@ class ServiceConfig:
         self.slow_ms = slow_ms
         self.slowlog_capacity = slowlog_capacity
         self.slowlog_path = slowlog_path
+        #: ``"host:port"`` of a primary to replicate from.  The service
+        #: becomes a read-only replica: it bootstraps and tails the primary
+        #: and rejects writes with a ``read_only`` error.
+        self.replica_of = replica_of
+        #: Long-poll bound (ms) the replica's tail requests ask the primary
+        #: to wait when the replica is caught up.
+        self.repl_wait_ms = repl_wait_ms
+        #: Replica lag (in store versions) beyond which ``/healthz`` turns
+        #: 503; None disables lag-based health (connectivity still counts).
+        self.repl_max_lag = repl_max_lag
+        #: How long (ms) a read carrying ``min_version`` may wait for this
+        #: store to catch up before failing with ``replica_stale``.
+        self.version_wait_ms = version_wait_ms
 
 
 class QueryService:
@@ -129,6 +158,11 @@ class QueryService:
         self.config = config or ServiceConfig()
         self.metrics = metrics or MetricsRegistry()
         self.durability = None
+        if self.config.replica_of and self.config.data_dir:
+            raise StoreError(
+                "replica mode is incompatible with --data-dir: a replica's "
+                "durable history is the primary's WAL, not its own"
+            )
         if self.config.data_dir:
             from repro.persist import DurabilityManager, PersistenceConfig
 
@@ -168,6 +202,37 @@ class QueryService:
         self._edb_version = None
         self._edb = None
         self._edb_lock = threading.Lock()
+        # Replication: every service can act as a replication source (an
+        # in-memory primary serves tails from the store's retained log; a
+        # durable one also serves bootstrap checkpoints and WAL history).
+        # With replica_of set, a ReplicaApplier marks the store read-only
+        # and keeps it converged with the primary; it is created here but
+        # started by the network server (or explicitly, in tests).
+        from repro.replication import ReplicaApplier, ReplicationSource
+
+        self.replication = ReplicationSource(self.store, self.durability)
+        self.applier = None
+        if self.config.replica_of:
+            from repro.replication.router import parse_address
+
+            primary_host, primary_port = parse_address(self.config.replica_of)
+            self.applier = ReplicaApplier(
+                self.store,
+                primary_host,
+                primary_port,
+                wait_ms=self.config.repl_wait_ms,
+            )
+            self.applier.on_rebootstrap(self._on_rebootstrap)
+
+    def _on_rebootstrap(self, *_args):
+        """A re-bootstrap may regress the store version; every version-stamped
+        cache must drop its entries or risk serving a *future* stamp as
+        current."""
+        self.results.clear()
+        with self._edb_lock:
+            self._edb_version = None
+            self._edb = None
+        self.metrics.incr("replication.rebootstraps")
 
     # ------------------------------------------------------------- execute
 
@@ -206,6 +271,13 @@ class QueryService:
                 return self._execute_checkpoint()
             if op == "slowlog":
                 return self._execute_slowlog(message)
+            if op == "repl_bootstrap":
+                return {
+                    "result": self.replication.bootstrap(),
+                    "version": self.store.version,
+                }
+            if op == "repl_tail":
+                return self._execute_repl_tail(message)
             raise ProtocolError(f"unknown op {op!r}")
         finally:
             elapsed = time.perf_counter() - started
@@ -215,10 +287,45 @@ class QueryService:
             if rid_token is not None:
                 logs.reset_request_id(rid_token)
 
+    def _execute_repl_tail(self, message):
+        from_version = message.get("from_version")
+        if isinstance(from_version, bool) or not isinstance(from_version, int):
+            raise ProtocolError(
+                f"op 'repl_tail' needs an integer 'from_version', got {from_version!r}"
+            )
+        body = self.replication.tail(
+            from_version,
+            max_records=message.get("max_records"),
+            wait_ms=message.get("wait_ms", 0),
+        )
+        return {"result": body, "version": self.store.version}
+
+    def _await_min_version(self, message):
+        """Session-consistency gate: a read carrying ``min_version`` waits
+        (bounded) for this store to reach it, else fails ``replica_stale``
+        so a router can redirect — read-your-writes through replicas."""
+        min_version = message.get("min_version")
+        if min_version is None:
+            return
+        if isinstance(min_version, bool) or not isinstance(min_version, int):
+            raise ProtocolError(
+                f"'min_version' must be a non-negative integer, got {min_version!r}"
+            )
+        if min_version <= self.store.version:
+            return
+        wait_ms = self.config.version_wait_ms or 0
+        if not self.store.wait_for_version(min_version, wait_ms / 1000.0):
+            self.metrics.incr("replication.stale_reads")
+            raise ReplicaStale(
+                f"store is at version {self.store.version}, read requires "
+                f"{min_version} (waited {wait_ms}ms)"
+            )
+
     def _execute_query(self, op, message, phases, ctx):
         text = message.get("query")
         if not isinstance(text, str) or not text.strip():
             raise ProtocolError(f"op {op!r} needs a non-empty 'query' string")
+        self._await_min_version(message)
         params = {k: message[k] for k in _PARAM_FIELDS if message.get(k) is not None}
         max_rows = message.get("max_rows", self.config.max_rows)
         max_bytes = message.get("max_bytes", self.config.max_bytes)
@@ -291,6 +398,7 @@ class QueryService:
         text = message.get("query")
         if not isinstance(text, str) or not text.strip():
             raise ProtocolError("op 'explain' needs a non-empty 'query' string")
+        self._await_min_version(message)
         params = {k: message[k] for k in _PARAM_FIELDS if message.get(k) is not None}
         version, graph = self.store.snapshot_versioned()
         with obs.tracing("explain", target=target, version=version) as tr:
@@ -377,6 +485,12 @@ class QueryService:
         )
 
     def _execute_update(self, message, ctx):
+        if self.store.read_only:
+            primary = self.applier.primary_address if self.applier else None
+            hint = f"; send writes to the primary at {primary}" if primary else ""
+            raise ReadOnlyError(
+                f"this service is a read-only replica{hint}", primary=primary
+            )
         nodes = message.get("nodes") or []
         edges = message.get("edges") or []
         if not nodes and not edges:
@@ -483,10 +597,25 @@ class QueryService:
             "traces": self.traces.stats(),
             "slowlog": self.slowlog.stats(),
             "store": store_stats,
+            "replication": self.replication_status(),
         }
         if self._views is not None:
             stats["views"] = self._views.stats()
         return stats
+
+    def replication_status(self):
+        """One document describing this node's replication role.
+
+        A replica reports its applier state (``role: replica``, applied
+        version, lag) with the local tail-serving counters nested under
+        ``source``; a primary reports the source counters directly.
+        """
+        source = self.replication.stats()
+        if self.applier is None:
+            return source
+        status = self.applier.status()
+        status["source"] = source
+        return status
 
     def health(self):
         """The ``/healthz`` document: ``status`` is ``"ok"`` or ``"degraded"``.
@@ -504,6 +633,15 @@ class QueryService:
             info = self.durability.health_info()
             doc["durability"] = info
             if not info["ok"]:
+                doc["status"] = "degraded"
+        if self.applier is not None:
+            status = self.applier.status()
+            doc["replication"] = status
+            max_lag = self.config.repl_max_lag
+            lag = status["lag_versions"]
+            if not status["bootstrapped"]:
+                doc["status"] = "degraded"
+            elif max_lag is not None and (lag is None or lag > max_lag):
                 doc["status"] = "degraded"
         return doc
 
@@ -548,6 +686,7 @@ class QueryService:
                 "repro_store_edges", "gauge", "Edges in the committed graph"
             ).add_sample(graph.edge_count()),
         ]
+        families.extend(self._replication_families())
         if self._views is not None:
             cost = MetricFamily(
                 "repro_view_maintenance_seconds_total",
@@ -566,8 +705,70 @@ class QueryService:
             families.extend([cost, updates])
         return families
 
+    def _replication_families(self):
+        """Scrape-time collector: replication role, lag and throughput."""
+        source = self.replication.stats()
+        families = [
+            MetricFamily(
+                "repro_repl_records_shipped_total",
+                "counter",
+                "Commit records shipped to tailing replicas",
+            ).add_sample(source["records_shipped"]),
+            MetricFamily(
+                "repro_repl_tail_requests_total",
+                "counter",
+                "repl_tail requests served",
+            ).add_sample(source["tail_requests"]),
+            MetricFamily(
+                "repro_repl_bootstraps_served_total",
+                "counter",
+                "repl_bootstrap documents served",
+            ).add_sample(source["bootstraps_served"]),
+            MetricFamily(
+                "repro_repl_resets_total",
+                "counter",
+                "Tails answered with a reset (replica must re-bootstrap)",
+            ).add_sample(source["resets_signaled"]),
+        ]
+        if self.applier is not None:
+            status = self.applier.status()
+            lag = status["lag_versions"]
+            families.extend(
+                [
+                    MetricFamily(
+                        "repro_repl_lag_versions",
+                        "gauge",
+                        "Store versions this replica is behind its primary",
+                    ).add_sample(lag if lag is not None else -1),
+                    MetricFamily(
+                        "repro_repl_applied_version",
+                        "gauge",
+                        "Last primary commit version applied locally",
+                    ).add_sample(status["applied_version"]),
+                    MetricFamily(
+                        "repro_repl_connected",
+                        "gauge",
+                        "1 when the replica's tail connection to the primary is up",
+                    ).add_sample(1 if status["connected"] else 0),
+                    MetricFamily(
+                        "repro_repl_records_applied_total",
+                        "counter",
+                        "Commit records applied from the primary",
+                    ).add_sample(status["records_applied"]),
+                    MetricFamily(
+                        "repro_repl_tail_errors_total",
+                        "counter",
+                        "Tail/bootstrap attempts that failed (connection or apply)",
+                    ).add_sample(status["tail_errors"]),
+                ]
+            )
+        return families
+
     def close(self):
-        """Detach the commit hook and flush/close durability (idempotent)."""
+        """Stop replication, detach the commit hook, and flush/close
+        durability (idempotent)."""
+        if self.applier is not None:
+            self.applier.stop()
         if self._detach is not None:
             self._detach()
             self._detach = None
@@ -614,6 +815,9 @@ class ServiceServer:
                 port=self.config.metrics_port,
             ).start()
             self.metrics_port = self._telemetry.port
+        applier = self.service.applier
+        if applier is not None and not applier.running:
+            applier.start()
         return self
 
     async def serve_forever(self):
@@ -662,11 +866,20 @@ class ServiceServer:
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
+        except asyncio.CancelledError:
+            # Shutdown cancels in-flight handler tasks (a replica's tail
+            # long-poll is routinely parked here); finishing normally keeps
+            # asyncio's connection callback from logging the cancellation.
+            pass
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover
                 pass
 
     async def _handle_request(self, line):

@@ -3,7 +3,9 @@
 Polls a running service and renders QPS (from request-counter deltas
 between polls), per-op and per-phase latency quantiles, cache hit rates,
 the in-flight gauge, WAL fsync latency, durable-state counters, the
-highest-churn predicates, and slow-query log occupancy.  Pure text — the
+highest-churn predicates, replication role and lag (replica: versions
+behind its primary; primary: tail/bootstrap traffic), and slow-query log
+occupancy.  Pure text — the
 screen is cleared with ANSI codes only when stdout is a TTY, so piping a
 single iteration into a file or a test stays clean.
 """
@@ -149,6 +151,28 @@ class TopDashboard:
                     f"  {name:<16} {info['facts']:>9}   {info['churn_rows']:>9}  "
                     f"{info['churn_commits']:>7}"
                 )
+
+        replication = stats.get("replication") or {}
+        if replication.get("role") == "replica":
+            lag = replication.get("lag_versions")
+            lag_text = "?" if lag is None else str(lag)
+            state = "connected" if replication.get("connected") else "DISCONNECTED"
+            lines.append("")
+            lines.append(
+                f"replica   of {replication.get('primary', '?')}  {state}  "
+                f"lag {lag_text} versions  "
+                f"applied v{replication.get('applied_version', '?')}  "
+                f"records {replication.get('records_applied', 0)}  "
+                f"errors {replication.get('tail_errors', 0)}"
+            )
+        elif replication.get("tail_requests") or replication.get("bootstraps_served"):
+            lines.append("")
+            lines.append(
+                f"primary   bootstraps {replication.get('bootstraps_served', 0)}  "
+                f"tails {replication.get('tail_requests', 0)}  "
+                f"shipped {replication.get('records_shipped', 0)}  "
+                f"resets {replication.get('resets_signaled', 0)}"
+            )
 
         slowlog = stats.get("slowlog") or {}
         if slowlog:
