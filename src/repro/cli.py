@@ -17,7 +17,10 @@ Commands:
                                ``--replica-of HOST:PORT`` makes it a read-only
                                replica of a running primary
 - ``route``                    read/write router: writes to the primary, reads
-                               fanned across replicas (read-your-writes kept)
+                               fanned across replicas (read-your-writes kept);
+                               fails writes over to a promoted replica
+- ``promote``                  flip a running replica into a writable primary
+                               under a fresh epoch (operator failover step)
 - ``call OP [ARG]``            send one request to a running server
 - ``top``                      live terminal dashboard over a running server
 - ``explain QUERY.gl``         trace a query end to end (parse, translate,
@@ -178,6 +181,7 @@ def cmd_serve(args):
         replica_of=args.replica_of,
         repl_wait_ms=args.repl_wait_ms,
         repl_max_lag=args.max_lag,
+        repl_disconnect_grace=args.disconnect_grace,
         version_wait_ms=args.version_wait_ms,
     )
     # With --data-dir the service recovers the store from disk; --data then
@@ -234,6 +238,20 @@ def cmd_route(args):
     return 0
 
 
+def cmd_promote(args):
+    import json
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(host=args.host, port=args.connect_port) as client:
+        result = client.promote()
+    print(json.dumps(result, indent=2, sort_keys=True))
+    print(f"promoted: {args.host}:{args.connect_port} is now a writable "
+          f"primary at version {result['applied_version']} "
+          f"(epoch {result['epoch']}, was replicating {result['promoted_from']})")
+    return 0
+
+
 def cmd_call(args):
     import json
 
@@ -268,7 +286,8 @@ def cmd_call(args):
 
     with ServiceClient(host=args.host, port=args.connect_port) as client:
         response = client.call(args.op, **payload)
-    if args.json or args.op in ("stats", "ping", "update", "profile", "checkpoint", "slowlog"):
+    if args.json or args.op in ("stats", "ping", "update", "profile", "checkpoint",
+                                "slowlog", "promote"):
         print(json.dumps(response, indent=2, sort_keys=True))
         return 0
     if args.op == "explain":
@@ -440,6 +459,10 @@ def build_parser():
     p_serve.add_argument("--max-lag", type=int, default=None,
                          help="replica: /healthz turns 503 when more than this "
                               "many versions behind the primary")
+    p_serve.add_argument("--disconnect-grace", type=float, default=10.0,
+                         help="replica: /healthz turns 503 after this many "
+                              "seconds without a successful tail poll (the "
+                              "reported lag is stale while disconnected)")
     p_serve.add_argument("--version-wait-ms", type=int, default=2000,
                          help="bound on waiting for a read's min_version "
                               "before failing replica_stale")
@@ -464,10 +487,19 @@ def build_parser():
                          help="how long a failed backend sits out of rotation")
     p_route.set_defaults(func=cmd_route)
 
+    p_promote = sub.add_parser(
+        "promote",
+        help="promote a running replica to a writable primary (fresh epoch); "
+             "make sure the old primary is actually down first",
+    )
+    p_promote.add_argument("--host", default="127.0.0.1")
+    p_promote.add_argument("--port", dest="connect_port", type=int, default=7464)
+    p_promote.set_defaults(func=cmd_promote)
+
     p_call = sub.add_parser("call", help="send one request to a running server")
     p_call.add_argument("op", choices=("graphlog", "datalog", "rpq", "update",
                                        "stats", "ping", "explain", "profile",
-                                       "checkpoint", "slowlog"))
+                                       "checkpoint", "slowlog", "promote"))
     p_call.add_argument("arg", nargs="?", default=None,
                         help="query file (graphlog/datalog) or regex (rpq)")
     p_call.add_argument("--host", default="127.0.0.1")

@@ -3,7 +3,7 @@ plus materialized GraphLog views with incremental (counting/DRed)
 maintenance driven by typed commit deltas."""
 
 from repro.ham.delta import Delta, compute_delta
-from repro.ham.store import HAMStore, Session, Transaction, TransactionRecord
+from repro.ham.store import HAMStore, Session, Transaction, TransactionRecord, new_epoch
 from repro.ham.views import (
     MaterializedView,
     ViewManager,
@@ -22,4 +22,5 @@ __all__ = [
     "compute_delta",
     "incremental_insert",
     "is_monotone_program",
+    "new_epoch",
 ]

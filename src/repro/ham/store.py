@@ -18,12 +18,26 @@ import itertools
 import logging
 import threading
 import time
+import uuid
 from collections import defaultdict
 
 from repro.errors import StoreError, TransactionError
 from repro.graphs.multigraph import LabeledMultigraph
 
 logger = logging.getLogger(__name__)
+
+
+def new_epoch():
+    """Mint a fresh replication epoch identifier.
+
+    An epoch names one *history line*: as long as the epoch is unchanged,
+    equal version numbers denote equal committed histories.  Anything that
+    rewrites history under existing version numbers — recovery truncating a
+    torn WAL tail, a replica being re-seeded, a promotion — must run under
+    a fresh epoch so replicas re-bootstrap instead of trusting version
+    arithmetic (see :mod:`repro.replication`).
+    """
+    return uuid.uuid4().hex[:16]
 
 
 class _Op:
@@ -242,6 +256,11 @@ class HAMStore:
         # are WAL-logged inside the commit critical section (see
         # attach_durability).
         self._durability = None
+        # The replication epoch: names this store's history line.  Durable
+        # stores overwrite it from the data dir at recovery (repro.persist
+        # keeps it stable across clean restarts, rotates it when recovery
+        # truncates); replicas adopt the primary's epoch at bootstrap.
+        self._epoch = new_epoch()
 
     def subscribe(self, callback):
         """Register a commit hook invoked with each committed
@@ -285,7 +304,14 @@ class HAMStore:
         self._durability = None
 
     def restore_state(
-        self, graph, version, last_txn_id, records=(), base_graph=None, base_version=None
+        self,
+        graph,
+        version,
+        last_txn_id,
+        records=(),
+        base_graph=None,
+        base_version=None,
+        epoch=None,
     ):
         """Install recovered state into a fresh store (used by
         :mod:`repro.persist` after checkpoint load + WAL replay).
@@ -293,7 +319,9 @@ class HAMStore:
         *records* is the replayed WAL tail (everything after the
         checkpoint); *base_graph*/*base_version* describe the checkpoint
         itself, so :meth:`graph_at` replays from the checkpoint rather
-        than from the empty graph.
+        than from the empty graph.  *epoch*, when given, names the history
+        line this state belongs to (the durable epoch on recovery, the
+        primary's epoch on a replica bootstrap).
         """
         with self._lock:
             if self._version != 0 or self._log:
@@ -305,6 +333,8 @@ class HAMStore:
             self._log = list(records)
             self._base_graph = base_graph if base_graph is not None else LabeledMultigraph()
             self._base_version = base_version if base_version is not None else 0
+            if epoch is not None:
+                self._epoch = epoch
             self._version_cond.notify_all()
 
     # ------------------------------------------------------------ sessions
@@ -406,6 +436,27 @@ class HAMStore:
     def read_only(self):
         return self._read_only
 
+    @property
+    def epoch(self):
+        """The replication epoch identifier for the current history line.
+
+        Two stores with the same epoch and the same version hold the same
+        committed history; across different epochs, version numbers are not
+        comparable at all.  See :func:`new_epoch`.
+        """
+        return self._epoch
+
+    def set_epoch(self, epoch):
+        """Adopt *epoch* as this store's history-line identifier.
+
+        Used by :mod:`repro.persist` (installing the durable epoch at
+        recovery) and by promotion (minting a fresh epoch when a replica
+        becomes a writable primary).
+        """
+        if not epoch:
+            raise StoreError("epoch must be a non-empty string")
+        self._epoch = str(epoch)
+
     def apply_replicated(self, record):
         """Apply one replicated :class:`TransactionRecord` (as decoded from
         the primary's WAL stream) to this store.
@@ -435,7 +486,7 @@ class HAMStore:
         self._dispatch_subscribers(subscribers, record)
         return record
 
-    def replace_state(self, graph, version, last_txn_id):
+    def replace_state(self, graph, version, last_txn_id, epoch=None):
         """Discard the current state and install *graph* at *version*.
 
         The replica re-bootstrap path: after a primary divergence (the
@@ -445,6 +496,10 @@ class HAMStore:
         reset version-scoped caches themselves (a version can regress here,
         which would otherwise let stale cache entries stamped with a future
         version serve wrong answers once the version climbs back).
+
+        The store adopts *epoch* when given (the new primary's history
+        line); otherwise it mints a fresh one, because whatever history the
+        old epoch named no longer exists here.
         """
         with self._lock:
             if self._durability is not None:
@@ -456,6 +511,7 @@ class HAMStore:
             self._log = []
             self._base_graph = graph
             self._base_version = version
+            self._epoch = str(epoch) if epoch else new_epoch()
             self._version_cond.notify_all()
 
     def wait_for_version(self, version, timeout=None):
@@ -562,6 +618,13 @@ class HAMStore:
         replay; this folds older records into the ``graph_at`` base
         snapshot so the log stops growing without bound.  Returns the
         number of records dropped.
+
+        On a store *without* durability, dropping records makes the old
+        history unservable (nothing can replay it back), so the epoch is
+        rotated and tailing replicas re-bootstrap rather than trusting
+        version numbers that now skip over a hole.  A durable store keeps
+        its epoch: the WAL segments still serve the full history, so the
+        history line is intact.
         """
         if keep_last < 0:
             raise StoreError("keep_last must be >= 0")
@@ -577,6 +640,8 @@ class HAMStore:
             self._base_graph = base
             self._base_version = dropped[-1].version
             self._log = kept
+            if self._durability is None:
+                self._epoch = new_epoch()
             return drop
 
     def predicate_stats(self, top=None):
@@ -619,6 +684,7 @@ class HAMStore:
         with self._lock:
             stats = {
                 "version": self._version,
+                "epoch": self._epoch,
                 "nodes": self.graph.node_count(),
                 "edges": self.graph.edge_count(),
                 "retained_records": len(self._log),

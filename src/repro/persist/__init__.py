@@ -12,7 +12,11 @@ re-loading data from scratch:
   (:mod:`repro.persist.checkpoint`);
 - **recovery** — load the newest valid checkpoint, replay the WAL tail,
   truncate a torn or corrupt final record instead of crashing
-  (:meth:`DurabilityManager.recover`).
+  (:meth:`DurabilityManager.recover`);
+- a durable **replication epoch** (:mod:`repro.persist.epoch`) naming the
+  directory's history line — stable across clean restarts, rotated when
+  recovery truncates (history was rewritten), compared by replicas so they
+  re-bootstrap instead of trusting version numbers.
 
 Entry point::
 
@@ -34,6 +38,7 @@ from repro.persist.checkpoint import (
     load_checkpoint,
     write_checkpoint,
 )
+from repro.persist.epoch import load_epoch, new_epoch, store_epoch
 from repro.persist.manager import DurabilityManager, PersistenceConfig
 from repro.persist.serde import (
     delta_from_json,
@@ -56,10 +61,13 @@ __all__ = [
     "latest_valid_checkpoint",
     "list_checkpoints",
     "load_checkpoint",
+    "load_epoch",
+    "new_epoch",
     "op_from_json",
     "op_to_json",
     "record_from_json",
     "record_to_json",
     "scan_segment",
+    "store_epoch",
     "write_checkpoint",
 ]

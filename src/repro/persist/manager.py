@@ -29,6 +29,7 @@ from repro.errors import StoreError
 from repro.graphs.multigraph import LabeledMultigraph
 from repro.persist import checkpoint as ckpt
 from repro.persist import wal
+from repro.persist.epoch import load_epoch, new_epoch, store_epoch
 from repro.persist.serde import record_from_json, record_to_json
 
 logger = logging.getLogger(__name__)
@@ -90,7 +91,13 @@ class DurabilityManager:
         self._checkpoint_count = 0
         self._commits_since_checkpoint = 0
         self._recovery_info = None
+        self._epoch = None
         self._closed = False
+
+    @property
+    def epoch(self):
+        """The durable replication epoch (``None`` before :meth:`recover`)."""
+        return self._epoch
 
     # ------------------------------------------------------------- recovery
 
@@ -149,6 +156,23 @@ class DurabilityManager:
             version = records[-1].version if records else base_version
             if records:
                 last_txn_id = max(last_txn_id, max(r.txn_id for r in records))
+            # The durable epoch names this directory's history line.  It is
+            # minted on first use and kept across clean restarts — but a
+            # truncated WAL tail means acknowledged commits may be gone and
+            # the versions they held will be re-issued with different data,
+            # so the epoch rotates and tailing replicas re-bootstrap instead
+            # of trusting version numbers.
+            previous_epoch = load_epoch(self.data_dir)
+            epoch = previous_epoch if previous_epoch and not truncated else new_epoch()
+            if epoch != previous_epoch:
+                store_epoch(self.data_dir, epoch)
+                if previous_epoch is not None:
+                    logger.warning(
+                        "WAL truncation rewrote history; epoch rotated %s -> %s",
+                        previous_epoch,
+                        epoch,
+                    )
+            self._epoch = epoch
             store.restore_state(
                 graph,
                 version,
@@ -156,6 +180,7 @@ class DurabilityManager:
                 records=records,
                 base_graph=base_graph,
                 base_version=base_version,
+                epoch=epoch,
             )
             self._open_writer(segments, next_version=version + 1)
             self._last_version = version
@@ -169,6 +194,8 @@ class DurabilityManager:
                 "replayed_records": len(records),
                 "recovered_version": version,
                 "truncated": truncated,
+                "epoch": epoch,
+                "epoch_rotated": previous_epoch is not None and epoch != previous_epoch,
                 "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
             }
             if span:
@@ -194,12 +221,18 @@ class DurabilityManager:
         self._last_txn_id = last_txn_id
         self._store = store
         store.attach_durability(self)
+        # The adopted store already carries an epoch (minted at
+        # construction); it becomes the directory's durable epoch.
+        self._epoch = store.epoch
+        store_epoch(self.data_dir, self._epoch)
         self._recovery_info = {
             "checkpoint_version": 0,
             "checkpoint_path": None,
             "replayed_records": 0,
             "recovered_version": version,
             "truncated": False,
+            "epoch": self._epoch,
+            "epoch_rotated": False,
             "adopted": True,
             "elapsed_ms": 0.0,
         }
@@ -455,6 +488,7 @@ class DurabilityManager:
             snapshot = {
                 "data_dir": self.data_dir,
                 "fsync": self.config.fsync,
+                "epoch": self._epoch,
                 "wal": {
                     "segments": len(segments),
                     "active_segment": (
@@ -496,6 +530,7 @@ class DurabilityManager:
             "closed": self._closed,
             "ok": not self._closed and not truncated,
             "fsync": self.config.fsync,
+            "epoch": self._epoch,
             "last_checkpoint_version": self._last_checkpoint_version,
             "recovery": recovery,
         }

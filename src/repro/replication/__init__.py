@@ -12,15 +12,22 @@ Three cooperating pieces (see ``docs/REPLICATION.md`` for the full story):
   Bootstraps, tails, and applies each record through
   :meth:`~repro.ham.store.HAMStore.apply_replicated`, the same replay the
   crash-recovery path uses, so replica state is bit-identical to a
-  recovered primary.  Detects primary divergence (a version regression)
-  and re-bootstraps cleanly.
+  recovered primary.  Detects primary divergence by **epoch**, not just
+  version regression: every bootstrap/tail response is stamped with the
+  primary's epoch id (persisted next to the WAL, rotated whenever history
+  is rewritten — crash truncation, promotion, state replacement), and any
+  epoch change triggers a full re-bootstrap even when the version numbers
+  happen to line up.
 - :class:`~repro.replication.router.RoutingClient` /
   :class:`~repro.replication.router.RouterServer` — the client side.  Fans
   reads across replicas round-robin with health ejection, sends writes to
   the primary, and threads a read-your-writes *min-version token*: after a
   write, reads carry the committed version, and a replica that cannot catch
   up within its bounded wait answers ``replica_stale`` so the router
-  retries elsewhere (ultimately the primary, which is never stale).
+  retries elsewhere (ultimately the primary, which is never stale).  When
+  the primary's connection dies mid-write, the router probes the replicas
+  for one an operator promoted (``repro promote``) and fails writes over to
+  it, resetting the token across the epoch boundary.
 """
 
 from repro.replication.primary import ReplicationSource

@@ -61,11 +61,13 @@ class ReplicationSource:
     def bootstrap(self):
         """The document a fresh replica starts from.
 
-        ``{"version", "last_txn_id", "graph", "source"}`` — ``graph`` is
-        :func:`repro.io.graph_to_json` output; ``source`` says whether it
-        came from a durable checkpoint (pass-through, zero store work) or a
-        live snapshot (in-memory primaries, or durable ones that have never
-        checkpointed).
+        ``{"version", "last_txn_id", "graph", "source", "epoch"}`` —
+        ``graph`` is :func:`repro.io.graph_to_json` output; ``source`` says
+        whether it came from a durable checkpoint (pass-through, zero store
+        work) or a live snapshot (in-memory primaries, or durable ones that
+        have never checkpointed); ``epoch`` names the history line the
+        snapshot belongs to (the replica records it and re-bootstraps the
+        moment a tail response carries a different one).
         """
         with self._lock:
             self._bootstraps_served += 1
@@ -78,6 +80,7 @@ class ReplicationSource:
                     "last_txn_id": last_txn_id,
                     "graph": graph_json,
                     "source": "checkpoint",
+                    "epoch": self.store.epoch,
                 }
         from repro.io import graph_to_json
 
@@ -87,6 +90,7 @@ class ReplicationSource:
             "last_txn_id": last_txn_id,
             "graph": graph_to_json(graph),
             "source": "snapshot",
+            "epoch": self.store.epoch,
         }
 
     # ----------------------------------------------------------------- tail
@@ -94,12 +98,15 @@ class ReplicationSource:
     def tail(self, from_version, max_records=None, wait_ms=0):
         """Commit records after *from_version*, long-polling when caught up.
 
-        Returns ``{"records": [payload...], "version": current}`` where each
-        payload is the WAL wire form (:func:`record_to_json`).  An empty
-        ``records`` after a bounded wait is the heartbeat.  ``reset: true``
-        is added when this store cannot serve *from_version* — replica ahead
-        of the primary, or history pruned past it — and the replica must
-        re-bootstrap.
+        Returns ``{"records": [payload...], "version": current, "epoch":
+        id}`` where each payload is the WAL wire form
+        (:func:`record_to_json`).  An empty ``records`` after a bounded wait
+        is the heartbeat — which, carrying the epoch, doubles as the
+        divergence detector: a replica seeing an epoch other than the one it
+        bootstrapped under re-bootstraps even if the version numbers line
+        up.  ``reset: true`` is added when this store cannot serve
+        *from_version* — replica ahead of the primary, or history pruned
+        past it — and the replica must re-bootstrap.
         """
         limit = self.max_batch if max_records is None else min(max_records, self.max_batch)
         wait_s = min(max(wait_ms, 0), MAX_TAIL_WAIT_MS) / 1000.0
@@ -124,7 +131,11 @@ class ReplicationSource:
             )
         with self._lock:
             self._records_shipped += len(payloads)
-        return {"records": payloads, "version": self.store.version}
+        return {
+            "records": payloads,
+            "version": self.store.version,
+            "epoch": self.store.epoch,
+        }
 
     def _collect(self, from_version, limit):
         """``(payloads, reset)`` — in-memory fast path, WAL fallback."""
@@ -155,7 +166,13 @@ class ReplicationSource:
         with self._lock:
             self._resets_signaled += 1
         logger.warning("signaling replica reset: %s", reason)
-        return {"records": [], "version": current, "reset": True, "reason": reason}
+        return {
+            "records": [],
+            "version": current,
+            "epoch": self.store.epoch,
+            "reset": True,
+            "reason": reason,
+        }
 
     # ---------------------------------------------------------------- stats
 
@@ -163,6 +180,7 @@ class ReplicationSource:
         with self._lock:
             return {
                 "role": "primary",
+                "epoch": self.store.epoch,
                 "bootstraps_served": self._bootstraps_served,
                 "tail_requests": self._tail_requests,
                 "tail_waits": self._tail_waits,

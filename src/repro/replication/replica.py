@@ -15,10 +15,13 @@ A :class:`ReplicaApplier` owns one background thread that keeps a local
 3. **diverge → re-bootstrap** — when the primary answers ``reset`` (the
    replica is ahead because the primary lost acknowledged commits in a
    crash, or history was pruned past the replica's position, or a
-   different primary now answers at the address) the applied state is
-   discarded wholesale and re-bootstrapped.  Version can *regress* across
-   a re-bootstrap, so registered ``on_rebootstrap`` callbacks must clear
-   version-stamped caches.
+   different primary now answers at the address) — or when a tail
+   response carries an **epoch** other than the one this replica
+   bootstrapped under (the primary rewrote history back to an
+   equal-or-higher version, which version arithmetic alone cannot see) —
+   the applied state is discarded wholesale and re-bootstrapped.  Version
+   can *regress* across a re-bootstrap, so registered ``on_rebootstrap``
+   callbacks must clear version-stamped caches.
 
 Connection failures back off exponentially with jitter and never kill the
 thread; the replica keeps serving (increasingly stale) reads meanwhile,
@@ -52,6 +55,7 @@ class ReplicaApplier:
         reconnect_min=0.1,
         reconnect_max=5.0,
         client_timeout=30.0,
+        check_epoch=True,
     ):
         self.store = store
         self.primary_host = primary_host
@@ -61,6 +65,10 @@ class ReplicaApplier:
         self.reconnect_min = reconnect_min
         self.reconnect_max = reconnect_max
         self.client_timeout = client_timeout
+        #: Escape hatch for tests that need the pre-epoch behavior; leave
+        #: True in production — disabling it re-opens the equal-version
+        #: divergence hole documented in docs/REPLICATION.md.
+        self.check_epoch = bool(check_epoch)
         store.set_read_only(True)
         self._client = None
         self._thread = None
@@ -69,8 +77,10 @@ class ReplicaApplier:
         self._lock = threading.Lock()
         self._connected = False
         self._primary_version = None
+        self._primary_epoch = None
         self._records_applied = 0
         self._bootstraps = 0
+        self._epoch_rebootstraps = 0
         self._tail_errors = 0
         self._last_error = None
         self._last_poll_monotonic = None
@@ -181,9 +191,10 @@ class ReplicaApplier:
         graph = graph_from_json(document["graph"])
         version = document["version"]
         last_txn_id = document["last_txn_id"]
+        epoch = document.get("epoch")
         replaced = self.store.version != 0 or len(self.store.history()) > 0
         if replaced:
-            self.store.replace_state(graph, version, last_txn_id)
+            self.store.replace_state(graph, version, last_txn_id, epoch=epoch)
         else:
             self.store.restore_state(
                 graph,
@@ -191,13 +202,18 @@ class ReplicaApplier:
                 last_txn_id,
                 base_graph=graph,
                 base_version=version,
+                epoch=epoch,
             )
         with self._lock:
             self._bootstraps += 1
-            self._primary_version = max(self._primary_version or 0, version)
+            self._primary_epoch = epoch
+            # Absolute, not max(): across a re-bootstrap the old estimate
+            # may belong to an abandoned history line.
+            self._primary_version = version
         logger.info(
-            "replica bootstrapped at version %d from %s (%s)",
+            "replica bootstrapped at version %d epoch %s from %s (%s)",
             version,
+            epoch,
             self.primary_address,
             document.get("source", "?"),
         )
@@ -228,12 +244,28 @@ class ReplicaApplier:
             wait_ms=self.wait_ms,
         )
         body = response["result"]
+        epoch = body.get("epoch")
         with self._lock:
             self._connected = True
             self._primary_version = body["version"]
             self._last_poll_monotonic = time.monotonic()
+            known_epoch = self._primary_epoch
         if body.get("reset"):
             self._rebootstrap(body.get("reason", "primary signaled reset"))
+            return
+        if (
+            self.check_epoch
+            and epoch is not None
+            and known_epoch is not None
+            and epoch != known_epoch
+        ):
+            # The primary rewrote history (crash truncation, promotion, or a
+            # different primary at the address).  Version numbers across
+            # epochs are incomparable — even an "in sync" version may hold
+            # different data — so the only safe move is a full re-bootstrap.
+            with self._lock:
+                self._epoch_rebootstraps += 1
+            self._rebootstrap(f"primary epoch changed {known_epoch} -> {epoch}")
             return
         applied = 0
         for payload in body["records"]:
@@ -253,16 +285,24 @@ class ReplicaApplier:
             primary_version = self._primary_version
             lag = None if primary_version is None else max(0, primary_version - applied)
             last_poll = self._last_poll_monotonic
+            connected = self._connected
             return {
                 "role": "replica",
                 "primary": self.primary_address,
-                "connected": self._connected,
+                "connected": connected,
+                # Explicit alias for health checks: when False, lag_versions
+                # is the *last known* lag, not the current one — the primary
+                # may have raced ahead (or away) since the last poll.
+                "tail_connected": connected,
                 "bootstrapped": self._ready.is_set(),
                 "applied_version": applied,
                 "primary_version": primary_version,
+                "primary_epoch": self._primary_epoch,
+                "epoch": self.store.epoch,
                 "lag_versions": lag,
                 "records_applied": self._records_applied,
                 "bootstraps": self._bootstraps,
+                "epoch_rebootstraps": self._epoch_rebootstraps,
                 "tail_errors": self._tail_errors,
                 "last_error": self._last_error,
                 "seconds_since_poll": (

@@ -19,9 +19,22 @@ Two entry points over the same routing core:
 
 Health ejection: a backend whose connection fails (or whose client
 poisons itself mid-call) is ejected for ``eject_seconds`` and quietly
-retried after.  Server-*reported* errors (parse errors, timeouts, budget
-overruns) are the query's problem, not the backend's, and propagate
-without ejection.
+retried after.  Connect failures and mid-call poisons go through one
+accounting path (``_Backend.record_failure``), stamped with a single
+``time.monotonic()`` reading taken once per routed call.  Server-
+*reported* errors (parse errors, timeouts, budget overruns) are the
+query's problem, not the backend's, and propagate without ejection.
+
+Failover: when a *write* fails at the connection level, the router probes
+the replicas for one that accepts writes — i.e. one an operator has
+promoted (``repro promote``) under a fresh epoch — and adopts it as the
+new primary (the old primary joins the replica list for its eventual
+rejoin).  The min-version token is reset at adoption: it was minted on
+the old epoch's version line, which the new line may never reach, and
+read-your-writes across a failover cannot be honored anyway for commits
+the old primary lost.  The retried write is applied on the *new* history
+line; if the old primary had committed it just before dying, that commit
+lives on the abandoned line — at-most-once per epoch, not globally.
 """
 
 from __future__ import annotations
@@ -95,7 +108,10 @@ class _Backend:
             except OSError:  # pragma: no cover - best-effort close
                 pass
 
-    def eject(self, eject_seconds, now):
+    def record_failure(self, eject_seconds, now):
+        """One accounting path for every connection-level failure — connect
+        refused in :meth:`acquire` and mid-call poison alike: count it,
+        eject until ``now + eject_seconds``, drop the dead client."""
         self.failures += 1
         self.ejected_until = now + eject_seconds
         self.drop()
@@ -120,10 +136,15 @@ class RoutingClient:
         timeout=30.0,
         retries=1,
         eject_seconds=2.0,
+        on_failover=None,
     ):
         self.primary = _Backend(primary, timeout, retries)
         self.replicas = [_Backend(address, timeout, retries) for address in replicas]
         self.eject_seconds = eject_seconds
+        #: Called as ``on_failover(primary_address, replica_addresses)``
+        #: after a write failover adopts a promoted replica; RouterServer
+        #: uses it to share the discovered topology across connections.
+        self.on_failover = on_failover
         self._rr = itertools.count()
         self._min_version = None
         self.reads_routed = 0
@@ -131,6 +152,8 @@ class RoutingClient:
         self.stale_redirects = 0
         self.ejections = 0
         self.primary_fallbacks = 0
+        self.failovers = 0
+        self.token_resets = 0
 
     # ------------------------------------------------------------- routing
 
@@ -142,40 +165,110 @@ class RoutingClient:
     def call(self, op, **payload):
         """Route one request; returns the backend's full response dict."""
         payload = {k: v for k, v in payload.items() if v is not None}
+        # One clock reading per routed call: every health judgment and
+        # ejection stamp inside this call sees the same instant.
+        now = time.monotonic()
         if op in WRITE_OPS:
-            return self._call_write(op, payload)
+            return self._call_write(op, payload, now)
         if op in READ_OPS:
-            return self._call_read(op, payload)
+            return self._call_read(op, payload, now)
         # Everything else (stats, ping, slowlog, repl_*) is served by the
         # primary: those ops describe one concrete server, and the primary
         # is the authoritative one.
-        return self._call_backend(self.primary, op, payload)
+        try:
+            return self._call_backend(self.primary, op, payload, now)
+        except _BackendDown as exc:
+            raise exc.cause
 
-    def _call_write(self, op, payload):
-        response = self._call_backend(self.primary, op, payload)
+    def _call_write(self, op, payload, now):
+        try:
+            response = self._call_backend(self.primary, op, payload, now)
+        except _BackendDown as exc:
+            response = self._failover_write(op, payload, now, exc)
         self.writes_routed += 1
         version = response.get("version")
         if version is not None:
-            self._min_version = max(self._min_version or 0, version)
+            # Assign, don't max(): on one history line a new commit's
+            # version always exceeds the token anyway, and across a
+            # failover (new epoch, possibly lower counter) max() would pin
+            # every read to a version the new line may never reach.
+            if self._min_version is not None and version < self._min_version:
+                self.token_resets += 1
+            self._min_version = version
         return response
 
-    def _call_read(self, op, payload):
+    def _failover_write(self, op, payload, now, down):
+        """The primary's connection failed mid-write: look for a promoted
+        replica (one that *accepts* the write) and adopt it as the primary.
+
+        A replica that answers ``read_only`` has not been promoted — keep
+        probing.  A genuine server-reported error from a writable backend
+        propagates: that backend IS the new primary and it answered.  If no
+        backend takes the write, the original connection error surfaces
+        unchanged.  The retried write lands on the new epoch's history
+        line; if the dying primary had already committed it, that commit is
+        on the abandoned line — at-most-once per epoch.
+        """
+        for backend in list(self.replicas):
+            try:
+                response = self._call_backend(backend, op, payload, now)
+            except ReadOnlyError:
+                continue
+            except _BackendDown:
+                continue
+            self._adopt_primary(backend)
+            return response
+        raise down.cause
+
+    def _adopt_primary(self, backend):
+        """Swap *backend* in as the primary; the old primary becomes a
+        replica candidate so it can rejoin after catch-up."""
+        old = self.primary
+        self.primary = backend
+        if backend in self.replicas:
+            self.replicas.remove(backend)
+        self.replicas.append(old)
+        backend.mark_ok()
+        # The token was minted on the old epoch's version line; reset it so
+        # read-your-writes cannot deadlock on a counter the promoted line
+        # may never reach.  The caller re-arms it from the failover write's
+        # own committed version.
         if self._min_version is not None:
-            payload.setdefault("min_version", self._min_version)
-            payload["min_version"] = max(payload["min_version"], self._min_version)
+            self.token_resets += 1
+        self._min_version = None
+        self.failovers += 1
+        logger.warning(
+            "write failover: promoted replica %s is the new primary "
+            "(old primary %s demoted to replica candidate)",
+            backend.address,
+            old.address,
+        )
+        if self.on_failover is not None:
+            self.on_failover(
+                self.primary.address, [b.address for b in self.replicas]
+            )
+
+    def _call_read(self, op, payload, now, _retried=False):
+        base_payload = dict(payload)
+        if self._min_version is not None:
+            payload = dict(payload)
+            payload["min_version"] = max(
+                payload.get("min_version", 0), self._min_version
+            )
         self.reads_routed += 1
-        now = time.monotonic()
         candidates = self._read_candidates(now)
         last_error = None
+        stale = 0
         for backend in candidates:
             try:
-                response = self._call_backend(backend, op, payload, eject_on_failure=True)
+                response = self._call_backend(backend, op, payload, now)
                 backend.mark_ok()
                 return response
             except ReplicaStale as exc:
                 # The replica waited its bounded wait and is still behind:
                 # healthy, just lagging — redirect, don't eject.
                 self.stale_redirects += 1
+                stale += 1
                 last_error = exc
             except _BackendDown as exc:
                 last_error = exc.cause
@@ -183,10 +276,26 @@ class RoutingClient:
         # minted and is the last word on connectivity.
         self.primary_fallbacks += 1
         try:
-            return self._call_backend(self.primary, op, payload)
+            return self._call_backend(self.primary, op, payload, now)
         except ServiceError:
             raise
-        except _BackendDown as exc:  # pragma: no cover - re-raise shape guard
+        except _BackendDown as exc:
+            if not _retried and stale and self._min_version is not None:
+                # The primary that minted the token is unreachable and every
+                # replica reports itself behind it — the token likely names
+                # a version on an abandoned epoch's line (the primary died
+                # and a replica was promoted with a lower counter).  Waiting
+                # would deadlock read-your-writes forever; the commits the
+                # token covered are gone with the old line.  Reset and serve
+                # current data.
+                self.token_resets += 1
+                self._min_version = None
+                logger.warning(
+                    "read-your-writes token reset: primary unreachable and "
+                    "all %d replica(s) stale against it",
+                    stale,
+                )
+                return self._call_read(op, base_payload, now, _retried=True)
             raise exc.cause
         finally:
             if last_error is not None:
@@ -199,7 +308,7 @@ class RoutingClient:
         start = next(self._rr) % len(healthy)
         return healthy[start:] + healthy[:start]
 
-    def _call_backend(self, backend, op, payload, eject_on_failure=False):
+    def _call_backend(self, backend, op, payload, now):
         try:
             client = backend.acquire()
             response = client.call(op, **payload)
@@ -208,13 +317,12 @@ class RoutingClient:
         except ServiceError as exc:
             if backend.client is None or backend.client.poisoned:
                 # Connection-level failure (connect refused, timeout,
-                # desync): the backend is the problem.
-                if eject_on_failure:
-                    backend.eject(self.eject_seconds, time.monotonic())
-                    self.ejections += 1
-                    raise _BackendDown(backend, exc) from exc
-                backend.drop()
-                raise
+                # desync): the backend is the problem.  Connect failures in
+                # acquire() leave client None and land here too — the same
+                # accounting as a mid-call poison.
+                backend.record_failure(self.eject_seconds, now)
+                self.ejections += 1
+                raise _BackendDown(backend, exc) from exc
             # The server answered with an error: the request is the
             # problem, not the backend.
             raise
@@ -268,6 +376,8 @@ class RoutingClient:
             "stale_redirects": self.stale_redirects,
             "ejections": self.ejections,
             "primary_fallbacks": self.primary_fallbacks,
+            "failovers": self.failovers,
+            "token_resets": self.token_resets,
             "min_version": self._min_version,
         }
 
@@ -330,14 +440,33 @@ class RouterServer:
         self._server = None
         self._thread = None
         self.connections = 0
+        self.failovers = 0
+        # Failover discoveries are shared across connections: the first
+        # connection to find the promoted primary updates the topology here,
+        # and every connection opened afterwards starts on it.
+        self._topology_lock = threading.Lock()
 
     def routing_client(self):
+        with self._topology_lock:
+            primary, replicas = self.primary, list(self.replicas)
         return RoutingClient(
-            self.primary,
-            self.replicas,
+            primary,
+            replicas,
             timeout=self.timeout,
             retries=self.retries,
             eject_seconds=self.eject_seconds,
+            on_failover=self._record_failover,
+        )
+
+    def _record_failover(self, primary, replicas):
+        with self._topology_lock:
+            self.primary = primary
+            self.replicas = [address for address in replicas if address != primary]
+            self.failovers += 1
+        logger.warning(
+            "router topology updated after failover: primary %s, replicas %s",
+            primary,
+            ", ".join(self.replicas) or "(none)",
         )
 
     # -------------------------------------------------------------- serving

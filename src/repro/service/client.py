@@ -276,6 +276,14 @@ class ServiceClient:
             wait_ms=wait_ms,
         )["result"]
 
+    def promote(self):
+        """Promote the connected *replica* to a writable primary under a
+        fresh epoch (see :meth:`repro.service.server.QueryService.promote`).
+        Fails with :class:`~repro.errors.ProtocolError` when the server is
+        not a replica.  Returns the promotion document (``promoted_from``,
+        ``applied_version``, ``epoch``)."""
+        return self.call("promote")["result"]
+
     def ping(self):
         return self.call("ping")["result"]["pong"]
 

@@ -51,6 +51,7 @@ OPS = (
     "slowlog",
     "repl_bootstrap",
     "repl_tail",
+    "promote",
 )
 
 #: Maximum accepted request-line length (a protocol-level DoS guard).

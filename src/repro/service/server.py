@@ -37,7 +37,7 @@ from repro.errors import (
     ResultTooLarge,
     StoreError,
 )
-from repro.ham.store import HAMStore
+from repro.ham.store import HAMStore, new_epoch
 from repro.obs import logs
 from repro.obs.metrics import MetricFamily
 from repro.obs.slowlog import SlowQueryLog
@@ -80,6 +80,7 @@ class ServiceConfig:
         "replica_of",
         "repl_wait_ms",
         "repl_max_lag",
+        "repl_disconnect_grace",
         "version_wait_ms",
     )
 
@@ -108,6 +109,7 @@ class ServiceConfig:
         replica_of=None,
         repl_wait_ms=2000,
         repl_max_lag=None,
+        repl_disconnect_grace=10.0,
         version_wait_ms=2000,
     ):
         self.host = host
@@ -146,6 +148,11 @@ class ServiceConfig:
         #: Replica lag (in store versions) beyond which ``/healthz`` turns
         #: 503; None disables lag-based health (connectivity still counts).
         self.repl_max_lag = repl_max_lag
+        #: Seconds a replica may be without a successful tail poll before
+        #: ``/healthz`` turns 503.  While disconnected the reported lag is
+        #: the *last known* value, not the current one, so a dead tail must
+        #: not hide behind a small stale lag; None disables the check.
+        self.repl_disconnect_grace = repl_disconnect_grace
         #: How long (ms) a read carrying ``min_version`` may wait for this
         #: store to catch up before failing with ``replica_stale``.
         self.version_wait_ms = version_wait_ms
@@ -223,6 +230,10 @@ class QueryService:
                 wait_ms=self.config.repl_wait_ms,
             )
             self.applier.on_rebootstrap(self._on_rebootstrap)
+        # Promotion (repro promote) flips a replica into a writable primary
+        # under a fresh epoch; the lock serializes concurrent promote ops.
+        self._promote_lock = threading.Lock()
+        self._promotion = None
 
     def _on_rebootstrap(self, *_args):
         """A re-bootstrap may regress the store version; every version-stamped
@@ -278,6 +289,8 @@ class QueryService:
                 }
             if op == "repl_tail":
                 return self._execute_repl_tail(message)
+            if op == "promote":
+                return {"result": self.promote(), "version": self.store.version}
             raise ProtocolError(f"unknown op {op!r}")
         finally:
             elapsed = time.perf_counter() - started
@@ -299,6 +312,52 @@ class QueryService:
             wait_ms=message.get("wait_ms", 0),
         )
         return {"result": body, "version": self.store.version}
+
+    def promote(self):
+        """Flip this replica into a writable primary under a fresh epoch.
+
+        An *operator* action (``repro promote``), not a consensus protocol:
+        the caller is asserting the old primary is dead (or fenced off).
+        Ordering matters — the tail applier is stopped before anything
+        else, so no replicated record can land mid-promotion; a fresh epoch
+        is minted *before* writes are accepted, so the very first
+        post-promotion commit is already on the new history line and every
+        downstream consumer (tailing replicas of this server, the rejoining
+        old primary) re-bootstraps off version arithmetic it cannot trust.
+        """
+        with self._promote_lock:
+            if self.applier is None:
+                raise ProtocolError(
+                    "cannot promote: this server is not a replica"
+                    + (
+                        f" (already promoted from {self._promotion['promoted_from']})"
+                        if self._promotion
+                        else ""
+                    )
+                )
+            applier = self.applier
+            old_primary = applier.primary_address
+            applier.stop()
+            self.applier = None
+            epoch = new_epoch()
+            self.store.set_epoch(epoch)
+            self.store.set_read_only(False)
+            self.config.replica_of = None
+            self._promotion = {
+                "promoted": True,
+                "promoted_from": old_primary,
+                "applied_version": self.store.version,
+                "epoch": epoch,
+            }
+            self.metrics.incr("replication.promotions")
+            logger.warning(
+                "promoted to primary at version %d under epoch %s "
+                "(was replicating from %s)",
+                self.store.version,
+                epoch,
+                old_primary,
+            )
+            return dict(self._promotion)
 
     def _await_min_version(self, message):
         """Session-consistency gate: a read carrying ``min_version`` waits
@@ -612,6 +671,9 @@ class QueryService:
         """
         source = self.replication.stats()
         if self.applier is None:
+            if self._promotion is not None:
+                source = dict(source)
+                source["promotion"] = dict(self._promotion)
             return source
         status = self.applier.status()
         status["source"] = source
@@ -643,6 +705,15 @@ class QueryService:
                 doc["status"] = "degraded"
             elif max_lag is not None and (lag is None or lag > max_lag):
                 doc["status"] = "degraded"
+            if not status["tail_connected"]:
+                # While the tail is down, lag_versions is the *last known*
+                # lag — the primary may be racing ahead (or be gone).  A
+                # short blip is tolerated; past the grace period the
+                # replica can no longer vouch for its own staleness.
+                grace = self.config.repl_disconnect_grace
+                seconds = status["seconds_since_poll"]
+                if grace is not None and (seconds is None or seconds > grace):
+                    doc["status"] = "degraded"
         return doc
 
     def prometheus_text(self):
@@ -729,6 +800,16 @@ class QueryService:
                 "counter",
                 "Tails answered with a reset (replica must re-bootstrap)",
             ).add_sample(source["resets_signaled"]),
+            MetricFamily(
+                "repro_repl_epoch",
+                "gauge",
+                "The replication epoch naming this store's history line",
+            ).add_sample(1, {"epoch": self.store.epoch}),
+            MetricFamily(
+                "repro_repl_promoted",
+                "gauge",
+                "1 once this server has been promoted from replica to primary",
+            ).add_sample(1 if self._promotion is not None else 0),
         ]
         if self.applier is not None:
             status = self.applier.status()
@@ -760,6 +841,20 @@ class QueryService:
                         "counter",
                         "Tail/bootstrap attempts that failed (connection or apply)",
                     ).add_sample(status["tail_errors"]),
+                    MetricFamily(
+                        "repro_repl_seconds_since_poll",
+                        "gauge",
+                        "Seconds since the last successful tail poll (-1 before one)",
+                    ).add_sample(
+                        status["seconds_since_poll"]
+                        if status["seconds_since_poll"] is not None
+                        else -1
+                    ),
+                    MetricFamily(
+                        "repro_repl_epoch_rebootstraps_total",
+                        "counter",
+                        "Re-bootstraps triggered by a primary epoch change",
+                    ).add_sample(status["epoch_rebootstraps"]),
                 ]
             )
         return families

@@ -156,23 +156,43 @@ class TopDashboard:
         if replication.get("role") == "replica":
             lag = replication.get("lag_versions")
             lag_text = "?" if lag is None else str(lag)
-            state = "connected" if replication.get("connected") else "DISCONNECTED"
-            lines.append("")
-            lines.append(
+            if replication.get("connected"):
+                state = "connected"
+            else:
+                # While disconnected the lag is the last *known* value;
+                # show how stale the estimate itself is.
+                stale = replication.get("seconds_since_poll")
+                state = (
+                    "DISCONNECTED"
+                    if stale is None
+                    else f"DISCONNECTED {stale:.0f}s"
+                )
+            line = (
                 f"replica   of {replication.get('primary', '?')}  {state}  "
                 f"lag {lag_text} versions  "
                 f"applied v{replication.get('applied_version', '?')}  "
                 f"records {replication.get('records_applied', 0)}  "
                 f"errors {replication.get('tail_errors', 0)}"
             )
-        elif replication.get("tail_requests") or replication.get("bootstraps_served"):
+            epoch = replication.get("primary_epoch")
+            if epoch:
+                line += f"  epoch {epoch[:8]}"
             lines.append("")
-            lines.append(
+            lines.append(line)
+        elif replication.get("tail_requests") or replication.get("bootstraps_served"):
+            line = (
                 f"primary   bootstraps {replication.get('bootstraps_served', 0)}  "
                 f"tails {replication.get('tail_requests', 0)}  "
                 f"shipped {replication.get('records_shipped', 0)}  "
                 f"resets {replication.get('resets_signaled', 0)}"
             )
+            epoch = replication.get("epoch")
+            if epoch:
+                line += f"  epoch {epoch[:8]}"
+            if replication.get("promotion"):
+                line += "  PROMOTED"
+            lines.append("")
+            lines.append(line)
 
         slowlog = stats.get("slowlog") or {}
         if slowlog:

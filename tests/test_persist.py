@@ -441,3 +441,74 @@ class TestStoreIntegration:
             manager2, store2 = durable_store(directory)
             assert store2.version == 3
             manager2.close()
+
+
+# ------------------------------------------------------------------ epoch
+
+
+class TestEpochPersistence:
+    def test_epoch_minted_once_and_stable_across_restarts(self, tmp_path):
+        manager, store = durable_store(tmp_path, fsync="off")
+        epoch = store.epoch
+        assert manager.epoch == epoch
+        document = json.load(open(tmp_path / "epoch.json", encoding="utf-8"))
+        assert document == {"format": "repro-epoch", "epoch": epoch}
+        info = manager.stats()["recovery"]
+        assert info["epoch"] == epoch
+        assert info["epoch_rotated"] is False
+        commit_chain(store, 3)
+        manager.close()
+        manager2, store2 = durable_store(tmp_path)
+        assert store2.epoch == epoch, "clean restart must keep the epoch"
+        assert manager2.stats()["recovery"]["epoch_rotated"] is False
+        manager2.close()
+
+    def test_epoch_rotates_when_recovery_truncates(self, tmp_path):
+        manager, store = durable_store(tmp_path, fsync="always")
+        commit_chain(store, 4)
+        epoch = store.epoch
+        manager.close()
+        (segment,) = wal_segments(tmp_path)
+        with open(segment, "r+b") as handle:
+            handle.truncate(os.path.getsize(segment) - 5)
+        manager2, store2 = durable_store(tmp_path)
+        assert store2.version == 3
+        assert store2.epoch != epoch, "truncation rewrote history"
+        info = manager2.stats()["recovery"]
+        assert info["truncated"] is True
+        assert info["epoch_rotated"] is True
+        assert info["epoch"] == store2.epoch
+        assert "epoch" in manager2.health_info()
+        manager2.close()
+        # The rotated epoch is itself durable across the next clean restart.
+        manager3, store3 = durable_store(tmp_path)
+        assert store3.epoch == store2.epoch
+        assert manager3.stats()["recovery"]["epoch_rotated"] is False
+        manager3.close()
+
+    def test_adoption_persists_the_store_epoch(self, tmp_path):
+        from repro.persist.epoch import load_epoch
+
+        store = HAMStore()
+        commit_chain(store, 2)
+        manager = DurabilityManager(PersistenceConfig(str(tmp_path), fsync="off"))
+        adopted = manager.recover(store)
+        assert adopted is store
+        assert load_epoch(str(tmp_path)) == store.epoch
+        manager.close()
+
+    def test_unreadable_epoch_file_mints_fresh(self, tmp_path, caplog):
+        from repro.persist.epoch import load_epoch, store_epoch
+
+        assert load_epoch(str(tmp_path)) is None
+        store_epoch(str(tmp_path), "cafe0123cafe0123")
+        assert load_epoch(str(tmp_path)) == "cafe0123cafe0123"
+        (tmp_path / "epoch.json").write_text("not json at all")
+        with caplog.at_level(logging.WARNING, logger="repro.persist"):
+            assert load_epoch(str(tmp_path)) is None
+        (tmp_path / "epoch.json").write_text('{"format": "other", "epoch": "x"}')
+        assert load_epoch(str(tmp_path)) is None
+        # Recovery over the bad file mints (and persists) a fresh epoch.
+        manager, store = durable_store(tmp_path, fsync="off")
+        assert load_epoch(str(tmp_path)) == store.epoch
+        manager.close()

@@ -212,7 +212,7 @@ class TestReplicationSource:
         store = HAMStore()
         commit_edge(store, "a", "b")
         body = ReplicationSource(store).tail(1, wait_ms=30)
-        assert body == {"records": [], "version": 1}
+        assert body == {"records": [], "version": 1, "epoch": store.epoch}
 
     def test_tail_long_poll_returns_on_commit(self):
         store = HAMStore()
@@ -662,3 +662,392 @@ class TestTopPanels:
             "resets_signaled": 1,
         })
         assert "primary   bootstraps 2  tails 7  shipped 40  resets 1" in busy
+
+    def test_panels_show_epoch_and_promotion(self):
+        replica = self._render({
+            "role": "replica",
+            "primary": "127.0.0.1:7464",
+            "connected": False,
+            "lag_versions": 3,
+            "applied_version": 41,
+            "seconds_since_poll": 12.4,
+            "primary_epoch": "deadbeefcafe0123",
+        })
+        assert "DISCONNECTED 12s" in replica
+        assert "epoch deadbeef" in replica
+        primary = self._render({
+            "role": "primary",
+            "tail_requests": 7,
+            "bootstraps_served": 2,
+            "records_shipped": 40,
+            "resets_signaled": 1,
+            "epoch": "deadbeefcafe0123",
+            "promotion": {"promoted": True},
+        })
+        assert "epoch deadbeef" in primary
+        assert "PROMOTED" in primary
+
+
+# --------------------------------------------------------------------------
+# Epochs: store semantics, wire stamps, replica divergence detection
+# --------------------------------------------------------------------------
+
+
+class TestStoreEpoch:
+    def test_epoch_minted_and_stable_across_commits(self):
+        store = HAMStore()
+        epoch = store.epoch
+        assert isinstance(epoch, str) and epoch
+        for i in range(3):
+            commit_edge(store, f"a{i}", f"a{i + 1}")
+        assert store.epoch == epoch, "commits must stay on one history line"
+
+    def test_replace_state_mints_or_adopts_epoch(self):
+        store = HAMStore()
+        commit_edge(store, "a", "b")
+        before = store.epoch
+        store.replace_state(HAMStore().graph, 5, 5)
+        assert store.epoch != before, "replacing history must rotate the epoch"
+        store.replace_state(HAMStore().graph, 6, 6, epoch="cafe0123cafe0123")
+        assert store.epoch == "cafe0123cafe0123"
+
+    def test_set_epoch_rejects_empty(self):
+        store = HAMStore()
+        with pytest.raises(StoreError, match="epoch"):
+            store.set_epoch("")
+
+    def test_truncate_rotates_memory_epoch_but_not_durable(self, tmp_path):
+        memory = HAMStore()
+        for i in range(5):
+            commit_edge(memory, f"a{i}", f"a{i + 1}")
+        before = memory.epoch
+        assert memory.truncate_history(1) > 0
+        # In-memory, truncation discards servable history: new epoch.
+        assert memory.epoch != before
+
+        manager = DurabilityManager(PersistenceConfig(str(tmp_path), fsync="off"))
+        durable = manager.recover()
+        for i in range(5):
+            commit_edge(durable, f"a{i}", f"a{i + 1}")
+        before = durable.epoch
+        assert durable.truncate_history(1) > 0
+        # The WAL still serves the full line: same epoch.
+        assert durable.epoch == before
+        manager.close()
+
+    def test_bootstrap_tail_and_reset_carry_epoch(self):
+        store = HAMStore()
+        commit_edge(store, "a", "b")
+        source = ReplicationSource(store)
+        assert source.bootstrap()["epoch"] == store.epoch
+        assert source.tail(0)["epoch"] == store.epoch
+        ahead = source.tail(10)
+        assert ahead["reset"] is True
+        assert ahead["epoch"] == store.epoch
+        assert source.stats()["epoch"] == store.epoch
+
+
+class TestEpochDivergence:
+    """The tentpole bug: a primary restart that rewrites history back to an
+    equal-or-higher version is invisible to version arithmetic — only the
+    epoch stamp exposes it."""
+
+    def _seed_primary_and_replica(self, check_epoch=True):
+        server = start_server()
+        port = server.port
+        with ServiceClient(port=port) as writer:
+            for i in range(3):
+                writer.update(edges=[[f"a{i}", "e", f"a{i + 1}"]])
+        store = HAMStore()
+        applier = ReplicaApplier(
+            store, "127.0.0.1", port, wait_ms=100,
+            reconnect_min=0.01, reconnect_max=0.1, check_epoch=check_epoch,
+        )
+        applier.start()
+        assert applier.wait_ready(10)
+        assert store.wait_for_version(3, 10)
+        return server, port, store, applier
+
+    def _rewritten_primary(self, port):
+        """A different history at version 4 >= the replica's 3: tail(3)
+        serves records 4 with no reset, so versions alone look fine."""
+        rewritten = HAMStore()
+        for i in range(4):
+            commit_edge(rewritten, f"z{i}", f"z{i + 1}")
+        server = ServiceServer(
+            store=rewritten, config=ServiceConfig(host="127.0.0.1", port=port)
+        ).start_background()
+        return server, rewritten
+
+    def test_replica_adopts_primary_epoch(self):
+        server, _port, _store, applier = self._seed_primary_and_replica()
+        try:
+            status = applier.status()
+            assert status["primary_epoch"] == server.service.store.epoch
+            assert status["epoch"] == server.service.store.epoch
+            assert status["epoch_rebootstraps"] == 0
+        finally:
+            applier.stop()
+            server.stop()
+
+    def test_epoch_change_triggers_rebootstrap(self):
+        server, port, store, applier = self._seed_primary_and_replica()
+        fresh = None
+        try:
+            server.stop()
+            fresh, rewritten = self._rewritten_primary(port)
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                if store.version == 4 and store.graph == rewritten.graph:
+                    break
+                time.sleep(0.05)
+            assert store.graph == rewritten.graph, "replica never converged"
+            status = applier.status()
+            assert status["epoch_rebootstraps"] >= 1
+            assert status["primary_epoch"] == rewritten.epoch
+        finally:
+            applier.stop()
+            server.stop()
+            if fresh is not None:
+                fresh.stop()
+
+    def test_epoch_check_disabled_reopens_silent_divergence(self):
+        # The pre-epoch behavior: the replica happily applies records 4..
+        # from a history it never saw and ends "in sync" with wrong data.
+        server, port, store, applier = self._seed_primary_and_replica(
+            check_epoch=False
+        )
+        fresh = None
+        try:
+            server.stop()
+            fresh, rewritten = self._rewritten_primary(port)
+            assert store.wait_for_version(4, 15)
+            assert store.version == rewritten.version
+            assert store.graph != rewritten.graph, (
+                "replica state matches the rewritten primary; the divergence "
+                "this test documents no longer reproduces"
+            )
+            status = applier.status()
+            assert status["epoch_rebootstraps"] == 0
+            assert status["bootstraps"] == 1
+        finally:
+            applier.stop()
+            server.stop()
+            if fresh is not None:
+                fresh.stop()
+
+
+# --------------------------------------------------------------------------
+# Promotion + router failover
+# --------------------------------------------------------------------------
+
+
+class TestPromotion:
+    def test_promote_flips_replica_to_writable_primary(self, cluster):
+        primary, replicas = cluster
+        with ServiceClient(port=primary.port) as writer:
+            writer.update(edges=[["a", "e", "b"]])
+        replica = replicas[0]
+        assert replica.service.store.wait_for_version(1, 10)
+        old_epoch = replica.service.store.epoch
+        with ServiceClient(port=replica.port) as client:
+            with pytest.raises(ReadOnlyError):
+                client.update(edges=[["x", "e", "y"]])
+            document = client.promote()
+            assert document["promoted"] is True
+            assert document["promoted_from"] == f"127.0.0.1:{primary.port}"
+            assert document["applied_version"] == 1
+            assert document["epoch"] != old_epoch
+            assert client.update(edges=[["b", "e", "c"]]) == 2
+            with pytest.raises(ProtocolError, match="already promoted"):
+                client.promote()
+        assert replica.service.store.epoch == document["epoch"]
+        status = replica.service.replication_status()
+        assert status["role"] == "primary"
+        assert status["promotion"]["promoted_from"].endswith(str(primary.port))
+        assert "repro_repl_promoted 1" in replica.service.prometheus_text()
+
+    def test_promote_rejects_plain_primary(self, primary_server):
+        with ServiceClient(port=primary_server.port) as client:
+            with pytest.raises(ProtocolError, match="not a replica"):
+                client.promote()
+
+    def test_promotion_rotates_epoch_for_downstream(self, cluster):
+        # A second replica still tailing must see the promoted server's new
+        # epoch and re-bootstrap off it rather than trust version numbers.
+        primary, replicas = cluster
+        promoted, follower = replicas
+        with ServiceClient(port=primary.port) as writer:
+            writer.update(edges=[["a", "e", "b"]])
+        for replica in replicas:
+            assert replica.service.store.wait_for_version(1, 10)
+        primary.stop()
+        promoted.service.promote()
+        with ServiceClient(port=promoted.port) as writer:
+            writer.update(edges=[["b", "e", "c"]])
+        # Point the follower at the promoted server (operator re-target).
+        follower.service.applier.stop()
+        follower.service.applier = None
+        store = follower.service.store
+        applier = ReplicaApplier(store, "127.0.0.1", promoted.port, wait_ms=100,
+                                 reconnect_min=0.01, reconnect_max=0.1)
+        follower.service.applier = applier
+        applier.start()
+        try:
+            assert applier.wait_ready(10)
+            assert store.wait_for_version(2, 10)
+            assert store.graph == promoted.service.store.graph
+            assert applier.status()["primary_epoch"] == promoted.service.store.epoch
+        finally:
+            applier.stop()
+
+
+class TestFailover:
+    def test_router_fails_writes_over_to_promoted_replica(self, cluster):
+        primary, replicas = cluster
+        addresses = [("127.0.0.1", r.port) for r in replicas]
+        with RoutingClient(
+            ("127.0.0.1", primary.port), addresses, retries=0
+        ) as router:
+            router.update(edges=[["a", "e", "b"]])
+            for replica in replicas:
+                assert replica.service.store.wait_for_version(1, 10)
+            primary.stop()
+            replicas[0].service.promote()
+            assert router.update(edges=[["b", "e", "c"]]) == 2
+            stats = router.router_stats()
+            assert stats["failovers"] == 1
+            assert stats["primary"].endswith(str(replicas[0].port))
+            # Token re-armed from the failover write's own version.
+            assert router.min_version == 2
+            # The dead primary is parked as a replica candidate for rejoin.
+            assert any(
+                entry["address"].endswith(str(primary.port))
+                for entry in stats["replicas"]
+            )
+            # Reads route too (the still-tailing replica reports stale, the
+            # new primary serves).
+            assert ("a", "c") in router.datalog(TC_PROGRAM)["tc"]
+
+    def test_writes_fail_without_a_promoted_replica(self, cluster):
+        primary, replicas = cluster
+        addresses = [("127.0.0.1", r.port) for r in replicas]
+        with RoutingClient(
+            ("127.0.0.1", primary.port), addresses, retries=0
+        ) as router:
+            router.update(edges=[["a", "e", "b"]])
+            primary.stop()
+            # Nobody was promoted: both replicas answer read_only and the
+            # original connection error surfaces.
+            with pytest.raises(ServiceError):
+                router.update(edges=[["b", "e", "c"]])
+            assert router.router_stats()["failovers"] == 0
+
+    def test_read_token_resets_when_unprovable(self, primary_server):
+        # The primary that minted the token dies and the only replica is
+        # permanently behind it: instead of deadlocking read-your-writes,
+        # the router resets the token and serves current data.
+        stuck = start_server(version_wait_ms=0)
+        try:
+            with RoutingClient(
+                ("127.0.0.1", primary_server.port),
+                [("127.0.0.1", stuck.port)],
+                retries=0,
+            ) as router:
+                router.update(edges=[["a", "e", "b"]])
+                assert router.min_version == 1
+                primary_server.stop()
+                result = router.datalog(TC_PROGRAM)
+                assert result.get("tc", set()) == set()  # stuck server is empty
+                stats = router.router_stats()
+                assert stats["token_resets"] >= 1
+                assert router.min_version is None
+        finally:
+            stuck.stop()
+
+    def test_connect_failures_count_like_midcall_poisons(self, primary_server):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        with ServiceClient(port=primary_server.port) as writer:
+            writer.update(edges=[["a", "e", "b"]])
+        with RoutingClient(
+            ("127.0.0.1", primary_server.port),
+            [("127.0.0.1", dead_port)],
+            retries=0,
+        ) as router:
+            assert ("a", "b") in router.datalog(TC_PROGRAM)["tc"]
+            stats = router.router_stats()
+            entry = stats["replicas"][0]
+            assert entry["failures"] >= 1, "connect refusal was not accounted"
+            assert not entry["healthy"]
+            assert stats["ejections"] >= 1
+            assert stats["primary_fallbacks"] >= 1
+
+    def test_router_server_shares_failover_topology(self, cluster):
+        primary, replicas = cluster
+        router = RouterServer(
+            f"127.0.0.1:{primary.port}",
+            [f"127.0.0.1:{r.port}" for r in replicas],
+        ).start()
+        try:
+            with ServiceClient(port=router.port) as first:
+                first.update(edges=[["a", "e", "b"]])
+                for replica in replicas:
+                    assert replica.service.store.wait_for_version(1, 10)
+                primary.stop()
+                replicas[0].service.promote()
+                assert first.update(edges=[["b", "e", "c"]]) == 2
+            assert router.failovers == 1
+            assert router.primary.endswith(str(replicas[0].port))
+            # A connection opened after the failover starts on the
+            # discovered topology: no second probe needed.
+            with ServiceClient(port=router.port) as second:
+                assert second.update(edges=[["c", "e", "d"]]) == 3
+            assert router.failovers == 1
+        finally:
+            router.stop()
+
+
+# --------------------------------------------------------------------------
+# Health: tail-disconnect grace (satellite)
+# --------------------------------------------------------------------------
+
+
+class TestDisconnectGrace:
+    def test_stats_and_health_surface_tail_connection(self, cluster):
+        _primary, replicas = cluster
+        service = replicas[0].service
+        status = service.stats()["replication"]
+        assert status["tail_connected"] is True
+        assert "seconds_since_poll" in status
+        health = service.health()["replication"]
+        assert health["tail_connected"] is True
+        text = service.prometheus_text()
+        assert "repro_repl_seconds_since_poll" in text
+        assert "repro_repl_epoch_rebootstraps_total" in text
+        assert 'repro_repl_epoch{epoch="' in text
+
+    def test_healthz_degrades_after_disconnect_grace(self, cluster):
+        _primary, replicas = cluster
+        service = replicas[0].service
+        applier = service.applier
+        assert service.health()["status"] == "ok"
+        with applier._lock:
+            applier._connected = False
+            applier._last_poll_monotonic = time.monotonic() - 5.0
+        # Five seconds of silence is a blip under a generous grace...
+        service.config.repl_disconnect_grace = 60.0
+        assert service.health()["status"] == "ok"
+        # ...and fatal once the grace period has passed.
+        service.config.repl_disconnect_grace = 1.0
+        assert service.health()["status"] == "degraded"
+        # A tail that never polled cannot vouch for its staleness at all.
+        service.config.repl_disconnect_grace = 60.0
+        with applier._lock:
+            applier._last_poll_monotonic = None
+        assert service.health()["status"] == "degraded"
+        with applier._lock:
+            applier._connected = True
+        assert service.health()["status"] == "ok"

@@ -135,6 +135,190 @@ class TestPrimaryCrash:
                 sigkill(process)
 
 
+class TestEqualVersionDivergence:
+    """The tentpole bug, end to end with real crashes.
+
+    A primary running ``--fsync interval`` can acknowledge commits whose
+    WAL records are lost in a crash (never synced).  After recovery it
+    re-commits *different* data back onto the same version numbers — and a
+    replica that already applied the lost versions sees an equal-or-higher
+    primary version with no reset.  Two appliers ride through the same
+    crash: the legacy one (epoch check disabled) silently diverges at an
+    equal version; the default one detects the epoch rotation recovery
+    performed and re-bootstraps onto the rewritten history.
+    """
+
+    @staticmethod
+    def _cut_wal_at_version(data_dir, version):
+        """Chop the durable WAL mid-record at the first record holding
+        *version*, simulating an unsynced tail lost to the crash (SIGKILL
+        alone cannot lose it: appends are flushed to the page cache, which
+        survives process death).  The cut is deliberately torn — five bytes
+        into the record header — so recovery takes its truncation path and
+        rotates the epoch."""
+        from repro.persist import wal as wal_mod
+
+        segments = wal_mod.list_segments(os.path.join(data_dir, "wal"))
+        cut_index = None
+        for index, (_first, path) in enumerate(segments):
+            records, _good, corruption = wal_mod.scan_segment(path)
+            assert corruption is None, corruption
+            for offset, payload in records:
+                if payload["version"] >= version:
+                    with open(path, "r+b") as handle:
+                        handle.truncate(offset + 5)
+                    cut_index = index
+                    break
+            if cut_index is not None:
+                break
+        assert cut_index is not None, f"version {version} not found in the WAL"
+        for _first, path in segments[cut_index + 1:]:
+            os.unlink(path)
+
+    def test_rewritten_history_rebootstraps_checked_replica_only(self, tmp_path):
+        data_dir = str(tmp_path / "primary-data")
+        # A long fsync interval guarantees no record is synced before the
+        # kill, so cutting the tail afterwards is a faithful re-enactment.
+        process, port = spawn_serve(
+            "--data-dir", data_dir, "--fsync", "interval",
+            "--fsync-interval", "60",
+        )
+
+        def applier_for(check_epoch):
+            return ReplicaApplier(
+                HAMStore(), "127.0.0.1", port, wait_ms=200,
+                reconnect_min=0.05, reconnect_max=0.5, client_timeout=10.0,
+                check_epoch=check_epoch,
+            )
+
+        checked = applier_for(True)
+        legacy = applier_for(False)
+        writer_stop = threading.Event()
+        acked = []
+
+        def write_stream():
+            try:
+                with ServiceClient(port=port, timeout=10) as client:
+                    i = 0
+                    while not writer_stop.is_set():
+                        acked.append(
+                            client.update(edges=[[f"c{i}", "crash", f"c{i + 1}"]])
+                        )
+                        i += 1
+                        time.sleep(0.005)
+            except ReproError:
+                pass  # the kill arrives mid-stream by design
+
+        writer = threading.Thread(target=write_stream, daemon=True)
+        staging = None
+        try:
+            checked.start()
+            legacy.start()
+            assert checked.wait_ready(15) and legacy.wait_ready(15)
+            writer.start()
+            wait_until(
+                lambda: min(checked.store.version, legacy.store.version) >= 10,
+                30, "replicas never applied 10 commits",
+            )
+            sigkill(process)
+            writer_stop.set()
+            writer.join(timeout=15)
+            # Both appliers are cut off; their applied versions are final.
+            wait_until(
+                lambda: not checked.status()["connected"]
+                and not legacy.status()["connected"],
+                15, "appliers never noticed the primary died",
+            )
+            applied = legacy.store.version
+            assert applied >= 10
+
+            # Lose the unsynced tail from version `applied` on: recovery
+            # comes back BELOW what the legacy replica already applied.
+            self._cut_wal_at_version(data_dir, applied)
+
+            # Stage the rewrite on a TEMPORARY port so the replicas (still
+            # retrying the original address) cannot see the primary while
+            # its version is below theirs — that would answer `reset` and
+            # hide the bug this test pins down.  Re-commit DIFFERENT data
+            # past both replicas' positions (the appliers poll
+            # independently, so the checked one may be a few versions ahead
+            # of or behind the legacy one at kill time).
+            target = max(applied, checked.store.version) + 1
+            staging, staging_port = spawn_serve(
+                "--data-dir", data_dir, "--fsync", "interval",
+                "--fsync-interval", "60", port=0,
+            )
+            with ServiceClient(port=staging_port, timeout=10, retries=5) as client:
+                recovered = client.stats()["store"]["version"]
+                assert recovered == applied - 1, (recovered, applied)
+                rewritten = recovered
+                for i in range(target - recovered):
+                    rewritten = client.update(
+                        edges=[[f"d{i}", "divergent", f"d{i + 1}"]]
+                    )
+            assert rewritten == target
+            sigkill(staging)
+            staging = None
+
+            # Back on the original port: the replicas reconnect and tail
+            # from `applied`, and the primary answers records with NO reset
+            # (they are not ahead).  Version arithmetic sees nothing wrong.
+            process, _ = spawn_serve(
+                "--data-dir", data_dir, "--fsync", "interval",
+                "--fsync-interval", "60", port=port,
+            )
+            with ServiceClient(port=port, timeout=10, retries=5) as client:
+                primary_stats = client.stats()["store"]
+
+            # The legacy applier applies the rewritten records straight
+            # onto its stale state: equal version, different data, zero
+            # errors — the silent divergence the epoch stamp exists to kill.
+            wait_until(
+                lambda: legacy.store.version == rewritten, 30,
+                f"legacy replica at {legacy.store.version}, primary at {rewritten}",
+            )
+            assert legacy.status()["lag_versions"] == 0
+            assert legacy.status()["epoch_rebootstraps"] == 0
+            assert legacy.status()["bootstraps"] == 1
+            # Divergence, concretely: the primary's rewrite starts with the
+            # d0->d1 edge (version `applied`), which the legacy replica
+            # never saw — it tailed from `applied` and got only the record
+            # after it — while the replica still holds the crashed line's
+            # c-edge for version `applied`, which the recovered primary
+            # lost.  Same version number, different graphs, no error.
+            assert not legacy.store.graph.has_edge("d0", "d1", "divergent"), (
+                "legacy replica matches the rewritten primary; the "
+                "divergence this test documents no longer reproduces"
+            )
+            assert legacy.store.graph.has_edge(
+                f"c{applied - 1}", f"c{applied}", "crash"
+            )
+
+            # The checked applier sees the rotated epoch on its first tail
+            # response and re-bootstraps onto the rewritten history.
+            wait_until(
+                lambda: checked.store.version == rewritten
+                and checked.store.graph.edge_count() == primary_stats["edges"],
+                30,
+                f"checked replica at {checked.store.version} never converged",
+            )
+            status = checked.status()
+            assert status["epoch_rebootstraps"] >= 1
+            assert status["bootstraps"] >= 2
+            assert checked.store.graph.node_count() == primary_stats["nodes"]
+            assert checked.store.graph.has_edge("d0", "d1", "divergent")
+            assert not checked.store.graph.has_edge(
+                f"c{applied - 1}", f"c{applied}", "crash"
+            )
+        finally:
+            writer_stop.set()
+            checked.stop()
+            legacy.stop()
+            for proc in (process, staging):
+                if proc is not None and proc.poll() is None:
+                    sigkill(proc)
+
+
 class TestReplicaCrash:
     def test_sigkill_replica_fresh_one_rebootstraps(self):
         primary = ServiceServer(config=ServiceConfig(port=0)).start_background()
