@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""CI smoke test for the columnar evaluation backend.
+
+Runs the abl6 and abl7 benchmark workloads through both engine backends
+with the differential check enabled:
+
+- abl6: semi-naive transitive closure over a chain (the DRed ablation's
+  evaluation hot path), ``Engine(method=...)`` directly;
+- abl7: the flights ``reach``/``connected`` GraphLog query through a real
+  :class:`QueryService` configured with ``engine="native"`` and
+  ``engine="columnar"``, including an ``explain`` pass asserting the
+  reported backend, and the RPQ op on both the CSR and dict-walk paths.
+
+Any divergence between backends fails the job.  Timings are printed for
+trend-watching but are *not* gated here — the calibrated >= 10x assertions
+live in ``benchmarks/test_ablation_columnar.py`` where pytest-benchmark
+controls the noise.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/benchmark_smoke.py
+
+Exits non-zero (with a diagnostic on stderr) on any failure.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.datalog.database import Database  # noqa: E402
+from repro.datalog.engine import Engine  # noqa: E402
+from repro.datalog.parser import parse_program  # noqa: E402
+from repro.datasets.flights import random_flights  # noqa: E402
+from repro.graphs.bridge import graph_from_database  # noqa: E402
+from repro.ham.store import HAMStore  # noqa: E402
+from repro.service.server import QueryService, ServiceConfig  # noqa: E402
+
+CHAIN_PROGRAM = parse_program(
+    """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- e(X, Z), tc(Z, Y).
+    """
+)
+
+FLIGHTS_QUERY = """
+define (C1) -[reach]-> (C2) {
+    (C1) <-[from]- (F); (F) -[to]-> (C2);
+}
+define (C1) -[connected]-> (C2) {
+    (C1) -[reach+]-> (C2);
+}
+"""
+
+# City-to-city hops: follow a `from` edge backwards onto the flight node,
+# then its `to` edge forwards.
+RPQ_EXPRESSION = "-from . to"
+
+
+def fail(message):
+    sys.stderr.write(f"benchmark_smoke: FAIL: {message}\n")
+    sys.exit(1)
+
+
+def timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - started, value
+
+
+def check_abl6_chain():
+    size = 400
+    edb = Database()
+    edb.add_facts("e", [(f"n{i}", f"n{i+1}") for i in range(size)])
+
+    native_s, native = timed(
+        lambda: Engine(method="seminaive").evaluate(CHAIN_PROGRAM, edb)
+    )
+    columnar_s, columnar = timed(
+        lambda: Engine(method="columnar").evaluate(CHAIN_PROGRAM, edb)
+    )
+    if native != columnar:
+        fail("abl6 chain closure: columnar result diverges from native")
+    if ("n0", f"n{size}") not in native.facts("tc"):
+        fail("abl6 chain closure: expected far pair missing")
+    print(
+        f"abl6 chain n={size}: native={native_s:.3f}s "
+        f"columnar={columnar_s:.3f}s speedup={native_s / columnar_s:.1f}x"
+    )
+
+
+def flights_service(engine):
+    store = HAMStore()
+    store.load_graph(
+        graph_from_database(random_flights(7, n_cities=40, n_flights=500))
+    )
+    return QueryService(store=store, config=ServiceConfig(engine=engine))
+
+
+def execute(service, request):
+    response = service.execute(request)
+    if "result" not in response:
+        fail(f"service error for {request.get('op')}: {response!r}")
+    return response
+
+
+def check_abl7_service():
+    graphlog = {"op": "graphlog", "query": FLIGHTS_QUERY}
+    rpq = {"op": "rpq", "query": RPQ_EXPRESSION}
+    timings = {}
+    results = {}
+    for engine in ("native", "columnar"):
+        service = flights_service(engine)
+        if service.stats()["engine"] != engine:
+            fail(f"service stats do not report engine={engine}")
+        execute(service, graphlog)  # warm the plan cache
+        service.results.clear()
+        elapsed, response = timed(lambda: execute(service, graphlog))
+        timings[engine] = elapsed
+        relations = response["result"]["relations"]
+        answers = execute(service, rpq)["result"]["relations"]["answers"]
+        results[engine] = (
+            sorted(map(tuple, relations["connected"])),
+            sorted(map(tuple, answers)),
+        )
+        if not results[engine][0] or not results[engine][1]:
+            fail(f"abl7 workload returned empty answers for engine={engine}")
+        explain = execute(
+            service,
+            {"op": "explain", "query": FLIGHTS_QUERY, "target": "graphlog"},
+        )
+        expected_backend = "columnar" if engine == "columnar" else "native"
+        spans = str(explain["result"])
+        if f"'backend': '{expected_backend}'" not in spans:
+            fail(f"explain trace for engine={engine} lacks backend marker")
+    if results["native"] != results["columnar"]:
+        fail("abl7 flights service: columnar results diverge from native")
+    print(
+        f"abl7 flights graphlog: native={timings['native']:.3f}s "
+        f"columnar={timings['columnar']:.3f}s "
+        f"speedup={timings['native'] / timings['columnar']:.1f}x"
+    )
+
+
+def main():
+    check_abl6_chain()
+    check_abl7_service()
+    print("benchmark_smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -183,6 +183,7 @@ def cmd_serve(args):
         repl_max_lag=args.max_lag,
         repl_disconnect_grace=args.disconnect_grace,
         version_wait_ms=args.version_wait_ms,
+        engine=args.engine,
     )
     # With --data-dir the service recovers the store from disk; --data then
     # only seeds a store that recovered empty (a fresh data directory).
@@ -196,7 +197,8 @@ def cmd_serve(args):
         durable = f", data dir {args.data_dir} (fsync={args.fsync})" if args.data_dir else ""
         role = f", replica of {args.replica_of}" if args.replica_of else ""
         print(f"repro service listening on {server.host}:{server.port} "
-              f"(store version {store.version}{durable}{role})", flush=True)
+              f"(store version {store.version}, engine {args.engine}"
+              f"{durable}{role})", flush=True)
         if server.metrics_port is not None:
             print(f"telemetry on http://{args.metrics_host}:{server.metrics_port}"
                   f"/metrics (and /healthz)", flush=True)
@@ -377,13 +379,15 @@ def build_parser():
     p_query = sub.add_parser("query", help="run a GraphLog query over a fact file")
     p_query.add_argument("query", help="GraphLog DSL file")
     p_query.add_argument("data", help="Datalog fact file")
-    p_query.add_argument("--method", default="seminaive", choices=("seminaive", "naive"))
+    p_query.add_argument("--method", default="seminaive",
+                         choices=("seminaive", "naive", "columnar"))
     p_query.set_defaults(func=cmd_query)
 
     p_datalog = sub.add_parser("datalog", help="evaluate a Datalog program")
     p_datalog.add_argument("program", help="Datalog program file")
     p_datalog.add_argument("--data", help="Datalog fact file", default=None)
-    p_datalog.add_argument("--method", default="seminaive", choices=("seminaive", "naive"))
+    p_datalog.add_argument("--method", default="seminaive",
+                          choices=("seminaive", "naive", "columnar"))
     p_datalog.set_defaults(func=cmd_datalog)
 
     p_translate = sub.add_parser("translate", help="Algorithm 3.1: SL -> STC")
@@ -463,6 +467,10 @@ def build_parser():
                          help="replica: /healthz turns 503 after this many "
                               "seconds without a successful tail poll (the "
                               "reported lag is stale while disconnected)")
+    p_serve.add_argument("--engine", default="columnar",
+                         choices=("native", "columnar"),
+                         help="default evaluation backend for requests that "
+                              "carry no explicit method (see docs/ENGINE.md)")
     p_serve.add_argument("--version-wait-ms", type=int, default=2000,
                          help="bound on waiting for a read's min_version "
                               "before failing replica_stale")
@@ -509,7 +517,8 @@ def build_parser():
                         choices=("graphlog", "datalog", "rpq"),
                         help="explain/profile: query language of the input")
     p_call.add_argument("--predicate", default=None, help="relation to return")
-    p_call.add_argument("--method", default=None, choices=("seminaive", "naive"))
+    p_call.add_argument("--method", default=None,
+                        choices=("seminaive", "naive", "columnar", "native"))
     p_call.add_argument("--timeout", type=float, default=None,
                         help="per-request deadline override in seconds")
     p_call.add_argument("--edge", nargs=3, action="append", default=None,
@@ -541,7 +550,8 @@ def build_parser():
     p_explain.add_argument("--host", dest="connect_host", default=None,
                            help="explain against a running server instead")
     p_explain.add_argument("--port", dest="connect_port", type=int, default=7464)
-    p_explain.add_argument("--method", default=None, choices=("seminaive", "naive"))
+    p_explain.add_argument("--method", default=None,
+                           choices=("seminaive", "naive", "columnar", "native"))
     p_explain.add_argument("--json", action="store_true",
                            help="print the span tree as JSON instead of ASCII")
     p_explain.set_defaults(func=cmd_explain)

@@ -35,7 +35,9 @@ class GraphLogEngine:
     """Evaluates GraphLog graphical queries over relational databases.
 
     Parameters:
-        method: Datalog evaluation strategy, ``seminaive`` or ``naive``.
+        method: Datalog evaluation strategy — ``seminaive`` or ``naive``
+            (the tuple-set walker), or ``columnar`` (the int-encoded kernel
+            backend; see docs/ENGINE.md).
         closure_kernel: when set to one of
             :func:`repro.graphs.closure.closure_methods` names, simple
             closure literals over binary predicates are precomputed with
@@ -108,7 +110,10 @@ class GraphLogEngine:
         database = _as_database(database)
         program = self.translate(query)
         prepared = prepare_database(database, self.domain_predicate)
-        engine = Engine(method=self.method, record_provenance=True)
+        # Provenance needs the native walker's per-derivation support sets;
+        # the columnar backend derives in batches and records none.
+        method = "seminaive" if self.method == "columnar" else self.method
+        engine = Engine(method=method, record_provenance=True)
         result = engine.evaluate(program, prepared)
         return result, engine.provenance
 

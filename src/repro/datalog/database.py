@@ -17,13 +17,17 @@ from repro.errors import ArityError
 class Relation:
     """A set of fixed-arity tuples with lazily-built column indexes."""
 
-    __slots__ = ("name", "arity", "_tuples", "_indexes")
+    __slots__ = ("name", "arity", "_tuples", "_indexes", "_mutations")
 
     def __init__(self, name, arity):
         self.name = name
         self.arity = int(arity)
         self._tuples = set()
         self._indexes = {}
+        #: Bumped on every successful add/discard; consumers that cache a
+        #: derived form of the relation (e.g. the columnar int encoding)
+        #: key their cache on this counter.
+        self._mutations = 0
 
     def __len__(self):
         return len(self._tuples)
@@ -35,11 +39,14 @@ class Relation:
         return tuple(row) in self._tuples
 
     def __eq__(self, other):
-        return (
-            isinstance(other, Relation)
-            and self.name == other.name
-            and self._tuples == other._tuples
-        )
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.name == other.name and self._tuples == other._tuples
+
+    # Defining __eq__ sets __hash__ to None; relations must stay usable as
+    # dict keys / set members (identity semantics, like any mutable
+    # container), so restore identity hashing explicitly.
+    __hash__ = object.__hash__
 
     def __repr__(self):
         return f"Relation({self.name!r}/{self.arity}, {len(self)} tuples)"
@@ -59,6 +66,7 @@ class Relation:
         if row in self._tuples:
             return False
         self._tuples.add(row)
+        self._mutations += 1
         for position, index in self._indexes.items():
             index[self._key(row, position)].add(row)
         return True
@@ -76,6 +84,7 @@ class Relation:
         if row not in self._tuples:
             return False
         self._tuples.discard(row)
+        self._mutations += 1
         for position, index in self._indexes.items():
             index[self._key(row, position)].discard(row)
         return True
@@ -95,8 +104,12 @@ class Relation:
             return self._tuples
         if len(positions) == self.arity:
             # Fully bound: a membership probe, no index needed.  Positions
-            # are sorted and distinct, so they cover 0..arity-1 in order.
+            # cover every column but are not necessarily sorted, so the
+            # probe row is assembled in column order, not argument order.
             row = tuple(values)
+            if positions != _SORTED_POSITIONS.get(self.arity):
+                by_position = sorted(zip(positions, values))
+                row = tuple(v for _p, v in by_position)
             return (row,) if row in self._tuples else _EMPTY_SET
         index = self._indexes.get(positions)
         if index is None:
@@ -131,6 +144,10 @@ class Relation:
 
 
 _EMPTY_SET = frozenset()
+
+#: Memoized identity position tuples: a fully-bound probe whose positions
+#: already read ``(0, 1, ..., arity-1)`` needs no reordering.
+_SORTED_POSITIONS = {n: tuple(range(n)) for n in range(1, 17)}
 
 
 class Database:

@@ -365,6 +365,10 @@ class MaintenancePlan:
             "dred.maintain",
             delta_plus={p: len(rows) for p, rows in sorted(delta_plus.items())},
             delta_minus={p: len(rows) for p, rows in sorted(delta_minus.items())},
+            # Maintenance joins run the native walker: deltas are small by
+            # design, so per-row encoding into the columnar form would cost
+            # more than the joins it accelerates (see docs/ENGINE.md).
+            backend="native",
         ) as root:
             added = {}
             removed = {}

@@ -68,24 +68,48 @@ class EvaluationStats:
         self.iterations = 0
         self.rule_firings = 0
         self.facts_derived = 0
+        #: Head rows produced by rule firings before deduplication against
+        #: the database; the gap to ``facts_derived`` is wasted re-derivation.
+        self.rows_produced = 0
         self.strata = 0
 
     def __repr__(self):
         return (
             f"EvaluationStats(iterations={self.iterations}, "
             f"rule_firings={self.rule_firings}, facts_derived={self.facts_derived}, "
-            f"strata={self.strata})"
+            f"rows_produced={self.rows_produced}, strata={self.strata})"
         )
 
 
 class Engine:
-    """Evaluator for stratified Datalog programs over a :class:`Database`."""
+    """Evaluator for stratified Datalog programs over a :class:`Database`.
 
-    def __init__(self, method="seminaive", check_safety=True, record_provenance=False):
-        if method not in ("naive", "seminaive"):
+    ``method`` selects the backend: ``"naive"`` and ``"seminaive"`` run the
+    tuple-set walker in this module; ``"columnar"`` runs the int-encoded
+    kernel evaluator in :mod:`repro.datalog.columnar` (same semantics,
+    pinned by the differential suite).  ``old_new_split`` controls the
+    classical old/new decomposition for semi-naive rules with two or more
+    recursive literals; it exists as an escape hatch for A/B-testing the
+    split and should stay on.
+    """
+
+    def __init__(
+        self,
+        method="seminaive",
+        check_safety=True,
+        record_provenance=False,
+        old_new_split=True,
+    ):
+        if method not in ("naive", "seminaive", "columnar"):
             raise ValueError(f"unknown evaluation method {method!r}")
+        if method == "columnar" and record_provenance:
+            raise ValueError(
+                "provenance recording requires the native backend "
+                "(method='naive' or 'seminaive')"
+            )
         self.method = method
         self.check_safety = check_safety
+        self.old_new_split = old_new_split
         self.record_provenance = record_provenance
         #: {(predicate, row): (rule, ((predicate, row), ...))} — the *first*
         #: derivation of each derived fact; populated when record_provenance.
@@ -103,7 +127,24 @@ class Engine:
         self.stats = EvaluationStats()
         self.provenance = {}
         tracer = obs.tracer()
-        with tracer.span("engine.evaluate", method=self.method) as root:
+        backend = "columnar" if self.method == "columnar" else "native"
+        with tracer.span(
+            "engine.evaluate", method=self.method, backend=backend
+        ) as root:
+            if self.method == "columnar":
+                # Imported lazily: columnar shares the builtin tables of
+                # this module, so a top-level import would be circular.
+                from repro.datalog.columnar import evaluate_columnar
+
+                database = evaluate_columnar(program, edb, self.stats, tracer)
+                if root:
+                    root.annotate(
+                        iterations=self.stats.iterations,
+                        rule_firings=self.stats.rule_firings,
+                        facts_derived=self.stats.facts_derived,
+                        strata=self.stats.strata,
+                    )
+                return database
             database = edb.copy()
 
             # Facts in the program are loaded directly.
@@ -263,15 +304,35 @@ class Engine:
                 for predicate, rows in delta.items()
                 if rows
             }
+            # Old/new split: when a rule has several recursive literals, the
+            # variant firing at delta position p_j must read the *previous*
+            # iteration's state at positions after p_j (full minus delta),
+            # so each new combination is derived exactly once per round.
+            old_relations = (
+                {
+                    predicate: _MinusRelation(database.relation(predicate), rows)
+                    for predicate, rows in delta.items()
+                    if rows
+                }
+                if self.old_new_split
+                else {}
+            )
             new_delta = defaultdict(set)
             for rule, schedule, positions in schedules:
                 head_pred = rule.head.predicate
                 relation = database.relation(head_pred)
-                for position in positions:
+                for order, position in enumerate(positions):
                     pred = schedule[position].predicate
                     delta_relation = delta_relations.get(pred)
                     if delta_relation is None:
                         continue
+                    old_overrides = None
+                    if self.old_new_split and len(positions) > 1:
+                        old_overrides = {
+                            later: old_relations[schedule[later].predicate]
+                            for later in positions[order + 1:]
+                            if schedule[later].predicate in old_relations
+                        }
                     if firings is not None:
                         firings[str(rule)] += 1
                     produced = self._fire(
@@ -280,6 +341,7 @@ class Engine:
                         database,
                         delta_position=position,
                         delta_relation=delta_relation,
+                        old_overrides=old_overrides,
                     )
                     for row, support in produced:
                         if relation.add(row):
@@ -303,12 +365,21 @@ class Engine:
         if span:
             span.annotate(rule_firings=dict(firings))
 
-    def _fire(self, rule, schedule, database, delta_position=None, delta_relation=None):
+    def _fire(
+        self,
+        rule,
+        schedule,
+        database,
+        delta_position=None,
+        delta_relation=None,
+        old_overrides=None,
+    ):
         """Yield ``(head_row, support)`` pairs from one rule body evaluation.
 
         ``support`` is a tuple of the positive body facts that matched, as
         ``(predicate, row)`` pairs, when ``record_provenance`` is on; None
-        otherwise."""
+        otherwise.  ``old_overrides`` maps schedule indexes to substitute
+        relations (the pre-iteration view used by the old/new split)."""
         self.stats.rule_firings += 1
         head = rule.head
         results = []
@@ -333,6 +404,8 @@ class Engine:
                 if element.positive:
                     if index == delta_position:
                         relation = delta_relation
+                    elif old_overrides and index in old_overrides:
+                        relation = old_overrides[index]
                     else:
                         relation = database.relation(element.predicate)
                     for extended, row in _match_against(
@@ -358,6 +431,7 @@ class Engine:
                 raise EvaluationError(f"unknown body element {element!r}")
 
         walk(0, {})
+        self.stats.rows_produced += len(results)
         return results
 
     def _record(self, rule, predicate, row, support):
@@ -432,6 +506,37 @@ class Engine:
 
 
 _UNBOUND = object()
+
+
+class _MinusRelation:
+    """A read-only view of *relation* with the rows of *excluded* hidden.
+
+    Implements just the surface ``_match_against`` touches (``lookup`` and
+    ``arity``); used by the semi-naive old/new split to present the
+    pre-iteration state of a recursive predicate without copying it.
+    """
+
+    __slots__ = ("_relation", "_excluded")
+
+    def __init__(self, relation, excluded):
+        self._relation = relation
+        self._excluded = excluded if isinstance(excluded, (set, frozenset)) else set(excluded)
+
+    @property
+    def name(self):
+        return self._relation.name
+
+    @property
+    def arity(self):
+        return self._relation.arity
+
+    def __len__(self):
+        return len(self._relation) - len(self._excluded)
+
+    def lookup(self, positions, values):
+        matches = self._relation.lookup(positions, values)
+        excluded = self._excluded
+        return [row for row in matches if row not in excluded]
 
 
 def _match_against(relation, atom, binding, want_rows=False):

@@ -59,6 +59,14 @@ class LabeledMultigraph:
         self._in = defaultdict(list)  # node -> [Edge]
         self._by_label = defaultdict(list)  # label -> [Edge]
         self._key_counter = itertools.count()
+        #: Bumped on every structural mutation; derived structures (the RPQ
+        #: CSR adjacency index) key their caches on this counter.
+        self._version = 0
+
+    @property
+    def version(self):
+        """Monotone mutation counter; equal versions imply equal structure."""
+        return self._version
 
     # -------------------------------------------------------------- nodes
 
@@ -76,6 +84,7 @@ class LabeledMultigraph:
         """Add a node (idempotent); a non-None label overwrites."""
         if node not in self._node_labels or label is not None:
             self._node_labels[node] = label
+            self._version += 1
         return node
 
     def node_label(self, node):
@@ -85,6 +94,7 @@ class LabeledMultigraph:
         if node not in self._node_labels:
             raise KeyError(node)
         self._node_labels[node] = label
+        self._version += 1
 
     # -------------------------------------------------------------- edges
 
@@ -104,6 +114,7 @@ class LabeledMultigraph:
         self._out[source].append(edge)
         self._in[target].append(edge)
         self._by_label[label].append(edge)
+        self._version += 1
         return edge
 
     def remove_edge(self, edge):
@@ -113,6 +124,7 @@ class LabeledMultigraph:
         self._out[edge.source].remove(edge)
         self._in[edge.target].remove(edge)
         self._by_label[edge.label].remove(edge)
+        self._version += 1
 
     def remove_node(self, node):
         """Remove a node and every incident edge."""
@@ -124,6 +136,7 @@ class LabeledMultigraph:
         del self._node_labels[node]
         self._out.pop(node, None)
         self._in.pop(node, None)
+        self._version += 1
 
     def out_edges(self, node):
         return list(self._out.get(node, ()))

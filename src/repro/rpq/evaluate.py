@@ -17,6 +17,7 @@ from collections import deque
 
 from repro.graphs.bridge import EdgeLabel
 from repro.rpq.automaton import compile_regex
+from repro.rpq.csr import csr_index
 from repro.rpq.regex import Regex, parse_regex
 
 
@@ -35,11 +36,20 @@ def _as_regex(regex):
 
 
 class RPQEvaluator:
-    """Evaluates regular path queries over a :class:`LabeledMultigraph`."""
+    """Evaluates regular path queries over a :class:`LabeledMultigraph`.
 
-    def __init__(self, graph, label_key=default_label_key):
+    By default the reachability entry points (:meth:`pairs`,
+    :meth:`targets`, :meth:`holds`) run over the CSR adjacency index with
+    bitset frontiers (:mod:`repro.rpq.csr`); ``use_csr=False`` falls back
+    to the per-pair dict walk.  :meth:`witness_path` and
+    :meth:`matching_edges` always walk the dict adjacency — they need edge
+    *identities*, which the compacted index deliberately drops.
+    """
+
+    def __init__(self, graph, label_key=default_label_key, use_csr=True):
         self.graph = graph
         self.label_key = label_key
+        self.use_csr = use_csr
 
     # ------------------------------------------------------------------ API
 
@@ -50,6 +60,13 @@ class RPQEvaluator:
         only those rows of the product are explored).
         """
         dfa = compile_regex(_as_regex(regex))
+        if self.use_csr:
+            index = csr_index(self.graph, self.label_key)
+            out = set()
+            for source in self._source_nodes(sources):
+                for target in self._csr_reach_from(index, source, dfa):
+                    out.add((source, target))
+            return out
         out = set()
         for source in self._source_nodes(sources):
             for target in self._reach_from(source, dfa):
@@ -59,6 +76,10 @@ class RPQEvaluator:
     def targets(self, regex, source):
         """All y reachable from one *source* along a matching path."""
         dfa = compile_regex(_as_regex(regex))
+        if self.use_csr:
+            return self._csr_reach_from(
+                csr_index(self.graph, self.label_key), source, dfa
+            )
         return self._reach_from(source, dfa)
 
     def holds(self, regex, source, target):
@@ -128,6 +149,17 @@ class RPQEvaluator:
             next_state = dfa.step(state, (self.label_key(edge.label), True))
             if next_state is not None:
                 yield edge, next_state, False
+
+    def _csr_reach_from(self, index, source, dfa):
+        """CSR/bitset counterpart of :meth:`_reach_from`."""
+        if source not in index:
+            # Unknown sources have no edges; only the empty path applies.
+            return {source} if dfa.start in dfa.accept else set()
+        mask = index.reach(dfa, (index.node_ids[source],))
+        answers = index.decode(mask)
+        if dfa.start in dfa.accept:
+            answers.add(source)
+        return answers
 
     def _reach_from(self, source, dfa):
         """Nodes y with an accepting product path from (source, q0)."""

@@ -30,6 +30,16 @@ _COMMENT = re.compile(r"[%#][^\n]*")
 _WHITESPACE = re.compile(r"\s+")
 
 
+def _engine_method(params):
+    """Map a request's ``method`` to an Engine method name.
+
+    ``native`` is the service-level name for the tuple-set walker (it also
+    turns off the RPQ CSR path); the Engine spells it ``seminaive``.
+    """
+    method = params.get("method", "seminaive")
+    return "seminaive" if method == "native" else method
+
+
 def normalize(text):
     """Comment-stripped, whitespace-collapsed query text."""
     return _WHITESPACE.sub(" ", _COMMENT.sub(" ", text)).strip()
@@ -153,7 +163,7 @@ class PreparedQuery:
         from repro.core.engine import GraphLogEngine, prepare_database
         from repro.datalog.engine import Engine
 
-        method = params.get("method", "seminaive")
+        method = _engine_method(params)
         if self.has_summaries:
             result = GraphLogEngine(method=method).run(self.graphical, edb)
         else:
@@ -167,7 +177,7 @@ class PreparedQuery:
     def _evaluate_datalog(self, _graph, edb, params):
         from repro.datalog.engine import Engine
 
-        method = params.get("method", "seminaive")
+        method = _engine_method(params)
         result = Engine(method=method, check_safety=False).evaluate(self.program, edb)
         predicates = self._requested_predicates(params)
         return {p: set(result.facts(p)) for p in predicates}
@@ -175,7 +185,9 @@ class PreparedQuery:
     def _evaluate_rpq(self, graph, _edb, params):
         from repro.rpq.evaluate import RPQEvaluator
 
-        evaluator = RPQEvaluator(graph)
+        # The CSR/bitset path is the default; method=native is the escape
+        # hatch back to the per-pair dict walk.
+        evaluator = RPQEvaluator(graph, use_csr=params.get("method") != "native")
         source = params.get("source")
         if source is not None:
             targets = evaluator.targets(self.regex, source)

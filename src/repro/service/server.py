@@ -82,6 +82,7 @@ class ServiceConfig:
         "repl_max_lag",
         "repl_disconnect_grace",
         "version_wait_ms",
+        "engine",
     )
 
     def __init__(
@@ -111,6 +112,7 @@ class ServiceConfig:
         repl_max_lag=None,
         repl_disconnect_grace=10.0,
         version_wait_ms=2000,
+        engine="columnar",
     ):
         self.host = host
         self.port = port
@@ -156,6 +158,12 @@ class ServiceConfig:
         #: How long (ms) a read carrying ``min_version`` may wait for this
         #: store to catch up before failing with ``replica_stale``.
         self.version_wait_ms = version_wait_ms
+        #: Default evaluation backend for requests that carry no explicit
+        #: ``method``: ``columnar`` (int-encoded kernels + CSR/bitset RPQ)
+        #: or ``native`` (the tuple-set walker).  See docs/ENGINE.md.
+        if engine not in ("native", "columnar"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine = engine
 
 
 class QueryService:
@@ -380,12 +388,25 @@ class QueryService:
                 f"{min_version} (waited {wait_ms}ms)"
             )
 
+    def _request_params(self, message):
+        """Evaluation parameters for one request, backend default applied.
+
+        ``method`` defaults to the configured engine (``columnar`` or
+        ``native``) when the client sends none; the default lands in the
+        params dict *before* the result-cache key is computed, so answers
+        produced by different backends never share a cache entry.
+        """
+        params = {k: message[k] for k in _PARAM_FIELDS if message.get(k) is not None}
+        if "method" not in params:
+            params["method"] = self.config.engine
+        return params
+
     def _execute_query(self, op, message, phases, ctx):
         text = message.get("query")
         if not isinstance(text, str) or not text.strip():
             raise ProtocolError(f"op {op!r} needs a non-empty 'query' string")
         self._await_min_version(message)
-        params = {k: message[k] for k in _PARAM_FIELDS if message.get(k) is not None}
+        params = self._request_params(message)
         max_rows = message.get("max_rows", self.config.max_rows)
         max_bytes = message.get("max_bytes", self.config.max_bytes)
 
@@ -458,7 +479,7 @@ class QueryService:
         if not isinstance(text, str) or not text.strip():
             raise ProtocolError("op 'explain' needs a non-empty 'query' string")
         self._await_min_version(message)
-        params = {k: message[k] for k in _PARAM_FIELDS if message.get(k) is not None}
+        params = self._request_params(message)
         version, graph = self.store.snapshot_versioned()
         with obs.tracing("explain", target=target, version=version) as tr:
             plan = PreparedQuery(target, text)
@@ -650,6 +671,7 @@ class QueryService:
             "store.subscriber_failures", store_stats["subscriber_failures"]
         )
         stats = {
+            "engine": self.config.engine,
             "metrics": self.metrics.snapshot(),
             "plan_cache": self.plans.stats(),
             "result_cache": result_cache,

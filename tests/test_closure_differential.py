@@ -12,9 +12,16 @@ import random
 
 import pytest
 
+from repro.datalog.database import Database
+from repro.datalog.engine import Engine
+from repro.datalog.parser import parse_program
 from repro.graphs.closure import closure_methods, transitive_closure
 
 KERNELS = closure_methods()
+
+TC_PROGRAM = parse_program(
+    "tc(X,Y) :- edge(X,Y).\ntc(X,Y) :- edge(X,Z), tc(Z,Y)."
+)
 
 
 def bfs_reference(pairs):
@@ -53,6 +60,12 @@ def assert_all_kernels_agree(pairs):
     expected = bfs_reference(pairs)
     for method in KERNELS:
         assert transitive_closure(pairs, method=method) == expected, method
+    # The engine backends must agree with the closure kernels too: the same
+    # TC program through the native walker and the columnar kernels.
+    edb = Database.from_facts({"edge": pairs})
+    for method in ("seminaive", "columnar"):
+        result = Engine(method=method).evaluate(TC_PROGRAM, edb)
+        assert result.facts("tc") == expected, method
 
 
 def test_kernel_registry_is_complete():

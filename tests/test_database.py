@@ -72,6 +72,48 @@ class TestRelation:
         assert len(r) == 1
         assert len(c) == 2
 
+    def test_fully_bound_lookup_with_unsorted_positions(self):
+        # Regression: the fully-bound fast path used to assemble the probe
+        # row in *positions* order, so an unsorted position tuple silently
+        # probed a permuted row and returned empty.
+        r = Relation("p", 2)
+        r.add(("a", "b"))
+        assert set(r.lookup((1, 0), ("b", "a"))) == {("a", "b")}
+        assert not r.lookup((1, 0), ("a", "b"))
+        assert set(r.lookup((0, 1), ("a", "b"))) == {("a", "b")}
+        r3 = Relation("q", 3)
+        r3.add((1, 2, 3))
+        assert set(r3.lookup((2, 0, 1), (3, 1, 2))) == {(1, 2, 3)}
+
+    def test_relation_is_hashable(self):
+        # Regression: defining __eq__ under __slots__ set __hash__ = None,
+        # making relations unusable as dict keys / set members.
+        r = Relation("p", 1)
+        s = Relation("p", 1)
+        assert len({r, s}) == 2  # identity hashing
+        assert {r: "x"}[r] == "x"
+
+    def test_relation_eq_foreign_type_not_implemented(self):
+        r = Relation("p", 1)
+        assert r.__eq__(42) is NotImplemented
+        assert r != 42
+        s = Relation("p", 1)
+        assert r == s
+        s.add(("a",))
+        assert r != s
+
+    def test_mutation_counter_tracks_changes(self):
+        r = Relation("p", 1)
+        stamp = r._mutations
+        r.add(("a",))
+        assert r._mutations == stamp + 1
+        r.add(("a",))  # duplicate: no mutation
+        assert r._mutations == stamp + 1
+        r.discard(("a",))
+        assert r._mutations == stamp + 2
+        r.discard(("a",))  # absent: no mutation
+        assert r._mutations == stamp + 2
+
 
 class TestDatabase:
     def test_add_facts_counts_new(self):
@@ -111,6 +153,11 @@ class TestDatabase:
     def test_active_domain(self):
         db = Database.from_facts({"p": [("a", 1)], "q": [("b",)]})
         assert db.active_domain() == {"a", 1, "b"}
+
+    def test_database_eq_foreign_type_not_implemented(self):
+        db = Database()
+        assert db.__eq__("not a database") is NotImplemented
+        assert db != "not a database"
 
     def test_equality_ignores_empty_relations(self):
         a = Database.from_facts({"p": [("x",)]})
