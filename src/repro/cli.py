@@ -184,6 +184,8 @@ def cmd_serve(args):
         repl_disconnect_grace=args.disconnect_grace,
         version_wait_ms=args.version_wait_ms,
         engine=args.engine,
+        sub_queue_max=args.sub_queue_max,
+        sub_policy=args.sub_policy,
     )
     # With --data-dir the service recovers the store from disk; --data then
     # only seeds a store that recovered empty (a fresh data directory).
@@ -346,6 +348,59 @@ def cmd_top(args):
     return 0
 
 
+def cmd_watch(args):
+    from repro.service.client import ServiceClient
+
+    query = args.query if args.target == "rpq" else _load_text(args.query)
+    client = ServiceClient(host=args.host, port=args.connect_port,
+                           timeout=args.timeout)
+    try:
+        handle = client.subscribe(
+            query,
+            target=args.target,
+            predicate=args.predicate,
+            policy=args.policy,
+            queue_max=args.queue_max,
+            allow_fallback=args.allow_fallback or None,
+        )
+        mode = handle.mode
+        if handle.fallback_reason:
+            mode += f" ({handle.fallback_reason})"
+        print(f"subscribed #{handle.id} at version {handle.version} "
+              f"[{mode}, policy={handle.policy}]", flush=True)
+        for name in sorted(handle.rows):
+            rows = sorted(handle.rows[name])
+            print(f"  {name}: {len(rows)} rows")
+            for row in rows:
+                print(f"    {tuple(row)}")
+        remaining = args.count
+        while remaining is None or remaining > 0:
+            event = handle.next_event(timeout=None)
+            if event["type"] == "closed":
+                print(f"subscription closed: {event['reason']}", flush=True)
+                return 1 if event["reason"] != "unsubscribed" else 0
+            if event["type"] == "snapshot":
+                tag = "resync" if event.get("resync") else "snapshot"
+                print(f"v{event['version']} {tag}: "
+                      f"{sum(len(r) for r in handle.rows.values())} rows",
+                      flush=True)
+            else:
+                for name in sorted(event["inserted"]):
+                    for row in sorted(event["inserted"][name]):
+                        print(f"v{event['version']} + {name}{tuple(row)}", flush=True)
+                for name in sorted(event["deleted"]):
+                    for row in sorted(event["deleted"][name]):
+                        print(f"v{event['version']} - {name}{tuple(row)}", flush=True)
+            if remaining is not None:
+                remaining -= 1
+        handle.unsubscribe()
+    except KeyboardInterrupt:
+        print("stopped")
+    finally:
+        client.close()
+    return 0
+
+
 def cmd_shell(_args):
     from repro.shell import repl
 
@@ -471,6 +526,11 @@ def build_parser():
                          choices=("native", "columnar"),
                          help="default evaluation backend for requests that "
                               "carry no explicit method (see docs/ENGINE.md)")
+    p_serve.add_argument("--sub-queue-max", type=int, default=256,
+                         help="per-subscription outbound delta queue bound")
+    p_serve.add_argument("--sub-policy", default="resync",
+                         choices=("resync", "disconnect"),
+                         help="default subscription overflow policy")
     p_serve.add_argument("--version-wait-ms", type=int, default=2000,
                          help="bound on waiting for a read's min_version "
                               "before failing replica_stale")
@@ -537,6 +597,32 @@ def build_parser():
     p_top.add_argument("--iterations", type=int, default=None,
                        help="stop after N redraws (default: run until ^C)")
     p_top.set_defaults(func=cmd_top)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="subscribe to a query on a running server and stream its deltas",
+    )
+    p_watch.add_argument("query", help="query file (graphlog/datalog) or regex (rpq)")
+    p_watch.add_argument("--target", default="graphlog",
+                         choices=("graphlog", "datalog", "rpq"),
+                         help="query language of the input")
+    p_watch.add_argument("--host", default="127.0.0.1")
+    p_watch.add_argument("--port", dest="connect_port", type=int, default=7464)
+    p_watch.add_argument("--predicate", default=None, help="relation to stream")
+    p_watch.add_argument("--policy", default=None,
+                         choices=("resync", "disconnect"),
+                         help="overflow policy for this subscription")
+    p_watch.add_argument("--queue-max", type=int, default=None,
+                         help="outbound queue bound for this subscription")
+    p_watch.add_argument("--allow-fallback", action="store_true",
+                         help="accept diff-based re-evaluation for queries "
+                              "the maintenance engine cannot handle")
+    p_watch.add_argument("--count", type=int, default=None,
+                         help="exit after N events (default: run until ^C)")
+    p_watch.add_argument("--timeout", type=float, default=60.0,
+                         help="request timeout in seconds (the event wait "
+                              "itself never times out)")
+    p_watch.set_defaults(func=cmd_watch)
 
     p_explain = sub.add_parser(
         "explain", help="trace a query end to end (spans, iterations, deltas)"

@@ -47,7 +47,13 @@ _NEW = "\x00new"
 
 
 class MaintenanceStats:
-    """Counters from one :meth:`MaintenancePlan.maintain` run."""
+    """Counters from one :meth:`MaintenancePlan.maintain` run.
+
+    ``added``/``deleted`` carry the net per-predicate row changes of the
+    run (``{predicate: set of rows}``, empty predicates omitted) so callers
+    — live subscriptions in particular — can stream the exact view delta
+    without diffing before/after snapshots.
+    """
 
     __slots__ = (
         "overdeleted",
@@ -57,6 +63,8 @@ class MaintenanceStats:
         "facts_deleted",
         "counting_groups",
         "dred_groups",
+        "added",
+        "deleted",
     )
 
     def __init__(self):
@@ -67,6 +75,8 @@ class MaintenanceStats:
         self.facts_deleted = 0
         self.counting_groups = 0
         self.dred_groups = 0
+        self.added = {}
+        self.deleted = {}
 
     def __repr__(self):
         return (
@@ -438,6 +448,8 @@ class MaintenancePlan:
 
             stats.facts_inserted = sum(len(r) for r in added.values())
             stats.facts_deleted = sum(len(r) for r in removed.values())
+            stats.added = {p: set(r) for p, r in added.items() if len(r)}
+            stats.deleted = {p: set(r) for p, r in removed.items() if len(r)}
             if root:
                 root.annotate(
                     inserted=stats.facts_inserted,

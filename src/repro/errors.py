@@ -141,3 +141,26 @@ class ReplicaStale(ServiceError):
     (or another replica)."""
 
     code = "replica_stale"
+
+
+class NotMaintainable(ServiceError):
+    """A subscription targeted a query whose view cannot be incrementally
+    maintained (aggregation/summarization, or a plan DRed rejects) and the
+    client did not opt into the diff-based fallback.
+
+    Carries the human-readable :attr:`reason` so clients can decide whether
+    to retry with ``allow_fallback``.
+    """
+
+    code = "not_maintainable"
+
+    def __init__(self, message, reason=None):
+        super().__init__(message)
+        self.reason = reason
+
+
+class SubscriptionError(ServiceError):
+    """Invalid subscription usage: unknown subscription id, subscribing on a
+    retrying client connection, or a subscription the server had to close."""
+
+    code = "subscription_error"

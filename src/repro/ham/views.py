@@ -150,20 +150,25 @@ def incremental_insert(program, materialized, new_facts, method="seminaive"):
 class MaterializedView:
     """One registered view: the query, its program, and the current state."""
 
-    def __init__(self, name, query, domain_predicate=DOMAIN_PREDICATE):
+    def __init__(self, name, query, domain_predicate=DOMAIN_PREDICATE, program=None):
         if isinstance(query, QueryGraph):
             query = GraphicalQuery([query])
         self.name = name
         self.query = query
         self.domain_predicate = domain_predicate
-        try:
-            self.program = translate(query, domain_predicate=domain_predicate)
-        except TranslationError:
-            # Blobs/path summaries need the extended engine; they are not
-            # insert-monotone, so the view is recompute-only.
-            self.program = translate_extended(
-                query, domain_predicate=domain_predicate
-            )
+        if program is not None:
+            # Pre-translated program (e.g. a datalog subscription that has
+            # no graphical query to translate from).
+            self.program = program
+        else:
+            try:
+                self.program = translate(query, domain_predicate=domain_predicate)
+            except TranslationError:
+                # Blobs/path summaries need the extended engine; they are not
+                # insert-monotone, so the view is recompute-only.
+                self.program = translate_extended(
+                    query, domain_predicate=domain_predicate
+                )
         self.monotone = is_monotone_program(self.program)
         self.plan = None
         self.fallback_reason = None
@@ -285,6 +290,7 @@ class MaterializedView:
     def stats(self):
         return {
             "maintainable": self.maintainable,
+            "fallback_reason": self.fallback_reason,
             "full_refreshes": self.full_refreshes,
             "incremental_updates": self.incremental_updates,
             "overdeleted": self.overdeleted,

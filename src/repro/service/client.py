@@ -14,6 +14,15 @@ have executed the request (an incomplete line is never dispatched).  A
 failure after the request was fully sent — a receive timeout, a closed
 connection, a desync — is **never** retried: the server may have applied
 the request, and replaying an ``update`` would double-commit it.
+
+Subscriptions (:meth:`ServiceClient.subscribe`) interleave asynchronous
+push frames with responses on the same socket; the client demultiplexes on
+the ``"frame"`` key and applies deltas to a local materialized result set
+(:class:`SubscriptionHandle`).  Subscriptions and retries are mutually
+exclusive on one connection: a retry reconnects, and the fresh connection
+has none of the old one's server-side subscription state — the stream
+would just go silent.  Use a dedicated ``retries=0`` client for streaming
+(see docs/SERVICE.md).
 """
 
 from __future__ import annotations
@@ -23,9 +32,15 @@ import json
 import random
 import socket
 import time
+from collections import deque
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, SubscriptionError
 from repro.service import protocol
+
+#: Push frames for ids with no local handle yet (the server's sender task
+#: can write a delta ahead of the subscribe response) are buffered up to
+#: this many before the oldest are dropped.
+_MAX_ORPHAN_FRAMES = 1024
 
 
 class _Retryable(Exception):
@@ -58,7 +73,10 @@ class ServiceClient:
         self._ids = itertools.count(1)
         self._poisoned = False
         self._sock = None
-        self._reader = None
+        self._buffer = bytearray()
+        self._handles = {}
+        self._orphans = {}
+        self._dead_subscriptions = set()
         attempt = 0
         while True:
             try:
@@ -84,7 +102,7 @@ class ServiceClient:
             raise ServiceError(
                 f"cannot connect to {self.host}:{self.port}: {exc}"
             ) from exc
-        self._reader = self._sock.makefile("rb")
+        self._buffer = bytearray()
         self._poisoned = False
 
     def _backoff(self, attempt):
@@ -134,9 +152,9 @@ class ServiceClient:
                 self._connect()
             except ServiceError as exc:
                 raise _Retryable(exc) from exc
-        # Local refs: close() from another thread (to abort a long-poll)
-        # nulls the attributes; the socket errors below cover that race.
-        sock, reader = self._sock, self._reader
+        # Local ref: close() from another thread (to abort a long-poll)
+        # nulls the attribute; the socket errors below cover that race.
+        sock = self._sock
         request_id = next(self._ids)
         message = {"id": request_id, "op": op}
         message.update(payload)
@@ -150,34 +168,36 @@ class ServiceClient:
             error = ServiceError(f"connection to {self.host}:{self.port} failed: {exc}")
             error.__cause__ = exc
             raise _Retryable(error)
-        try:
-            line = reader.readline()
-        except TimeoutError as exc:
-            # socket.timeout is TimeoutError on 3.10+; catch before OSError.
-            self._poison()
-            raise ServiceError(
-                f"timed out waiting for {self.host}:{self.port}; connection "
-                f"closed to avoid reading the stale response later: {exc}"
-            ) from exc
-        except ValueError as exc:
-            # reader.readline() on a file object close()d mid-call.
-            self._poison()
-            raise ServiceError(
-                f"connection to {self.host}:{self.port} was closed: {exc}"
-            ) from exc
-        except OSError as exc:
-            self._poison()
-            raise ServiceError(
-                f"connection to {self.host}:{self.port} failed: {exc}"
-            ) from exc
-        if not line:
-            self._poison()
-            raise ServiceError("server closed the connection")
-        try:
-            response = json.loads(line)
-        except ValueError as exc:
-            self._poison()
-            raise ServiceError(f"server sent invalid JSON: {exc}") from exc
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        while True:
+            try:
+                line = self._readline(deadline)
+            except TimeoutError as exc:
+                # socket.timeout is TimeoutError on 3.10+; catch before OSError.
+                self._poison()
+                raise ServiceError(
+                    f"timed out waiting for {self.host}:{self.port}; connection "
+                    f"closed to avoid reading the stale response later: {exc}"
+                ) from exc
+            except OSError as exc:
+                self._poison()
+                raise ServiceError(
+                    f"connection to {self.host}:{self.port} failed: {exc}"
+                ) from exc
+            if not line:
+                self._poison()
+                raise ServiceError("server closed the connection")
+            try:
+                response = json.loads(line)
+            except ValueError as exc:
+                self._poison()
+                raise ServiceError(f"server sent invalid JSON: {exc}") from exc
+            if protocol.is_push_frame(response):
+                # Asynchronous subscription traffic interleaved with the
+                # response; apply it and keep reading.
+                self._dispatch_frame(response)
+                continue
+            break
         # Match ids BEFORE interpreting the body: a buffered stale response
         # must not surface its error (or worse, its result) as this call's.
         # ``id: null`` is allowed through — the server answers undecodable
@@ -191,6 +211,88 @@ class ServiceClient:
             )
         protocol.raise_for_error(response)
         return response
+
+    def _readline(self, deadline):
+        """One newline-terminated line from the socket, buffering partial
+        data so a timeout never loses bytes mid-line.  Returns ``b""`` on a
+        clean EOF; raises ``TimeoutError`` when *deadline* passes first."""
+        sock = self._sock
+        if sock is None:
+            raise OSError("connection is closed")
+        while True:
+            index = self._buffer.find(b"\n")
+            if index >= 0:
+                line = bytes(self._buffer[: index + 1])
+                del self._buffer[: index + 1]
+                return line
+            if deadline is None:
+                sock.settimeout(None)
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise socket.timeout("read deadline elapsed")
+                sock.settimeout(remaining)
+            chunk = sock.recv(65536)
+            if not chunk:
+                return b""
+            self._buffer += chunk
+
+    def _dispatch_frame(self, frame):
+        sub_id = frame.get("subscription")
+        handle = self._handles.get(sub_id)
+        if handle is not None:
+            handle._apply(frame)
+            return
+        if sub_id in self._dead_subscriptions:
+            # Late frames for an unsubscribed id: the server's sender task
+            # may already have queued them when unsubscribe was processed.
+            return
+        # Frames can outrun the subscribe *response* (the sender task is
+        # independent); hold them until the handle registers.
+        orphans = self._orphans.setdefault(sub_id, [])
+        if len(orphans) >= _MAX_ORPHAN_FRAMES:
+            orphans.pop(0)
+        orphans.append(frame)
+
+    def _pump(self, timeout):
+        """Read and dispatch one push frame; True when one was handled,
+        False when *timeout* (seconds) elapsed first.
+
+        Only valid between requests: a non-frame message arriving here has
+        no outstanding request to pair with, so the stream is desynced and
+        the connection is poisoned.
+        """
+        if self._sock is None or self._poisoned:
+            raise ServiceError(
+                "connection is closed; subscriptions do not survive reconnects"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            line = self._readline(deadline)
+        except TimeoutError:
+            # Partial data stays buffered; the stream is still intact.
+            return False
+        except OSError as exc:
+            self._poison()
+            raise ServiceError(
+                f"connection to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        if not line:
+            self._poison()
+            raise ServiceError("server closed the connection")
+        try:
+            message = json.loads(line)
+        except ValueError as exc:
+            self._poison()
+            raise ServiceError(f"server sent invalid JSON: {exc}") from exc
+        if not protocol.is_push_frame(message):
+            self._poison()
+            raise ServiceError(
+                "unexpected response while waiting for push frames; "
+                "connection closed (protocol desync)"
+            )
+        self._dispatch_frame(message)
+        return True
 
     def _poison(self):
         self._poisoned = True
@@ -220,9 +322,16 @@ class ServiceClient:
         response = self.call("rpq", query=regex, source=source, **limits)
         return _relations(response)["answers"]
 
-    def update(self, nodes=None, edges=None):
-        """Commit node/edge insertions; returns the new store version."""
-        response = self.call("update", nodes=nodes, edges=edges)
+    def update(self, nodes=None, edges=None, remove_nodes=None, remove_edges=None):
+        """Commit node/edge insertions and removals; returns the new store
+        version.  Additions are applied before removals, in one transaction."""
+        response = self.call(
+            "update",
+            nodes=nodes,
+            edges=edges,
+            remove_nodes=remove_nodes,
+            remove_edges=remove_edges,
+        )
         return response["version"]
 
     def explain(self, query, target="graphlog", **params):
@@ -287,11 +396,95 @@ class ServiceClient:
     def ping(self):
         return self.call("ping")["result"]["pong"]
 
+    # -------------------------------------------------------- subscriptions
+
+    def subscribe(
+        self,
+        query,
+        target="graphlog",
+        predicate=None,
+        method=None,
+        source=None,
+        policy=None,
+        queue_max=None,
+        allow_fallback=None,
+        on_event=None,
+        **limits,
+    ):
+        """Register *query* for live maintenance; returns a
+        :class:`SubscriptionHandle` holding the initial snapshot.
+
+        The handle's ``rows`` track the server's maintained answer: call
+        :meth:`SubscriptionHandle.next_event` (or iterate ``events()``) to
+        pump the connection and apply queued delta frames.  Non-maintainable
+        queries (aggregation, RPQ) raise
+        :class:`~repro.errors.NotMaintainable` unless ``allow_fallback=True``
+        opts into server-side diff-based re-evaluation.
+
+        Raises :class:`~repro.errors.SubscriptionError` when the client was
+        built with ``retries > 0``: a retry reconnects, and server-side
+        subscription state does not survive a reconnect — the stream would
+        silently go dead.  Use a dedicated ``retries=0`` client.
+        """
+        if self.retries:
+            raise SubscriptionError(
+                "subscriptions and retries are mutually exclusive on one "
+                "connection: a retry reconnects and silently drops all "
+                "server-side subscription state; use a retries=0 client"
+            )
+        response = self.call(
+            "subscribe",
+            query=query,
+            target=target,
+            predicate=predicate,
+            method=method,
+            source=source,
+            policy=policy,
+            queue_max=queue_max,
+            allow_fallback=allow_fallback,
+            **limits,
+        )
+        result = response["result"]
+        rows = {
+            name: {tuple(row) for row in rel}
+            for name, rel in result["snapshot"].items()
+        }
+        handle = SubscriptionHandle(
+            self,
+            result["subscription"],
+            rows,
+            response.get("version", -1),
+            predicates=tuple(result.get("predicates", ())),
+            mode=result.get("mode"),
+            policy=result.get("policy"),
+            queue_max=result.get("queue_max"),
+            fallback_reason=result.get("fallback_reason"),
+            on_event=on_event,
+        )
+        self._handles[handle.id] = handle
+        # Frames that raced ahead of the subscribe response.
+        for frame in self._orphans.pop(handle.id, ()):
+            handle._apply(frame)
+        return handle
+
+    def unsubscribe(self, handle):
+        """Tear down a subscription (by handle or id); the handle is closed
+        locally even when late frames for it are still in flight."""
+        sub_id = handle.id if isinstance(handle, SubscriptionHandle) else int(handle)
+        response = self.call("unsubscribe", subscription=sub_id)
+        self._dead_subscriptions.add(sub_id)
+        self._orphans.pop(sub_id, None)
+        closed = self._handles.pop(sub_id, None)
+        if closed is not None:
+            closed._mark_closed("unsubscribed")
+        return response["result"]
+
     # ------------------------------------------------------------ lifecycle
 
     def close(self):
-        reader, self._reader = self._reader, None
         sock, self._sock = self._sock, None
+        for handle in list(self._handles.values()):
+            handle._mark_closed("connection closed")
         if sock is not None:
             # shutdown() (unlike close()) reliably unblocks another thread
             # parked in recv() on this socket — the replica applier closes
@@ -300,18 +493,148 @@ class ServiceClient:
                 sock.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
-        try:
-            if reader is not None:
-                reader.close()
-        finally:
-            if sock is not None:
-                sock.close()
+            sock.close()
 
     def __enter__(self):
         return self
 
     def __exit__(self, *_exc):
         self.close()
+
+
+class SubscriptionHandle:
+    """One live subscription: a locally materialized result set plus the
+    event stream that keeps it current.
+
+    ``rows`` maps predicate → set of answer tuples and always reflects the
+    last applied frame; ``version`` is the store version it corresponds to.
+    Events are dicts — ``{"type": "delta", "version", "inserted",
+    "deleted"}``, ``{"type": "snapshot", "version", "resync"}`` (the server
+    replaced the state wholesale, e.g. after queue overflow under the
+    ``resync`` policy), and the terminal ``{"type": "closed", "reason"}``.
+    Pass ``on_event`` to :meth:`ServiceClient.subscribe` to consume them via
+    callback instead of the queue.  Not thread-safe, like the owning client.
+    """
+
+    def __init__(
+        self,
+        client,
+        sub_id,
+        rows,
+        version,
+        predicates=(),
+        mode=None,
+        policy=None,
+        queue_max=None,
+        fallback_reason=None,
+        on_event=None,
+    ):
+        self.client = client
+        self.id = sub_id
+        self.rows = rows
+        self.version = version
+        self.predicates = predicates
+        self.mode = mode
+        self.policy = policy
+        self.queue_max = queue_max
+        self.fallback_reason = fallback_reason
+        self.on_event = on_event
+        self.closed = None  # reason string once terminal
+        self._events = deque()
+
+    def result(self, predicate=None):
+        """A copy of the materialized answer: one predicate's set of rows,
+        or the full ``{predicate: rows}`` map."""
+        if predicate is not None:
+            return set(self.rows.get(predicate, ()))
+        return {name: set(rel) for name, rel in self.rows.items()}
+
+    def next_event(self, timeout=None):
+        """The next event for this subscription, pumping the connection
+        while other traffic (or nothing) arrives; None once *timeout*
+        seconds pass without one."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._events:
+                return self._events.popleft()
+            if self.closed is not None:
+                return {"type": "closed", "reason": self.closed}
+            if deadline is None:
+                remaining = None
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+            if not self.client._pump(remaining):
+                return None
+
+    def events(self, timeout=None):
+        """Iterate events until the subscription closes or a pump times out."""
+        while True:
+            event = self.next_event(timeout)
+            if event is None:
+                return
+            yield event
+            if event["type"] == "closed":
+                return
+
+    def unsubscribe(self):
+        self.client.unsubscribe(self)
+
+    # ------------------------------------------------------------- internal
+
+    def _apply(self, frame):
+        kind = frame.get("frame")
+        if kind == "delta":
+            version = frame.get("version", -1)
+            if version <= self.version:
+                # Already covered by a (re)snapshot that raced ahead.
+                return
+            inserted = _wire_rows(frame.get("inserted"))
+            deleted = _wire_rows(frame.get("deleted"))
+            for name, rel in inserted.items():
+                self.rows.setdefault(name, set()).update(rel)
+            for name, rel in deleted.items():
+                self.rows.setdefault(name, set()).difference_update(rel)
+            self.version = version
+            self._emit(
+                {
+                    "type": "delta",
+                    "version": version,
+                    "inserted": inserted,
+                    "deleted": deleted,
+                }
+            )
+        elif kind == "snapshot":
+            self.rows = _wire_rows(frame.get("relations"))
+            self.version = frame.get("version", -1)
+            self._emit(
+                {
+                    "type": "snapshot",
+                    "version": self.version,
+                    "resync": bool(frame.get("resync")),
+                }
+            )
+        elif kind == "closed":
+            self._mark_closed(frame.get("reason", "closed"))
+
+    def _mark_closed(self, reason):
+        if self.closed is not None:
+            return
+        self.closed = reason
+        self._emit({"type": "closed", "reason": reason})
+
+    def _emit(self, event):
+        if self.on_event is not None:
+            self.on_event(event)
+        else:
+            self._events.append(event)
+
+
+def _wire_rows(relations):
+    return {
+        name: {tuple(row) for row in rel} for name, rel in (relations or {}).items()
+    }
 
 
 def _relations(response):

@@ -21,6 +21,25 @@ Response (failure)::
 Error ``code`` values mirror the :mod:`repro.errors` service taxonomy:
 ``protocol_error``, ``timeout``, ``result_too_large``, ``service_error``
 (evaluation-layer failures keep their exception class name in ``kind``).
+
+Push frames
+-----------
+
+Subscriptions (:mod:`repro.subs`) add a third message class: asynchronous
+server-push *frames* interleaved with responses on the same connection.
+A frame is distinguished by its ``"frame"`` key and never carries ``id``
+or ``ok``, so clients demultiplex on one field::
+
+    {"frame": "delta", "subscription": 3, "version": 12,
+     "inserted": {"reach": [["a","c"]]}, "deleted": {}}
+    {"frame": "snapshot", "subscription": 3, "version": 17,
+     "relations": {"reach": [...]}, "resync": true}
+    {"frame": "closed", "subscription": 3, "reason": "overflow"}
+
+``delta`` frames are emitted in strictly increasing ``version`` order per
+subscription; a ``snapshot`` frame with ``resync`` replaces the client's
+materialized state wholesale (sent after queue overflow under the
+``resync`` policy — deltas are never silently skipped).
 """
 
 from __future__ import annotations
@@ -29,12 +48,14 @@ import json
 import math
 
 from repro.errors import (
+    NotMaintainable,
     ProtocolError,
     QueryTimeout,
     ReadOnlyError,
     ReplicaStale,
     ResultTooLarge,
     ServiceError,
+    SubscriptionError,
 )
 
 #: The operations a server understands.
@@ -52,7 +73,12 @@ OPS = (
     "repl_bootstrap",
     "repl_tail",
     "promote",
+    "subscribe",
+    "unsubscribe",
 )
+
+#: The push-frame kinds a server emits (see module docstring).
+FRAMES = ("delta", "snapshot", "closed")
 
 #: Maximum accepted request-line length (a protocol-level DoS guard).
 MAX_REQUEST_BYTES = 4 * 1024 * 1024
@@ -63,6 +89,8 @@ _CODE_TO_EXCEPTION = {
     "result_too_large": ResultTooLarge,
     "read_only": ReadOnlyError,
     "replica_stale": ReplicaStale,
+    "not_maintainable": NotMaintainable,
+    "subscription_error": SubscriptionError,
     "service_error": ServiceError,
 }
 
@@ -114,7 +142,16 @@ def validate_budgets(message):
             raise ProtocolError(
                 f"'timeout' must be a non-negative finite number, got {timeout!r}"
             )
-    for field in ("max_rows", "max_bytes", "min_version", "from_version", "max_records", "wait_ms"):
+    for field in (
+        "max_rows",
+        "max_bytes",
+        "min_version",
+        "from_version",
+        "max_records",
+        "wait_ms",
+        "queue_max",
+        "subscription",
+    ):
         value = message.get(field)
         if value is not None:
             if isinstance(value, bool) or not isinstance(value, int) or value < 0:
@@ -175,3 +212,46 @@ def rows_to_wire(rows):
 
 def _row_key(row):
     return tuple((type(value).__name__, str(value)) for value in row)
+
+
+# --------------------------------------------------------------- push frames
+
+
+def is_push_frame(message):
+    """True when *message* is a server-push frame (vs a response)."""
+    return isinstance(message, dict) and "frame" in message
+
+
+def delta_frame(subscription_id, version, inserted, deleted):
+    """One incremental update: net row changes at *version*.
+
+    ``inserted``/``deleted`` are ``{predicate: [rows...]}`` with rows in
+    :func:`rows_to_wire` order.
+    """
+    return {
+        "frame": "delta",
+        "subscription": subscription_id,
+        "version": version,
+        "inserted": {pred: rows_to_wire(rows) for pred, rows in inserted.items()},
+        "deleted": {pred: rows_to_wire(rows) for pred, rows in deleted.items()},
+    }
+
+
+def snapshot_frame(subscription_id, version, relations, resync=False):
+    """A full result set at *version*; with ``resync`` it replaces any
+    previously applied state (sent after overflow under the resync policy)."""
+    frame = {
+        "frame": "snapshot",
+        "subscription": subscription_id,
+        "version": version,
+        "relations": {pred: rows_to_wire(rows) for pred, rows in relations.items()},
+    }
+    if resync:
+        frame["resync"] = True
+    return frame
+
+
+def closed_frame(subscription_id, reason):
+    """The server terminated the subscription (overflow/shutdown/resync
+    failure); no further frames will arrive for this id."""
+    return {"frame": "closed", "subscription": subscription_id, "reason": reason}

@@ -83,6 +83,8 @@ class ServiceConfig:
         "repl_disconnect_grace",
         "version_wait_ms",
         "engine",
+        "sub_queue_max",
+        "sub_policy",
     )
 
     def __init__(
@@ -113,6 +115,8 @@ class ServiceConfig:
         repl_disconnect_grace=10.0,
         version_wait_ms=2000,
         engine="columnar",
+        sub_queue_max=256,
+        sub_policy="resync",
     ):
         self.host = host
         self.port = port
@@ -164,6 +168,15 @@ class ServiceConfig:
         if engine not in ("native", "columnar"):
             raise ValueError(f"unknown engine {engine!r}")
         self.engine = engine
+        #: Default per-subscription outbound queue bound and overflow
+        #: policy (``resync`` or ``disconnect``); per-subscribe overrides
+        #: via the ``queue_max``/``policy`` request fields.
+        from repro.subs import OVERFLOW_POLICIES
+
+        if sub_policy not in OVERFLOW_POLICIES:
+            raise ValueError(f"unknown overflow policy {sub_policy!r}")
+        self.sub_queue_max = int(sub_queue_max)
+        self.sub_policy = sub_policy
 
 
 class QueryService:
@@ -210,6 +223,19 @@ class QueryService:
         # scrape-time collectors — no bookkeeping on the request path.
         self.metrics.exposition.collector(self._store_families)
         self._detach = self.results.attach(self.store)
+        # Live subscriptions: shared maintained views fanned out as delta
+        # frames over client connections (docs/SUBSCRIPTIONS.md).  Works on
+        # replicas too — apply_replicated dispatches commit hooks, so a
+        # replica is a natural fanout tier for watchers.
+        from repro.subs import SubscriptionManager
+
+        self.subs = SubscriptionManager(
+            self.store,
+            metrics=self.metrics,
+            queue_max=self.config.sub_queue_max,
+            policy=self.config.sub_policy,
+        )
+        self.metrics.exposition.collector(self.subs.metric_families)
         self._views = None  # lazily-created ViewManager
         # One relational encoding of the graph per store version, shared by
         # all plans evaluated at that version (engines copy it, never
@@ -251,15 +277,20 @@ class QueryService:
         with self._edb_lock:
             self._edb_version = None
             self._edb = None
+        # Subscribers hold version-stamped materialized state; after a
+        # regression they must be re-seeded, not fed deltas.
+        self.subs.resync_all()
         self.metrics.incr("replication.rebootstraps")
 
     # ------------------------------------------------------------- execute
 
-    def execute(self, message):
+    def execute(self, message, sink=None):
         """Execute one decoded request; returns the ``ok`` response body.
 
         Raises the service error taxonomy on failure; the caller (server
-        or test) turns exceptions into failure responses.
+        or test) turns exceptions into failure responses.  *sink* is the
+        connection's push-frame outlet (see :mod:`repro.subs`); only the
+        ``subscribe``/``unsubscribe`` ops use it.
         """
         op = message.get("op")
         started = time.perf_counter()
@@ -299,6 +330,10 @@ class QueryService:
                 return self._execute_repl_tail(message)
             if op == "promote":
                 return {"result": self.promote(), "version": self.store.version}
+            if op == "subscribe":
+                return self._execute_subscribe(message, sink)
+            if op == "unsubscribe":
+                return self._execute_unsubscribe(message, sink)
             raise ProtocolError(f"unknown op {op!r}")
         finally:
             elapsed = time.perf_counter() - started
@@ -320,6 +355,75 @@ class QueryService:
             wait_ms=message.get("wait_ms", 0),
         )
         return {"result": body, "version": self.store.version}
+
+    def _execute_subscribe(self, message, sink):
+        """Register a live subscription; the response carries the initial
+        snapshot, subsequent ``delta`` frames arrive through *sink*."""
+        from repro.errors import SubscriptionError
+
+        if sink is None:
+            raise SubscriptionError(
+                "subscriptions need a streaming connection; this entry point "
+                "has no push channel"
+            )
+        target = message.get("target", "graphlog")
+        if target not in _QUERY_OPS:
+            raise ProtocolError(
+                f"'target' must be one of {', '.join(_QUERY_OPS)}, got {target!r}"
+            )
+        text = message.get("query")
+        if not isinstance(text, str) or not text.strip():
+            raise ProtocolError("op 'subscribe' needs a non-empty 'query' string")
+        allow_fallback = message.get("allow_fallback", False)
+        if not isinstance(allow_fallback, bool):
+            raise ProtocolError(
+                f"'allow_fallback' must be a boolean, got {allow_fallback!r}"
+            )
+        self._await_min_version(message)
+        params = self._request_params(message)
+        plan = self.plans.get(target, text)
+        sub, snapshot, version = self.subs.subscribe(
+            plan,
+            params,
+            sink,
+            queue_max=message.get("queue_max"),
+            policy=message.get("policy"),
+            allow_fallback=allow_fallback,
+        )
+        view = sub.view
+        return {
+            "result": {
+                "subscription": sub.id,
+                "snapshot": {
+                    name: protocol.rows_to_wire(rows)
+                    for name, rows in sorted(snapshot.items())
+                },
+                "predicates": sorted(view.predicates),
+                "mode": view.mode,
+                "fallback_reason": view.fallback_reason,
+                "policy": sub.policy,
+                "queue_max": sub.queue_max,
+            },
+            "version": version,
+        }
+
+    def _execute_unsubscribe(self, message, sink):
+        from repro.errors import SubscriptionError
+
+        sub_id = message.get("subscription")
+        if isinstance(sub_id, bool) or not isinstance(sub_id, int):
+            raise ProtocolError(
+                f"op 'unsubscribe' needs an integer 'subscription', got {sub_id!r}"
+            )
+        if sink is None:
+            raise SubscriptionError(
+                "unsubscribe must arrive on the subscription's own connection"
+            )
+        self.subs.unsubscribe(sub_id, sink)
+        return {
+            "result": {"unsubscribed": sub_id},
+            "version": self.store.version,
+        }
 
     def promote(self):
         """Flip this replica into a writable primary under a fresh epoch.
@@ -573,23 +677,29 @@ class QueryService:
             )
         nodes = message.get("nodes") or []
         edges = message.get("edges") or []
-        if not nodes and not edges:
-            raise ProtocolError("op 'update' needs 'nodes' and/or 'edges'")
+        remove_nodes = message.get("remove_nodes") or []
+        remove_edges = message.get("remove_edges") or []
+        if not nodes and not edges and not remove_nodes and not remove_edges:
+            raise ProtocolError(
+                "op 'update' needs 'nodes', 'edges', 'remove_nodes' and/or "
+                "'remove_edges'"
+            )
         if self.slowlog.enabled:
             with obs.tracing("update", nodes=len(nodes), edges=len(edges)) as tr:
                 with tr.span("commit"):
-                    self._apply_update(nodes, edges)
+                    self._apply_update(nodes, edges, remove_nodes, remove_edges)
             ctx["trace"] = tr.root
         else:
-            self._apply_update(nodes, edges)
+            self._apply_update(nodes, edges, remove_nodes, remove_edges)
         ctx["version"] = self.store.version
         self.metrics.incr("updates.committed")
-        return {
-            "result": {"added_nodes": len(nodes), "added_edges": len(edges)},
-            "version": self.store.version,
-        }
+        result = {"added_nodes": len(nodes), "added_edges": len(edges)}
+        if remove_nodes or remove_edges:
+            result["removed_nodes"] = len(remove_nodes)
+            result["removed_edges"] = len(remove_edges)
+        return {"result": result, "version": self.store.version}
 
-    def _apply_update(self, nodes, edges):
+    def _apply_update(self, nodes, edges, remove_nodes=(), remove_edges=()):
         session = self.store.session()
         with session.transaction() as txn:
             for entry in nodes:
@@ -611,6 +721,22 @@ class QueryService:
                         f"edge entries are [source, label, target]; got {entry!r}"
                     ) from None
                 txn.add_edge(source, target, label)
+            # Removals after additions, so one transaction can atomically
+            # replace an edge (add the new one, drop the old).
+            for entry in remove_edges:
+                try:
+                    source, label, target = entry
+                except (TypeError, ValueError):
+                    raise ProtocolError(
+                        f"edge entries are [source, label, target]; got {entry!r}"
+                    ) from None
+                txn.remove_edge(source, target, label)
+            for entry in remove_nodes:
+                if isinstance(entry, (list, tuple)):
+                    raise ProtocolError(
+                        f"remove_nodes entries are bare values; got {entry!r}"
+                    )
+                txn.remove_node(entry)
 
     # -------------------------------------------------------------- helpers
 
@@ -679,6 +805,7 @@ class QueryService:
             "slowlog": self.slowlog.stats(),
             "store": store_stats,
             "replication": self.replication_status(),
+            "subs": self.subs.stats(),
         }
         if self._views is not None:
             stats["views"] = self._views.stats()
@@ -886,11 +1013,29 @@ class QueryService:
         durability (idempotent)."""
         if self.applier is not None:
             self.applier.stop()
+        self.subs.close()
         if self._detach is not None:
             self._detach()
             self._detach = None
         if self.durability is not None:
             self.durability.close()
+
+
+class _ConnectionSink:
+    """One connection's push outlet: commit threads poke it thread-safely,
+    the connection's sender task wakes and drains the subscription queues."""
+
+    __slots__ = ("_loop", "event")
+
+    def __init__(self, loop):
+        self._loop = loop
+        self.event = asyncio.Event()
+
+    def notify(self):
+        try:
+            self._loop.call_soon_threadsafe(self.event.set)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
 
 
 class ServiceServer:
@@ -960,6 +1105,14 @@ class ServiceServer:
             self._executor = None
 
     async def _handle_connection(self, reader, writer):
+        # Every connection gets a push sink and a sender task: request
+        # handling stays a serial read→execute→respond loop, while delta
+        # frames (enqueued by commit threads) are drained and written
+        # whenever the sink is poked.  Each frame/response is written with
+        # a single write() call — no await between encode and write — so
+        # the two writers can never interleave inside one JSON line.
+        sink = _ConnectionSink(asyncio.get_running_loop())
+        sender = asyncio.create_task(self._send_frames(sink, writer))
         try:
             while True:
                 try:
@@ -978,7 +1131,7 @@ class ServiceServer:
                     break
                 if not line.strip():
                     continue
-                response = await self._handle_request(line)
+                response = await self._handle_request(line, sink)
                 writer.write(protocol.encode(response))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
@@ -989,6 +1142,12 @@ class ServiceServer:
             # asyncio's connection callback from logging the cancellation.
             pass
         finally:
+            sender.cancel()
+            try:
+                await sender
+            except asyncio.CancelledError:
+                pass
+            self.service.subs.drop_sink(sink)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -999,7 +1158,26 @@ class ServiceServer:
             ):  # pragma: no cover
                 pass
 
-    async def _handle_request(self, line):
+    async def _send_frames(self, sink, writer):
+        """Drain-and-write loop for one connection's push frames."""
+        try:
+            while True:
+                await sink.event.wait()
+                sink.event.clear()
+                frames, disconnect = self.service.subs.drain(sink)
+                for frame in frames:
+                    writer.write(protocol.encode(frame))
+                if frames:
+                    await writer.drain()
+                if disconnect:
+                    # The 'disconnect' overflow policy: the closed frame has
+                    # been written; drop the connection.
+                    writer.close()
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _handle_request(self, line, sink=None):
         request_id = None
         started = time.perf_counter()
         try:
@@ -1021,7 +1199,7 @@ class ServiceServer:
                     self.service.metrics.observe_phase(
                         "queue_wait", time.perf_counter() - submitted
                     )
-                    return self.service.execute(message)
+                    return self.service.execute(message, sink=sink)
                 finally:
                     logs.reset_request_id(token)
 

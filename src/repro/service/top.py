@@ -194,6 +194,31 @@ class TopDashboard:
             lines.append("")
             lines.append(line)
 
+        subs = stats.get("subs") or {}
+        if subs.get("active_subscriptions") or subs.get("deltas_pushed"):
+            p50 = subs.get("push_p50_ms")
+            p99 = subs.get("push_p99_ms")
+            push_text = (
+                f"push p50 {p50:.3f}ms p99 {p99:.3f}ms"
+                if p50 is not None
+                else "push -"
+            )
+            lines.append("")
+            lines.append(
+                f"subs      active {subs.get('active_subscriptions', 0)}  "
+                f"views {subs.get('shared_views', 0)}  "
+                f"queued {subs.get('queue_depth', 0)}  "
+                f"deltas {subs.get('deltas_pushed', 0)}  "
+                f"snapshots {subs.get('snapshots_sent', 0)}  "
+                f"overflows {subs.get('overflows', 0)}  {push_text}"
+            )
+            lines.append(
+                f"          maintenance passes {subs.get('maintenance_passes', 0)}  "
+                f"diff refreshes {subs.get('diff_refreshes', 0)}  "
+                f"resyncs {subs.get('resyncs', 0)}  "
+                f"disconnects {subs.get('disconnects', 0)}"
+            )
+
         slowlog = stats.get("slowlog") or {}
         if slowlog:
             threshold = slowlog.get("threshold_ms")

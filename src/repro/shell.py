@@ -16,6 +16,9 @@ answers.  Commands:
                                        threshold (e.g. 'slowlog 5')
     load FILE                          load a Datalog fact file
     rpq REGEX [SOURCE]                 regular path query over the graph
+    watch PRED                         print PRED's answer changes (+/-)
+                                       after each command; 'watch off'
+                                       stops, bare 'watch' shows status
     facts [predicate]                  list stored facts
     queries                            list registered query graphs
     clear                              drop all queries (facts stay)
@@ -54,6 +57,7 @@ class ShellSession:
         self.database = Database()
         self.graphs = []
         self._buffer = []  # pending multi-line define
+        self._watched = {}  # predicate -> last seen answer rows
         # Local slow-query log: off until 'slowlog THRESHOLD_MS' arms it.
         self.slowlog = SlowQueryLog(threshold_ms=None, capacity=32)
 
@@ -106,13 +110,18 @@ class ShellSession:
     def execute(self, line):
         """Run one input line; returns the text to display (may be '')."""
         try:
-            return self._execute(line)
+            output = self._execute(line)
         except ReproError as exc:
             self._buffer = []
             return f"error: {exc}"
         except (KeyError, FileNotFoundError) as exc:
             self._buffer = []
             return f"error: {exc}"
+        if self._watched and not self.pending:
+            diff = self._watch_diffs()
+            if diff:
+                output = f"{output}\n{diff}" if output else diff
+        return output
 
     def _execute(self, line):
         if self._buffer:
@@ -152,6 +161,8 @@ class ShellSession:
             return self._load(rest)
         if command == "rpq":
             return self._rpq(rest)
+        if command == "watch":
+            return self._watch(rest)
         if command == "facts":
             return self._facts(rest or None)
         if command == "queries":
@@ -162,6 +173,7 @@ class ShellSession:
         if command == "reset":
             self.database = Database()
             self.graphs = []
+            self._watched = {}
             return "session reset"
         # Fallback: a Datalog fact (or rule-as-fact error surfaces nicely).
         return self._add_fact(stripped)
@@ -303,6 +315,46 @@ class ShellSession:
             ).rstrip()
         pairs = evaluator.pairs(rest)
         return render_relation(pairs, title="matching pairs").rstrip()
+
+    def _watch(self, rest):
+        if rest in ("off", "none"):
+            count = len(self._watched)
+            self._watched = {}
+            return f"stopped watching {count} predicate(s)" if count else "nothing watched"
+        if not rest:
+            if not self._watched:
+                return "nothing watched; 'watch PRED' streams PRED's answer changes"
+            return "\n".join(
+                f"watching {name}: {len(rows)} rows"
+                for name, rows in sorted(self._watched.items())
+            )
+        if " " in rest:
+            return "usage: watch [PRED|off]"
+        result = self._evaluate()
+        rows = set(result.facts(rest))
+        self._watched[rest] = rows
+        return (
+            f"watching {rest} ({len(rows)} rows); "
+            "answer changes print after each command"
+        )
+
+    def _watch_diffs(self):
+        """Diff every watched predicate against the last seen answer —
+        the shell's local analogue of a service subscription."""
+        try:
+            result = self._evaluate()
+        except ReproError as exc:
+            return f"watch error: {exc}"
+        lines = []
+        for name in sorted(self._watched):
+            now = set(result.facts(name))
+            before = self._watched[name]
+            for row in sorted(now - before):
+                lines.append(f"  + {name}({', '.join(map(str, row))})")
+            for row in sorted(before - now):
+                lines.append(f"  - {name}({', '.join(map(str, row))})")
+            self._watched[name] = now
+        return "\n".join(lines)
 
     def _facts(self, predicate):
         if predicate is not None:

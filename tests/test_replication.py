@@ -414,7 +414,7 @@ class TestClientRetries:
     def test_receive_failures_are_never_retried(self, primary_server, monkeypatch):
         client = ServiceClient(port=primary_server.port, retries=5, backoff_base=0.001)
         monkeypatch.setattr(
-            client._reader, "readline", lambda *a: (_ for _ in ()).throw(OSError("torn"))
+            client, "_readline", lambda *a: (_ for _ in ()).throw(OSError("torn"))
         )
         with pytest.raises(ServiceError, match="failed: torn"):
             client.ping()

@@ -182,11 +182,11 @@ class TestResultCache:
 class SlowQueryService(QueryService):
     """A service whose requests can be stalled via a ``slow`` field."""
 
-    def execute(self, message):
+    def execute(self, message, **kwargs):
         delay = message.get("slow")
         if delay:
             time.sleep(delay)
-        return super().execute(message)
+        return super().execute(message, **kwargs)
 
 
 @pytest.fixture
