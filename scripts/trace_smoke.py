@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""CI smoke test for distributed tracing and the cluster observability plane.
+
+Boots one primary, one replica, and one router — all as real subprocesses,
+exactly as an operator would — then asserts the properties the subsystem
+promises:
+
+- **cross-node propagation**: a routed, sampled request produces one trace
+  whose assembled spans come from at least two distinct node ids (router +
+  backend) under a single trace id, with the backend's ``request`` root
+  parented at the router's ``route.forward`` span.
+- **trace assembly via the CLI**: ``repro trace <id>`` against the router
+  fans out, merges, and renders the cross-node tree.
+- **subscription tagging**: a commit made under a client trace context
+  pushes a delta frame carrying that commit's trace id.
+- **cluster plane**: ``repro top --cluster --json`` (one machine-readable
+  snapshot) sees all three processes — router plus two distinct backend
+  node ids — with the replica reporting zero lag after convergence.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/trace_smoke.py
+
+Exits non-zero (with a diagnostic on stderr) on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+LISTEN = re.compile(r"listening on [\d.]+:(\d+)")
+
+CONVERGE_SECONDS = 30
+
+PROCS = []
+
+
+def fail(message):
+    sys.stderr.write(f"trace_smoke: FAIL: {message}\n")
+    for proc in PROCS:
+        if proc.poll() is None:
+            proc.kill()
+    sys.exit(1)
+
+
+def spawn(*args):
+    """Start a ``repro`` subcommand; returns (process, announced port)."""
+    env = dict(os.environ, PYTHONPATH=os.path.join(ROOT, "src"), PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        cwd=ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    PROCS.append(proc)
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            fail(f"{args[0]} exited before listening (rc={proc.poll()})")
+        sys.stdout.write(line)
+        match = LISTEN.search(line)
+        if match:
+            return proc, int(match.group(1))
+    fail(f"{args[0]} never announced its port")
+
+
+def run_cli(*args):
+    """Run one ``repro`` subcommand to completion; returns its stdout."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=ROOT,
+        env=dict(os.environ, PYTHONPATH=os.path.join(ROOT, "src")),
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    if result.returncode != 0:
+        fail(f"repro {' '.join(args)} failed: rc={result.returncode} "
+             f"{result.stdout}{result.stderr}")
+    return result.stdout
+
+def main():
+    from repro.obs import context as trace_context
+    from repro.service.client import ServiceClient
+
+    _primary, primary_port = spawn(
+        "serve", "--port", "0", "--trace-sample", "1.0", "--slow-ms", "10000",
+    )
+    address = f"127.0.0.1:{primary_port}"
+    _replica, replica_port = spawn(
+        "serve", "--port", "0", "--replica-of", address,
+        "--repl-wait-ms", "500", "--version-wait-ms", "5000",
+        "--trace-sample", "1.0",
+    )
+    _router, router_port = spawn(
+        "route", "--port", "0", "--primary", address,
+        "--replica", f"127.0.0.1:{replica_port}",
+        "--trace-sample", "1.0",
+    )
+
+    program = "tc(X,Y) :- e(X,Y).\ntc(X,Y) :- tc(X,Z), e(Z,Y)."
+
+    # ---- traced routed write + read: one trace id across >= 2 nodes ----
+    with ServiceClient(port=router_port, timeout=30) as client:
+        write_trace = client.call("update", edges=[["a", "e", "b"], ["b", "e", "c"]])
+        if not write_trace.get("trace_id"):
+            fail("routed write response carries no trace_id")
+        read = client.call("datalog", query=program)
+        trace_id = read.get("trace_id")
+        if not trace_id:
+            fail("routed read response carries no trace_id")
+        result = client.trace_get(trace_id)
+        if not result.get("found"):
+            fail(f"trace {trace_id} not found via the router")
+        node_ids = {span.get("node_id") for span in result["spans"]}
+        if len(node_ids) < 2:
+            fail(f"trace {trace_id} spans only nodes {node_ids}; "
+                 f"expected router + backend")
+        names = {span["name"] for span in result["spans"]}
+        for expected in ("route", "route.forward", "request"):
+            if expected not in names:
+                fail(f"trace {trace_id} is missing a {expected!r} span: {names}")
+        by_id = {span["span_id"]: span for span in result["spans"]}
+        for span in result["spans"]:
+            if span["name"] != "request":
+                continue
+            parent = by_id.get(span.get("parent_span_id"))
+            if parent is None or parent["name"] != "route.forward":
+                fail(f"backend request span {span['span_id']} is not parented "
+                     f"at a route.forward span")
+
+        # ---- subscription: a traced commit tags its delta frame ----
+        with ServiceClient(port=primary_port, timeout=30) as subscriber:
+            handle = subscriber.subscribe("tc(X,Y) :- e(X,Y).", target="datalog")
+            with trace_context.start(trace_id="smoke-commit-1", sampled=True):
+                client.update(edges=[["c", "e", "d"]])
+            deadline = time.time() + 10
+            tagged = None
+            while time.time() < deadline:
+                event = handle.next_event(timeout=deadline - time.time())
+                if event is None:
+                    break
+                if event["type"] == "delta":
+                    tagged = event.get("trace_id")
+                    break
+            if tagged != "smoke-commit-1":
+                fail(f"delta frame trace_id is {tagged!r}, "
+                     f"expected 'smoke-commit-1'")
+
+    # ---- repro trace renders the cross-node tree ----
+    rendered = run_cli("trace", trace_id, "--port", str(router_port))
+    if trace_id not in rendered or "route.forward" not in rendered:
+        fail(f"repro trace output missing expected spans:\n{rendered}")
+    if "2 node(s)" not in rendered and "3 node(s)" not in rendered:
+        fail(f"repro trace did not assemble a multi-node tree:\n{rendered}")
+
+    # ---- repro top --cluster sees every process ----
+    deadline = time.time() + CONVERGE_SECONDS
+    while True:
+        snapshot = json.loads(run_cli(
+            "top", "--cluster", "--json", "--port", str(router_port),
+        ))
+        cluster = snapshot["cluster"]
+        nodes = cluster["nodes"]
+        ok_nodes = [node for node in nodes if node.get("ok")]
+        backend_ids = {node.get("node_id") for node in ok_nodes}
+        replica_rows = [n for n in ok_nodes if n["role"] == "replica"]
+        converged = (
+            len(ok_nodes) == 2
+            and len(backend_ids) == 2
+            and cluster["router"].get("node_id")
+            and replica_rows
+            and replica_rows[0].get("lag_versions") == 0
+            and all(node.get("epoch") for node in ok_nodes)
+        )
+        if converged:
+            break
+        if time.time() > deadline:
+            fail(f"cluster snapshot never converged: {json.dumps(cluster)[:2000]}")
+        time.sleep(0.5)
+    roles = sorted(node["role"] for node in ok_nodes)
+    if roles != ["primary", "replica"]:
+        fail(f"unexpected roles in cluster snapshot: {roles}")
+    if not cluster["aggregate"]["latency"]:
+        fail("cluster aggregate has no merged latency histograms")
+    rendered_top = run_cli("top", "--cluster", "--once", "--port", str(router_port))
+    if "repro top --cluster" not in rendered_top or "primary" not in rendered_top:
+        fail(f"repro top --cluster render is missing panels:\n{rendered_top}")
+
+    for proc in PROCS:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in PROCS:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    print(
+        f"trace_smoke: OK (trace {trace_id} assembled across "
+        f"{len(node_ids)} nodes, delta frame tagged, cluster snapshot saw "
+        f"router + {len(ok_nodes)} backends with replica lag 0)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -186,6 +186,8 @@ def cmd_serve(args):
         engine=args.engine,
         sub_queue_max=args.sub_queue_max,
         sub_policy=args.sub_policy,
+        trace_sample=args.trace_sample,
+        span_path=args.span_file,
     )
     # With --data-dir the service recovers the store from disk; --data then
     # only seeds a store that recovered empty (a fresh data directory).
@@ -228,10 +230,16 @@ def cmd_route(args):
         timeout=args.timeout,
         retries=args.retries,
         eject_seconds=args.eject_seconds,
+        trace_sample=args.trace_sample,
+        metrics_host=args.metrics_host,
+        metrics_port=args.metrics_port,
     ).start()
     replicas = ", ".join(args.replica) if args.replica else "(none)"
     print(f"repro router listening on {router.host}:{router.port} "
           f"(primary {args.primary}, replicas {replicas})", flush=True)
+    if router.metrics_port is not None:
+        print(f"telemetry on http://{args.metrics_host}:{router.metrics_port}"
+              f"/metrics (and /healthz)", flush=True)
     try:
         while True:
             _time.sleep(3600)
@@ -283,6 +291,10 @@ def cmd_call(args):
     elif args.op == "slowlog":
         if args.limit is not None:
             payload["limit"] = args.limit
+    elif args.op == "trace_get":
+        if not args.arg:
+            raise SystemExit("call trace_get needs a trace id argument")
+        payload["trace_id"] = args.arg
     for field in ("source", "predicate", "method", "timeout"):
         value = getattr(args, field, None)
         if value is not None:
@@ -291,7 +303,7 @@ def cmd_call(args):
     with ServiceClient(host=args.host, port=args.connect_port) as client:
         response = client.call(args.op, **payload)
     if args.json or args.op in ("stats", "ping", "update", "profile", "checkpoint",
-                                "slowlog", "promote"):
+                                "slowlog", "promote", "trace_get", "cluster_stats"):
         print(json.dumps(response, indent=2, sort_keys=True))
         return 0
     if args.op == "explain":
@@ -339,12 +351,45 @@ def cmd_explain(args):
 
 
 def cmd_top(args):
+    import json
+
     from repro.service.client import ServiceClient
-    from repro.service.top import TopDashboard
+    from repro.service.top import ClusterDashboard, TopDashboard
 
     with ServiceClient(host=args.host, port=args.connect_port) as client:
-        dashboard = TopDashboard(client, interval=args.interval)
+        if args.cluster:
+            dashboard = ClusterDashboard(client, interval=args.interval)
+        else:
+            dashboard = TopDashboard(client, interval=args.interval)
+        if args.once or args.json:
+            if args.json:
+                print(json.dumps(dashboard.snapshot(), indent=2, sort_keys=True))
+            else:
+                dashboard.tick()  # writes the frame to stdout itself
+            return 0
         dashboard.run(iterations=args.iterations)
+    return 0
+
+
+def cmd_trace(args):
+    import json
+
+    from repro.obs.assemble import render_trace
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(host=args.host, port=args.connect_port) as client:
+        result = client.trace_get(args.trace_id)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0 if result.get("found") else 1
+    if not result.get("found"):
+        print(f"trace {args.trace_id}: no spans found "
+              f"(evicted from every ring, or never sampled)")
+        return 1
+    print(render_trace(args.trace_id, result["spans"]), end="")
+    sources = [n for n in result.get("nodes", ()) if n.get("error")]
+    for node in sources:
+        print(f"  (node {node.get('address', '?')} unreachable: {node['error']})")
     return 0
 
 
@@ -531,6 +576,12 @@ def build_parser():
     p_serve.add_argument("--sub-policy", default="resync",
                          choices=("resync", "disconnect"),
                          help="default subscription overflow policy")
+    p_serve.add_argument("--trace-sample", type=float, default=0.0,
+                         help="head-sample this fraction of requests into "
+                              "distributed traces (0 disables, 1 traces all)")
+    p_serve.add_argument("--span-file", default=None,
+                         help="export sampled span trees to this JSONL file "
+                              "(rotated once past 16MB)")
     p_serve.add_argument("--version-wait-ms", type=int, default=2000,
                          help="bound on waiting for a read's min_version "
                               "before failing replica_stale")
@@ -553,6 +604,14 @@ def build_parser():
                          help="backend connect/send retries per request")
     p_route.add_argument("--eject-seconds", type=float, default=2.0,
                          help="how long a failed backend sits out of rotation")
+    p_route.add_argument("--trace-sample", type=float, default=0.0,
+                         help="head-sample this fraction of routed requests "
+                              "into distributed traces")
+    p_route.add_argument("--metrics-port", type=int, default=None,
+                         help="serve repro_cluster_*/repro_router_* metrics "
+                              "and /healthz on this port (0 = ephemeral)")
+    p_route.add_argument("--metrics-host", default="127.0.0.1",
+                         help="bind address for the router telemetry endpoint")
     p_route.set_defaults(func=cmd_route)
 
     p_promote = sub.add_parser(
@@ -567,7 +626,8 @@ def build_parser():
     p_call = sub.add_parser("call", help="send one request to a running server")
     p_call.add_argument("op", choices=("graphlog", "datalog", "rpq", "update",
                                        "stats", "ping", "explain", "profile",
-                                       "checkpoint", "slowlog", "promote"))
+                                       "checkpoint", "slowlog", "promote",
+                                       "trace_get", "cluster_stats"))
     p_call.add_argument("arg", nargs="?", default=None,
                         help="query file (graphlog/datalog) or regex (rpq)")
     p_call.add_argument("--host", default="127.0.0.1")
@@ -596,7 +656,29 @@ def build_parser():
                        help="seconds between polls")
     p_top.add_argument("--iterations", type=int, default=None,
                        help="stop after N redraws (default: run until ^C)")
+    p_top.add_argument("--cluster", action="store_true",
+                       help="point at a router and render the whole cluster "
+                            "(per-node role/epoch/version/lag/QPS plus "
+                            "histogram-merged latency)")
+    p_top.add_argument("--once", action="store_true",
+                       help="render a single snapshot and exit")
+    p_top.add_argument("--json", action="store_true",
+                       help="print one machine-readable snapshot and exit "
+                            "(implies --once)")
     p_top.set_defaults(func=cmd_top)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="assemble one distributed trace by id (ask a router to merge "
+             "spans from every node; works against a single server too)",
+    )
+    p_trace.add_argument("trace_id", help="the trace id echoed on responses "
+                                          "(trace_id field) and slowlog entries")
+    p_trace.add_argument("--host", default="127.0.0.1")
+    p_trace.add_argument("--port", dest="connect_port", type=int, default=7470)
+    p_trace.add_argument("--json", action="store_true",
+                         help="print the merged span set as JSON")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_watch = sub.add_parser(
         "watch",

@@ -1,0 +1,105 @@
+"""Cross-node trace assembly: flat span lists → one renderable tree.
+
+``repro trace <trace_id>`` collects flattened span lists from every node
+that saw the trace (router, primary, replicas — each tagged with its
+``node_id``) and this module stitches them back into a single tree using
+the ``parent_span_id`` links.  A span whose parent is missing from the
+merged set (evicted ring, unsampled hop) becomes a root rather than being
+dropped, so partial traces still render.
+
+The ASCII rendering shows per-hop attribution: every line carries the
+owning node's id, its duration, and its attrs, with siblings ordered by
+wall-clock start time so the tree reads as a timeline.
+"""
+
+from __future__ import annotations
+
+
+def assemble(spans):
+    """Build a forest from flat span dicts; returns the list of roots.
+
+    Each returned node is a dict ``{"span": <original span dict>,
+    "children": [...]}`` — the input dicts are not mutated.  Roots are
+    spans whose ``parent_span_id`` is ``None`` or absent from the merged
+    set; children are sorted by ``start_ts`` (unknown starts last),
+    roots likewise.
+    """
+    by_id = {}
+    nodes = []
+    for span in spans:
+        node = {"span": span, "children": []}
+        nodes.append(node)
+        span_id = span.get("span_id")
+        if span_id is not None and span_id not in by_id:
+            by_id[span_id] = node
+
+    roots = []
+    for node in nodes:
+        parent_id = node["span"].get("parent_span_id")
+        parent = by_id.get(parent_id) if parent_id is not None else None
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+
+    def start_key(node):
+        ts = node["span"].get("start_ts")
+        return (ts is None, ts if ts is not None else 0.0)
+
+    def sort_children(node):
+        node["children"].sort(key=start_key)
+        for child in node["children"]:
+            sort_children(child)
+
+    roots.sort(key=start_key)
+    for root in roots:
+        sort_children(root)
+    return roots
+
+
+def _span_line(span, max_attr_len=100):
+    node = span.get("node_id") or "?"
+    elapsed = span.get("elapsed_ms")
+    elapsed_text = "?" if elapsed is None else f"{elapsed:.3f}ms"
+    attrs = span.get("attrs") or {}
+    parts = []
+    for key, value in attrs.items():
+        text = f"{key}={value!r}" if isinstance(value, str) else f"{key}={value}"
+        if len(text) > max_attr_len:
+            text = text[: max_attr_len - 1] + "…"
+        parts.append(text)
+    attr_text = (" " + " ".join(parts)) if parts else ""
+    return f"[{node}] {span.get('name', '?')} ({elapsed_text}){attr_text}"
+
+
+def render(roots, max_attr_len=100):
+    """The assembled forest as an ASCII tree, one span per line."""
+    lines = []
+
+    def walk(node, prefix, branch):
+        lines.append(f"{prefix}{branch}{_span_line(node['span'], max_attr_len)}")
+        if branch == "":
+            child_prefix = prefix
+        else:
+            child_prefix = prefix + ("    " if branch.startswith("└") else "│   ")
+        children = node["children"]
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            walk(child, child_prefix, "└── " if last else "├── ")
+
+    for root in roots:
+        walk(root, "", "")
+    return "\n".join(lines)
+
+
+def render_trace(trace_id, spans, max_attr_len=100):
+    """One-call convenience: header + assembled ASCII tree + hop summary."""
+    roots = assemble(spans)
+    nodes = sorted({s.get("node_id") for s in spans if s.get("node_id")})
+    lines = [
+        f"trace {trace_id} — {len(spans)} spans across "
+        f"{len(nodes)} node(s): {', '.join(nodes) if nodes else '-'}",
+        "",
+    ]
+    lines.append(render(roots, max_attr_len))
+    return "\n".join(lines) + "\n"

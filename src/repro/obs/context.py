@@ -1,0 +1,188 @@
+"""Distributed trace context: the identity a request carries across nodes.
+
+A :class:`TraceContext` is three fields — ``trace_id`` (one id for the
+whole cross-node request), ``parent_span_id`` (the sender-side span the
+receiver's work nests under), and ``sampled`` (the head-based sampling
+decision, made once at the edge and honored everywhere downstream).  It
+travels in the optional ``trace`` field of the wire request envelope::
+
+    {"id": 7, "op": "datalog", "query": "...",
+     "trace": {"trace_id": "a3f1b2-000017", "parent_span_id": "c91d40-s00003",
+               "sampled": true}}
+
+Propagation rules (the matrix lives in docs/OBSERVABILITY.md):
+
+- a server that receives a context **adopts** it — the trace id becomes the
+  request's correlation id instead of a freshly minted one, and the local
+  span tree links under ``parent_span_id``;
+- the router injects a context on every forwarded call (minting one at the
+  edge when the client sent none), re-stamping ``parent_span_id`` with its
+  own per-attempt forward span so failover probes are visible hops;
+- a replica stamps its ``repl_tail``/``repl_bootstrap`` polls, so primary-
+  side tail-serving spans link back to the replica's apply loop;
+- subscription ``delta`` frames carry the trace id of the commit that
+  produced them.
+
+Cost model mirrors :mod:`repro.obs.trace`: ids are a process-random prefix
+plus a counter (no ``uuid4`` on the hot path), the ambient context is one
+:mod:`contextvars` variable, and an unsampled request pays one contextvar
+read plus one counter tick in :meth:`RateSampler.sample`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import itertools
+import os
+
+from repro.errors import ProtocolError
+
+# Span ids share the request-id discipline: one short random prefix per
+# process (so ids minted on different nodes never collide in an assembled
+# trace) plus a counter costing one integer increment per span.
+_SPAN_PREFIX = os.urandom(3).hex()
+_SPAN_COUNTER = itertools.count(1)
+
+
+def new_span_id():
+    """A fresh process-unique span id, e.g. ``"4be2d1-s00017"``."""
+    return f"{_SPAN_PREFIX}-s{next(_SPAN_COUNTER):05d}"
+
+
+def new_trace_id():
+    """A fresh trace id for a locally-originated trace.
+
+    Delegates to :func:`repro.obs.logs.new_request_id` so a trace minted at
+    this node carries the node's id prefix — one grep finds both the trace
+    and the log lines it produced.
+    """
+    from repro.obs import logs
+
+    return logs.new_request_id()
+
+
+class TraceContext:
+    """The compact wire-portable identity of one distributed request."""
+
+    __slots__ = ("trace_id", "parent_span_id", "sampled")
+
+    def __init__(self, trace_id, parent_span_id=None, sampled=False):
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
+        self.sampled = sampled
+
+    def child(self, parent_span_id):
+        """The context to hand the next hop: same trace id and sampling
+        decision, re-parented under the caller's *parent_span_id*."""
+        return TraceContext(self.trace_id, parent_span_id, self.sampled)
+
+    def to_wire(self):
+        doc = {"trace_id": self.trace_id, "sampled": self.sampled}
+        if self.parent_span_id is not None:
+            doc["parent_span_id"] = self.parent_span_id
+        return doc
+
+    @classmethod
+    def from_wire(cls, doc):
+        """Parse a ``trace`` envelope field; raises :class:`ProtocolError`
+        on anything malformed (the sender's bug, not ours)."""
+        if not isinstance(doc, dict):
+            raise ProtocolError(
+                f"'trace' must be an object, got {type(doc).__name__}"
+            )
+        trace_id = doc.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            raise ProtocolError(
+                f"'trace.trace_id' must be a non-empty string, got {trace_id!r}"
+            )
+        parent = doc.get("parent_span_id")
+        if parent is not None and (not isinstance(parent, str) or not parent):
+            raise ProtocolError(
+                f"'trace.parent_span_id' must be a non-empty string, got {parent!r}"
+            )
+        sampled = doc.get("sampled", False)
+        if not isinstance(sampled, bool):
+            raise ProtocolError(
+                f"'trace.sampled' must be a boolean, got {sampled!r}"
+            )
+        return cls(trace_id, parent, sampled)
+
+    def __repr__(self):
+        return (
+            f"TraceContext({self.trace_id!r}, parent={self.parent_span_id!r}, "
+            f"sampled={self.sampled})"
+        )
+
+
+_CURRENT = contextvars.ContextVar("repro.obs.trace_context", default=None)
+
+
+def current():
+    """The ambient trace context, or ``None`` outside any traced request."""
+    return _CURRENT.get()
+
+
+def set_current(ctx):
+    """Bind *ctx* as the ambient context; returns a token for reset."""
+    return _CURRENT.set(ctx)
+
+
+def reset_current(token):
+    _CURRENT.reset(token)
+
+
+@contextlib.contextmanager
+def start(trace_id=None, parent_span_id=None, sampled=True):
+    """Run a block under a (fresh by default) ambient trace context.
+
+    The service client injects the ambient context into every outgoing
+    request, so ``with context.start(): client.datalog(...)`` is all a
+    caller needs to originate a cross-node trace.
+    """
+    ctx = TraceContext(
+        trace_id if trace_id is not None else new_trace_id(),
+        parent_span_id,
+        sampled,
+    )
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+class RateSampler:
+    """Deterministic head-based sampler: every ``1/rate``-th call samples.
+
+    Deterministic (a counter, not an RNG) for two reasons: the unsampled
+    path costs one atomic counter tick and one modulo, and tests get exact
+    sampled counts instead of binomial noise.  ``rate <= 0`` never samples
+    (and short-circuits before the counter); ``rate >= 1`` always does.
+    """
+
+    __slots__ = ("rate", "_period", "_counter")
+
+    def __init__(self, rate=0.0):
+        rate = float(rate)
+        if rate < 0.0 or rate > 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._period = 0 if rate <= 0.0 else max(1, round(1.0 / rate))
+        self._counter = itertools.count(1)
+
+    @property
+    def enabled(self):
+        return self._period > 0
+
+    def sample(self):
+        """The head-based decision for one request."""
+        period = self._period
+        if not period:
+            return False
+        if period == 1:
+            return True
+        return next(self._counter) % period == 0
+
+    def __repr__(self):
+        return f"RateSampler(rate={self.rate})"

@@ -35,14 +35,37 @@ _REQUEST_ID = contextvars.ContextVar("repro_request_id", default=None)
 
 # One short random prefix per process so IDs from different service runs
 # never collide in shared log storage; the counter keeps per-request cost
-# to one integer increment.
+# to one integer increment.  A service with a stable node identity swaps
+# the random prefix for its node id via set_node_prefix(), making request
+# ids cluster-unique and attributable.
 _RUN_PREFIX = os.urandom(3).hex()
 _COUNTER = itertools.count(1)
+
+# The node id once set_node_prefix() has run; stamped onto JSON log records.
+_NODE_ID = None
 
 
 def new_request_id():
     """A fresh process-unique request ID, e.g. ``"a3f1b2-000017"``."""
     return f"{_RUN_PREFIX}-{next(_COUNTER):06d}"
+
+
+def set_node_prefix(node_id):
+    """Prefix all future request ids with *node_id* and stamp JSON logs.
+
+    Process-global on purpose: the id identifies the *process* in a
+    cluster.  When several services share one process (tests), the last
+    call wins for log stamping — each service object still carries its own
+    ``node_id`` attribute for stats and traces.
+    """
+    global _RUN_PREFIX, _NODE_ID
+    _RUN_PREFIX = str(node_id)
+    _NODE_ID = str(node_id)
+
+
+def get_node_id():
+    """The process's node id, or ``None`` before :func:`set_node_prefix`."""
+    return _NODE_ID
 
 
 def get_request_id():
@@ -101,6 +124,8 @@ class JsonLogFormatter(logging.Formatter):
             "message": record.getMessage(),
             "request_id": getattr(record, "request_id", None) or "-",
         }
+        if _NODE_ID is not None:
+            payload["node"] = _NODE_ID
         for key, value in record.__dict__.items():
             if key not in _RESERVED and not key.startswith("_"):
                 payload[key] = value

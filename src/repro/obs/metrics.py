@@ -109,6 +109,15 @@ def format_labels(labels):
     return "{" + body + "}"
 
 
+class HistogramMergeError(ValueError):
+    """Merging histograms with incompatible bucket layouts.
+
+    A ``ValueError`` subclass so existing callers that catch broadly keep
+    working, while cluster-stats aggregation can catch this specifically
+    and skip the offending node instead of dropping the whole merge.
+    """
+
+
 class HistogramData:
     """One mergeable fixed-bucket histogram (no lock; owners synchronize).
 
@@ -154,7 +163,10 @@ class HistogramData:
     def merge(self, other):
         """Fold *other* into this histogram (bounds must match)."""
         if other.bounds != self.bounds:
-            raise ValueError("cannot merge histograms with different bounds")
+            raise HistogramMergeError(
+                "cannot merge histograms with different bounds: "
+                f"{len(self.bounds)} bounds vs {len(other.bounds)}"
+            )
         for i, c in enumerate(other.counts):
             self.counts[i] += c
         self.count += other.count
@@ -201,6 +213,50 @@ class HistogramData:
                 return min(max(estimate, self.min), self.max)
             cumulative += bucket_count
         return self.max  # pragma: no cover - q=1.0 exits in the loop
+
+    def to_wire(self):
+        """The histogram as a JSON-ready dict for cross-node shipping."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_wire(cls, doc):
+        """Rebuild a histogram shipped by :meth:`to_wire`.
+
+        Raises :class:`HistogramMergeError` on a malformed document — the
+        cluster-stats merger treats that exactly like a bucket-layout
+        mismatch (skip the node, keep the merge).
+        """
+        if not isinstance(doc, dict):
+            raise HistogramMergeError(
+                f"histogram wire form must be an object, got {type(doc).__name__}"
+            )
+        bounds = doc.get("bounds")
+        counts = doc.get("counts")
+        if not isinstance(bounds, (list, tuple)) or not bounds:
+            raise HistogramMergeError("histogram wire form missing bucket bounds")
+        if not isinstance(counts, (list, tuple)) or len(counts) != len(bounds) + 1:
+            raise HistogramMergeError(
+                "histogram wire form counts must have len(bounds)+1 entries"
+            )
+        try:
+            data = cls(bounds)
+            data.counts = [int(c) for c in counts]
+            data.count = int(doc.get("count", 0))
+            data.sum = float(doc.get("sum", 0.0))
+            data.min = None if doc.get("min") is None else float(doc["min"])
+            data.max = None if doc.get("max") is None else float(doc["max"])
+        except (TypeError, ValueError) as exc:
+            raise HistogramMergeError(
+                f"malformed histogram wire form: {exc}"
+            ) from None
+        return data
 
     def cumulative_buckets(self):
         """``[(le_bound, cumulative_count), ...]`` ending with ``+Inf``."""

@@ -1,0 +1,79 @@
+"""Bounded JSONL span export — the durable tail of the tracing pipeline.
+
+Sampled request traces (and always, slow ones) are appended to a JSON-lines
+file, one line per *trace* (the flattened span list plus identity fields),
+so an external collector can tail the file without parsing nested trees.
+Like the slow-query log's file option the writer never throws into the
+request path: an export failure increments a counter and drops the line.
+
+Unlike the slowlog the sink is **bounded**: when the file exceeds
+``max_bytes`` it is rotated to ``<path>.1`` (one generation, the previous
+``.1`` is overwritten), so a high sample rate cannot fill the disk.  The
+counters (``exported`` / ``export_errors`` / ``rotations``) surface in
+``stats`` and as ``repro_trace_*`` series on ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+
+class SpanSink:
+    """Thread-safe rotating JSONL writer for exported traces."""
+
+    def __init__(self, path, max_bytes=DEFAULT_MAX_BYTES):
+        if max_bytes < 4096:
+            raise ValueError(f"span sink max_bytes must be >= 4096, got {max_bytes}")
+        self.path = path
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self.exported = 0
+        self.export_errors = 0
+        self.rotations = 0
+        # Tracked size avoids a stat() per export; resynced on rotation.
+        self._size = self._current_size()
+
+    def _current_size(self):
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def export(self, record):
+        """Append one trace *record* (a JSON-ready dict); never raises."""
+        try:
+            line = json.dumps(record, default=str) + "\n"
+        except (TypeError, ValueError):
+            with self._lock:
+                self.export_errors += 1
+            return False
+        data = line.encode("utf-8")
+        with self._lock:
+            try:
+                if self._size + len(data) > self.max_bytes and self._size > 0:
+                    os.replace(self.path, self.path + ".1")
+                    self.rotations += 1
+                    self._size = 0
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line)
+                self._size += len(data)
+                self.exported += 1
+                return True
+            except OSError:
+                self.export_errors += 1
+                return False
+
+    def stats(self):
+        with self._lock:
+            return {
+                "path": self.path,
+                "max_bytes": self.max_bytes,
+                "bytes": self._size,
+                "exported": self.exported,
+                "export_errors": self.export_errors,
+                "rotations": self.rotations,
+            }

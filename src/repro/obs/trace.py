@@ -40,6 +40,8 @@ import time
 from collections import deque
 from contextlib import contextmanager
 
+from repro.obs.context import new_span_id as _new_span_id
+
 
 class TraceSpan:
     """One timed node in a trace tree.
@@ -49,19 +51,34 @@ class TraceSpan:
     ``elapsed_ms``.  Attributes are free-form JSON-serializable values.
     """
 
-    __slots__ = ("name", "attrs", "children", "elapsed_ms", "_tracer", "_started")
+    __slots__ = (
+        "name",
+        "attrs",
+        "children",
+        "elapsed_ms",
+        "span_id",
+        "parent_span_id",
+        "start_ts",
+        "_tracer",
+        "_started",
+    )
 
     def __init__(self, name, attrs, tracer):
         self.name = name
         self.attrs = attrs
         self.children = []
         self.elapsed_ms = None
+        self.span_id = None
+        self.parent_span_id = None
+        self.start_ts = None
         self._tracer = tracer
         self._started = None
 
     # ------------------------------------------------------------ lifecycle
 
     def __enter__(self):
+        self.span_id = _new_span_id()
+        self.start_ts = time.time()
         self._tracer._push(self)
         self._started = time.perf_counter()
         return self
@@ -94,12 +111,17 @@ class TraceSpan:
 
     def to_dict(self):
         """The span subtree as a JSON-ready dict."""
-        return {
+        doc = {
             "name": self.name,
             "elapsed_ms": None if self.elapsed_ms is None else round(self.elapsed_ms, 3),
             "attrs": dict(self.attrs),
             "children": [child.to_dict() for child in self.children],
         }
+        if self.span_id is not None:
+            doc["span_id"] = self.span_id
+            doc["parent_span_id"] = self.parent_span_id
+            doc["start_ts"] = self.start_ts
+        return doc
 
     def render(self, max_attr_len=120):
         """The span subtree as an ASCII tree, one span per line."""
@@ -205,11 +227,18 @@ class Tracer:
     worker thread).
     """
 
-    __slots__ = ("root", "_stack")
+    __slots__ = ("root", "trace_id", "remote_parent", "_stack")
     enabled = True
 
-    def __init__(self):
+    def __init__(self, trace_id=None, remote_parent=None):
         self.root = None
+        # The distributed identity: set when tracing a request that carries a
+        # trace context (adopted or locally minted); None for a purely local
+        # explain/profile tracer.
+        self.trace_id = trace_id
+        # The sender-side span id this tracer's root nests under when the
+        # cross-node tree is assembled.
+        self.remote_parent = remote_parent
         self._stack = []
 
     def span(self, name, **attrs):
@@ -217,13 +246,17 @@ class Tracer:
 
     def _push(self, span):
         if self._stack:
-            self._stack[-1].children.append(span)
+            parent = self._stack[-1]
+            parent.children.append(span)
+            span.parent_span_id = parent.span_id
         elif self.root is None:
             self.root = span
+            span.parent_span_id = self.remote_parent
         else:
             # A second top-level span joins the existing root's children so
             # no timing is ever silently dropped.
             self.root.children.append(span)
+            span.parent_span_id = self.root.span_id
         self._stack.append(span)
 
     def _pop(self, span):
@@ -246,20 +279,58 @@ def span(name, **attrs):
 
 
 @contextmanager
-def tracing(name="trace", **attrs):
+def tracing(name="trace", context=None, **attrs):
     """Enable tracing for the ``with`` body; yields the :class:`Tracer`.
 
     The body's pipeline calls (engine, translator, maintenance, caches)
     record spans under a root span *name*; afterwards ``tracer.root`` holds
-    the finished tree.
+    the finished tree.  Passing a
+    :class:`~repro.obs.context.TraceContext` as *context* binds the tree to
+    that distributed trace: the tracer carries its ``trace_id`` and the root
+    span links under the sender's ``parent_span_id``.
     """
-    active = Tracer()
+    if context is not None:
+        active = Tracer(
+            trace_id=context.trace_id, remote_parent=context.parent_span_id
+        )
+    else:
+        active = Tracer()
     token = _ACTIVE.set(active)
     try:
         with active.span(name, **attrs):
             yield active
     finally:
         _ACTIVE.reset(token)
+
+
+def flatten_span_tree(root, node_id=None):
+    """A span tree (:class:`TraceSpan` or its ``to_dict`` form) as a flat
+    list of span dicts, parent links intact, ready for cross-node assembly.
+
+    Each dict carries ``span_id`` / ``parent_span_id`` / ``start_ts`` /
+    ``elapsed_ms`` / ``name`` / ``attrs`` plus ``node_id`` when given, and
+    drops the nested ``children`` — :mod:`repro.obs.assemble` rebuilds the
+    tree from the parent links after merging lists from several nodes.
+    """
+    flat = []
+    stack = [root.to_dict() if isinstance(root, TraceSpan) else root]
+    while stack:
+        doc = stack.pop()
+        span = {
+            "span_id": doc.get("span_id"),
+            "parent_span_id": doc.get("parent_span_id"),
+            "name": doc.get("name"),
+            "start_ts": doc.get("start_ts"),
+            "elapsed_ms": doc.get("elapsed_ms"),
+            "attrs": doc.get("attrs") or {},
+        }
+        if node_id is not None:
+            span["node_id"] = node_id
+        flat.append(span)
+        children = doc.get("children") or []
+        # Reverse so pop() walks children in recorded order.
+        stack.extend(reversed(children))
+    return flat
 
 
 class TraceRing:
@@ -292,6 +363,15 @@ class TraceRing:
         with self._lock:
             entries = list(self._entries)
         return entries if limit is None else entries[-limit:]
+
+    def find(self, trace_id):
+        """Every held entry recorded under *trace_id*, oldest first.
+
+        A trace can appear more than once on a node (e.g. a router that
+        forwarded, failed over, and retried), so this returns a list.
+        """
+        with self._lock:
+            return [e for e in self._entries if e.get("trace_id") == trace_id]
 
     def stats(self):
         with self._lock:

@@ -35,8 +35,11 @@ import random
 import threading
 import time
 
+from repro import obs
 from repro.errors import ReproError, StoreError
 from repro.io import graph_from_json
+from repro.obs import context as trace_context
+from repro.obs import logs
 from repro.persist.serde import record_from_json
 
 logger = logging.getLogger(__name__)
@@ -56,6 +59,9 @@ class ReplicaApplier:
         reconnect_max=5.0,
         client_timeout=30.0,
         check_epoch=True,
+        traces=None,
+        sampler=None,
+        node_id=None,
     ):
         self.store = store
         self.primary_host = primary_host
@@ -65,6 +71,14 @@ class ReplicaApplier:
         self.reconnect_min = reconnect_min
         self.reconnect_max = reconnect_max
         self.client_timeout = client_timeout
+        #: Distributed-tracing wiring (all optional): sampled polls and
+        #: bootstraps run under a span tree recorded in *traces* (the
+        #: owning service's ring), and every tail/bootstrap request is
+        #: stamped with a trace context so the primary's serving spans
+        #: link back to this replica's apply loop.
+        self.traces = traces
+        self.sampler = sampler if sampler is not None else obs.RateSampler(0.0)
+        self.node_id = node_id
         #: Escape hatch for tests that need the pre-epoch behavior; leave
         #: True in production — disabling it re-opens the equal-version
         #: divergence hole documented in docs/REPLICATION.md.
@@ -184,9 +198,55 @@ class ReplicaApplier:
             except OSError:  # pragma: no cover - best-effort close
                 pass
 
+    # ------------------------------------------------------------- tracing
+
+    def _traced_call(self, name, fn, always_record=False):
+        """Run one primary RPC attempt under a fresh trace context.
+
+        Every attempt gets a context (so the primary's serving spans link
+        back here even when unsampled requests only adopt the trace *id*);
+        sampled attempts additionally collect a local span tree, recorded
+        into the owning service's trace ring — but idle long-polls (no
+        records, no reset) are not recorded, or the ring would be nothing
+        but heartbeats.  *fn* returns truthy when the attempt did real work.
+        """
+        tc = trace_context.TraceContext(
+            logs.new_request_id(), None, self.sampler.sample()
+        )
+        token = trace_context.set_current(tc)
+        try:
+            if tc.sampled:
+                with obs.tracing(
+                    name, context=tc, primary=self.primary_address
+                ) as tr:
+                    result = fn()
+                if self.traces is not None and (result or always_record):
+                    self.traces.record(
+                        {
+                            "trace_id": tc.trace_id,
+                            "request_id": tc.trace_id,
+                            "node_id": self.node_id,
+                            "op": name,
+                            "elapsed_ms": round(tr.root.elapsed_ms, 3),
+                            "version": self.store.version,
+                            "spans": obs.flatten_span_tree(
+                                tr.root, node_id=self.node_id
+                            ),
+                        }
+                    )
+                return result
+            return fn()
+        finally:
+            trace_context.reset_current(token)
+
     # ----------------------------------------------------------- bootstrap
 
     def _bootstrap(self, client):
+        return self._traced_call(
+            "repl.bootstrap", lambda: self._bootstrap_once(client), always_record=True
+        )
+
+    def _bootstrap_once(self, client):
         document = client.call("repl_bootstrap")["result"]
         graph = graph_from_json(document["graph"])
         version = document["version"]
@@ -237,6 +297,9 @@ class ReplicaApplier:
     # ---------------------------------------------------------------- tail
 
     def _poll(self, client):
+        return self._traced_call("repl.poll", lambda: self._poll_once(client))
+
+    def _poll_once(self, client):
         response = client.call(
             "repl_tail",
             from_version=self.store.version,
@@ -252,7 +315,7 @@ class ReplicaApplier:
             known_epoch = self._primary_epoch
         if body.get("reset"):
             self._rebootstrap(body.get("reason", "primary signaled reset"))
-            return
+            return True
         if (
             self.check_epoch
             and epoch is not None
@@ -266,7 +329,7 @@ class ReplicaApplier:
             with self._lock:
                 self._epoch_rebootstraps += 1
             self._rebootstrap(f"primary epoch changed {known_epoch} -> {epoch}")
-            return
+            return True
         applied = 0
         for payload in body["records"]:
             record = record_from_json(payload)
@@ -275,6 +338,7 @@ class ReplicaApplier:
         if applied:
             with self._lock:
                 self._records_applied += applied
+        return applied
 
     # ---------------------------------------------------------------- stats
 

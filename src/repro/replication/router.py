@@ -46,7 +46,16 @@ import socketserver
 import threading
 import time
 
-from repro.errors import ProtocolError, ReadOnlyError, ReplicaStale, ServiceError
+from repro import obs
+from repro.errors import ProtocolError, ReadOnlyError, ReplicaStale, ReproError, ServiceError
+from repro.obs import context as trace_context
+from repro.obs import logs
+from repro.obs.metrics import (
+    HistogramData,
+    HistogramMergeError,
+    MetricFamily,
+    Registry,
+)
 from repro.service import protocol
 from repro.service.client import ServiceClient
 
@@ -57,6 +66,17 @@ WRITE_OPS = frozenset({"update", "checkpoint"})
 
 #: Reads that fan out across replicas.
 READ_OPS = frozenset({"graphlog", "datalog", "rpq", "explain", "profile"})
+
+#: RoutingClient counters folded into RouterServer totals per connection.
+ROUTING_COUNTERS = (
+    "reads_routed",
+    "writes_routed",
+    "stale_redirects",
+    "ejections",
+    "primary_fallbacks",
+    "failovers",
+    "token_resets",
+)
 
 
 def parse_address(value, default_port=7464):
@@ -137,10 +157,23 @@ class RoutingClient:
         retries=1,
         eject_seconds=2.0,
         on_failover=None,
+        sampler=None,
+        traces=None,
+        node_id=None,
     ):
         self.primary = _Backend(primary, timeout, retries)
         self.replicas = [_Backend(address, timeout, retries) for address in replicas]
         self.eject_seconds = eject_seconds
+        #: Distributed-tracing wiring (all optional): when a *sampler* is
+        #: configured, every routed call runs under a trace context — the
+        #: incoming request's own when it carried one, a freshly minted one
+        #: otherwise — and every forward attempt (including failover probes
+        #: and stale redirects) is stamped so backend spans hang off this
+        #: hop in the assembled trace.  Sampled hops record their span tree
+        #: into *traces* (the owning RouterServer's ring).
+        self.sampler = sampler
+        self.traces = traces
+        self.node_id = node_id
         #: Called as ``on_failover(primary_address, replica_addresses)``
         #: after a write failover adopts a promoted replica; RouterServer
         #: uses it to share the discovered topology across connections.
@@ -165,6 +198,65 @@ class RoutingClient:
     def call(self, op, **payload):
         """Route one request; returns the backend's full response dict."""
         payload = {k: v for k, v in payload.items() if v is not None}
+        tc = self._trace_for(payload)
+        if tc is None:
+            return self._route(op, payload)
+        token = trace_context.set_current(tc)
+        try:
+            if tc.sampled:
+                with obs.tracing("route", context=tc, op=op) as tr:
+                    response = self._route(op, payload)
+                self._record_trace(op, tr, tc)
+            else:
+                response = self._route(op, payload)
+        finally:
+            trace_context.reset_current(token)
+        # The backend usually echoed the id already; setdefault covers ops
+        # answered without a context-aware server on the other end.
+        response.setdefault("trace_id", tc.trace_id)
+        return response
+
+    def _trace_for(self, payload):
+        """The trace context this routed call runs under (or ``None``).
+
+        An incoming ``trace`` field wins (the caller already decided the id
+        and the sampling verdict); otherwise an ambient context is reused;
+        otherwise a configured sampler mints a fresh context per call.  The
+        wire field is *popped*: forwarding re-stamps it per backend attempt
+        with the forward span as parent.
+        """
+        doc = payload.pop("trace", None)
+        if doc is not None:
+            return trace_context.TraceContext.from_wire(doc)
+        ambient = trace_context.current()
+        if ambient is not None:
+            return ambient
+        if self.sampler is not None and self.sampler.enabled:
+            return trace_context.TraceContext(
+                logs.new_request_id(), None, self.sampler.sample()
+            )
+        return None
+
+    def _record_trace(self, op, tr, tc):
+        if self.traces is None:
+            return
+        self.traces.record(
+            {
+                "trace_id": tc.trace_id,
+                "request_id": tc.trace_id,
+                "node_id": self.node_id,
+                "op": op,
+                "elapsed_ms": round(tr.root.elapsed_ms, 3),
+                "spans": obs.flatten_span_tree(tr.root, node_id=self.node_id),
+            }
+        )
+
+    def counters(self):
+        """The routing counters as a dict (RouterServer folds these into
+        cross-connection totals when the owning connection closes)."""
+        return {name: getattr(self, name) for name in ROUTING_COUNTERS}
+
+    def _route(self, op, payload):
         # One clock reading per routed call: every health judgment and
         # ejection stamp inside this call sees the same instant.
         now = time.monotonic()
@@ -309,6 +401,22 @@ class RoutingClient:
         return healthy[start:] + healthy[:start]
 
     def _call_backend(self, backend, op, payload, now):
+        tc = trace_context.current()
+        if tc is not None:
+            # Stamp every forward attempt — first choice, stale redirect, or
+            # failover probe alike — with a child context parented at this
+            # attempt's span, so the backend's serving spans attach to the
+            # hop that actually reached it.  Unsampled contexts have no
+            # active tracer; the id still propagates for log correlation.
+            with obs.span("route.forward", op=op, backend=backend.address) as fwd:
+                stamped = dict(payload)
+                stamped["trace"] = tc.child(
+                    getattr(fwd, "span_id", None) or tc.parent_span_id
+                ).to_wire()
+                return self._send(backend, op, stamped, now)
+        return self._send(backend, op, payload, now)
+
+    def _send(self, backend, op, payload, now):
         try:
             client = backend.acquire()
             response = client.call(op, **payload)
@@ -411,6 +519,10 @@ def _relations(response):
     }
 
 
+def _ms(seconds):
+    return None if seconds is None else round(seconds * 1000.0, 3)
+
+
 class RouterServer:
     """A standalone JSON-lines TCP router (``repro route``).
 
@@ -429,6 +541,10 @@ class RouterServer:
         timeout=30.0,
         retries=1,
         eject_seconds=2.0,
+        trace_sample=0.0,
+        trace_ring=256,
+        metrics_host="127.0.0.1",
+        metrics_port=None,
     ):
         self.primary = primary
         self.replicas = list(replicas)
@@ -445,6 +561,26 @@ class RouterServer:
         # connection to find the promoted primary updates the topology here,
         # and every connection opened afterwards starts on it.
         self._topology_lock = threading.Lock()
+        #: The router is a node in the trace topology too: it has its own
+        #: identity, its own trace ring (queried by ``trace_get`` alongside
+        #: the backends'), and a head sampler shared by every connection's
+        #: RoutingClient (itertools-counter based, safe across threads).
+        self.node_id = obs.new_node_id()
+        self.sampler = obs.RateSampler(trace_sample)
+        self.traces = obs.TraceRing(capacity=trace_ring)
+        #: Stats fan-outs (cluster_stats / trace_get) use short-lived
+        #: clients with a bounded timeout so one dead node cannot stall the
+        #: whole panel for the full routing timeout.
+        self.fanout_timeout = min(timeout, 5.0)
+        self._started_monotonic = time.monotonic()
+        self._clients_lock = threading.Lock()
+        self._live_clients = set()
+        self._counter_totals = {name: 0 for name in ROUTING_COUNTERS}
+        self.metrics_host = metrics_host
+        self.metrics_port = metrics_port
+        self._telemetry = None
+        self.exposition = Registry()
+        self.exposition.collector(self._cluster_families)
 
     def routing_client(self):
         with self._topology_lock:
@@ -456,7 +592,33 @@ class RouterServer:
             retries=self.retries,
             eject_seconds=self.eject_seconds,
             on_failover=self._record_failover,
+            sampler=self.sampler if self.sampler.enabled else None,
+            traces=self.traces,
+            node_id=self.node_id,
         )
+
+    def _track(self, routing):
+        with self._clients_lock:
+            self._live_clients.add(routing)
+
+    def _untrack(self, routing):
+        """Fold a closing connection's routing counters into the totals so
+        ``cluster_stats`` survives connection churn."""
+        with self._clients_lock:
+            self._live_clients.discard(routing)
+            for name, value in routing.counters().items():
+                self._counter_totals[name] += value
+
+    def router_totals(self):
+        """Cross-connection routing counters: closed-connection totals plus
+        the live connections' current values (reads of plain ints — no
+        coordination with the owning connection threads needed)."""
+        with self._clients_lock:
+            totals = dict(self._counter_totals)
+            for routing in self._live_clients:
+                for name, value in routing.counters().items():
+                    totals[name] += value
+        return totals
 
     def _record_failover(self, primary, replicas):
         with self._topology_lock:
@@ -478,20 +640,24 @@ class RouterServer:
             def handle(self):
                 outer.connections += 1
                 with outer.routing_client() as routing:
-                    while True:
-                        try:
-                            line = self.rfile.readline(protocol.MAX_REQUEST_BYTES)
-                        except OSError:
-                            return
-                        if not line:
-                            return
-                        if not line.strip():
-                            continue
-                        response = outer._route_line(routing, line)
-                        try:
-                            self.wfile.write(protocol.encode(response))
-                        except OSError:
-                            return
+                    outer._track(routing)
+                    try:
+                        while True:
+                            try:
+                                line = self.rfile.readline(protocol.MAX_REQUEST_BYTES)
+                            except OSError:
+                                return
+                            if not line:
+                                return
+                            if not line.strip():
+                                continue
+                            response = outer._route_line(routing, line)
+                            try:
+                                self.wfile.write(protocol.encode(response))
+                            except OSError:
+                                return
+                    finally:
+                        outer._untrack(routing)
 
         class Server(socketserver.ThreadingTCPServer):
             allow_reuse_address = True
@@ -503,6 +669,18 @@ class RouterServer:
             target=self._server.serve_forever, name="repro-router", daemon=True
         )
         self._thread.start()
+        if self.metrics_port is not None:
+            from repro.obs.export import TelemetryHTTPServer
+
+            self._telemetry = TelemetryHTTPServer(
+                render_metrics=self.exposition.render,
+                health=self.health,
+                host=self.metrics_host,
+                port=self.metrics_port,
+            ).start()
+            # The endpoint resolves port 0 to the bound ephemeral port;
+            # reflect it so embedders and the CLI banner can name it.
+            self.metrics_port = self._telemetry.port
         logger.info(
             "router listening on %s:%d (primary %s, %d replica(s))",
             self.host,
@@ -528,7 +706,27 @@ class RouterServer:
                     f"unknown op {op!r}; expected one of {', '.join(protocol.OPS)}"
                 )
             payload = {k: v for k, v in message.items() if k not in ("id", "op")}
-            response = routing.call(op, **payload)
+            if op == "trace_get":
+                # Cluster-plane ops are answered by the router itself: it
+                # owns the topology, so it can fan out and merge instead of
+                # forwarding to one node that only knows its own slice.
+                started = time.monotonic()
+                result = self._trace_get(payload)
+                response = protocol.ok_response(
+                    None,
+                    result,
+                    elapsed_ms=(time.monotonic() - started) * 1000.0,
+                )
+            elif op == "cluster_stats":
+                started = time.monotonic()
+                result = self.cluster_stats()
+                response = protocol.ok_response(
+                    None,
+                    result,
+                    elapsed_ms=(time.monotonic() - started) * 1000.0,
+                )
+            else:
+                response = routing.call(op, **payload)
         except ServiceError as exc:
             return protocol.error_response(request_id, exc)
         except Exception as exc:  # noqa: BLE001 — the router must not die mid-connection
@@ -538,7 +736,295 @@ class RouterServer:
         routed["id"] = request_id
         return routed
 
+    # ------------------------------------------------------- cluster plane
+
+    def _topology(self):
+        with self._topology_lock:
+            return self.primary, list(self.replicas)
+
+    def _each_node(self):
+        """``(role, "host:port")`` for every node in the current topology."""
+        primary, replicas = self._topology()
+        yield "primary", "%s:%d" % parse_address(primary)
+        for address in replicas:
+            yield "replica", "%s:%d" % parse_address(address)
+
+    def _node_call(self, address, op, **payload):
+        """One short-lived, bounded-timeout RPC to a single backend."""
+        host, port = parse_address(address)
+        client = ServiceClient(host=host, port=port, timeout=self.fanout_timeout)
+        try:
+            return client.call(op, **payload)
+        finally:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - best-effort close
+                pass
+
+    def _trace_get(self, payload):
+        """Assemble one distributed trace: the router's own ring plus a
+        ``trace_get`` fan-out to every node in the topology, merged into a
+        single span list (span dicts carry ``node_id``, so the renderer can
+        show which machine each hop ran on)."""
+        trace_id = payload.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            raise ProtocolError("trace_get requires a string trace_id")
+        spans = []
+        nodes = []
+        own = []
+        for entry in self.traces.find(trace_id):
+            own.extend(entry.get("spans") or [])
+        if own:
+            spans.extend(own)
+            nodes.append(
+                {
+                    "node_id": self.node_id,
+                    "role": "router",
+                    "address": f"{self.host}:{self.port}",
+                    "source": "ring",
+                    "spans": len(own),
+                }
+            )
+        for role, address in self._each_node():
+            try:
+                result = self._node_call(address, "trace_get", trace_id=trace_id)[
+                    "result"
+                ]
+            except (ReproError, OSError) as exc:
+                nodes.append({"address": address, "role": role, "error": str(exc)})
+                continue
+            found = result.get("spans") or []
+            if result.get("found"):
+                spans.extend(found)
+            nodes.append(
+                {
+                    "node_id": result.get("node_id"),
+                    "role": role,
+                    "address": address,
+                    "source": result.get("source"),
+                    "spans": len(found),
+                }
+            )
+        # A node can be reachable through two addresses (old primary that
+        # rejoined as a replica); dedup spans by (node_id, span_id).
+        seen = set()
+        unique = []
+        for span in spans:
+            key = (span.get("node_id"), span.get("span_id"))
+            if key in seen and key[1] is not None:
+                continue
+            seen.add(key)
+            unique.append(span)
+        return {
+            "trace_id": trace_id,
+            "found": bool(unique),
+            "spans": unique,
+            "nodes": nodes,
+        }
+
+    def cluster_stats(self):
+        """The cluster observability panel: per-node role/epoch/version/lag
+        plus a cross-node aggregate whose latency quantiles come from
+        *merged histograms* (quantiles of per-node quantiles would be
+        meaningless — see :meth:`repro.obs.metrics.HistogramData.merge`)."""
+        doc, _merged = self._collect_cluster()
+        return doc
+
+    def _collect_cluster(self):
+        nodes = []
+        merged = {}
+        merge_skipped = 0
+        for role, address in self._each_node():
+            entry = {"address": address, "role": role, "ok": False}
+            try:
+                stats = self._node_call(
+                    address, "stats", include_histograms=True
+                )["result"]
+            except (ReproError, OSError) as exc:
+                entry["error"] = str(exc)
+                nodes.append(entry)
+                continue
+            entry["ok"] = True
+            entry["node_id"] = stats.get("node_id")
+            entry["engine"] = stats.get("engine")
+            store = stats.get("store") or {}
+            entry["version"] = store.get("version")
+            repl = stats.get("replication") or {}
+            # The node's own view of its role wins over the router's
+            # topology guess (a promoted replica reports "primary" before
+            # any write has forced a failover adoption).
+            entry["role"] = repl.get("role", role)
+            entry["epoch"] = repl.get("epoch", store.get("epoch"))
+            entry["lag_versions"] = repl.get("lag_versions")
+            metrics_doc = stats.get("metrics") or {}
+            counters = metrics_doc.get("counters") or {}
+            entry["requests_total"] = sum(
+                value
+                for name, value in counters.items()
+                if name.startswith("requests.")
+            )
+            entry["in_flight"] = metrics_doc.get("in_flight")
+            entry["latency"] = {
+                op: {k: v for k, v in lat.items() if k != "histogram"}
+                for op, lat in (metrics_doc.get("latency") or {}).items()
+            }
+            entry["traces"] = stats.get("traces")
+            nodes.append(entry)
+            for op, lat in (metrics_doc.get("latency") or {}).items():
+                wire = lat.get("histogram")
+                if wire is None:
+                    continue
+                try:
+                    hist = HistogramData.from_wire(wire)
+                    if op in merged:
+                        merged[op].merge(hist)
+                    else:
+                        merged[op] = hist
+                except HistogramMergeError as exc:
+                    # A node on an incompatible bucket layout degrades the
+                    # aggregate, never the whole panel.
+                    merge_skipped += 1
+                    logger.warning(
+                        "cluster_stats: skipping histogram %s from %s: %s",
+                        op,
+                        address,
+                        exc,
+                    )
+        lags = [
+            entry["lag_versions"]
+            for entry in nodes
+            if entry.get("lag_versions") is not None
+        ]
+        aggregate = {
+            "nodes_total": len(nodes),
+            "nodes_ok": sum(1 for entry in nodes if entry["ok"]),
+            "requests_total": sum(
+                entry.get("requests_total") or 0 for entry in nodes
+            ),
+            "max_lag_versions": max(lags) if lags else None,
+            "latency": {
+                op: {
+                    "count": hist.count,
+                    "p50_ms": _ms(hist.quantile(0.50)),
+                    "p95_ms": _ms(hist.quantile(0.95)),
+                    "p99_ms": _ms(hist.quantile(0.99)),
+                    "max_ms": _ms(hist.max),
+                }
+                for op, hist in sorted(merged.items())
+            },
+            "histograms_skipped": merge_skipped,
+        }
+        primary, replicas = self._topology()
+        traces = self.traces.stats()
+        traces["sample_rate"] = self.sampler.rate
+        router = {
+            "node_id": self.node_id,
+            "address": f"{self.host}:{self.port}",
+            "primary": "%s:%d" % parse_address(primary),
+            "replicas": ["%s:%d" % parse_address(a) for a in replicas],
+            "connections": self.connections,
+            "failovers": self.failovers,
+            "uptime_seconds": round(
+                time.monotonic() - self._started_monotonic, 3
+            ),
+            "counters": self.router_totals(),
+            "traces": traces,
+        }
+        return {"router": router, "nodes": nodes, "aggregate": aggregate}, merged
+
+    # ----------------------------------------------------------- telemetry
+
+    def health(self):
+        """The router's ``/healthz`` document (the router itself is healthy
+        whenever it is serving; backend health lives in ``cluster_stats``)."""
+        primary, replicas = self._topology()
+        return {
+            "status": "ok",
+            "role": "router",
+            "node_id": self.node_id,
+            "primary": "%s:%d" % parse_address(primary),
+            "replicas": ["%s:%d" % parse_address(a) for a in replicas],
+            "connections": self.connections,
+            "failovers": self.failovers,
+        }
+
+    def _cluster_families(self):
+        """Scrape-time collector: routing counters plus a live
+        ``cluster_stats`` fan-out rendered as ``repro_cluster_*`` families
+        (per-node up/version/lag/requests and merged latency histograms)."""
+        totals = self.router_totals()
+        families = []
+        routed = MetricFamily(
+            "repro_router_requests_total", "counter", "Requests routed, by kind"
+        )
+        routed.add_sample(totals["reads_routed"], {"kind": "read"})
+        routed.add_sample(totals["writes_routed"], {"kind": "write"})
+        families.append(routed)
+        for name in ROUTING_COUNTERS:
+            if name in ("reads_routed", "writes_routed"):
+                continue
+            families.append(
+                MetricFamily(
+                    f"repro_router_{name}_total",
+                    "counter",
+                    f"Routing events: {name.replace('_', ' ')}",
+                ).add_sample(totals[name])
+            )
+        try:
+            doc, merged = self._collect_cluster()
+        except Exception:  # noqa: BLE001 — a scrape must not take down /metrics
+            logger.exception("cluster_stats fan-out failed during scrape")
+            return families
+        up = MetricFamily(
+            "repro_cluster_node_up",
+            "gauge",
+            "1 when the node answered the stats fan-out",
+        )
+        version = MetricFamily(
+            "repro_cluster_node_version", "gauge", "Committed version per node"
+        )
+        lag = MetricFamily(
+            "repro_cluster_node_lag_versions",
+            "gauge",
+            "Replica lag behind its primary, in versions",
+        )
+        requests = MetricFamily(
+            "repro_cluster_node_requests_total",
+            "counter",
+            "Requests served per node (all ops)",
+        )
+        for entry in doc["nodes"]:
+            labels = {"address": entry["address"], "role": entry.get("role", "?")}
+            up.add_sample(1 if entry["ok"] else 0, labels)
+            if entry.get("version") is not None:
+                version.add_sample(entry["version"], labels)
+            if entry.get("lag_versions") is not None:
+                lag.add_sample(entry["lag_versions"], labels)
+            if entry.get("requests_total") is not None:
+                requests.add_sample(entry["requests_total"], labels)
+        families.extend([up, version, lag, requests])
+        families.append(
+            MetricFamily(
+                "repro_cluster_nodes_ok",
+                "gauge",
+                "Nodes that answered the stats fan-out",
+            ).add_sample(doc["aggregate"]["nodes_ok"])
+        )
+        if merged:
+            fam = MetricFamily(
+                "repro_cluster_request_seconds",
+                "histogram",
+                "Cluster-wide request latency (merged across nodes), by op",
+            )
+            for op, hist in sorted(merged.items()):
+                fam.add_histogram(hist, {"op": op})
+            families.append(fam)
+        return families
+
     def stop(self):
+        if self._telemetry is not None:
+            self._telemetry.stop()
+            self._telemetry = None
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()

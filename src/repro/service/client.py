@@ -35,6 +35,7 @@ import time
 from collections import deque
 
 from repro.errors import ServiceError, SubscriptionError
+from repro.obs import context as trace_context
 from repro.service import protocol
 
 #: Push frames for ids with no local handle yet (the server's sender task
@@ -131,6 +132,13 @@ class ServiceClient:
         immediately (see the module docstring).
         """
         payload = {k: v for k, v in payload.items() if v is not None}
+        if "trace" not in payload:
+            # Ambient trace propagation: inside `with obs.context.start():`
+            # every outgoing request is stamped with the caller's context,
+            # so the server adopts the trace id instead of minting one.
+            ambient = trace_context.current()
+            if ambient is not None:
+                payload["trace"] = ambient.to_wire()
         attempt = 0
         while True:
             try:
@@ -357,9 +365,19 @@ class ServiceClient:
         without ``--data-dir``."""
         return self.call("checkpoint")["result"]
 
-    def stats(self):
+    def stats(self, include_histograms=None):
         """The server's metrics/cache/store statistics snapshot."""
-        return self.call("stats")["result"]
+        return self.call("stats", include_histograms=include_histograms)["result"]
+
+    def trace_get(self, trace_id):
+        """The connected node's spans for *trace_id* (ring, slowlog
+        fallback); see ``repro trace`` for the cross-node assembly."""
+        return self.call("trace_get", trace_id=trace_id)["result"]
+
+    def cluster_stats(self):
+        """The router's merged per-node + aggregate statistics document.
+        Only routers answer this op; a plain node rejects it."""
+        return self.call("cluster_stats")["result"]
 
     def slowlog(self, limit=None):
         """The server's slow-query log, newest first.
@@ -597,14 +615,17 @@ class SubscriptionHandle:
             for name, rel in deleted.items():
                 self.rows.setdefault(name, set()).difference_update(rel)
             self.version = version
-            self._emit(
-                {
-                    "type": "delta",
-                    "version": version,
-                    "inserted": inserted,
-                    "deleted": deleted,
-                }
-            )
+            event = {
+                "type": "delta",
+                "version": version,
+                "inserted": inserted,
+                "deleted": deleted,
+            }
+            if frame.get("trace_id") is not None:
+                # The distributed trace of the commit that produced this
+                # delta — `repro trace <id>` shows the write it came from.
+                event["trace_id"] = frame["trace_id"]
+            self._emit(event)
         elif kind == "snapshot":
             self.rows = _wire_rows(frame.get("relations"))
             self.version = frame.get("version", -1)

@@ -155,18 +155,29 @@ class MetricsRegistry:
         with self._lock:
             return self._counters[name]
 
-    def snapshot(self):
-        """A JSON-ready dict of everything the registry knows."""
+    def snapshot(self, include_histograms=False):
+        """A JSON-ready dict of everything the registry knows.
+
+        With *include_histograms*, each per-op latency entry additionally
+        carries the raw histogram in its mergeable wire form
+        (:meth:`HistogramData.to_wire`) under ``"histogram"`` — the
+        router's ``cluster_stats`` merges these across nodes to compute
+        true cluster-wide quantiles (quantiles of quantiles would be
+        meaningless).
+        """
         with self._lock:
             latency = {}
             for op, hist in self._latency.items():
-                latency[op] = {
+                entry = {
                     "count": hist.count,
                     "p50_ms": _ms(hist.quantile(0.50)),
                     "p95_ms": _ms(hist.quantile(0.95)),
                     "p99_ms": _ms(hist.quantile(0.99)),
                     "max_ms": _ms(hist.max),
                 }
+                if include_histograms:
+                    entry["histogram"] = hist.to_wire()
+                latency[op] = entry
             phases = {}
             for phase, hist in self._phases.items():
                 phases[phase] = {

@@ -75,6 +75,8 @@ OPS = (
     "promote",
     "subscribe",
     "unsubscribe",
+    "trace_get",
+    "cluster_stats",
 )
 
 #: The push-frame kinds a server emits (see module docstring).
@@ -119,6 +121,13 @@ def decode_request(line):
     if op not in OPS:
         raise ProtocolError(f"unknown op {op!r}; expected one of {', '.join(OPS)}")
     validate_budgets(message)
+    trace = message.get("trace")
+    if trace is not None:
+        # Validate eagerly so a malformed context is the sender's
+        # protocol_error, not a mid-request service_error.
+        from repro.obs.context import TraceContext
+
+        TraceContext.from_wire(trace)
     return message
 
 
@@ -160,7 +169,9 @@ def validate_budgets(message):
                 )
 
 
-def ok_response(request_id, result, version=None, elapsed_ms=None, cache=None):
+def ok_response(
+    request_id, result, version=None, elapsed_ms=None, cache=None, trace_id=None
+):
     response = {"id": request_id, "ok": True, "result": result}
     if version is not None:
         response["version"] = version
@@ -168,6 +179,8 @@ def ok_response(request_id, result, version=None, elapsed_ms=None, cache=None):
         response["elapsed_ms"] = round(elapsed_ms, 3)
     if cache is not None:
         response["cache"] = cache
+    if trace_id is not None:
+        response["trace_id"] = trace_id
     return response
 
 
@@ -222,19 +235,23 @@ def is_push_frame(message):
     return isinstance(message, dict) and "frame" in message
 
 
-def delta_frame(subscription_id, version, inserted, deleted):
+def delta_frame(subscription_id, version, inserted, deleted, trace_id=None):
     """One incremental update: net row changes at *version*.
 
     ``inserted``/``deleted`` are ``{predicate: [rows...]}`` with rows in
-    :func:`rows_to_wire` order.
+    :func:`rows_to_wire` order.  ``trace_id`` links the frame to the
+    distributed trace of the commit that produced it.
     """
-    return {
+    frame = {
         "frame": "delta",
         "subscription": subscription_id,
         "version": version,
         "inserted": {pred: rows_to_wire(rows) for pred, rows in inserted.items()},
         "deleted": {pred: rows_to_wire(rows) for pred, rows in deleted.items()},
     }
+    if trace_id is not None:
+        frame["trace_id"] = trace_id
+    return frame
 
 
 def snapshot_frame(subscription_id, version, relations, resync=False):

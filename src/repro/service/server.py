@@ -38,6 +38,7 @@ from repro.errors import (
     StoreError,
 )
 from repro.ham.store import HAMStore, new_epoch
+from repro.obs import context as trace_context
 from repro.obs import logs
 from repro.obs.metrics import MetricFamily
 from repro.obs.slowlog import SlowQueryLog
@@ -77,6 +78,9 @@ class ServiceConfig:
         "slow_ms",
         "slowlog_capacity",
         "slowlog_path",
+        "trace_sample",
+        "span_path",
+        "span_max_bytes",
         "replica_of",
         "repl_wait_ms",
         "repl_max_lag",
@@ -109,6 +113,9 @@ class ServiceConfig:
         slow_ms=None,
         slowlog_capacity=128,
         slowlog_path=None,
+        trace_sample=0.0,
+        span_path=None,
+        span_max_bytes=16 * 1024 * 1024,
         replica_of=None,
         repl_wait_ms=2000,
         repl_max_lag=None,
@@ -144,6 +151,16 @@ class ServiceConfig:
         self.slow_ms = slow_ms
         self.slowlog_capacity = slowlog_capacity
         self.slowlog_path = slowlog_path
+        #: Head-based trace sampling rate in [0, 1]: this fraction of
+        #: requests (deterministically, every 1/rate-th) runs under a full
+        #: request span tree, recorded in the trace ring and exported to
+        #: the span sink when one is configured.  Requests arriving with a
+        #: trace context honor the *sender's* decision instead.
+        self.trace_sample = trace_sample
+        #: JSONL file sampled traces are exported to (rotated at
+        #: ``span_max_bytes``); None keeps traces ring-only.
+        self.span_path = span_path
+        self.span_max_bytes = span_max_bytes
         #: ``"host:port"`` of a primary to replicate from.  The service
         #: becomes a read-only replica: it bootstraps and tails the primary
         #: and rejects writes with a ``read_only`` error.
@@ -210,6 +227,19 @@ class QueryService:
             self.store = self.durability.recover(store=store)
         else:
             self.store = store if store is not None else HAMStore()
+        # Node identity: stable (persisted next to epoch.json) when durable,
+        # random per boot otherwise.  It prefixes request ids so ids from
+        # different nodes never collide in aggregated logs, tags every span
+        # this node contributes to a distributed trace, and shows up in
+        # stats / healthz / log records.
+        self.node_id = obs.load_or_create_node_id(self.config.data_dir)
+        logs.set_node_prefix(self.node_id)
+        self.sampler = obs.RateSampler(self.config.trace_sample)
+        self.span_sink = (
+            obs.SpanSink(self.config.span_path, self.config.span_max_bytes)
+            if self.config.span_path
+            else None
+        )
         self.plans = PreparedQueryCache(self.config.plan_cache_size)
         self.results = ResultCache(self.config.result_cache_size)
         self.traces = obs.TraceRing(self.config.trace_ring_size)
@@ -262,6 +292,9 @@ class QueryService:
                 primary_host,
                 primary_port,
                 wait_ms=self.config.repl_wait_ms,
+                traces=self.traces,
+                sampler=self.sampler,
+                node_id=self.node_id,
             )
             self.applier.on_rebootstrap(self._on_rebootstrap)
         # Promotion (repro promote) flips a replica into a writable primary
@@ -291,6 +324,13 @@ class QueryService:
         or test) turns exceptions into failure responses.  *sink* is the
         connection's push-frame outlet (see :mod:`repro.subs`); only the
         ``subscribe``/``unsubscribe`` ops use it.
+
+        Distributed tracing happens here: a request carrying a ``trace``
+        context is *adopted* (its trace id becomes the correlation id and
+        the sender's sampling decision is honored); without one, the local
+        head sampler decides.  A sampled request runs under a full span
+        tree that lands in the trace ring (queryable via ``trace_get``)
+        and the span sink.
         """
         op = message.get("op")
         started = time.perf_counter()
@@ -300,48 +340,105 @@ class QueryService:
         # disposition, fingerprint and (when tracing ran) the span tree in
         # here so the finally block can build a slowlog entry.
         ctx = {}
-        # Every request runs under a correlation ID; the network server
-        # sets one in the worker thread, so this only assigns for direct
-        # in-process callers (tests, benchmarks, the shell).
         rid_token = None
+        tc_token = None
+        tc = trace_context.current()
+        if tc is None:
+            wire = message.get("trace")
+            if wire is not None:
+                tc = trace_context.TraceContext.from_wire(wire)
+        # Every request runs under a correlation ID; the network server
+        # binds one in the worker thread (adopting the trace id when the
+        # request carries a context), so this only assigns for direct
+        # in-process callers (tests, benchmarks, the shell).
         if logs.get_request_id() is None:
-            rid_token = logs.set_request_id(logs.new_request_id())
+            rid_token = logs.set_request_id(
+                tc.trace_id if tc is not None else logs.new_request_id()
+            )
+        if tc is None and self.sampler.enabled and self.sampler.sample():
+            # Locally-originated sampled trace: the request id doubles as
+            # the trace id, so logs and the trace share one handle.
+            tc = trace_context.TraceContext(logs.get_request_id(), None, True)
+        if tc is not None:
+            tc_token = trace_context.set_current(tc)
+        tr = None
         try:
-            if op == "ping":
-                return {"result": {"pong": True}, "version": self.store.version}
-            if op == "stats":
-                return {"result": self.stats(), "version": self.store.version}
-            if op == "update":
-                return self._execute_update(message, ctx)
-            if op in _QUERY_OPS:
-                return self._execute_query(op, message, phases, ctx)
-            if op in ("explain", "profile"):
-                return self._execute_explain(message)
-            if op == "checkpoint":
-                return self._execute_checkpoint()
-            if op == "slowlog":
-                return self._execute_slowlog(message)
-            if op == "repl_bootstrap":
-                return {
-                    "result": self.replication.bootstrap(),
-                    "version": self.store.version,
-                }
-            if op == "repl_tail":
-                return self._execute_repl_tail(message)
-            if op == "promote":
-                return {"result": self.promote(), "version": self.store.version}
-            if op == "subscribe":
-                return self._execute_subscribe(message, sink)
-            if op == "unsubscribe":
-                return self._execute_unsubscribe(message, sink)
-            raise ProtocolError(f"unknown op {op!r}")
+            if tc is not None and tc.sampled:
+                with obs.tracing(
+                    "request", context=tc, op=op, node=self.node_id
+                ) as tr:
+                    body = self._dispatch(op, message, phases, ctx, sink)
+            else:
+                body = self._dispatch(op, message, phases, ctx, sink)
+            if tc is not None:
+                body.setdefault("trace_id", tc.trace_id)
+            return body
         finally:
             elapsed = time.perf_counter() - started
+            elapsed_ms = elapsed * 1000.0
             self.metrics.request_completed(op, elapsed, phases)
-            if self.slowlog.should_record(elapsed * 1000.0):
-                self._record_slow(op, elapsed * 1000.0, ctx)
+            trace_id = tc.trace_id if tc is not None else logs.get_request_id()
+            if tr is not None:
+                ctx["trace"] = tr.root
+                self._record_trace(op, elapsed_ms, ctx, trace_id)
+            if self.slowlog.should_record(elapsed_ms):
+                self._record_slow(op, elapsed_ms, ctx, trace_id)
+                if tr is None and self.span_sink is not None and ctx.get("trace") is not None:
+                    # Always-sample-on-slow: head sampling skipped this
+                    # request, but the slowlog armed a trace on the miss
+                    # path and it crossed the threshold — export it.
+                    self._export_slow_trace(op, elapsed_ms, ctx, trace_id)
+            if tc_token is not None:
+                trace_context.reset_current(tc_token)
             if rid_token is not None:
                 logs.reset_request_id(rid_token)
+
+    def _dispatch(self, op, message, phases, ctx, sink):
+        """Route one decoded request to its op handler."""
+        if op == "ping":
+            return {"result": {"pong": True}, "version": self.store.version}
+        if op == "stats":
+            include_histograms = message.get("include_histograms", False)
+            if not isinstance(include_histograms, bool):
+                raise ProtocolError(
+                    "'include_histograms' must be a boolean, "
+                    f"got {include_histograms!r}"
+                )
+            return {
+                "result": self.stats(include_histograms=include_histograms),
+                "version": self.store.version,
+            }
+        if op == "update":
+            return self._execute_update(message, ctx)
+        if op in _QUERY_OPS:
+            return self._execute_query(op, message, phases, ctx)
+        if op in ("explain", "profile"):
+            return self._execute_explain(message)
+        if op == "checkpoint":
+            return self._execute_checkpoint()
+        if op == "slowlog":
+            return self._execute_slowlog(message)
+        if op == "trace_get":
+            return self._execute_trace_get(message)
+        if op == "cluster_stats":
+            raise ProtocolError(
+                "op 'cluster_stats' is answered by the router, not by a "
+                "single node; send it to a repro route endpoint"
+            )
+        if op == "repl_bootstrap":
+            return {
+                "result": self.replication.bootstrap(),
+                "version": self.store.version,
+            }
+        if op == "repl_tail":
+            return self._execute_repl_tail(message)
+        if op == "promote":
+            return {"result": self.promote(), "version": self.store.version}
+        if op == "subscribe":
+            return self._execute_subscribe(message, sink)
+        if op == "unsubscribe":
+            return self._execute_unsubscribe(message, sink)
+        raise ProtocolError(f"unknown op {op!r}")
 
     def _execute_repl_tail(self, message):
         from_version = message.get("from_version")
@@ -539,7 +636,16 @@ class QueryService:
         self.metrics.incr("result_cache.misses")
         ctx["cache"] = "miss"
         edb = self._edb_for(version, graph)
-        if self.slowlog.enabled:
+        active = obs.tracer()
+        if active.enabled:
+            # A sampled request already runs under the request-level tracer;
+            # nest the evaluation span there instead of starting a second
+            # tree.
+            with active.span(
+                "evaluate", version=version, fingerprint=plan.fingerprint
+            ):
+                relations = plan.evaluate(graph, edb, params)
+        elif self.slowlog.enabled:
             # Only the miss path is traced: a cache hit does no evaluation
             # work, so it cannot be meaningfully slow, and tracing it would
             # tax the ~12µs hot path the result cache exists to protect.
@@ -585,7 +691,22 @@ class QueryService:
         self._await_min_version(message)
         params = self._request_params(message)
         version, graph = self.store.snapshot_versioned()
-        with obs.tracing("explain", target=target, version=version) as tr:
+        # explain always traces, whatever the sampler said; when the request
+        # carries a distributed context, link this tree under the request's
+        # root span so trace_get finds it as part of the same trace.
+        ambient = trace_context.current()
+        nested = None
+        if ambient is not None:
+            request_tracer = obs.tracer()
+            parent = (
+                request_tracer.root.span_id
+                if request_tracer.enabled and request_tracer.root is not None
+                else ambient.parent_span_id
+            )
+            nested = trace_context.TraceContext(
+                ambient.trace_id, parent, ambient.sampled
+            )
+        with obs.tracing("explain", context=nested, target=target, version=version) as tr:
             plan = PreparedQuery(target, text)
             with tr.span("evaluate"):
                 relations = plan.evaluate(graph, self._edb_for(version, graph), params)
@@ -606,6 +727,9 @@ class QueryService:
                 "fingerprint": plan.fingerprint,
                 "version": version,
                 "elapsed_ms": root.elapsed_ms,
+                "trace_id": ambient.trace_id if ambient else logs.get_request_id(),
+                "request_id": logs.get_request_id(),
+                "node_id": self.node_id,
                 "trace": trace,
             }
         )
@@ -644,10 +768,11 @@ class QueryService:
             "version": self.store.version,
         }
 
-    def _record_slow(self, op, elapsed_ms, ctx):
+    def _record_slow(self, op, elapsed_ms, ctx, trace_id=None):
         """Capture one over-threshold request into the slow-query log."""
         entry = {
             "request_id": logs.get_request_id(),
+            "trace_id": trace_id,
             "op": op,
             "elapsed_ms": round(elapsed_ms, 3),
             "threshold_ms": self.slowlog.threshold_ms,
@@ -668,6 +793,88 @@ class QueryService:
             extra={"op": op, "elapsed_ms": round(elapsed_ms, 3)},
         )
 
+    def _record_trace(self, op, elapsed_ms, ctx, trace_id):
+        """Land one sampled request's finished span tree: trace ring (for
+        ``trace_get``) plus the span sink when configured."""
+        entry = {
+            "trace_id": trace_id,
+            "request_id": logs.get_request_id(),
+            "node_id": self.node_id,
+            "op": op,
+            "elapsed_ms": round(elapsed_ms, 3),
+            "version": ctx.get("version"),
+            "spans": obs.flatten_span_tree(ctx["trace"], node_id=self.node_id),
+        }
+        self.traces.record(entry)
+        self.metrics.incr("trace.sampled")
+        if self.span_sink is not None:
+            if self.span_sink.export(entry):
+                self.metrics.incr("trace.exported")
+            else:
+                self.metrics.incr("trace.export_errors")
+
+    def _export_slow_trace(self, op, elapsed_ms, ctx, trace_id):
+        """Export the slowlog-armed trace of an *unsampled* slow request."""
+        entry = {
+            "trace_id": trace_id,
+            "request_id": logs.get_request_id(),
+            "node_id": self.node_id,
+            "op": op,
+            "elapsed_ms": round(elapsed_ms, 3),
+            "version": ctx.get("version"),
+            "slow": True,
+            "spans": obs.flatten_span_tree(ctx["trace"], node_id=self.node_id),
+        }
+        self.metrics.incr("trace.slow_sampled")
+        if self.span_sink.export(entry):
+            self.metrics.incr("trace.exported")
+        else:
+            self.metrics.incr("trace.export_errors")
+
+    def _execute_trace_get(self, message):
+        """Return this node's spans for one trace id.
+
+        Primary source is the bounded trace ring; when the ring has
+        evicted the id, fall back to the slow-query log (whose entries
+        carry their request's trace id and span tree) so slow traces stay
+        reachable longer than the ring's churn window.
+        """
+        trace_id = message.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            raise ProtocolError(
+                f"op 'trace_get' needs a non-empty 'trace_id' string, got {trace_id!r}"
+            )
+        spans = []
+        source = None
+        for entry in self.traces.find(trace_id):
+            entry_spans = entry.get("spans")
+            if entry_spans is None and entry.get("trace") is not None:
+                entry_spans = obs.flatten_span_tree(
+                    entry["trace"], node_id=self.node_id
+                )
+            spans.extend(entry_spans or [])
+        if spans:
+            source = "ring"
+        else:
+            for entry in self.slowlog.snapshot():
+                if trace_id in (entry.get("trace_id"), entry.get("request_id")):
+                    root = entry.get("trace")
+                    if root is not None:
+                        spans.extend(
+                            obs.flatten_span_tree(root, node_id=self.node_id)
+                        )
+                        source = "slowlog"
+        return {
+            "result": {
+                "trace_id": trace_id,
+                "node_id": self.node_id,
+                "found": bool(spans),
+                "source": source,
+                "spans": spans,
+            },
+            "version": self.store.version,
+        }
+
     def _execute_update(self, message, ctx):
         if self.store.read_only:
             primary = self.applier.primary_address if self.applier else None
@@ -684,7 +891,11 @@ class QueryService:
                 "op 'update' needs 'nodes', 'edges', 'remove_nodes' and/or "
                 "'remove_edges'"
             )
-        if self.slowlog.enabled:
+        active = obs.tracer()
+        if active.enabled:
+            with active.span("commit", nodes=len(nodes), edges=len(edges)):
+                self._apply_update(nodes, edges, remove_nodes, remove_edges)
+        elif self.slowlog.enabled:
             with obs.tracing("update", nodes=len(nodes), edges=len(edges)) as tr:
                 with tr.span("commit"):
                     self._apply_update(nodes, edges, remove_nodes, remove_edges)
@@ -778,7 +989,7 @@ class QueryService:
         """Register a materialized view kept in sync with commits."""
         return self.views.register(name, query)
 
-    def stats(self):
+    def stats(self, include_histograms=False):
         result_cache = self.results.stats()
         # Mirror the commit-driven counters into the metrics registry so one
         # snapshot carries them alongside request counters.
@@ -796,12 +1007,17 @@ class QueryService:
         self.metrics.set_counter(
             "store.subscriber_failures", store_stats["subscriber_failures"]
         )
+        traces = self.traces.stats()
+        traces["sample_rate"] = self.sampler.rate
+        if self.span_sink is not None:
+            traces["sink"] = self.span_sink.stats()
         stats = {
             "engine": self.config.engine,
-            "metrics": self.metrics.snapshot(),
+            "node_id": self.node_id,
+            "metrics": self.metrics.snapshot(include_histograms=include_histograms),
             "plan_cache": self.plans.stats(),
             "result_cache": result_cache,
-            "traces": self.traces.stats(),
+            "traces": traces,
             "slowlog": self.slowlog.stats(),
             "store": store_stats,
             "replication": self.replication_status(),
@@ -837,6 +1053,7 @@ class QueryService:
         """
         doc = {
             "status": "ok",
+            "node_id": self.node_id,
             "version": self.store.version,
             "in_flight": self.metrics.in_flight,
         }
@@ -1188,8 +1405,15 @@ class ServiceServer:
             submitted = time.perf_counter()
             # The correlation ID is minted on the event loop but must be
             # bound inside the worker closure: contextvars do not propagate
-            # into run_in_executor threads on their own.
-            rid = logs.new_request_id()
+            # into run_in_executor threads on their own.  A request carrying
+            # a trace context is *adopted*: its trace id becomes the
+            # correlation id instead of a freshly minted one, so one grep
+            # follows the request across every node it touched.
+            trace_doc = message.get("trace")
+            if isinstance(trace_doc, dict) and trace_doc.get("trace_id"):
+                rid = trace_doc["trace_id"]
+            else:
+                rid = logs.new_request_id()
 
             def run():
                 token = logs.set_request_id(rid)
@@ -1218,6 +1442,7 @@ class ServiceServer:
                 version=body.get("version"),
                 elapsed_ms=elapsed_ms,
                 cache=body.get("cache"),
+                trace_id=body.get("trace_id"),
             )
         except ReproError as exc:
             if not isinstance(exc, QueryTimeout):

@@ -65,6 +65,14 @@ class TopDashboard:
         self.out.flush()
         return text
 
+    def snapshot(self):
+        """One poll as a machine-readable document (``repro top --json``):
+        the raw ``stats`` plus the QPS computed from counter deltas (None
+        on the first poll — there is no previous sample to diff against)."""
+        stats = self.client.stats()
+        qps = self._qps(stats, time.monotonic())
+        return {"stats": stats, "qps": qps}
+
     def _qps(self, stats, now):
         counters = stats.get("metrics", {}).get("counters", {})
         total = sum(
@@ -230,4 +238,150 @@ class TopDashboard:
                 f"recorded {slowlog.get('recorded', 0)}"
             )
 
+        return "\n".join(lines) + "\n"
+
+
+class ClusterDashboard:
+    """``repro top --cluster`` — one panel over the router's ``cluster_stats``.
+
+    Polls a :class:`~repro.service.client.ServiceClient` pointed at a
+    router, renders one row per node (role, epoch, version, lag, request
+    rate) plus the aggregate latency table whose quantiles come from
+    histograms *merged across nodes* (never quantiles of quantiles), and
+    the router's own counters.  Per-node QPS is computed from
+    request-counter deltas between polls, keyed by node address so nodes
+    can come and go between ticks.
+    """
+
+    def __init__(self, client, interval=2.0, out=None):
+        self.client = client
+        self.interval = interval
+        self.out = out if out is not None else sys.stdout
+        self._last = {}  # address -> (requests_total, monotonic)
+
+    # ------------------------------------------------------------- polling
+
+    def run(self, iterations=None):
+        remaining = iterations
+        try:
+            while remaining is None or remaining > 0:
+                self.tick()
+                if remaining is not None:
+                    remaining -= 1
+                    if remaining == 0:
+                        break
+                time.sleep(self.interval)
+        except KeyboardInterrupt:
+            pass
+
+    def tick(self):
+        """One poll + redraw; returns the rendered text."""
+        doc = self.client.cluster_stats()
+        qps = self._node_qps(doc, time.monotonic())
+        text = self.render(doc, qps)
+        if self.out.isatty():
+            self.out.write(_CLEAR)
+        self.out.write(text)
+        self.out.flush()
+        return text
+
+    def snapshot(self):
+        """One poll as a machine-readable document: the raw
+        ``cluster_stats`` plus per-address QPS (None on the first poll)."""
+        doc = self.client.cluster_stats()
+        qps = self._node_qps(doc, time.monotonic())
+        return {"cluster": doc, "qps": qps}
+
+    def _node_qps(self, doc, now):
+        qps = {}
+        seen = set()
+        for node in doc.get("nodes", ()):
+            address = node.get("address")
+            total = node.get("requests_total")
+            if address is None or total is None:
+                continue
+            seen.add(address)
+            previous = self._last.get(address)
+            if previous is not None and now > previous[1]:
+                qps[address] = (total - previous[0]) / (now - previous[1])
+            else:
+                qps[address] = None
+            self._last[address] = (total, now)
+        # Forget nodes that left the topology so a rejoin doesn't diff
+        # against a stale counter from a previous life.
+        for address in list(self._last):
+            if address not in seen:
+                del self._last[address]
+        return qps
+
+    # ----------------------------------------------------------- rendering
+
+    def render(self, doc, qps=None):
+        qps = qps or {}
+        router = doc.get("router", {})
+        aggregate = doc.get("aggregate", {})
+        nodes = doc.get("nodes", [])
+        lines = []
+
+        max_lag = aggregate.get("max_lag_versions")
+        lines.append(
+            f"repro top --cluster — router {router.get('address', '?')}  "
+            f"nodes {aggregate.get('nodes_ok', 0)}/{aggregate.get('nodes_total', 0)}  "
+            f"requests {aggregate.get('requests_total', 0)}  "
+            f"max-lag {'-' if max_lag is None else max_lag}"
+        )
+        lines.append("")
+
+        lines.append(
+            "node                    role     state  epoch      version"
+            "      lag      qps  inflight"
+        )
+        for node in nodes:
+            address = node.get("address", "?")
+            if not node.get("ok"):
+                error = str(node.get("error", "unreachable"))[:40]
+                lines.append(f"  {address:<21} {node.get('role', '?'):<8} DOWN   {error}")
+                continue
+            epoch = node.get("epoch") or "-"
+            lag = node.get("lag_versions")
+            rate = qps.get(address)
+            lines.append(
+                f"  {address:<21} {node.get('role', '?'):<8} up     "
+                f"{str(epoch)[:8]:<9}  {node.get('version', '?'):>7}  "
+                f"{'-' if lag is None else lag:>7}  "
+                f"{'-' if rate is None else format(rate, '.1f'):>7}  "
+                f"{node.get('in_flight', 0):>8}"
+            )
+        lines.append("")
+
+        lines.append(
+            "cluster latency (merged)   count       p50ms     p95ms     p99ms     maxms"
+        )
+        for op, entry in sorted((aggregate.get("latency") or {}).items()):
+            lines.append(
+                f"  {op:<22} {entry['count']:>8}   "
+                f"{_fmt_ms(entry.get('p50_ms'))} {_fmt_ms(entry.get('p95_ms'))} "
+                f"{_fmt_ms(entry.get('p99_ms'))} {_fmt_ms(entry.get('max_ms'))}"
+            )
+        skipped = aggregate.get("histograms_skipped")
+        if skipped:
+            lines.append(f"  ({skipped} histogram(s) skipped: incompatible bucket layouts)")
+        lines.append("")
+
+        counters = router.get("counters") or {}
+        lines.append(
+            f"router    reads {counters.get('reads_routed', 0)}  "
+            f"writes {counters.get('writes_routed', 0)}  "
+            f"stale-redirects {counters.get('stale_redirects', 0)}  "
+            f"ejections {counters.get('ejections', 0)}  "
+            f"fallbacks {counters.get('primary_fallbacks', 0)}  "
+            f"failovers {counters.get('failovers', 0)}"
+        )
+        traces = router.get("traces") or {}
+        lines.append(
+            f"          connections {router.get('connections', 0)}  "
+            f"uptime {router.get('uptime_seconds', 0):.0f}s  "
+            f"trace-ring {traces.get('size', 0)}/{traces.get('capacity', 0)} "
+            f"(sample {traces.get('sample_rate', 0)})"
+        )
         return "\n".join(lines) + "\n"

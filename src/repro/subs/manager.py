@@ -25,6 +25,7 @@ import time
 
 from repro import obs
 from repro.core.translate import DOMAIN_PREDICATE
+from repro.obs import context as trace_context
 from repro.errors import NotMaintainable, ProtocolError, SubscriptionError
 from repro.graphs.bridge import database_from_graph
 from repro.obs.metrics import HistogramData, MetricFamily
@@ -365,6 +366,12 @@ class SubscriptionManager:
                     return
                 records = sorted(since, key=lambda r: r.version)
             sinks = set()
+            # The committing request's distributed trace context is ambient
+            # on this thread (the hook runs on the committing thread); stamp
+            # only the frames for *this* commit's record with its trace id —
+            # gap-filled records belong to other commits' traces.
+            ambient = trace_context.current()
+            trace_id = ambient.trace_id if ambient is not None else None
             with obs.span(
                 "subs.dispatch",
                 version=record.version,
@@ -372,11 +379,13 @@ class SubscriptionManager:
                 subscribers=len(self._subs),
             ):
                 for rec in records:
-                    sinks |= self._dispatch_record_locked(rec)
+                    sinks |= self._dispatch_record_locked(
+                        rec, trace_id if rec is record else None
+                    )
             self._applied = max(self._applied, records[-1].version)
         self._notify(sinks)
 
-    def _dispatch_record_locked(self, record):
+    def _dispatch_record_locked(self, record, trace_id=None):
         """Apply one commit record to every view; returns sinks to poke."""
         sinks = set()
         now = time.monotonic()
@@ -395,17 +404,16 @@ class SubscriptionManager:
                 p: protocol.rows_to_wire(rows) for p, rows in sorted(deleted.items())
             }
             for sub in view.subs:
-                self._enqueue_locked(
-                    sub,
-                    {
-                        "frame": "delta",
-                        "subscription": sub.id,
-                        "version": record.version,
-                        "inserted": wire_inserted,
-                        "deleted": wire_deleted,
-                    },
-                    now,
-                )
+                frame = {
+                    "frame": "delta",
+                    "subscription": sub.id,
+                    "version": record.version,
+                    "inserted": wire_inserted,
+                    "deleted": wire_deleted,
+                }
+                if trace_id is not None:
+                    frame["trace_id"] = trace_id
+                self._enqueue_locked(sub, frame, now)
                 sinks.add(sub.sink)
         return sinks
 

@@ -1,0 +1,123 @@
+"""Histogram merge edge cases: the cluster aggregate's correctness rests on
+merged histograms answering the same quantiles the pooled samples would.
+Covers empty merges, the typed mismatch error, wire round-trips (the form
+``cluster_stats`` ships across nodes), and a merged-vs-pooled property."""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import HistogramData, HistogramMergeError
+
+
+class TestEmptyMerges:
+    def test_two_empty(self):
+        a = HistogramData()
+        a.merge(HistogramData())
+        assert a.count == 0
+        assert a.quantile(0.5) is None
+        assert a.min is None and a.max is None
+
+    def test_empty_into_populated(self):
+        a = HistogramData()
+        a.observe(0.01)
+        a.observe(0.02)
+        before = (a.count, a.sum, a.min, a.max, list(a.counts))
+        a.merge(HistogramData())
+        assert (a.count, a.sum, a.min, a.max, list(a.counts)) == before
+
+    def test_populated_into_empty(self):
+        b = HistogramData()
+        b.observe(0.01)
+        b.observe(0.5)
+        a = HistogramData()
+        a.merge(b)
+        assert a.count == 2
+        assert a.min == 0.01
+        assert a.max == 0.5
+
+
+class TestMismatchedLayouts:
+    def test_typed_error(self):
+        a = HistogramData(bounds=(0.1, 1.0))
+        b = HistogramData(bounds=(0.1, 1.0, 10.0))
+        with pytest.raises(HistogramMergeError):
+            a.merge(b)
+
+    def test_error_is_a_value_error(self):
+        # Pre-existing broad ``except ValueError`` callers keep working.
+        assert issubclass(HistogramMergeError, ValueError)
+        a = HistogramData(bounds=(0.1,))
+        with pytest.raises(ValueError):
+            a.merge(HistogramData(bounds=(0.2,)))
+
+    def test_failed_merge_leaves_target_untouched(self):
+        a = HistogramData(bounds=(0.1, 1.0))
+        a.observe(0.05)
+        with pytest.raises(HistogramMergeError):
+            a.merge(HistogramData(bounds=(0.5,)))
+        assert a.count == 1
+        assert a.counts[0] == 1
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        a = HistogramData()
+        for value in (0.001, 0.01, 0.25, 3.0):
+            a.observe(value)
+        b = HistogramData.from_wire(a.to_wire())
+        assert b.bounds == a.bounds
+        assert b.counts == a.counts
+        assert b.count == a.count
+        assert b.sum == pytest.approx(a.sum)
+        assert b.min == a.min and b.max == a.max
+        for q in (0.5, 0.95, 0.99):
+            assert b.quantile(q) == pytest.approx(a.quantile(q))
+
+    def test_merge_after_round_trip(self):
+        a = HistogramData()
+        a.observe(0.02)
+        b = HistogramData.from_wire(a.to_wire())
+        b.merge(a)
+        assert b.count == 2
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "nope",
+            {},
+            {"bounds": [0.1]},  # missing counts
+            {"bounds": [0.1], "counts": [1]},  # wrong counts length
+            {"bounds": "bad", "counts": [1, 2]},
+            {"bounds": [0.1], "counts": [1, "x"], "count": 1, "sum": 0.1},
+        ],
+    )
+    def test_malformed_wire_rejected(self, doc):
+        with pytest.raises(HistogramMergeError):
+            HistogramData.from_wire(doc)
+
+
+class TestMergedEqualsPooled:
+    def test_merged_quantiles_match_pooled(self):
+        """Fold N per-node histograms together: every quantile must equal the
+        one histogram that saw all samples (the whole point of shipping
+        histograms instead of per-node quantiles)."""
+        rng = random.Random(7)
+        pooled = HistogramData()
+        merged = None
+        for _node in range(5):
+            local = HistogramData()
+            for _ in range(200):
+                value = rng.expovariate(1 / 0.05)  # latency-shaped
+                local.observe(value)
+                pooled.observe(value)
+            shipped = HistogramData.from_wire(local.to_wire())
+            if merged is None:
+                merged = shipped
+            else:
+                merged.merge(shipped)
+        assert merged.count == pooled.count
+        assert merged.sum == pytest.approx(pooled.sum)
+        assert merged.min == pooled.min and merged.max == pooled.max
+        for q in (0.1, 0.5, 0.9, 0.95, 0.99):
+            assert merged.quantile(q) == pytest.approx(pooled.quantile(q))

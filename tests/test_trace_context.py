@@ -1,0 +1,276 @@
+"""Unit tests for the distributed-tracing building blocks: trace context
+wire round-trips, the deterministic head sampler, span identity on the
+tracer, span-tree flattening, cross-node assembly, the span sink, and the
+persistent node identity."""
+
+import json
+import logging
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import ProtocolError
+from repro.obs import context as trace_context
+from repro.obs import nodeid
+from repro.obs.assemble import assemble, render_trace
+from repro.obs.context import RateSampler, TraceContext, new_span_id
+from repro.obs.logs import (
+    JsonLogFormatter,
+    RequestIdFilter,
+    get_node_id,
+    set_node_prefix,
+)
+from repro.obs.spansink import SpanSink
+from repro.obs.trace import TraceRing, flatten_span_tree
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = TraceContext("abc-000001", "def-s00002", True)
+        doc = ctx.to_wire()
+        back = TraceContext.from_wire(json.loads(json.dumps(doc)))
+        assert back.trace_id == "abc-000001"
+        assert back.parent_span_id == "def-s00002"
+        assert back.sampled is True
+
+    def test_parent_omitted_when_none(self):
+        doc = TraceContext("abc", None, False).to_wire()
+        assert "parent_span_id" not in doc
+        back = TraceContext.from_wire(doc)
+        assert back.parent_span_id is None
+        assert back.sampled is False
+
+    def test_child_reparents_only(self):
+        ctx = TraceContext("abc", "p1", True)
+        child = ctx.child("p2")
+        assert child.trace_id == "abc"
+        assert child.parent_span_id == "p2"
+        assert child.sampled is True
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "not-a-dict",
+            {"trace_id": ""},
+            {"trace_id": 42},
+            {},
+            {"trace_id": "ok", "parent_span_id": ""},
+            {"trace_id": "ok", "parent_span_id": 7},
+            {"trace_id": "ok", "sampled": "yes"},
+        ],
+    )
+    def test_malformed_wire_rejected(self, doc):
+        with pytest.raises(ProtocolError):
+            TraceContext.from_wire(doc)
+
+    def test_ambient_binding(self):
+        assert trace_context.current() is None
+        with trace_context.start(sampled=True) as ctx:
+            assert trace_context.current() is ctx
+            assert ctx.trace_id
+        assert trace_context.current() is None
+
+    def test_ambient_not_shared_across_threads(self):
+        seen = []
+        with trace_context.start():
+            thread = threading.Thread(
+                target=lambda: seen.append(trace_context.current())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestRateSampler:
+    def test_zero_never_samples(self):
+        sampler = RateSampler(0.0)
+        assert not sampler.enabled
+        assert not any(sampler.sample() for _ in range(100))
+
+    def test_one_always_samples(self):
+        sampler = RateSampler(1.0)
+        assert sampler.enabled
+        assert all(sampler.sample() for _ in range(100))
+
+    def test_fraction_is_exact(self):
+        sampler = RateSampler(0.1)
+        assert sum(sampler.sample() for _ in range(1000)) == 100
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            RateSampler(-0.1)
+        with pytest.raises(ValueError):
+            RateSampler(1.5)
+
+
+class TestSpanIdentity:
+    def test_span_ids_unique(self):
+        ids = {new_span_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_spans_carry_ids_and_parents(self):
+        with obs.tracing("request", op="q") as tracer:
+            with obs.span("evaluate"):
+                with obs.span("stratum"):
+                    pass
+        root = tracer.root
+        evaluate = root.children[0]
+        stratum = evaluate.children[0]
+        assert root.span_id and evaluate.span_id and stratum.span_id
+        assert root.parent_span_id is None
+        assert evaluate.parent_span_id == root.span_id
+        assert stratum.parent_span_id == evaluate.span_id
+        assert root.start_ts is not None
+
+    def test_remote_parent_links_root(self):
+        ctx = TraceContext("trace-1", "remote-s1", True)
+        with obs.tracing("request", context=ctx) as tracer:
+            pass
+        assert tracer.trace_id == "trace-1"
+        assert tracer.root.parent_span_id == "remote-s1"
+
+    def test_flatten_span_tree(self):
+        with obs.tracing("request") as tracer:
+            with obs.span("a"):
+                with obs.span("b"):
+                    pass
+            with obs.span("c"):
+                pass
+        spans = flatten_span_tree(tracer.root, node_id="n1")
+        assert [s["name"] for s in spans] == ["request", "a", "b", "c"]
+        assert all(s["node_id"] == "n1" for s in spans)
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["b"]["parent_span_id"] == by_name["a"]["span_id"]
+        assert by_name["c"]["parent_span_id"] == by_name["request"]["span_id"]
+        json.dumps(spans)  # JSON-ready
+
+    def test_ring_find_by_trace_id(self):
+        ring = TraceRing(capacity=4)
+        ring.record({"trace_id": "t1", "op": "a"})
+        ring.record({"trace_id": "t2", "op": "b"})
+        ring.record({"trace_id": "t1", "op": "c"})
+        assert [e["op"] for e in ring.find("t1")] == ["a", "c"]
+        assert ring.find("missing") == []
+
+
+class TestAssembly:
+    def _span(self, span_id, parent, name, start, node="n1"):
+        return {
+            "span_id": span_id,
+            "parent_span_id": parent,
+            "name": name,
+            "start_ts": start,
+            "elapsed_ms": 1.0,
+            "attrs": {},
+            "node_id": node,
+        }
+
+    def test_cross_node_forest(self):
+        spans = [
+            self._span("s2", "s1", "request", 2.0, node="n2"),
+            self._span("s1", None, "route", 1.0, node="n1"),
+            self._span("s3", "s2", "evaluate", 3.0, node="n2"),
+        ]
+        roots = assemble(spans)
+        assert len(roots) == 1
+        assert roots[0]["span"]["name"] == "route"
+        child = roots[0]["children"][0]
+        assert child["span"]["name"] == "request"
+        assert child["children"][0]["span"]["name"] == "evaluate"
+
+    def test_orphaned_parent_becomes_root(self):
+        spans = [self._span("s9", "evicted", "late", 5.0)]
+        roots = assemble(spans)
+        assert len(roots) == 1
+        assert roots[0]["span"]["name"] == "late"
+
+    def test_siblings_sorted_by_start(self):
+        spans = [
+            self._span("r", None, "root", 0.0),
+            self._span("b", "r", "second", 2.0),
+            self._span("a", "r", "first", 1.0),
+        ]
+        roots = assemble(spans)
+        names = [c["span"]["name"] for c in roots[0]["children"]]
+        assert names == ["first", "second"]
+
+    def test_render_names_nodes(self):
+        spans = [
+            self._span("s1", None, "route", 1.0, node="router"),
+            self._span("s2", "s1", "request", 2.0, node="backend"),
+        ]
+        text = render_trace("t1", spans)
+        assert "trace t1" in text
+        assert "2 node(s)" in text
+        assert "[router] route" in text
+        assert "[backend] request" in text
+
+
+class TestSpanSink:
+    def test_exports_jsonl(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = SpanSink(str(path))
+        sink.export({"trace_id": "t1", "spans": []})
+        sink.export({"trace_id": "t2", "spans": []})
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["trace_id"] for line in lines] == ["t1", "t2"]
+        assert sink.stats()["exported"] == 2
+
+    def test_rotation_keeps_one_generation(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = SpanSink(str(path), max_bytes=4096)
+        record = {"trace_id": "t", "pad": "x" * 512}
+        for _ in range(20):
+            sink.export(record)
+        assert sink.stats()["rotations"] >= 1
+        assert path.exists()
+        assert (tmp_path / "spans.jsonl.1").exists()
+
+    def test_unserializable_counts_error_not_raise(self, tmp_path):
+        sink = SpanSink(str(tmp_path / "spans.jsonl"))
+        circular = {}
+        circular["self"] = circular
+        sink.export(circular)
+        assert sink.stats()["export_errors"] == 1
+
+    def test_max_bytes_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            SpanSink(str(tmp_path / "s.jsonl"), max_bytes=16)
+
+
+class TestNodeId:
+    def test_persisted_and_stable(self, tmp_path):
+        first = nodeid.load_or_create_node_id(str(tmp_path))
+        second = nodeid.load_or_create_node_id(str(tmp_path))
+        assert first == second
+        stored = json.loads((tmp_path / "node_id.json").read_text())
+        assert stored["node_id"] == first
+
+    def test_ephemeral_without_data_dir(self):
+        a = nodeid.load_or_create_node_id(None)
+        b = nodeid.load_or_create_node_id(None)
+        assert a and b and a != b
+
+    def test_corrupt_file_replaced(self, tmp_path):
+        (tmp_path / "node_id.json").write_text("not json")
+        node_id = nodeid.load_or_create_node_id(str(tmp_path))
+        assert nodeid.load_node_id(str(tmp_path)) == node_id
+
+
+class TestNodeLogField:
+    def test_log_records_carry_node_id(self):
+        old = get_node_id()
+        try:
+            set_node_prefix("nodeabc")
+            assert get_node_id() == "nodeabc"
+            logger = logging.getLogger("repro.test.node")
+            record = logger.makeRecord(
+                logger.name, logging.INFO, __file__, 1, "hi", (), None
+            )
+            RequestIdFilter().filter(record)
+            payload = json.loads(JsonLogFormatter().format(record))
+            assert payload["node"] == "nodeabc"
+        finally:
+            if old is not None:
+                set_node_prefix(old)
